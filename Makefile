@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-race bench figures cover fmt vet
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+test-race:
+	go test -race ./...
+
+# One testing.B target per paper figure/table + per-query micros.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation as text tables.
+figures:
+	go run ./cmd/ntga-bench -fig all
+
+cover:
+	go test -cover ./...

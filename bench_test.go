@@ -1,0 +1,129 @@
+// Benchmark harness: one testing.B target per figure/table of the paper's
+// evaluation section, plus per-query micro-benchmarks contrasting the
+// engines on representative workloads. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times are simulation times on the in-process MapReduce engine;
+// the paper's comparisons are reproduced as the *relative* ordering of the
+// engines and the reported byte metrics (printed by cmd/ntga-bench).
+package ntga_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ntga/internal/bench"
+	"ntga/internal/engine"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunFigure(id, bench.Options{})
+		if err != nil {
+			b.Fatalf("RunFigure(%s): %v", id, err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatalf("figure %s produced no tables", id)
+		}
+	}
+}
+
+// One benchmark per paper figure.
+
+func BenchmarkFig3_CaseStudy(b *testing.B)            { benchFigure(b, "fig3") }
+func BenchmarkFig9a_Rep2CapacityLimited(b *testing.B) { benchFigure(b, "fig9a") }
+func BenchmarkFig9aText_TextWire(b *testing.B)        { benchFigure(b, "fig9a-text") }
+func BenchmarkFig9b_Rep1(b *testing.B)                { benchFigure(b, "fig9b") }
+func BenchmarkFig9c_VaryingArity(b *testing.B)        { benchFigure(b, "fig9c") }
+func BenchmarkFig10_HDFSWrites(b *testing.B)          { benchFigure(b, "fig10") }
+func BenchmarkFig11_UnnestStrategies(b *testing.B)    { benchFigure(b, "fig11") }
+func BenchmarkFig12_BSBM1M(b *testing.B)              { benchFigure(b, "fig12") }
+func BenchmarkFig13_Bio2RDF(b *testing.B)             { benchFigure(b, "fig13") }
+func BenchmarkFig14_InfoboxBTC(b *testing.B)          { benchFigure(b, "fig14") }
+
+// Ablation benches (design-choice sweeps called out in DESIGN.md).
+
+func BenchmarkAblation_PhiM(b *testing.B)         { benchFigure(b, "abl-phim") }
+func BenchmarkAblation_Aggregation(b *testing.B)  { benchFigure(b, "abl-agg") }
+func BenchmarkAblation_Multiplicity(b *testing.B) { benchFigure(b, "abl-mult") }
+func BenchmarkAblation_Replication(b *testing.B)  { benchFigure(b, "abl-repl") }
+func BenchmarkAblation_Selectivity(b *testing.B)  { benchFigure(b, "abl-select") }
+func BenchmarkAblation_ScanSharing(b *testing.B)  { benchFigure(b, "abl-share") }
+
+// Per-engine micro-benchmarks on representative queries: B1 (join on an
+// unbound pattern's object), B4 (non-joining unbound pattern), A4
+// (two-star exploration with high-multiplicity properties), C4 (unbound in
+// each star). These isolate single query executions so -benchmem reflects
+// one workflow.
+
+func benchQuery(b *testing.B, dataset, queryID, engineName string) {
+	b.Helper()
+	g, err := bench.Dataset(dataset, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cq, err := bench.Lookup(queryID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := bench.AllEnginesScaled(1)
+	var eng engine.QueryEngine
+	for _, e := range engines {
+		if e.Name() == engineName {
+			eng = e
+		}
+	}
+	if eng == nil {
+		b.Fatalf("engine %s not in line-up", engineName)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr, err := bench.RunQuery(bench.ClusterSpec{}, g, cq, []engine.QueryEngine{eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !qr.Runs[0].OK {
+			b.Fatalf("%s failed: %s", engineName, qr.Runs[0].Err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	cases := []struct {
+		dataset, query string
+	}{
+		{"bsbm", "B1"},
+		{"bsbm", "B4"},
+		{"lifesci", "A4"},
+		{"infobox", "C4"},
+	}
+	for _, c := range cases {
+		for _, eng := range []string{"Pig", "Hive", "NTGA-Eager", "NTGA-Lazy"} {
+			b.Run(fmt.Sprintf("%s/%s", c.query, eng), func(b *testing.B) {
+				benchQuery(b, c.dataset, c.query, eng)
+			})
+		}
+	}
+}
+
+// Dataset generation benches (the substrate's own cost).
+
+func BenchmarkDatagen(b *testing.B) {
+	for _, name := range []string{"bsbm", "lifesci", "infobox"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := bench.Dataset(name, 1, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Len() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}

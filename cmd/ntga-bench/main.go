@@ -1,0 +1,55 @@
+// Command ntga-bench regenerates the paper's experiments: each figure or
+// table of the evaluation section is a named experiment that runs every
+// engine over the scaled-down datasets and prints the comparison tables.
+//
+// Usage:
+//
+//	ntga-bench -list
+//	ntga-bench -fig fig9a
+//	ntga-bench -fig all -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ntga/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "experiment id (see -list) or 'all'")
+		scale = flag.Int("scale", 1, "dataset size multiplier")
+		seed  = flag.Int64("seed", 42, "dataset seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Figures() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := bench.Figures()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	opt := bench.Options{Scale: *scale, Seed: *seed}
+	failed := false
+	for _, id := range ids {
+		rep, err := bench.RunFigure(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntga-bench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(rep.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

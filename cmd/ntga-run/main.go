@@ -1,0 +1,165 @@
+// Command ntga-run evaluates a SPARQL query (in the supported unbound-
+// property subset) over an N-Triples file using any of the MapReduce query
+// engines, printing the result bindings and the workflow's cost metrics.
+//
+// Usage:
+//
+//	ntga-run -data data.nt -query query.rq -engine ntga-lazy
+//	ntga-run -data data.nt -e 'SELECT * WHERE { ?s ?p ?o . }' -engine hive -metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntga/internal/bench"
+	"ntga/internal/engine"
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+	"ntga/internal/ntgamr"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/refengine"
+	"ntga/internal/sparql"
+	"ntga/internal/stats"
+)
+
+func main() {
+	var (
+		dataFile  = flag.String("data", "", "N-Triples input file (required)")
+		queryFile = flag.String("query", "", "SPARQL query file")
+		inline    = flag.String("e", "", "inline SPARQL query text")
+		engName   = flag.String("engine", "ntga-lazy", "engine: pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial, ref")
+		nodes     = flag.Int("nodes", 8, "simulated cluster size")
+		rep       = flag.Int("replication", 1, "DFS replication factor")
+		phiM      = flag.Int("phim", 0, "partial β-unnest partition range (0 = default)")
+		metrics   = flag.Bool("metrics", false, "print per-job workflow metrics")
+		advise    = flag.Bool("advise", false, "print the cost advisor's strategy recommendation")
+		limit     = flag.Int("limit", 0, "print at most N rows (0 = all)")
+	)
+	flag.Parse()
+
+	if *dataFile == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	src := *inline
+	if src == "" {
+		if *queryFile == "" {
+			fatal(fmt.Errorf("one of -query or -e is required"))
+		}
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+
+	f, err := os.Open(*dataFile)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := rdf.ReadNTriples(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := query.Compile(pq, g.Dict)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *advise {
+		advice := ntgamr.Advise(ntgamr.CollectStats(g), q, 8)
+		fmt.Fprintf(os.Stderr, "advisor: strategy=%v phiM=%d\n", advice.Strategy, advice.PhiM)
+		for _, r := range advice.Reasons {
+			fmt.Fprintln(os.Stderr, "  -", r)
+		}
+	}
+
+	var rows []query.Row
+	var lastCount int64
+	if *engName == "ref" {
+		rows = refengine.Evaluate(q, g)
+	} else {
+		eng, err := bench.EngineByName(*engName, *phiM)
+		if err != nil {
+			fatal(err)
+		}
+		mr := mapreduce.NewEngine(
+			hdfs.New(hdfs.Config{Nodes: *nodes, Replication: *rep}),
+			mapreduce.EngineConfig{},
+		)
+		if err := engine.LoadGraph(mr.DFS(), "data/triples", g); err != nil {
+			fatal(err)
+		}
+		res, err := eng.Run(mr, q, "data/triples")
+		if err != nil {
+			fatal(err)
+		}
+		rows = res.Rows
+		lastCount = res.Count
+		if *metrics {
+			printMetrics(res)
+		}
+	}
+
+	if q.IsCount() {
+		// rows is nil for distributed engines (they count without
+		// expanding); the reference engine materializes rows.
+		count := int64(len(rows))
+		if *engName != "ref" {
+			count = lastCount
+		}
+		fmt.Printf("?%s\n%d\n", q.Src.CountVar, count)
+		return
+	}
+
+	projected := q.ProjectAll(rows)
+	header := ""
+	for i, v := range q.Select {
+		if i > 0 {
+			header += "\t"
+		}
+		header += "?" + v
+	}
+	fmt.Println(header)
+	for i, r := range projected {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more rows)\n", len(projected)-i)
+			break
+		}
+		fmt.Println(q.FormatRow(r))
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", len(projected))
+}
+
+func printMetrics(res *engine.Result) {
+	t := &stats.Table{Title: "-- workflow metrics (" + res.Engine + ") --",
+		Header: []string{"job", "time", "map in", "shuffle", "reduce out"}}
+	for _, j := range res.Workflow.Jobs {
+		t.AddRow(j.Job, j.Duration.Round(1000).String(), stats.FormatBytes(j.MapInputBytes),
+			stats.FormatBytes(j.MapOutputBytes), stats.FormatBytes(j.ReduceOutputBytes))
+	}
+	t.AddRow("TOTAL", res.Workflow.Duration.Round(1000).String(),
+		stats.FormatBytes(res.Workflow.TotalMapInputBytes()),
+		stats.FormatBytes(res.Workflow.TotalMapOutputBytes()),
+		stats.FormatBytes(res.Workflow.TotalReduceOutputBytes()))
+	fmt.Fprintln(os.Stderr, t.Render())
+	fmt.Fprintf(os.Stderr, "cycles=%d peakDisk=%s outputRecords=%d outputBytes=%s\n",
+		res.Workflow.Cycles, stats.FormatBytes(res.PeakDFSUsed),
+		res.OutputRecords, stats.FormatBytes(res.OutputBytes))
+	for name, v := range res.Counters {
+		fmt.Fprintf(os.Stderr, "counter %s = %d\n", name, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ntga-run:", err)
+	os.Exit(1)
+}

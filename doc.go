@@ -1,0 +1,10 @@
+// Package ntga is a from-scratch Go reproduction of "Scaling
+// Unbound-Property Queries on Big RDF Data Warehouses using MapReduce"
+// (Ravindra & Anyanwu, EDBT 2015): the Nested TripleGroup Data Model and
+// Algebra (NTGA) extended with β group-filter and eager/lazy/partial
+// β-unnest operators, executed on a simulated HDFS + MapReduce substrate,
+// with Pig-style and Hive-style relational baselines and a benchmark
+// harness that regenerates every figure of the paper's evaluation.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package ntga

@@ -1,0 +1,92 @@
+// Planlab: plan inspection across the engine families. For a selection of
+// catalog queries it prints the star decomposition and the MapReduce plan
+// every engine would run — the cycle counts and triple-relation scans
+// behind the Figure 3 case study — without executing anything.
+//
+// Run with:
+//
+//	go run ./examples/planlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ntga/internal/bench"
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/ntgamr"
+	"ntga/internal/query"
+	"ntga/internal/relmr"
+	"ntga/internal/sparql"
+	"ntga/internal/stats"
+)
+
+func main() {
+	g, err := bench.Dataset("bsbm", 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const input = "T"
+
+	table := &stats.Table{
+		Title:  "MR cycles / full scans per engine (plan-level, no execution)",
+		Header: []string{"query", "Pig", "Hive", "Sel-SJ-first", "NTGA-Lazy"},
+	}
+	for _, id := range []string{"Q1a", "Q2a", "Q3a", "B0", "B1", "B3", "B5"} {
+		cq, err := bench.Lookup(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pq, err := sparql.Parse(cq.Src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := query.Compile(pq, g.Dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []any{id}
+		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
+			s, _, err := relmr.NewPig().Plan(q, input, cl)
+			return s, err
+		}))
+		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
+			s, _, err := relmr.NewHive().Plan(q, input, cl)
+			return s, err
+		}))
+		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
+			s, _, err := relmr.NewSelSJFirst().Plan(q, input, cl)
+			return s, err
+		}))
+		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
+			s, _, err := ntgamr.NewLazy().Plan(q, input, cl, mapreduce.NewCounters())
+			return s, err
+		}))
+		table.AddRow(row...)
+	}
+	fmt.Println(table.Render())
+	fmt.Println(`cells are "cycles/scans"; n/a = shape unsupported by that planner`)
+
+	// Show one full logical plan with an unbound-property join.
+	cq, _ := bench.Lookup("B1")
+	pq, _ := sparql.Parse(cq.Src)
+	q, err := query.Compile(pq, g.Dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlogical plan for B1:\n%s", q.Explain())
+}
+
+func planShape(plan func(*engine.Cleaner) ([]mapreduce.Stage, error)) string {
+	var cl engine.Cleaner
+	stages, err := plan(&cl)
+	if err != nil {
+		return "n/a"
+	}
+	cycles := 0
+	for _, st := range stages {
+		cycles += len(st)
+	}
+	return fmt.Sprintf("%d/%d", cycles, mapreduce.CountScansOf(stages, "T"))
+}

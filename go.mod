@@ -1,0 +1,3 @@
+module ntga
+
+go 1.22

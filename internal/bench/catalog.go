@@ -1,0 +1,224 @@
+// Package bench is the experiment harness: it holds the query catalog
+// (the Q/B/A/C series of the paper's evaluation), builds the scaled-down
+// datasets and clusters, runs every engine, and formats per-figure reports.
+package bench
+
+import (
+	"fmt"
+)
+
+// CatalogQuery is one benchmark query.
+type CatalogQuery struct {
+	// ID is the paper's query name (B1, A3, Q1a, C4, B1-4bnd, ...).
+	ID string
+	// Dataset names the generator the query runs on: bsbm, lifesci, infobox.
+	Dataset string
+	// Src is the SPARQL text.
+	Src string
+	// Description summarizes the query's structural role in the evaluation.
+	Description string
+}
+
+const bsbmPrefix = `PREFIX bsbm: <http://bsbm.example.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+`
+
+const bioPrefix = `PREFIX bio: <http://bio2rdf.example.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+`
+
+const dbPrefix = `PREFIX db: <http://dbpedia.example.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+`
+
+// catalog lists every benchmark query. Order within a series matches the
+// paper's figures.
+var catalog = []CatalogQuery{
+	// ---- Figure 3 case study: bound-only 2-star queries ----
+	{ID: "Q1a", Dataset: "bsbm", Description: "O-S join product→producer",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:producer ?pr .
+  ?pr bsbm:label ?prl . ?pr bsbm:country ?c .
+}`},
+	{ID: "Q1b", Dataset: "bsbm", Description: "Q1a with selective object filters",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:producer ?pr .
+  ?pr bsbm:label ?prl . ?pr bsbm:country ?c .
+  FILTER(CONTAINS(?l, "product 1"))
+  FILTER(?c = bsbm:Country3)
+}`},
+	{ID: "Q2a", Dataset: "bsbm", Description: "O-S join offer→product",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v . ?o bsbm:price ?price .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+}`},
+	{ID: "Q2b", Dataset: "bsbm", Description: "Q2a with selective object filters",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v . ?o bsbm:price ?price .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+  FILTER(?v = bsbm:Vendor1)
+  FILTER(CONTAINS(?l, "product 1"))
+}`},
+	{ID: "Q3a", Dataset: "bsbm", Description: "O-O join on shared feature",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?a bsbm:productFeature ?f . ?a bsbm:label ?al .
+  ?b bsbm:productFeature ?f . ?b bsbm:comment ?bc .
+}`},
+	{ID: "Q3b", Dataset: "bsbm", Description: "Q3a with selective object filters",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?a bsbm:productFeature ?f . ?a bsbm:label ?al .
+  ?b bsbm:productFeature ?f . ?b bsbm:comment ?bc .
+  FILTER(CONTAINS(?al, "product 1"))
+  FILTER(CONTAINS(?bc, "product 2"))
+}`},
+
+	// ---- B series: varying unbound-property join structures (Figs 9, 12) ----
+	{ID: "B0", Dataset: "bsbm", Description: "baseline: two bound stars, O-S join",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:price ?price . ?o bsbm:vendor ?v .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+}`},
+	{ID: "B1", Dataset: "bsbm", Description: "join on unbound-property object",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f . ?prod ?p ?x .
+  ?x bsbm:label ?xl . ?x rdf:type bsbm:FeatureType .
+}`},
+	{ID: "B2", Dataset: "bsbm", Description: "unbound property with partially-bound object",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f . ?prod ?p ?x .
+  ?x bsbm:label ?xl . ?x rdf:type bsbm:FeatureType .
+  FILTER(CONTAINS(?x, "Feature"))
+}`},
+	{ID: "B3", Dataset: "bsbm", Description: "two unbound patterns in one star, one partially bound",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f . ?prod ?p ?x . ?prod ?q ?y .
+  ?x bsbm:label ?xl . ?x rdf:type bsbm:FeatureType .
+  FILTER(CONTAINS(?y, "Pro"))
+}`},
+	{ID: "B4", Dataset: "bsbm", Description: "unbound pattern not participating in the join",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:price ?price . ?o bsbm:vendor ?v .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f . ?prod ?p ?any .
+}`},
+	{ID: "B5", Dataset: "bsbm", Description: "three stars, unbound join in the middle",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f . ?prod ?p ?x .
+  ?x bsbm:label ?xl . ?x rdf:type bsbm:FeatureType .
+}`},
+	{ID: "B6", Dataset: "bsbm", Description: "O-O join with an unbound pattern in each star",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?a bsbm:productFeature ?f . ?a bsbm:label ?al . ?a ?p ?x .
+  ?b bsbm:productFeature ?f . ?b bsbm:comment ?bc . ?b ?q ?y .
+  FILTER(CONTAINS(?y, "Producer"))
+}`},
+
+	// ---- B1 with varying bound-property arity (Figs 9c, 10) ----
+	{ID: "B1-3bnd", Dataset: "bsbm", Description: "B1 with 3 bound properties", Src: b1Bnd(3)},
+	{ID: "B1-4bnd", Dataset: "bsbm", Description: "B1 with 4 bound properties", Src: b1Bnd(4)},
+	{ID: "B1-5bnd", Dataset: "bsbm", Description: "B1 with 5 bound properties", Src: b1Bnd(5)},
+	{ID: "B1-6bnd", Dataset: "bsbm", Description: "B1 with 6 bound properties", Src: b1Bnd(6)},
+
+	// ---- A series: Bio2RDF-style real-world queries (Fig 13) ----
+	{ID: "A1", Dataset: "lifesci", Description: "single star, unbound property with partially-bound object",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?g rdf:type bio:Gene . ?g bio:label ?l . ?g bio:synonym ?syn . ?g ?p ?x .
+  FILTER(CONTAINS(?x, "go"))
+}`},
+	{ID: "A2", Dataset: "lifesci", Description: "single star, unbound property narrowed to references",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?g rdf:type bio:Gene . ?g bio:organism ?org . ?g ?p ?x .
+  FILTER(CONTAINS(?x, "ref"))
+}`},
+	{ID: "A3", Dataset: "lifesci", Description: "two stars, unbound in each (one partially bound)",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?g rdf:type bio:Gene . ?g ?p ?x .
+  ?x rdf:type bio:GOTerm . ?x ?q ?y .
+  FILTER(CONTAINS(?y, "ns/"))
+}`},
+	{ID: "A4", Dataset: "lifesci", Description: "two stars joined on unbound object, unbound in second",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?g bio:label ?l . ?g bio:synonym ?s . ?g ?p ?x .
+  ?x bio:source ?src . ?x ?q ?y .
+}`},
+	{ID: "A5", Dataset: "lifesci", Description: "star with two unbound patterns, one object pinned to nur77",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?s ?p ?g . ?s ?q ?x .
+  ?x bio:label ?xl .
+  FILTER(?g = bio:gene0)
+}`},
+	{ID: "A6", Dataset: "lifesci", Description: "entities related to the hexokinase gene via any property",
+		Src: bioPrefix + `SELECT * WHERE {
+  ?g ?p ?x . ?g rdf:type bio:Gene .
+  ?x bio:label ?hl .
+  FILTER(CONTAINS(?hl, "hexokinase"))
+}`},
+
+	// ---- C series: DBpedia/BTC exploration queries (Fig 14) ----
+	{ID: "C1", Dataset: "infobox", Description: "all information about Scientists",
+		Src: dbPrefix + `SELECT * WHERE {
+  ?s rdf:type db:Scientist . ?s ?p ?o .
+}`},
+	{ID: "C2", Dataset: "infobox", Description: "all information about The Sopranos",
+		Src: dbPrefix + `SELECT * WHERE {
+  db:The_Sopranos ?p ?o .
+}`},
+	{ID: "C3", Dataset: "infobox", Description: "unknown relationship between scientists and cities",
+		Src: dbPrefix + `SELECT * WHERE {
+  ?a rdf:type db:Scientist . ?a db:knownFor ?k . ?a ?p ?x .
+  ?x rdf:type db:City . ?x db:name ?n .
+}`},
+	{ID: "C4", Dataset: "infobox", Description: "unbound property in each star",
+		Src: dbPrefix + `SELECT * WHERE {
+  ?a rdf:type db:Scientist . ?a db:knownFor ?k . ?a ?p ?x .
+  ?x rdf:type db:City . ?x ?q ?y .
+}`},
+}
+
+// b1Bnd builds the B1 variant with n bound properties in the product star.
+func b1Bnd(n int) string {
+	bound := []string{
+		"?prod bsbm:label ?l .",
+		"?prod bsbm:productFeature ?f .",
+		"?prod bsbm:comment ?c .",
+		"?prod bsbm:propertyNum1 ?n1 .",
+		"?prod bsbm:propertyTex1 ?t1 .",
+		"?prod bsbm:propertyNum2 ?n2 .",
+	}
+	src := bsbmPrefix + "SELECT * WHERE {\n"
+	for i := 0; i < n; i++ {
+		src += "  " + bound[i] + "\n"
+	}
+	src += "  ?prod ?p ?x .\n  ?x bsbm:label ?xl . ?x rdf:type bsbm:FeatureType .\n}"
+	return src
+}
+
+// Catalog returns every benchmark query.
+func Catalog() []CatalogQuery {
+	out := make([]CatalogQuery, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Lookup returns the catalog query with the given ID.
+func Lookup(id string) (CatalogQuery, error) {
+	for _, q := range catalog {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return CatalogQuery{}, fmt.Errorf("bench: unknown query %q", id)
+}
+
+// Series returns the catalog queries whose IDs are listed, in order.
+func Series(ids ...string) ([]CatalogQuery, error) {
+	out := make([]CatalogQuery, 0, len(ids))
+	for _, id := range ids {
+		q, err := Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

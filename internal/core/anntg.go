@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// Nested marks a pattern whose matches are still implicitly represented
+// (not yet unnested) in an AnnTG.
+const Nested = -1
+
+// AnnTG is an annotated triplegroup: the subject triplegroup restricted to
+// the pairs relevant to one star subpattern (its equivalence class), plus
+// per-pattern unnest state. It is the paper's AnnTG "extended multi-map"
+// representation generalized with explicit selections:
+//
+//   - SlotSel[i] == Nested means unbound slot i is still implicitly
+//     represented: every candidate pair is a match (the concise nested
+//     form the lazy strategies preserve);
+//   - SlotSel[i] == k pins slot i to Triples[k] (a "perfect" triplegroup
+//     component after β-unnest);
+//   - BoundSel[i] likewise pins bound pattern i, which happens only when a
+//     join on that pattern's object forces a specific value.
+type AnnTG struct {
+	Subject  rdf.ID
+	EC       int // star index (equivalence class tag)
+	Triples  []PO
+	BoundSel []int // len == len(star.Bound)
+	SlotSel  []int // len == len(star.Slots)
+}
+
+// Clone deep-copies the AnnTG.
+func (a AnnTG) Clone() AnnTG {
+	out := a
+	out.Triples = append([]PO(nil), a.Triples...)
+	out.BoundSel = append([]int(nil), a.BoundSel...)
+	out.SlotSel = append([]int(nil), a.SlotSel...)
+	return out
+}
+
+// FullyUnnested reports whether every unbound slot has been pinned.
+func (a AnnTG) FullyUnnested() bool {
+	for _, s := range a.SlotSel {
+		if s == Nested {
+			return false
+		}
+	}
+	return true
+}
+
+func (a AnnTG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "AnnTG(ec=%d, s=%d)[", a.EC, a.Subject)
+	for i, p := range a.Triples {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "(%d,%d)", p.P, p.O)
+	}
+	fmt.Fprintf(&sb, "] bsel=%v ssel=%v", a.BoundSel, a.SlotSel)
+	return sb.String()
+}
+
+// BoundCandidates returns the indices of pairs that can match bound pattern
+// bi, honoring a pinned selection.
+func (a AnnTG) BoundCandidates(st *query.Star, bi int) []int {
+	if a.BoundSel[bi] != Nested {
+		return []int{a.BoundSel[bi]}
+	}
+	b := st.Bound[bi]
+	var out []int
+	for i, p := range a.Triples {
+		if p.P == b.Prop && b.Obj.Match(p.O) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SlotCandidates returns the indices of pairs that can match unbound slot
+// si, honoring a pinned selection.
+func (a AnnTG) SlotCandidates(st *query.Star, si int) []int {
+	if a.SlotSel[si] != Nested {
+		return []int{a.SlotSel[si]}
+	}
+	sl := st.Slots[si]
+	var out []int
+	for i, p := range a.Triples {
+		if sl.Prop.Match(p.P) && sl.Obj.Match(p.O) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// relevant reports whether a pair plays any role in the star.
+func relevant(st *query.Star, p PO) bool {
+	for _, b := range st.Bound {
+		if p.P == b.Prop && b.Obj.Match(p.O) {
+			return true
+		}
+	}
+	for _, sl := range st.Slots {
+		if sl.Prop.Match(p.P) && sl.Obj.Match(p.O) {
+			return true
+		}
+	}
+	return false
+}
+
+// UnbGrpFilter is the β group-filter σ^βγ (Definition 1) merged with the
+// per-equivalence-class projection of Algorithm 2 (TG_UnbGrpFilter): given
+// a subject triplegroup and the query's stars, it returns one AnnTG per
+// star the group structurally matches.
+//
+// A group matches a star when the subject predicate holds and every
+// pattern — bound or unbound — has at least one candidate pair. (Definition
+// 1 checks only the bound properties; requiring slot candidates too is the
+// filter-pushdown refinement discussed in §4: a group with an empty slot
+// candidate set would β-unnest to nothing.)
+//
+// For a star with unbound slots the AnnTG keeps every relevant pair (the
+// concise implicit representation); for a bound-only star it keeps only the
+// bound-matching pairs (Algorithm 2, line 8).
+func UnbGrpFilter(tg TripleGroup, stars []*query.Star) []AnnTG {
+	var out []AnnTG
+	for _, st := range stars {
+		if a, ok := FilterForStar(tg, st); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FilterForStar applies σ^βγ for a single star.
+func FilterForStar(tg TripleGroup, st *query.Star) (AnnTG, bool) {
+	if !st.Subj.Match(tg.Subject) {
+		return AnnTG{}, false
+	}
+	var pairs []PO
+	if st.HasUnbound() {
+		for _, p := range tg.Triples {
+			if relevant(st, p) {
+				pairs = append(pairs, p)
+			}
+		}
+	} else {
+		for _, p := range tg.Triples {
+			for _, b := range st.Bound {
+				if p.P == b.Prop && b.Obj.Match(p.O) {
+					pairs = append(pairs, p)
+					break
+				}
+			}
+		}
+	}
+	a := AnnTG{
+		Subject:  tg.Subject,
+		EC:       st.Index,
+		Triples:  pairs,
+		BoundSel: nestedSel(len(st.Bound)),
+		SlotSel:  nestedSel(len(st.Slots)),
+	}
+	// Structure-based validation: every pattern needs a candidate.
+	for bi := range st.Bound {
+		if len(a.BoundCandidates(st, bi)) == 0 {
+			return AnnTG{}, false
+		}
+	}
+	for si := range st.Slots {
+		if len(a.SlotCandidates(st, si)) == 0 {
+			return AnnTG{}, false
+		}
+	}
+	return a, true
+}
+
+func nestedSel(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = Nested
+	}
+	return out
+}
+
+// BetaUnnest is the β-unnest operator μ^β (Definition 2) generalized to
+// multiple unbound slots: it expands an AnnTG into the set of "perfect"
+// triplegroups, one per combination of slot candidates, each containing the
+// (still nested) bound component plus the chosen unbound triples. Pinned
+// slots keep their selection.
+func BetaUnnest(st *query.Star, a AnnTG) []AnnTG {
+	combos := []AnnTG{a}
+	for si := range st.Slots {
+		if a.SlotSel[si] != Nested {
+			continue
+		}
+		cands := a.SlotCandidates(st, si)
+		next := make([]AnnTG, 0, len(combos)*len(cands))
+		for _, c := range combos {
+			for _, idx := range cands {
+				cc := c.Clone()
+				cc.SlotSel[si] = idx
+				next = append(next, cc)
+			}
+		}
+		combos = next
+	}
+	// Compact each perfect triplegroup: drop pairs that are neither
+	// bound-relevant nor selected (this is where the footprint of an eager
+	// unnest materializes).
+	for i := range combos {
+		combos[i] = Compact(st, combos[i])
+	}
+	return combos
+}
+
+// Compact rewrites an AnnTG to keep only pairs still needed: pairs matching
+// some non-pinned pattern, and pinned selections. Selection indices are
+// remapped to the new pair slice.
+func Compact(st *query.Star, a AnnTG) AnnTG {
+	keep := make([]bool, len(a.Triples))
+	for bi, b := range st.Bound {
+		if a.BoundSel[bi] != Nested {
+			keep[a.BoundSel[bi]] = true
+			continue
+		}
+		for i, p := range a.Triples {
+			if p.P == b.Prop && b.Obj.Match(p.O) {
+				keep[i] = true
+			}
+		}
+	}
+	for si, sl := range st.Slots {
+		if a.SlotSel[si] != Nested {
+			keep[a.SlotSel[si]] = true
+			continue
+		}
+		for i, p := range a.Triples {
+			if sl.Prop.Match(p.P) && sl.Obj.Match(p.O) {
+				keep[i] = true
+			}
+		}
+	}
+	remap := make([]int, len(a.Triples))
+	var pairs []PO
+	for i, k := range keep {
+		if k {
+			remap[i] = len(pairs)
+			pairs = append(pairs, a.Triples[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	out := AnnTG{Subject: a.Subject, EC: a.EC, Triples: pairs,
+		BoundSel: append([]int(nil), a.BoundSel...),
+		SlotSel:  append([]int(nil), a.SlotSel...)}
+	for bi, s := range out.BoundSel {
+		if s != Nested {
+			out.BoundSel[bi] = remap[s]
+		}
+	}
+	for si, s := range out.SlotSel {
+		if s != Nested {
+			out.SlotSel[si] = remap[s]
+		}
+	}
+	return out
+}
+
+// PinBound produces one AnnTG per candidate of bound pattern bi, each with
+// the pattern pinned — the split needed before a join on a (possibly
+// multi-valued) bound property's object.
+func PinBound(st *query.Star, a AnnTG, bi int) []AnnTG {
+	cands := a.BoundCandidates(st, bi)
+	out := make([]AnnTG, 0, len(cands))
+	for _, idx := range cands {
+		c := a.Clone()
+		c.BoundSel[bi] = idx
+		out = append(out, Compact(st, c))
+	}
+	return out
+}
+
+// Phi is the partition function φ_m of Definition 3: it assigns a join-key
+// ID to one of m buckets. It must be deterministic across map and reduce
+// sides, which the reducer exploits to re-derive each partial triplegroup's
+// candidate subset without shipping extra state.
+func Phi(o rdf.ID, m int) int {
+	// Knuth multiplicative hashing; cheap and well-spread for dense IDs.
+	return int((uint64(o) * 2654435761) % uint64(m))
+}
+
+// PartialBetaUnnest is the partial β-unnest operator μ^β_φm (Definition 3)
+// applied to unbound slot si: slot candidates are partitioned into m
+// buckets by Phi on their object (the join key); for every non-empty bucket
+// one AnnTG is produced carrying the bound component, all pairs relevant to
+// other patterns, and the bucket's slot candidates. The slot remains
+// Nested; the bucket id is returned alongside so the caller can key the
+// shuffle by it.
+func PartialBetaUnnest(st *query.Star, a AnnTG, si, m int) []PartialTG {
+	cands := a.SlotCandidates(st, si)
+	buckets := make(map[int][]int)
+	for _, idx := range cands {
+		b := Phi(a.Triples[idx].O, m)
+		buckets[b] = append(buckets[b], idx)
+	}
+	order := make([]int, 0, len(buckets))
+	for b := range buckets {
+		order = append(order, b)
+	}
+	sort.Ints(order)
+	out := make([]PartialTG, 0, len(buckets))
+	for _, b := range order {
+		idxs := buckets[b]
+		keep := make([]bool, len(a.Triples))
+		// Pairs needed by other patterns.
+		for bi := range st.Bound {
+			if a.BoundSel[bi] != Nested {
+				keep[a.BoundSel[bi]] = true
+				continue
+			}
+			for _, ci := range a.BoundCandidates(st, bi) {
+				keep[ci] = true
+			}
+		}
+		for sj := range st.Slots {
+			if sj == si {
+				continue
+			}
+			if a.SlotSel[sj] != Nested {
+				keep[a.SlotSel[sj]] = true
+				continue
+			}
+			for _, ci := range a.SlotCandidates(st, sj) {
+				keep[ci] = true
+			}
+		}
+		// This bucket's candidates for the joining slot.
+		for _, ci := range idxs {
+			keep[ci] = true
+		}
+		remap := make([]int, len(a.Triples))
+		var pairs []PO
+		for i, k := range keep {
+			if k {
+				remap[i] = len(pairs)
+				pairs = append(pairs, a.Triples[i])
+			} else {
+				remap[i] = -1
+			}
+		}
+		p := AnnTG{Subject: a.Subject, EC: a.EC, Triples: pairs,
+			BoundSel: append([]int(nil), a.BoundSel...),
+			SlotSel:  append([]int(nil), a.SlotSel...)}
+		for bi, s := range p.BoundSel {
+			if s != Nested {
+				p.BoundSel[bi] = remap[s]
+			}
+		}
+		for sj, s := range p.SlotSel {
+			if s != Nested {
+				p.SlotSel[sj] = remap[s]
+			}
+		}
+		out = append(out, PartialTG{Bucket: b, TG: p})
+	}
+	return out
+}
+
+// PartialTG pairs a partially β-unnested AnnTG with its φ_m bucket.
+type PartialTG struct {
+	Bucket int
+	TG     AnnTG
+}
+
+// UnnestSlotInBucket finishes a partial β-unnest on the reduce side: it
+// expands slot si of a partial AnnTG, selecting only candidates whose join
+// key falls in bucket b under φ_m — exactly the candidates the map side
+// placed in this partition. Other slots stay as they are.
+func UnnestSlotInBucket(st *query.Star, a AnnTG, si, m, b int) []AnnTG {
+	var out []AnnTG
+	for _, idx := range a.SlotCandidates(st, si) {
+		if a.SlotSel[si] == Nested && Phi(a.Triples[idx].O, m) != b {
+			continue
+		}
+		c := a.Clone()
+		c.SlotSel[si] = idx
+		out = append(out, c)
+	}
+	return out
+}
+
+// UnnestSlot expands a single slot fully (the map-side full β-unnest used
+// by TG_UnbJoin).
+func UnnestSlot(st *query.Star, a AnnTG, si int) []AnnTG {
+	var out []AnnTG
+	for _, idx := range a.SlotCandidates(st, si) {
+		c := a.Clone()
+		c.SlotSel[si] = idx
+		out = append(out, Compact(st, c))
+	}
+	return out
+}

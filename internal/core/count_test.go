@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+// TestCountExpansionsMatchesExpand property-tests that the O(pairs) count
+// equals the cardinality of the materialized expansion, across random data,
+// random star patterns, and every unnest state (nested, partially pinned,
+// fully unnested).
+func TestCountExpansionsMatchesExpand(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			g.Add(
+				ex(fmt.Sprintf("s%d", rng.Intn(4))),
+				ex(fmt.Sprintf("p%d", rng.Intn(4))),
+				ex(fmt.Sprintf("o%d", rng.Intn(6))),
+			)
+		}
+		g.Dedup()
+		src := fmt.Sprintf(`PREFIX ex: <http://ex/>
+SELECT * WHERE {
+  ?s ex:p%d ?b0 .
+  ?s ?u0 ?uo0 .
+  ?s ?u1 ?uo1 .
+}`, rng.Intn(4))
+		pq, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := query.Compile(pq, g.Dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tg := range Group(g.Triples) {
+			for _, a := range UnbGrpFilter(tg, q.Stars) {
+				if CountExpansions(q, a) != int64(len(Expand(q, a))) {
+					return false
+				}
+				// Partially pinned: unnest slot 0, leave slot 1 nested.
+				for _, u := range UnnestSlot(q.Stars[0], a, 0) {
+					if CountExpansions(q, u) != int64(len(Expand(q, u))) {
+						return false
+					}
+				}
+				// Fully unnested.
+				for _, p := range BetaUnnest(q.Stars[0], a) {
+					if CountExpansions(q, p) != int64(len(Expand(q, p))) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountJoinedMultiplies(t *testing.T) {
+	g := paperGraph()
+	q := compileStar(t, g, unboundStarSrc)
+	var a AnnTG
+	for _, tg := range Group(g.Triples) {
+		if cand, ok := FilterForStar(tg, q.Stars[0]); ok {
+			a = cand
+		}
+	}
+	single := CountExpansions(q, a)
+	if single == 0 {
+		t.Fatal("expected non-zero count")
+	}
+	if got := CountJoined(q, []AnnTG{a, a}); got != single*single {
+		t.Errorf("CountJoined = %d, want %d", got, single*single)
+	}
+	if got := CountJoined(q, nil); got != 1 {
+		t.Errorf("CountJoined(nil) = %d, want 1 (empty product)", got)
+	}
+}
+
+func TestCountExpansionsZeroOnEmptyCandidates(t *testing.T) {
+	g := paperGraph()
+	q := compileStar(t, g, unboundStarSrc)
+	// Construct an AnnTG with no pair matching the xGO bound pattern.
+	a := AnnTG{
+		Subject:  1,
+		EC:       0,
+		Triples:  []PO{{P: 999, O: 1}},
+		BoundSel: nestedSel(len(q.Stars[0].Bound)),
+		SlotSel:  nestedSel(len(q.Stars[0].Slots)),
+	}
+	if got := CountExpansions(q, a); got != 0 {
+		t.Errorf("CountExpansions = %d, want 0", got)
+	}
+}

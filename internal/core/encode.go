@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+)
+
+// PutAnnTG appends the binary encoding of an AnnTG: subject, equivalence
+// class, (P,O) pairs, and the two selection vectors (Nested encoded as 0,
+// index i as i+1).
+func PutAnnTG(e *codec.Buffer, a AnnTG) {
+	e.PutID(a.Subject)
+	e.PutUvarint(uint64(a.EC))
+	e.PutUvarint(uint64(len(a.Triples)))
+	for _, p := range a.Triples {
+		e.PutID(p.P)
+		e.PutID(p.O)
+	}
+	putSel(e, a.BoundSel)
+	putSel(e, a.SlotSel)
+}
+
+func putSel(e *codec.Buffer, sel []int) {
+	e.PutUvarint(uint64(len(sel)))
+	for _, s := range sel {
+		e.PutUvarint(uint64(s + 1)) // Nested (-1) -> 0
+	}
+}
+
+// ReadAnnTG decodes one AnnTG.
+func ReadAnnTG(r *codec.Reader) (AnnTG, error) {
+	var a AnnTG
+	var err error
+	if a.Subject, err = r.ID(); err != nil {
+		return a, err
+	}
+	ec, err := r.Uvarint()
+	if err != nil {
+		return a, err
+	}
+	a.EC = int(ec)
+	n, err := r.Uvarint()
+	if err != nil {
+		return a, err
+	}
+	if n > uint64(r.Remaining()) {
+		return a, codec.ErrCorrupt
+	}
+	a.Triples = make([]PO, n)
+	for i := range a.Triples {
+		if a.Triples[i].P, err = r.ID(); err != nil {
+			return a, err
+		}
+		if a.Triples[i].O, err = r.ID(); err != nil {
+			return a, err
+		}
+	}
+	if a.BoundSel, err = readSel(r, len(a.Triples)); err != nil {
+		return a, err
+	}
+	if a.SlotSel, err = readSel(r, len(a.Triples)); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func readSel(r *codec.Reader, nPairs int) ([]int, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining())+1 {
+		return nil, codec.ErrCorrupt
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		s := int(v) - 1
+		if s < Nested || s >= nPairs {
+			return nil, fmt.Errorf("%w: selection %d out of range (pairs %d)", codec.ErrCorrupt, s, nPairs)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EncodeAnnTG encodes a standalone AnnTG record.
+func EncodeAnnTG(a AnnTG) []byte {
+	var e codec.Buffer
+	PutAnnTG(&e, a)
+	return e.Bytes()
+}
+
+// DecodeAnnTG decodes a standalone AnnTG record.
+func DecodeAnnTG(p []byte) (AnnTG, error) {
+	r := codec.NewReader(p)
+	a, err := ReadAnnTG(r)
+	if err != nil {
+		return a, err
+	}
+	if r.Remaining() != 0 {
+		return a, fmt.Errorf("%w: %d trailing bytes", codec.ErrCorrupt, r.Remaining())
+	}
+	return a, nil
+}
+
+// EncodeJoined encodes a joined result: an ordered list of star components.
+func EncodeJoined(comps []AnnTG) []byte {
+	var e codec.Buffer
+	e.PutUvarint(uint64(len(comps)))
+	for _, c := range comps {
+		PutAnnTG(&e, c)
+	}
+	return e.Bytes()
+}
+
+// DecodeJoined decodes a joined result record.
+func DecodeJoined(p []byte) ([]AnnTG, error) {
+	r := codec.NewReader(p)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining())+1 {
+		return nil, codec.ErrCorrupt
+	}
+	out := make([]AnnTG, n)
+	for i := range out {
+		if out[i], err = ReadAnnTG(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", codec.ErrCorrupt, r.Remaining())
+	}
+	return out, nil
+}
+
+// EncodedSize returns the byte size of an AnnTG's encoding without
+// materializing it — used by the redundancy statistics.
+func EncodedSize(a AnnTG) int {
+	var e codec.Buffer
+	PutAnnTG(&e, a)
+	return e.Len()
+}

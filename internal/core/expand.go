@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// Expand enumerates the variable bindings an AnnTG implicitly represents
+// for its star: the cross product of candidates over every pattern, with
+// pinned patterns contributing exactly their selection. The returned rows
+// are full-width (indexed by q.AllVars) with only the star's variables
+// populated; other positions stay NoID.
+//
+// Expand is the "content" side of the paper's content-equivalence (≅)
+// between triplegroups and relational n-tuples: Lemma 1 states that
+// expanding μ^β(σ^βγ(γ(T))) yields exactly the rows of the relational
+// star-join plan.
+func Expand(q *query.Query, a AnnTG) []query.Row {
+	st := q.Stars[a.EC]
+	base := make(query.Row, len(q.AllVars))
+	if st.SubjVar != "" {
+		base[q.VarIdx[st.SubjVar]] = a.Subject
+	}
+	rows := []query.Row{base}
+	for bi, b := range st.Bound {
+		cands := a.BoundCandidates(st, bi)
+		rows = expandPosition(q, rows, a, cands, "", b.OVar)
+		if rows == nil {
+			return nil
+		}
+	}
+	for si, sl := range st.Slots {
+		cands := a.SlotCandidates(st, si)
+		rows = expandPosition(q, rows, a, cands, sl.PVar, sl.OVar)
+		if rows == nil {
+			return nil
+		}
+	}
+	return rows
+}
+
+// expandPosition multiplies rows by the candidate set of one pattern,
+// binding pVar to the candidate's property and oVar to its object (empty
+// names bind nothing).
+func expandPosition(q *query.Query, rows []query.Row, a AnnTG, cands []int, pVar, oVar string) []query.Row {
+	if len(cands) == 0 {
+		return nil
+	}
+	if pVar == "" && oVar == "" {
+		// Constant-object bound pattern: a candidate exists; it neither
+		// branches nor binds. (Pairs are a set, so there is exactly one.)
+		return rows
+	}
+	out := make([]query.Row, 0, len(rows)*len(cands))
+	for _, r := range rows {
+		for _, ci := range cands {
+			rr := r.Clone()
+			if pVar != "" {
+				rr[q.VarIdx[pVar]] = a.Triples[ci].P
+			}
+			if oVar != "" {
+				rr[q.VarIdx[oVar]] = a.Triples[ci].O
+			}
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// MergeRows unifies two partial rows; it fails if both bind a variable to
+// different IDs (which would indicate an engine bug, since join variables
+// are equated structurally before rows are merged).
+func MergeRows(a, b query.Row) (query.Row, bool) {
+	out := a.Clone()
+	for i, v := range b {
+		if v == rdf.NoID {
+			continue
+		}
+		if out[i] != rdf.NoID && out[i] != v {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// ExpandJoined enumerates the full rows of a joined result: the merged
+// cross product of every component's expansion. Components are AnnTGs of
+// distinct stars whose join variables were pinned when the join executed.
+func ExpandJoined(q *query.Query, comps []AnnTG) ([]query.Row, error) {
+	if len(comps) == 0 {
+		return nil, nil
+	}
+	rows := Expand(q, comps[0])
+	for _, c := range comps[1:] {
+		next := Expand(q, c)
+		var merged []query.Row
+		for _, r := range rows {
+			for _, n := range next {
+				m, ok := MergeRows(r, n)
+				if !ok {
+					return nil, fmt.Errorf("core: conflicting bindings while expanding joined triplegroup (ec=%d)", c.EC)
+				}
+				merged = append(merged, m)
+			}
+		}
+		rows = merged
+	}
+	return rows, nil
+}
+
+// CountExpansions returns the number of binding rows a (possibly still
+// nested) AnnTG implicitly represents, without materializing them: the
+// product of candidate-set sizes over all binding patterns. It equals
+// len(Expand(q, a)) but runs in O(|pairs|) — the basis for answering
+// COUNT(*) aggregations over the implicit representation (the paper's
+// future-work "aggregation constraints").
+func CountExpansions(q *query.Query, a AnnTG) int64 {
+	st := q.Stars[a.EC]
+	total := int64(1)
+	for bi, b := range st.Bound {
+		n := int64(len(a.BoundCandidates(st, bi)))
+		if n == 0 {
+			return 0
+		}
+		if b.OVar != "" {
+			total *= n
+		}
+	}
+	for si := range st.Slots {
+		n := int64(len(a.SlotCandidates(st, si)))
+		if n == 0 {
+			return 0
+		}
+		total *= n
+	}
+	return total
+}
+
+// CountJoined counts the rows of a joined result record without expansion:
+// the product of the components' implicit expansion counts.
+func CountJoined(q *query.Query, comps []AnnTG) int64 {
+	total := int64(1)
+	for _, c := range comps {
+		total *= CountExpansions(q, c)
+		if total == 0 {
+			return 0
+		}
+	}
+	return total
+}
+
+// JoinValue returns the ID a position contributes to a join for an AnnTG
+// whose relevant pattern has been pinned (or is the subject).
+func JoinValue(st *query.Star, a AnnTG, pos query.Pos) (rdf.ID, error) {
+	switch pos.Role {
+	case query.RoleSubject:
+		return a.Subject, nil
+	case query.RoleBoundObj:
+		if a.BoundSel[pos.Idx] == Nested {
+			return rdf.NoID, fmt.Errorf("core: bound pattern %d not pinned for join", pos.Idx)
+		}
+		return a.Triples[a.BoundSel[pos.Idx]].O, nil
+	case query.RoleSlotObj:
+		if a.SlotSel[pos.Idx] == Nested {
+			return rdf.NoID, fmt.Errorf("core: unbound slot %d not pinned for join", pos.Idx)
+		}
+		return a.Triples[a.SlotSel[pos.Idx]].O, nil
+	default:
+		return rdf.NoID, fmt.Errorf("core: unknown role %v", pos.Role)
+	}
+}

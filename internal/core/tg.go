@@ -1,0 +1,114 @@
+// Package core implements the paper's contribution: the Nested TripleGroup
+// Data Model and Algebra (NTGA) extended for unbound-property graph
+// patterns. It provides
+//
+//   - TripleGroup — a subject-grouped set of (property, object) pairs,
+//     the output of the grouping operator γ;
+//   - AnnTG — an annotated triplegroup: a TripleGroup tagged with its
+//     equivalence class (star subpattern) and per-pattern unnest state,
+//     the paper's extended multi-map representation;
+//   - the β group-filter σ^βγ (Definition 1) as UnbGrpFilter;
+//   - the β-unnest operator μ^β (Definition 2) as BetaUnnest;
+//   - the partial β-unnest operator μ^β_φm (Definition 3) as
+//     PartialBetaUnnest / UnnestSlotInBucket;
+//   - Expand, which enumerates the variable bindings an (possibly still
+//     nested) AnnTG implicitly represents — the content-equivalence side
+//     of Lemma 1.
+//
+// These operators are pure in-memory transforms; package ntgamr lifts them
+// onto MapReduce as the physical operators TG_GroupBy, TG_UnbGrpFilter,
+// TG_UnbJoin and TG_OptUnbJoin.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ntga/internal/rdf"
+)
+
+// PO is one (property, object) pair of a subject triplegroup.
+type PO struct {
+	P, O rdf.ID
+}
+
+// Less orders pairs by (P, O).
+func (a PO) Less(b PO) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+// TripleGroup is a set of triples sharing one subject (the γ operator's
+// output granule). Triples are held as canonically sorted, de-duplicated
+// (P, O) pairs.
+type TripleGroup struct {
+	Subject rdf.ID
+	Triples []PO
+}
+
+// NewTripleGroup builds a triplegroup from pairs, sorting and de-duplicating
+// them (RDF set semantics).
+func NewTripleGroup(subject rdf.ID, pairs []PO) TripleGroup {
+	cp := make([]PO, len(pairs))
+	copy(cp, pairs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Less(cp[j]) })
+	out := cp[:0]
+	for i, p := range cp {
+		if i > 0 && p == cp[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return TripleGroup{Subject: subject, Triples: out}
+}
+
+// Props returns the distinct property IDs in the group, sorted — the
+// paper's tg.props() convenience function.
+func (tg TripleGroup) Props() []rdf.ID {
+	var out []rdf.ID
+	for i, p := range tg.Triples {
+		if i == 0 || p.P != tg.Triples[i-1].P {
+			out = append(out, p.P)
+		}
+	}
+	return out
+}
+
+// Len reports the number of triples in the group.
+func (tg TripleGroup) Len() int { return len(tg.Triples) }
+
+func (tg TripleGroup) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tg(%d){", tg.Subject)
+	for i, p := range tg.Triples {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "(%d,%d)", p.P, p.O)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Group is the γ (grouping) operator: it partitions triples into subject
+// triplegroups. Every triple lands in exactly one group; groups are
+// returned in ascending subject order.
+func Group(triples []rdf.Triple) []TripleGroup {
+	bySubj := make(map[rdf.ID][]PO)
+	for _, t := range triples {
+		bySubj[t.S] = append(bySubj[t.S], PO{P: t.P, O: t.O})
+	}
+	subjects := make([]rdf.ID, 0, len(bySubj))
+	for s := range bySubj {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	out := make([]TripleGroup, 0, len(subjects))
+	for _, s := range subjects {
+		out = append(out, NewTripleGroup(s, bySubj[s]))
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ntga/internal/rdf"
+)
+
+func TestNewTripleGroupDedupSort(t *testing.T) {
+	tg := NewTripleGroup(1, []PO{{3, 4}, {2, 9}, {3, 4}, {2, 1}})
+	want := []PO{{2, 1}, {2, 9}, {3, 4}}
+	if !reflect.DeepEqual(tg.Triples, want) {
+		t.Errorf("Triples = %v, want %v", tg.Triples, want)
+	}
+	if tg.Len() != 3 {
+		t.Errorf("Len = %d", tg.Len())
+	}
+	if props := tg.Props(); !reflect.DeepEqual(props, []rdf.ID{2, 3}) {
+		t.Errorf("Props = %v", props)
+	}
+}
+
+func TestGroupIsPartition(t *testing.T) {
+	// Property: γ assigns every triple to exactly one group, keyed by its
+	// subject, and the union of groups reproduces the triple set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		triples := make([]rdf.Triple, n)
+		seen := make(map[rdf.Triple]bool)
+		for i := range triples {
+			triples[i] = rdf.Triple{
+				S: rdf.ID(1 + rng.Intn(10)),
+				P: rdf.ID(1 + rng.Intn(5)),
+				O: rdf.ID(1 + rng.Intn(20)),
+			}
+			seen[triples[i]] = true
+		}
+		groups := Group(triples)
+		rebuilt := make(map[rdf.Triple]bool)
+		var prev rdf.ID
+		for gi, g := range groups {
+			if gi > 0 && g.Subject <= prev {
+				return false // not sorted by subject
+			}
+			prev = g.Subject
+			if g.Len() == 0 {
+				return false // empty group emitted
+			}
+			for _, p := range g.Triples {
+				tr := rdf.Triple{S: g.Subject, P: p.P, O: p.O}
+				if rebuilt[tr] {
+					return false // duplicate across or within groups
+				}
+				rebuilt[tr] = true
+			}
+		}
+		return reflect.DeepEqual(seen, rebuilt) || (len(seen) == 0 && len(rebuilt) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupEmpty(t *testing.T) {
+	if got := Group(nil); len(got) != 0 {
+		t.Errorf("Group(nil) = %v", got)
+	}
+}
+
+func TestTripleGroupString(t *testing.T) {
+	tg := NewTripleGroup(7, []PO{{1, 2}})
+	if tg.String() != "tg(7){(1,2)}" {
+		t.Errorf("String = %q", tg.String())
+	}
+}

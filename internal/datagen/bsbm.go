@@ -1,0 +1,158 @@
+// Package datagen builds the seeded synthetic datasets that stand in for
+// the paper's testbeds:
+//
+//   - BSBM — the Berlin SPARQL Benchmark shape (products, producers,
+//     features, offers, reviews) used for the B-series scalability queries;
+//     productFeature is multi-valued, which drives the redundancy the
+//     B-queries measure;
+//   - LifeSci — a Bio2RDF-like life-sciences warehouse (genes, GO terms,
+//     cross-references) with configurable high-multiplicity properties, for
+//     the A-series queries;
+//   - Infobox — a DBpedia-Infobox/BTC-like typed-entity dataset (scientists,
+//     TV shows, cities) where >45% of properties are multi-valued, for the
+//     C-series exploration queries.
+//
+// All generators are deterministic for a given seed and scale linearly with
+// their size parameter.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ntga/internal/rdf"
+)
+
+// BSBM namespace properties.
+const (
+	BSBMNS        = "http://bsbm.example.org/"
+	RDFTypeIRI    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSLabel     = BSBMNS + "label"
+	BSBMComment   = BSBMNS + "comment"
+	BSBMFeature   = BSBMNS + "productFeature"
+	BSBMProducer  = BSBMNS + "producer"
+	BSBMPropNum   = BSBMNS + "propertyNum"
+	BSBMPropTex   = BSBMNS + "propertyTex"
+	BSBMCountry   = BSBMNS + "country"
+	BSBMProduct   = BSBMNS + "product"
+	BSBMPrice     = BSBMNS + "price"
+	BSBMVendor    = BSBMNS + "vendor"
+	BSBMValidTo   = BSBMNS + "validTo"
+	BSBMReviewFor = BSBMNS + "reviewFor"
+	BSBMReviewer  = BSBMNS + "reviewer"
+	BSBMRating    = BSBMNS + "rating"
+	BSBMTitle     = BSBMNS + "title"
+)
+
+// BSBMConfig scales the BSBM-like generator.
+type BSBMConfig struct {
+	// Products is the primary scale factor (the paper's 1M/2M products are
+	// scaled down to laptop size).
+	Products int
+	// FeaturesPerProduct is the multiplicity of the multi-valued
+	// productFeature property (paper datasets average ~18; the redundancy
+	// the B-queries measure grows with it). Zero defaults to 6.
+	FeaturesPerProduct int
+	// OffersPerProduct / ReviewsPerProduct: zero defaults to 2 / 1.
+	OffersPerProduct  int
+	ReviewsPerProduct int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+func (c BSBMConfig) withDefaults() BSBMConfig {
+	if c.Products == 0 {
+		c.Products = 100
+	}
+	if c.FeaturesPerProduct == 0 {
+		c.FeaturesPerProduct = 6
+	}
+	if c.OffersPerProduct == 0 {
+		c.OffersPerProduct = 2
+	}
+	if c.ReviewsPerProduct == 0 {
+		c.ReviewsPerProduct = 1
+	}
+	return c
+}
+
+// BSBM generates a BSBM-like graph.
+func BSBM(cfg BSBMConfig) *rdf.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+
+	iri := func(kind string, n int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%s%s%d", BSBMNS, kind, n))
+	}
+	prop := func(p string) rdf.Term { return rdf.NewIRI(p) }
+	lit := func(format string, args ...any) rdf.Term {
+		return rdf.NewLiteral(fmt.Sprintf(format, args...))
+	}
+
+	nProducers := cfg.Products/10 + 1
+	nFeatures := cfg.Products*4 + 8
+	nVendors := cfg.Products/20 + 2
+	nPersons := cfg.Products/5 + 2
+	nTypes := cfg.Products/25 + 3
+
+	for i := 0; i < nProducers; i++ {
+		p := iri("Producer", i)
+		g.Add(p, prop(RDFSLabel), lit("producer %d", i))
+		g.Add(p, prop(BSBMCountry), iri("Country", i%7))
+		g.Add(p, prop(RDFTypeIRI), rdf.NewIRI(BSBMNS+"ProducerType"))
+	}
+	for i := 0; i < nFeatures; i++ {
+		f := iri("Feature", i)
+		g.Add(f, prop(RDFSLabel), lit("feature %d", i))
+		g.Add(f, prop(RDFTypeIRI), rdf.NewIRI(BSBMNS+"FeatureType"))
+	}
+
+	for i := 0; i < cfg.Products; i++ {
+		p := iri("Product", i)
+		g.Add(p, prop(RDFSLabel), lit("product %d", i))
+		g.Add(p, prop(BSBMComment), lit("comment for product %d lorem ipsum", i))
+		g.Add(p, prop(RDFTypeIRI), iri("ProductType", i%nTypes))
+		g.Add(p, prop(BSBMProducer), iri("Producer", rng.Intn(nProducers)))
+		nf := 1 + rng.Intn(2*cfg.FeaturesPerProduct-1) // avg ≈ FeaturesPerProduct
+		for j := 0; j < nf; j++ {
+			g.Add(p, prop(BSBMFeature), iri("Feature", rng.Intn(nFeatures)))
+		}
+		for j := 1; j <= 3; j++ {
+			g.Add(p, prop(fmt.Sprintf("%s%d", BSBMPropNum, j)), lit("%d", rng.Intn(2000)))
+			g.Add(p, prop(fmt.Sprintf("%s%d", BSBMPropTex, j)), lit("tex %d-%d", i, j))
+		}
+	}
+
+	offerID := 0
+	for i := 0; i < cfg.Products; i++ {
+		for j := 0; j < cfg.OffersPerProduct; j++ {
+			o := iri("Offer", offerID)
+			offerID++
+			g.Add(o, prop(BSBMProduct), iri("Product", i))
+			g.Add(o, prop(BSBMVendor), iri("Vendor", rng.Intn(nVendors)))
+			g.Add(o, prop(BSBMPrice), lit("%d.%02d", 1+rng.Intn(999), rng.Intn(100)))
+			g.Add(o, prop(BSBMValidTo), lit("2015-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)))
+		}
+	}
+
+	reviewID := 0
+	for i := 0; i < cfg.Products; i++ {
+		for j := 0; j < cfg.ReviewsPerProduct; j++ {
+			r := iri("Review", reviewID)
+			reviewID++
+			g.Add(r, prop(BSBMReviewFor), iri("Product", i))
+			g.Add(r, prop(BSBMReviewer), iri("Person", rng.Intn(nPersons)))
+			g.Add(r, prop(BSBMRating), lit("%d", 1+rng.Intn(10)))
+			g.Add(r, prop(BSBMTitle), lit("review %d title", reviewID))
+		}
+	}
+	for i := 0; i < nPersons; i++ {
+		p := iri("Person", i)
+		g.Add(p, prop(RDFSLabel), lit("person %d", i))
+		g.Add(p, prop(BSBMCountry), iri("Country", i%7))
+	}
+
+	g.Dedup()
+	return g
+}

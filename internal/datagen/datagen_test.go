@@ -1,0 +1,128 @@
+package datagen
+
+import (
+	"testing"
+
+	"ntga/internal/rdf"
+)
+
+func TestBSBMDeterministic(t *testing.T) {
+	a := BSBM(BSBMConfig{Products: 50, Seed: 7})
+	b := BSBM(BSBMConfig{Products: 50, Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	c := BSBM(BSBMConfig{Products: 50, Seed: 8})
+	if a.Len() == 0 || c.Len() == 0 {
+		t.Fatal("empty graphs")
+	}
+}
+
+func TestBSBMScales(t *testing.T) {
+	small := BSBM(BSBMConfig{Products: 20, Seed: 1})
+	large := BSBM(BSBMConfig{Products: 200, Seed: 1})
+	if large.Len() < 5*small.Len() {
+		t.Errorf("scaling too shallow: %d vs %d", small.Len(), large.Len())
+	}
+}
+
+func TestBSBMShape(t *testing.T) {
+	g := BSBM(BSBMConfig{Products: 40, Seed: 3})
+	// productFeature must be multi-valued on average.
+	feat, ok := g.Dict.Lookup(rdf.NewIRI(BSBMFeature))
+	if !ok {
+		t.Fatal("productFeature absent")
+	}
+	mult := g.PropertyMultiplicity()
+	if mult[feat] < 3 {
+		t.Errorf("productFeature max multiplicity = %d, want >= 3", mult[feat])
+	}
+	// Offers must reference products (O-S join support).
+	prodProp := g.Dict.MustLookup(rdf.NewIRI(BSBMProduct))
+	found := false
+	bySubject := make(map[rdf.ID]bool)
+	for _, tr := range g.Triples {
+		bySubject[tr.S] = true
+	}
+	for _, tr := range g.Triples {
+		if tr.P == prodProp && bySubject[tr.O] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no offer→product link resolves to a product subject")
+	}
+}
+
+func TestLifeSciAnchorsAndMultiplicity(t *testing.T) {
+	g := LifeSci(LifeSciConfig{Genes: 60, MaxMultiplicity: 12, Seed: 2})
+	for _, anchor := range []string{"nur77", "hexokinase"} {
+		if _, ok := g.Dict.Lookup(rdf.NewLiteral(anchor)); !ok {
+			t.Errorf("anchor literal %q missing", anchor)
+		}
+	}
+	xgo := g.Dict.MustLookup(rdf.NewIRI(BioXGO))
+	if got := g.PropertyMultiplicity()[xgo]; got != 12 {
+		t.Errorf("xGO max multiplicity = %d, want 12", got)
+	}
+}
+
+func TestLifeSciDeterministic(t *testing.T) {
+	a := LifeSci(LifeSciConfig{Genes: 30, Seed: 5})
+	b := LifeSci(LifeSciConfig{Genes: 30, Seed: 5})
+	if a.Len() != b.Len() {
+		t.Errorf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+func TestInfoboxShape(t *testing.T) {
+	g := Infobox(InfoboxConfig{Entities: 120, Seed: 4})
+	// C2's constant subject must exist with several properties.
+	sop, ok := g.Dict.Lookup(rdf.NewIRI(DBSopranos))
+	if !ok {
+		t.Fatal("The_Sopranos missing")
+	}
+	n := 0
+	for _, tr := range g.Triples {
+		if tr.S == sop {
+			n++
+		}
+	}
+	if n < 5 {
+		t.Errorf("Sopranos has %d triples, want >= 5", n)
+	}
+	// Scientists must exist and link to cities.
+	if _, ok := g.Dict.Lookup(rdf.NewIRI(DBScientistType)); !ok {
+		t.Error("Scientist type missing")
+	}
+	// The paper: >45% of properties multi-valued.
+	if share := MultiValuedShare(g); share < 0.45 {
+		t.Errorf("multi-valued property share = %.2f, want >= 0.45", share)
+	}
+}
+
+func TestMultiValuedShareEdgeCases(t *testing.T) {
+	g := rdf.NewGraph()
+	if MultiValuedShare(g) != 0 {
+		t.Error("empty graph share != 0")
+	}
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o1"))
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o2"))
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("q"), rdf.NewIRI("o1"))
+	if got := MultiValuedShare(g); got != 0.5 {
+		t.Errorf("share = %v, want 0.5", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if g := BSBM(BSBMConfig{}); g.Len() == 0 {
+		t.Error("default BSBM empty")
+	}
+	if g := LifeSci(LifeSciConfig{}); g.Len() == 0 {
+		t.Error("default LifeSci empty")
+	}
+	if g := Infobox(InfoboxConfig{}); g.Len() == 0 {
+		t.Error("default Infobox empty")
+	}
+}

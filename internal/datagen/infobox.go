@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ntga/internal/rdf"
+)
+
+// Infobox namespace properties (DBpedia-flavoured).
+const (
+	DBNS            = "http://dbpedia.example.org/"
+	DBName          = DBNS + "name"
+	DBBirthPlace    = DBNS + "birthPlace"
+	DBField         = DBNS + "field"
+	DBKnownFor      = DBNS + "knownFor"
+	DBAward         = DBNS + "award"
+	DBStarring      = DBNS + "starring"
+	DBGenre         = DBNS + "genre"
+	DBNetwork       = DBNS + "network"
+	DBCountry       = DBNS + "country"
+	DBPopulation    = DBNS + "population"
+	DBScientistType = DBNS + "Scientist"
+	DBTVShowType    = DBNS + "TVShow"
+	DBCityType      = DBNS + "City"
+	DBPersonType    = DBNS + "Person"
+	// DBSopranos is the constant-subject entity of query C2.
+	DBSopranos = DBNS + "The_Sopranos"
+)
+
+// InfoboxConfig scales the DBpedia-Infobox-like generator.
+type InfoboxConfig struct {
+	// Entities is the primary scale factor (scientists + shows + misc).
+	Entities int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+func (c InfoboxConfig) withDefaults() InfoboxConfig {
+	if c.Entities == 0 {
+		c.Entities = 150
+	}
+	return c
+}
+
+// Infobox generates a DBpedia-Infobox-like typed-entity graph. More than
+// 45% of its properties are multi-valued (knownFor, award, starring,
+// genre), matching the paper's characterization of DBInfobox and BTC-09.
+func Infobox(cfg InfoboxConfig) *rdf.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+
+	iri := func(kind string, n int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%s%s%d", DBNS, kind, n))
+	}
+	prop := func(p string) rdf.Term { return rdf.NewIRI(p) }
+	lit := func(format string, args ...any) rdf.Term {
+		return rdf.NewLiteral(fmt.Sprintf(format, args...))
+	}
+
+	nCities := cfg.Entities/10 + 5
+	nScientists := cfg.Entities / 3
+	nShows := cfg.Entities / 10
+	nActors := cfg.Entities / 5
+
+	for i := 0; i < nCities; i++ {
+		c := iri("City", i)
+		g.Add(c, prop(DBName), lit("city %d", i))
+		g.Add(c, prop(RDFTypeIRI), rdf.NewIRI(DBCityType))
+		g.Add(c, prop(DBCountry), iri("Country", i%9))
+		g.Add(c, prop(DBPopulation), lit("%d", 10000+rng.Intn(5000000)))
+		for j := 0; j < 1+i%3; j++ { // twin cities are multi-valued
+			g.Add(c, prop(DBNS+"twinCity"), iri("City", (i+j+1)%nCities))
+		}
+	}
+	for i := 0; i < nActors; i++ {
+		a := iri("Actor", i)
+		g.Add(a, prop(DBName), lit("actor %d", i))
+		g.Add(a, prop(RDFTypeIRI), rdf.NewIRI(DBPersonType))
+		g.Add(a, prop(DBBirthPlace), iri("City", rng.Intn(nCities)))
+	}
+	for i := 0; i < nScientists; i++ {
+		s := iri("Scientist", i)
+		g.Add(s, prop(DBName), lit("scientist %d", i))
+		g.Add(s, prop(RDFTypeIRI), rdf.NewIRI(DBScientistType))
+		g.Add(s, prop(DBBirthPlace), iri("City", rng.Intn(nCities)))
+		g.Add(s, prop(DBField), rdf.NewIRI(DBNS+"field/"+[]string{"physics", "biology", "chemistry", "math"}[i%4]))
+		if i%3 == 0 { // interdisciplinary scientists have several fields
+			g.Add(s, prop(DBField), rdf.NewIRI(DBNS+"field/"+[]string{"biology", "chemistry", "math", "physics"}[i%4]))
+		}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			g.Add(s, prop(DBKnownFor), lit("discovery %d-%d", i, j))
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			g.Add(s, prop(DBAward), iri("Award", rng.Intn(12)))
+		}
+	}
+	// The Sopranos, with the full infobox C2 retrieves.
+	sop := rdf.NewIRI(DBSopranos)
+	g.Add(sop, prop(DBName), lit("The Sopranos"))
+	g.Add(sop, prop(RDFTypeIRI), rdf.NewIRI(DBTVShowType))
+	g.Add(sop, prop(DBGenre), rdf.NewIRI(DBNS+"genre/drama"))
+	g.Add(sop, prop(DBGenre), rdf.NewIRI(DBNS+"genre/crime"))
+	g.Add(sop, prop(DBNetwork), rdf.NewIRI(DBNS+"HBO"))
+	for j := 0; j < 6; j++ {
+		g.Add(sop, prop(DBStarring), iri("Actor", j%nActors))
+	}
+	for i := 0; i < nShows; i++ {
+		sh := iri("Show", i)
+		g.Add(sh, prop(DBName), lit("show %d", i))
+		g.Add(sh, prop(RDFTypeIRI), rdf.NewIRI(DBTVShowType))
+		g.Add(sh, prop(DBGenre), rdf.NewIRI(DBNS+"genre/"+[]string{"drama", "comedy", "news"}[i%3]))
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			g.Add(sh, prop(DBStarring), iri("Actor", rng.Intn(nActors)))
+		}
+	}
+	// Untyped misc entities: exploration queries must cope with noise.
+	for i := 0; i < cfg.Entities/4; i++ {
+		m := iri("Misc", i)
+		g.Add(m, prop(DBName), lit("misc %d", i))
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			g.Add(m, prop(DBNS+"related"), iri("Misc", rng.Intn(cfg.Entities/4+1)))
+		}
+	}
+
+	g.Dedup()
+	return g
+}
+
+// MultiValuedShare reports the fraction of (subject, property) pairs with
+// more than one object — the paper's "more than 45% of properties are
+// multi-valued" statistic.
+func MultiValuedShare(g *rdf.Graph) float64 {
+	counts := make(map[[2]rdf.ID]int)
+	for _, t := range g.Triples {
+		counts[[2]rdf.ID{t.S, t.P}]++
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	multi := 0
+	props := make(map[rdf.ID]bool)
+	multiProps := make(map[rdf.ID]bool)
+	for sp, n := range counts {
+		props[sp[1]] = true
+		if n > 1 {
+			multi++
+			multiProps[sp[1]] = true
+		}
+	}
+	return float64(len(multiProps)) / float64(len(props))
+}

@@ -1,0 +1,137 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ntga/internal/rdf"
+)
+
+// LifeSci namespace properties (Bio2RDF-flavoured).
+const (
+	BioNS        = "http://bio2rdf.example.org/"
+	BioLabel     = BioNS + "label"
+	BioSynonym   = BioNS + "synonym"
+	BioXGO       = BioNS + "xGO"
+	BioXRef      = BioNS + "xRef"
+	BioOrganism  = BioNS + "organism"
+	BioNamespace = BioNS + "namespace"
+	BioSource    = BioNS + "source"
+	BioInteracts = BioNS + "interactsWith"
+	BioEncodedBy = BioNS + "encodedBy"
+	BioGeneType  = BioNS + "Gene"
+	BioGOType    = BioNS + "GOTerm"
+	BioRefType   = BioNS + "Reference"
+)
+
+// LifeSciConfig scales the Bio2RDF-like generator.
+type LifeSciConfig struct {
+	// Genes is the primary scale factor.
+	Genes int
+	// MaxMultiplicity bounds the per-gene multiplicity of the xGO and xRef
+	// properties. The paper reports Uniprot multiplicities up to 13K; the
+	// redundancy of unbound-property queries grows with this knob. Zero
+	// defaults to 8.
+	MaxMultiplicity int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+func (c LifeSciConfig) withDefaults() LifeSciConfig {
+	if c.Genes == 0 {
+		c.Genes = 100
+	}
+	if c.MaxMultiplicity == 0 {
+		c.MaxMultiplicity = 8
+	}
+	return c
+}
+
+// LifeSci generates a Bio2RDF-like life-sciences graph. Two named genes
+// anchor the paper's A-series queries: "nur77" (A5) and "hexokinase" (A6).
+func LifeSci(cfg LifeSciConfig) *rdf.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+
+	iri := func(kind string, n int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%s%s%d", BioNS, kind, n))
+	}
+	prop := func(p string) rdf.Term { return rdf.NewIRI(p) }
+	lit := func(format string, args ...any) rdf.Term {
+		return rdf.NewLiteral(fmt.Sprintf(format, args...))
+	}
+
+	nGO := cfg.Genes/2 + 10
+	nRefs := cfg.Genes + 10
+	nOrganisms := 5
+
+	for i := 0; i < nGO; i++ {
+		t := iri("go", i)
+		g.Add(t, prop(BioLabel), lit("go term %d biological process", i))
+		g.Add(t, prop(RDFTypeIRI), rdf.NewIRI(BioGOType))
+		g.Add(t, prop(BioNamespace), rdf.NewIRI(BioNS+"ns/"+[]string{"process", "function", "component"}[i%3]))
+	}
+	for i := 0; i < nRefs; i++ {
+		r := iri("ref", i)
+		g.Add(r, prop(BioSource), rdf.NewIRI(BioNS+"db/"+[]string{"uniprot", "embl", "pdb", "omim"}[i%4]))
+		g.Add(r, prop(RDFTypeIRI), rdf.NewIRI(BioRefType))
+		if i%2 == 0 {
+			g.Add(r, prop(BioLabel), lit("reference %d", i))
+		}
+	}
+
+	geneName := func(i int) string {
+		switch i {
+		case 0:
+			return "nur77"
+		case 1:
+			return "hexokinase"
+		default:
+			return fmt.Sprintf("gene %d", i)
+		}
+	}
+	for i := 0; i < cfg.Genes; i++ {
+		gene := iri("gene", i)
+		g.Add(gene, prop(BioLabel), lit("%s", geneName(i)))
+		g.Add(gene, prop(RDFTypeIRI), rdf.NewIRI(BioGeneType))
+		g.Add(gene, prop(BioOrganism), iri("taxon", i%nOrganisms))
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			g.Add(gene, prop(BioSynonym), lit("syn-%d-%d", i, j))
+		}
+		// High-multiplicity cross-references: a few genes get the maximum,
+		// the rest a random slice — the skew real warehouses exhibit.
+		mult := 1 + rng.Intn(cfg.MaxMultiplicity)
+		if i%17 == 0 {
+			mult = cfg.MaxMultiplicity
+		}
+		for j := 0; j < mult; j++ {
+			g.Add(gene, prop(BioXGO), iri("go", rng.Intn(nGO)))
+		}
+		for j := 0; j < 1+mult/2; j++ {
+			g.Add(gene, prop(BioXRef), iri("ref", rng.Intn(nRefs)))
+		}
+		if i > 0 && rng.Intn(3) == 0 {
+			g.Add(gene, prop(BioInteracts), iri("gene", rng.Intn(i)))
+		}
+		// The anchor genes — gene0 ("nur77", query A5) and gene1
+		// ("hexokinase", query A6) — get guaranteed inbound relations so
+		// those queries are never vacuously empty at any seed.
+		if i > 1 && i%5 == 2 {
+			g.Add(gene, prop(BioInteracts), iri("gene", 1))
+		}
+		if i > 1 && i%7 == 3 {
+			g.Add(gene, prop(BioInteracts), iri("gene", 0))
+		}
+	}
+	// Some proteins encoded by genes, giving unbound patterns an extra
+	// property type to discover.
+	for i := 0; i < cfg.Genes/3; i++ {
+		p := iri("protein", i)
+		g.Add(p, prop(BioEncodedBy), iri("gene", rng.Intn(cfg.Genes)))
+		g.Add(p, prop(BioLabel), lit("protein %d", i))
+	}
+
+	g.Dedup()
+	return g
+}

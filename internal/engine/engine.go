@@ -1,0 +1,79 @@
+// Package engine defines the interface every distributed query engine in
+// this repository implements (the relational-style baselines in relmr and
+// the NTGA engines in ntgamr), plus the shared result type the benchmark
+// harness consumes.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Result is the outcome of running one query through one engine.
+type Result struct {
+	// Engine is the name of the engine that produced the result.
+	Engine string
+	// Rows are the full binding rows (indexed by query.AllVars) decoded
+	// from the final output file. Nil if the workflow failed or if the
+	// query is a COUNT(*) aggregation (see Count).
+	Rows []query.Row
+	// IsCount marks a COUNT(*) aggregation result; Count holds the answer.
+	// The NTGA engines compute it from the implicit (nested) representation
+	// without β-unnesting.
+	IsCount bool
+	Count   int64
+	// Workflow carries the per-job cost metrics.
+	Workflow mapreduce.WorkflowMetrics
+	// Counters are engine-specific counters (e.g. triplegroups unnested).
+	Counters map[string]int64
+	// OutputRecords / OutputBytes describe the final output file: the
+	// number of physical records (n-tuples or triplegroups — the paper's
+	// "63K tuples vs 7K vs 3K triplegroups" comparison) and their size.
+	OutputRecords int64
+	OutputBytes   int64
+	// PeakDFSUsed is the cluster's disk high-water mark during the run
+	// (physical bytes, including replication).
+	PeakDFSUsed int64
+}
+
+// QueryEngine executes compiled queries as MapReduce workflows.
+type QueryEngine interface {
+	// Name identifies the engine in reports ("Pig", "Hive", "NTGA-Eager", ...).
+	Name() string
+	// Run plans and executes the query over the triple relation stored in
+	// the DFS file named input. Implementations must clean up every
+	// intermediate and output file they create, even on failure, and
+	// return a Result whose Workflow reflects the executed jobs. The
+	// returned error is non-nil when the workflow failed (e.g. disk full);
+	// the partial Result is still returned for metric inspection.
+	Run(mr *mapreduce.Engine, q *query.Query, input string) (*Result, error)
+}
+
+var tempSeq atomic.Int64
+
+// TempName returns a unique DFS path for an intermediate file.
+func TempName(engine, kind string) string {
+	return fmt.Sprintf("tmp/%s/%s-%d", engine, kind, tempSeq.Add(1))
+}
+
+// Cleaner tracks files created during a run for removal afterwards.
+type Cleaner struct {
+	names []string
+}
+
+// Track registers a file for cleanup and returns its name unchanged.
+func (c *Cleaner) Track(name string) string {
+	c.names = append(c.names, name)
+	return name
+}
+
+// Clean removes every tracked file that exists.
+func (c *Cleaner) Clean(mr *mapreduce.Engine) {
+	for _, n := range c.names {
+		mr.DFS().DeleteIfExists(n)
+	}
+	c.names = nil
+}

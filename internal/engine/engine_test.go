@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+func TestLoadGraphRoundtrip(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLiteral("v"))
+	dfs := hdfs.New(hdfs.Config{Nodes: 2})
+	if err := LoadGraph(dfs, "t", g); err != nil {
+		t.Fatal(err)
+	}
+	n, err := dfs.RecordCount("t")
+	if err != nil || n != 2 {
+		t.Errorf("RecordCount = %d, %v", n, err)
+	}
+}
+
+func TestLoadGraphDiskFull(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 10000; i++ {
+		g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLiteral(strings.Repeat("x", i%50)))
+	}
+	dfs := hdfs.New(hdfs.Config{Nodes: 1, CapacityPerNode: 64, BlockSize: 32})
+	err := LoadGraph(dfs, "t", g)
+	if !errors.Is(err, hdfs.ErrDiskFull) {
+		t.Fatalf("err = %v, want disk full", err)
+	}
+	if dfs.Exists("t") {
+		t.Error("failed load left the file behind")
+	}
+}
+
+func TestTempNameUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		n := TempName("e", "k")
+		if seen[n] {
+			t.Fatalf("duplicate temp name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCleanerRemovesTracked(t *testing.T) {
+	dfs := hdfs.New(hdfs.Config{Nodes: 1})
+	mr := mapreduce.NewEngine(dfs, mapreduce.EngineConfig{})
+	var cl Cleaner
+	name := cl.Track("tmp/x")
+	if err := dfs.WriteFile(name, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Track("tmp/never-created") // cleaning a missing file must not panic
+	cl.Clean(mr)
+	if dfs.Exists(name) {
+		t.Error("Clean left tracked file")
+	}
+	cl.Clean(mr) // idempotent
+}
+
+func TestExecuteFailurePath(t *testing.T) {
+	dfs := hdfs.New(hdfs.Config{Nodes: 1})
+	mr := mapreduce.NewEngine(dfs, mapreduce.EngineConfig{})
+	var cl Cleaner
+	job := &mapreduce.Job{
+		Name: "boom", Inputs: []string{"missing"}, Output: cl.Track("out"),
+		MapOnly: mapreduce.MapOnlyFunc(func(_ string, r []byte, c mapreduce.Collector) error {
+			return c.Collect(r)
+		}),
+	}
+	res, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, nil,
+		func([][]byte) ([]query.Row, error) { return nil, nil })
+	if err == nil {
+		t.Fatal("Execute of failing workflow succeeded")
+	}
+	if !res.Workflow.Failed {
+		t.Error("metrics not marked failed")
+	}
+	if res.Rows != nil {
+		t.Error("failed run returned rows")
+	}
+}
+
+func TestExecuteDecodeErrorPath(t *testing.T) {
+	dfs := hdfs.New(hdfs.Config{Nodes: 1})
+	mr := mapreduce.NewEngine(dfs, mapreduce.EngineConfig{})
+	if err := dfs.WriteFile("in", [][]byte{[]byte("rec")}); err != nil {
+		t.Fatal(err)
+	}
+	var cl Cleaner
+	job := &mapreduce.Job{
+		Name: "copy", Inputs: []string{"in"}, Output: cl.Track("out"),
+		MapOnly: mapreduce.MapOnlyFunc(func(_ string, r []byte, c mapreduce.Collector) error {
+			return c.Collect(r)
+		}),
+	}
+	boom := errors.New("bad record")
+	_, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, nil,
+		func([][]byte) ([]query.Row, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want decode error", err)
+	}
+	if dfs.Exists("out") {
+		t.Error("Execute did not clean up after decode failure")
+	}
+}
+
+func TestExecuteCollectsCounters(t *testing.T) {
+	dfs := hdfs.New(hdfs.Config{Nodes: 1})
+	mr := mapreduce.NewEngine(dfs, mapreduce.EngineConfig{})
+	if err := dfs.WriteFile("in", [][]byte{[]byte("rec")}); err != nil {
+		t.Fatal(err)
+	}
+	counters := mapreduce.NewCounters()
+	var cl Cleaner
+	job := &mapreduce.Job{
+		Name: "copy", Inputs: []string{"in"}, Output: cl.Track("out"),
+		MapOnly: mapreduce.MapOnlyFunc(func(_ string, r []byte, c mapreduce.Collector) error {
+			counters.Inc("records", 1)
+			return c.Collect(r)
+		}),
+	}
+	res, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, counters,
+		func(recs [][]byte) ([]query.Row, error) { return make([]query.Row, len(recs)), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["records"] != 1 {
+		t.Errorf("counters = %v", res.Counters)
+	}
+	if res.OutputRecords != 1 || res.OutputBytes == 0 {
+		t.Errorf("output stats = %d records, %d bytes", res.OutputRecords, res.OutputBytes)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}

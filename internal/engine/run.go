@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"ntga/internal/codec"
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// LoadGraph writes a graph's triples into the DFS as the binary triple
+// relation every engine scans.
+func LoadGraph(dfs *hdfs.DFS, name string, g *rdf.Graph) error {
+	w, err := dfs.Create(name)
+	if err != nil {
+		return err
+	}
+	var buf codec.Buffer
+	for _, t := range g.Triples {
+		buf.Reset()
+		buf.PutTriple(t)
+		if err := w.Append(buf.Bytes()); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		w.Abort()
+		return err
+	}
+	return nil
+}
+
+// DecodeFunc turns an engine's final output records into binding rows.
+type DecodeFunc func(records [][]byte) ([]query.Row, error)
+
+// Execute runs a planned workflow, decodes the final output, fills in the
+// Result, and removes every tracked intermediate file. It is the shared
+// tail of every engine's Run method. On workflow failure the partial
+// Result (metrics only) and the error are returned.
+func Execute(mr *mapreduce.Engine, name string, stages []mapreduce.Stage,
+	finalFile string, cleaner *Cleaner, counters *mapreduce.Counters,
+	decode DecodeFunc) (*Result, error) {
+
+	dfs := mr.DFS()
+	dfs.ResetPeak()
+	res := &Result{Engine: name}
+	defer cleaner.Clean(mr)
+
+	wf, err := mr.RunWorkflow(stages)
+	res.Workflow = wf
+	res.PeakDFSUsed = dfs.PeakUsed()
+	if counters != nil {
+		res.Counters = counters.Snapshot()
+	}
+	if err != nil {
+		return res, err
+	}
+
+	records, err := dfs.ReadAll(finalFile)
+	if err != nil {
+		return res, err
+	}
+	if size, err := dfs.FileSize(finalFile); err == nil {
+		res.OutputBytes = size
+	}
+	res.OutputRecords = int64(len(records))
+	rows, err := decode(records)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	return res, nil
+}

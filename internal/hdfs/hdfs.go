@@ -1,0 +1,276 @@
+// Package hdfs simulates the distributed file system underneath the
+// MapReduce engine: record-oriented files split into blocks, block
+// replication across data nodes with bounded per-node capacity, and byte
+// accounting for every read and write.
+//
+// The simulation is faithful to the aspects of HDFS that the paper's
+// evaluation depends on:
+//
+//   - every write costs replication × logical bytes of cluster disk
+//     (the paper contrasts dfs.replication = 1 vs 2);
+//   - nodes have finite capacity, and a workflow whose intermediate results
+//     exceed it fails mid-job (the "X" bars in Figures 9, 12, 13);
+//   - total HDFS reads/writes are first-class metrics (Figures 10, 12, 14).
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrDiskFull is returned (wrapped) when a write cannot place a block
+// because too few data nodes have free capacity.
+var ErrDiskFull = errors.New("hdfs: cluster out of disk space")
+
+// ErrNotFound is returned when opening or deleting a file that does not exist.
+var ErrNotFound = errors.New("hdfs: file not found")
+
+// ErrExists is returned when creating a file that already exists.
+var ErrExists = errors.New("hdfs: file already exists")
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of data nodes. Must be >= 1.
+	Nodes int
+	// CapacityPerNode bounds the bytes stored per node. Zero means unbounded.
+	CapacityPerNode int64
+	// BlockSize is the DFS block size in bytes (paper setup: 256MB; scaled
+	// down here). Zero defaults to 4 MiB.
+	BlockSize int64
+	// Replication is the block replication factor (dfs.replication).
+	// Zero defaults to 1. Must be <= Nodes.
+	Replication int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 << 20
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	return c
+}
+
+// Metrics holds cumulative byte counters for a DFS instance. All fields are
+// logical (pre-replication) except PhysicalBytesWritten.
+type Metrics struct {
+	BytesRead            int64 // cumulative logical bytes read
+	BytesWritten         int64 // cumulative logical bytes written
+	PhysicalBytesWritten int64 // cumulative bytes written × replication
+	RecordsRead          int64
+	RecordsWritten       int64
+	FilesCreated         int64
+	FilesDeleted         int64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.BytesRead += other.BytesRead
+	m.BytesWritten += other.BytesWritten
+	m.PhysicalBytesWritten += other.PhysicalBytesWritten
+	m.RecordsRead += other.RecordsRead
+	m.RecordsWritten += other.RecordsWritten
+	m.FilesCreated += other.FilesCreated
+	m.FilesDeleted += other.FilesDeleted
+}
+
+type block struct {
+	size  int64
+	nodes []int // indices of data nodes holding a replica
+}
+
+type file struct {
+	records [][]byte
+	size    int64 // sum of record lengths
+	blocks  []block
+}
+
+// DFS is a simulated distributed file system. All methods are safe for
+// concurrent use.
+type DFS struct {
+	mu       sync.Mutex
+	cfg      Config
+	files    map[string]*file
+	used     []int64 // per-node bytes stored
+	peakUsed int64   // high-water mark of total bytes stored
+	metrics  Metrics
+}
+
+// New creates a cluster per cfg.
+func New(cfg Config) *DFS {
+	cfg = cfg.withDefaults()
+	if cfg.Replication > cfg.Nodes {
+		panic(fmt.Sprintf("hdfs: replication %d exceeds node count %d", cfg.Replication, cfg.Nodes))
+	}
+	return &DFS{
+		cfg:   cfg,
+		files: make(map[string]*file),
+		used:  make([]int64, cfg.Nodes),
+	}
+}
+
+// Config returns the cluster configuration.
+func (d *DFS) Config() Config { return d.cfg }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (d *DFS) Metrics() Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.metrics
+}
+
+// ResetMetrics zeroes the cumulative counters (stored data is unaffected).
+func (d *DFS) ResetMetrics() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics = Metrics{}
+}
+
+// Used reports total bytes currently stored across all nodes (physical,
+// i.e. including replication).
+func (d *DFS) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, u := range d.used {
+		total += u
+	}
+	return total
+}
+
+// Capacity reports total cluster capacity; zero means unbounded.
+func (d *DFS) Capacity() int64 {
+	if d.cfg.CapacityPerNode == 0 {
+		return 0
+	}
+	return d.cfg.CapacityPerNode * int64(d.cfg.Nodes)
+}
+
+// Exists reports whether a file exists.
+func (d *DFS) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// FileSize returns the logical size of a file in bytes.
+func (d *DFS) FileSize(name string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f.size, nil
+}
+
+// RecordCount returns the number of records in a file.
+func (d *DFS) RecordCount(name string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return len(f.records), nil
+}
+
+// List returns the names of all files, sorted.
+func (d *DFS) List() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a file, freeing its blocks.
+func (d *DFS) Delete(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, b := range f.blocks {
+		for _, n := range b.nodes {
+			d.used[n] -= b.size
+		}
+	}
+	delete(d.files, name)
+	d.metrics.FilesDeleted++
+	return nil
+}
+
+// DeleteIfExists removes a file if present; absent files are not an error.
+func (d *DFS) DeleteIfExists(name string) {
+	if err := d.Delete(name); err != nil && !errors.Is(err, ErrNotFound) {
+		panic(err) // Delete only errors with ErrNotFound
+	}
+}
+
+// placeBlock charges one block of the given size to rep distinct nodes,
+// choosing the nodes with most free space. Caller holds d.mu.
+func (d *DFS) placeBlock(size int64) ([]int, error) {
+	rep := d.cfg.Replication
+	order := make([]int, len(d.used))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return d.used[order[a]] < d.used[order[b]] })
+	nodes := make([]int, 0, rep)
+	for _, n := range order {
+		if d.cfg.CapacityPerNode != 0 && d.used[n]+size > d.cfg.CapacityPerNode {
+			continue
+		}
+		nodes = append(nodes, n)
+		if len(nodes) == rep {
+			break
+		}
+	}
+	if len(nodes) < rep {
+		return nil, fmt.Errorf("%w: need %d replicas of %d bytes, placed %d",
+			ErrDiskFull, rep, size, len(nodes))
+	}
+	for _, n := range nodes {
+		d.used[n] += size
+	}
+	var total int64
+	for _, u := range d.used {
+		total += u
+	}
+	if total > d.peakUsed {
+		d.peakUsed = total
+	}
+	return nodes, nil
+}
+
+// PeakUsed reports the high-water mark of physical bytes stored — the
+// maximum simultaneous disk footprint seen since creation (or the last
+// ResetPeak). This is the quantity that determines whether a workflow
+// would fit on the paper's capacity-limited clusters.
+func (d *DFS) PeakUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakUsed
+}
+
+// ResetPeak sets the high-water mark to the current usage.
+func (d *DFS) ResetPeak() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peakUsed = 0
+	for _, u := range d.used {
+		d.peakUsed += u
+	}
+}

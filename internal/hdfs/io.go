@@ -1,0 +1,136 @@
+package hdfs
+
+import (
+	"fmt"
+)
+
+// Writer appends records to a file being created. It buffers records into
+// blocks and places each full block on the cluster as it fills, so a write
+// that exhausts cluster capacity fails while the file is being produced —
+// mirroring a Hadoop job failing mid-reduce, not at commit time.
+type Writer struct {
+	d       *DFS
+	name    string
+	f       *file
+	pending int64 // bytes appended since the last placed block
+	closed  bool
+	failed  bool
+}
+
+// Create begins writing a new file. The file becomes visible immediately;
+// concurrent readers of a file under construction are not supported (the MR
+// engine never does this).
+func (d *DFS) Create(name string) (*Writer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f := &file{}
+	d.files[name] = f
+	d.metrics.FilesCreated++
+	return &Writer{d: d, name: name, f: f}, nil
+}
+
+// Append adds one record. It returns ErrDiskFull (wrapped) if the cluster
+// cannot hold the data; after a failure the writer is unusable and the file
+// should be Abort()ed.
+func (w *Writer) Append(record []byte) error {
+	if w.closed {
+		return fmt.Errorf("hdfs: append to closed writer for %s", w.name)
+	}
+	if w.failed {
+		return fmt.Errorf("%w: writer for %s already failed", ErrDiskFull, w.name)
+	}
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	// Store our own copy: callers reuse record buffers.
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	w.f.records = append(w.f.records, cp)
+	w.f.size += int64(len(cp))
+	w.pending += int64(len(cp))
+	w.d.metrics.BytesWritten += int64(len(cp))
+	w.d.metrics.PhysicalBytesWritten += int64(len(cp)) * int64(w.d.cfg.Replication)
+	w.d.metrics.RecordsWritten++
+	for w.pending >= w.d.cfg.BlockSize {
+		if err := w.placeLocked(w.d.cfg.BlockSize); err != nil {
+			w.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// placeLocked places a block of the given size. Caller holds d.mu.
+func (w *Writer) placeLocked(size int64) error {
+	nodes, err := w.d.placeBlock(size)
+	if err != nil {
+		return err
+	}
+	w.f.blocks = append(w.f.blocks, block{size: size, nodes: nodes})
+	w.pending -= size
+	return nil
+}
+
+// Close flushes the final partial block. The file remains if Close fails;
+// callers should Abort on error.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.failed {
+		return fmt.Errorf("%w: writer for %s failed before close", ErrDiskFull, w.name)
+	}
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	if w.pending > 0 {
+		if err := w.placeLocked(w.pending); err != nil {
+			w.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort discards the partially-written file and frees its blocks.
+func (w *Writer) Abort() {
+	w.closed = true
+	w.d.DeleteIfExists(w.name)
+}
+
+// ReadAll returns every record of a file, charging the file's logical size
+// to the read counters. The returned slices alias DFS-owned storage and
+// must not be mutated.
+func (d *DFS) ReadAll(name string) ([][]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	d.metrics.BytesRead += f.size
+	d.metrics.RecordsRead += int64(len(f.records))
+	return f.records, nil
+}
+
+// WriteFile creates a file from a complete record slice, closing it on
+// success and aborting on failure.
+func (d *DFS) WriteFile(name string, records [][]byte) error {
+	w, err := d.Create(name)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		w.Abort()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ntga/internal/hdfs"
+)
+
+func benchInput(b *testing.B, records, width int) *Engine {
+	b.Helper()
+	e := NewEngine(hdfs.New(hdfs.Config{Nodes: 8}), EngineConfig{SplitRecords: 4096})
+	rng := rand.New(rand.NewSource(7))
+	recs := make([][]byte, records)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("key%d value-%0*d", rng.Intn(records/10+1), width, i))
+	}
+	if err := e.DFS().WriteFile("in", recs); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkShuffleThroughput measures a full map-shuffle-reduce cycle over
+// 100k small records (identity mapper keyed on the first token, counting
+// reducer).
+func BenchmarkShuffleThroughput(b *testing.B) {
+	e := benchInput(b, 100000, 8)
+	job := func(out string) *Job {
+		return &Job{
+			Name: "bench", Inputs: []string{"in"}, Output: out,
+			Mapper: MapperFunc(func(_ string, r []byte, out Emitter) error {
+				for i, c := range r {
+					if c == ' ' {
+						return out.Emit(r[:i], r[i+1:])
+					}
+				}
+				return out.Emit(r, nil)
+			}),
+			Reducer: ReducerFunc(func(key []byte, values [][]byte, out Collector) error {
+				return out.Collect([]byte(fmt.Sprintf("%s=%d", key, len(values))))
+			}),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := fmt.Sprintf("out%d", i)
+		m, err := e.Run(job(out))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(m.MapOutputBytes)
+		e.DFS().DeleteIfExists(out)
+	}
+}
+
+// BenchmarkMapOnlyThroughput measures a filter-style map-only pass.
+func BenchmarkMapOnlyThroughput(b *testing.B) {
+	e := benchInput(b, 100000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := fmt.Sprintf("out%d", i)
+		m, err := e.Run(&Job{
+			Name: "filter", Inputs: []string{"in"}, Output: out,
+			MapOnly: MapOnlyFunc(func(_ string, r []byte, c Collector) error {
+				if len(r) > 0 && r[len(r)-1]%2 == 0 {
+					return c.Collect(r)
+				}
+				return nil
+			}),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(m.MapInputBytes)
+		e.DFS().DeleteIfExists(out)
+	}
+}
+
+// BenchmarkSortKVs isolates the shuffle sort.
+func BenchmarkSortKVs(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]kv, 200000)
+	for i := range base {
+		k := make([]byte, 8)
+		v := make([]byte, 16)
+		rng.Read(k)
+		rng.Read(v)
+		base[i] = kv{k, v}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := make([]kv, len(base))
+		copy(cp, base)
+		sortKVs(cp)
+	}
+}

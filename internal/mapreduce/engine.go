@@ -1,0 +1,510 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntga/internal/hdfs"
+)
+
+// EngineConfig tunes the execution engine.
+type EngineConfig struct {
+	// MapParallelism is the number of concurrent map tasks; 0 defaults to
+	// GOMAXPROCS.
+	MapParallelism int
+	// ReduceParallelism is the number of concurrent reduce tasks; 0
+	// defaults to GOMAXPROCS.
+	ReduceParallelism int
+	// DefaultReducers is the reduce partition count used when a job does
+	// not set NumReducers; 0 defaults to 8.
+	DefaultReducers int
+	// SplitRecords is the number of records per map split; 0 defaults to
+	// 8192. Smaller splits increase map-task parallelism.
+	SplitRecords int
+	// TaskMaxAttempts is the per-task retry budget (Hadoop's
+	// mapreduce.map.maxattempts); 0 defaults to 1 (no retries).
+	TaskMaxAttempts int
+	// TaskFailureRate injects deterministic pseudo-random task failures
+	// with the given probability (0 disables), for fault-tolerance
+	// testing. A failed attempt is retried until TaskMaxAttempts is
+	// exhausted, at which point the job fails — mirroring Hadoop's task
+	// retry semantics.
+	TaskFailureRate float64
+	// TaskFailureSeed varies which (job, task, attempt) triples fail.
+	TaskFailureSeed int64
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.MapParallelism == 0 {
+		c.MapParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.ReduceParallelism == 0 {
+		c.ReduceParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultReducers == 0 {
+		c.DefaultReducers = 8
+	}
+	if c.SplitRecords == 0 {
+		c.SplitRecords = 8192
+	}
+	if c.TaskMaxAttempts == 0 {
+		c.TaskMaxAttempts = 1
+	}
+	return c
+}
+
+// Engine executes jobs and workflows against a simulated DFS.
+type Engine struct {
+	dfs *hdfs.DFS
+	cfg EngineConfig
+}
+
+// NewEngine returns an engine over the given DFS.
+func NewEngine(dfs *hdfs.DFS, cfg EngineConfig) *Engine {
+	return &Engine{dfs: dfs, cfg: cfg.withDefaults()}
+}
+
+// DFS returns the engine's file system.
+func (e *Engine) DFS() *hdfs.DFS { return e.dfs }
+
+// taskEmitter buffers one map task's output, partitioned by reducer.
+type taskEmitter struct {
+	partitioner Partitioner
+	nReducers   int
+	parts       [][]kv
+	records     int64
+	bytes       int64
+}
+
+func (t *taskEmitter) Emit(key, value []byte) error {
+	p := t.partitioner(key, t.nReducers)
+	if p < 0 || p >= t.nReducers {
+		return fmt.Errorf("mapreduce: partitioner returned %d for %d reducers", p, t.nReducers)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	t.parts[p] = append(t.parts[p], kv{k, v})
+	t.records++
+	t.bytes += int64(len(key) + len(value))
+	return nil
+}
+
+// sliceCollector buffers output records in memory, including records routed
+// to declared extra outputs (MultipleOutputs).
+type sliceCollector struct {
+	allowed map[string]bool
+	records [][]byte
+	bytes   int64
+	named   map[string][][]byte
+}
+
+func newSliceCollector(job *Job) *sliceCollector {
+	c := &sliceCollector{}
+	if len(job.ExtraOutputs) > 0 {
+		c.allowed = make(map[string]bool, len(job.ExtraOutputs))
+		for _, eo := range job.ExtraOutputs {
+			c.allowed[eo] = true
+		}
+		c.named = make(map[string][][]byte)
+	}
+	return c
+}
+
+func (c *sliceCollector) Collect(record []byte) error {
+	r := make([]byte, len(record))
+	copy(r, record)
+	c.records = append(c.records, r)
+	c.bytes += int64(len(r))
+	return nil
+}
+
+func (c *sliceCollector) CollectTo(output string, record []byte) error {
+	if !c.allowed[output] {
+		return fmt.Errorf("mapreduce: CollectTo(%q): not a declared extra output", output)
+	}
+	r := make([]byte, len(record))
+	copy(r, record)
+	c.named[output] = append(c.named[output], r)
+	c.bytes += int64(len(r))
+	return nil
+}
+
+type split struct {
+	input   string
+	records [][]byte
+}
+
+// errInjectedFailure marks a fault-injection task failure.
+var errInjectedFailure = errors.New("mapreduce: injected task failure")
+
+// shouldInjectFailure decides deterministically whether a given task
+// attempt fails under the configured failure rate.
+func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int) bool {
+	if e.cfg.TaskFailureRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d", job, kind, task, attempt, e.cfg.TaskFailureSeed)
+	return float64(h.Sum64()%10000) < e.cfg.TaskFailureRate*10000
+}
+
+// runTask executes one task attempt loop: injected or real failures are
+// retried with a fresh attempt (the reset callback discards any partial
+// task output) until the attempt budget is exhausted.
+func (e *Engine) runTask(job, kind string, task int, retries *int64,
+	reset func(), body func() error) error {
+	var lastErr error
+	for attempt := 0; attempt < e.cfg.TaskMaxAttempts; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(retries, 1)
+			reset()
+		}
+		if e.shouldInjectFailure(job, kind, task, attempt) {
+			lastErr = fmt.Errorf("%w (%s task %d attempt %d)", errInjectedFailure, kind, task, attempt)
+			continue
+		}
+		if err := body(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%s task %d failed after %d attempts: %w", kind, task, e.cfg.TaskMaxAttempts, lastErr)
+}
+
+// Run executes one job to completion. On failure the job's output file is
+// removed and the returned metrics carry the error.
+func (e *Engine) Run(job *Job) (JobMetrics, error) {
+	start := time.Now()
+	m := JobMetrics{Job: job.Name, Name: job.Name, MapOnly: job.MapOnly != nil}
+	fail := func(err error) (JobMetrics, error) {
+		m.Failed = true
+		m.Err = err.Error()
+		m.Duration = time.Since(start)
+		e.dfs.DeleteIfExists(job.Output)
+		for _, eo := range job.ExtraOutputs {
+			e.dfs.DeleteIfExists(eo)
+		}
+		return m, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+	if err := job.validate(); err != nil {
+		return fail(err)
+	}
+
+	// Plan map splits, scanning each input once.
+	var splits []split
+	for _, in := range job.Inputs {
+		records, err := e.dfs.ReadAll(in)
+		if err != nil {
+			return fail(fmt.Errorf("reading input: %w", err))
+		}
+		size, _ := e.dfs.FileSize(in)
+		m.MapInputBytes += size
+		m.MapInputRecords += int64(len(records))
+		for off := 0; off < len(records); off += e.cfg.SplitRecords {
+			end := off + e.cfg.SplitRecords
+			if end > len(records) {
+				end = len(records)
+			}
+			splits = append(splits, split{input: in, records: records[off:end]})
+		}
+		if len(records) == 0 {
+			splits = append(splits, split{input: in}) // keep empty inputs visible
+		}
+	}
+	m.MapTasks = len(splits)
+
+	if job.MapOnly != nil {
+		return e.runMapOnly(job, splits, m, start, fail)
+	}
+
+	nReducers := job.NumReducers
+	if nReducers == 0 {
+		nReducers = e.cfg.DefaultReducers
+	}
+	partitioner := job.Partitioner
+	if partitioner == nil {
+		partitioner = HashPartitioner
+	}
+
+	// ---- Map phase ----
+	emitters := make([]*taskEmitter, len(splits))
+	var retries int64
+	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
+		newAttempt := func() {
+			emitters[i] = &taskEmitter{partitioner: partitioner, nReducers: nReducers,
+				parts: make([][]kv, nReducers)}
+		}
+		newAttempt()
+		return e.runTask(job.Name, "map", i, &retries, newAttempt, func() error {
+			te := emitters[i]
+			for _, rec := range splits[i].records {
+				if err := job.Mapper.Map(splits[i].input, rec, te); err != nil {
+					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return fail(err)
+	}
+	m.TaskRetries += retries
+	for _, te := range emitters {
+		m.MapOutputRecords += te.records
+		m.MapOutputBytes += te.bytes
+	}
+
+	// ---- Shuffle & sort ----
+	partitions := make([][]kv, nReducers)
+	for p := 0; p < nReducers; p++ {
+		var total int
+		for _, te := range emitters {
+			total += len(te.parts[p])
+		}
+		part := make([]kv, 0, total)
+		for _, te := range emitters {
+			part = append(part, te.parts[p]...)
+		}
+		partitions[p] = part
+	}
+	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
+		sortKVs(partitions[p])
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+
+	// ---- Reduce phase ----
+	outputs := make([]*sliceCollector, nReducers)
+	var groups int64
+	var reduceRetries int64
+	var maxPartition int64
+	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
+		part := partitions[p]
+		for n := int64(len(part)); ; {
+			cur := atomic.LoadInt64(&maxPartition)
+			if n <= cur || atomic.CompareAndSwapInt64(&maxPartition, cur, n) {
+				break
+			}
+		}
+		newAttempt := func() { outputs[p] = newSliceCollector(job) }
+		newAttempt()
+		return e.runTask(job.Name, "reduce", p, &reduceRetries, newAttempt, func() error {
+			col := outputs[p]
+			var localGroups int64
+			for i := 0; i < len(part); {
+				j := i + 1
+				for j < len(part) && compareBytes(part[j].key, part[i].key) == 0 {
+					j++
+				}
+				values := make([][]byte, 0, j-i)
+				for k := i; k < j; k++ {
+					values = append(values, part[k].value)
+				}
+				localGroups++
+				if err := job.Reducer.Reduce(part[i].key, values, col); err != nil {
+					return fmt.Errorf("reduce partition %d: %w", p, err)
+				}
+				i = j
+			}
+			atomic.AddInt64(&groups, localGroups)
+			return nil
+		})
+	}); err != nil {
+		return fail(err)
+	}
+	m.TaskRetries += reduceRetries
+	m.ReduceTasks = nReducers
+	m.ReduceInputGroups = groups
+	m.MaxReducePartitionRecords = maxPartition
+	if m.MapOutputRecords > 0 && nReducers > 0 {
+		m.ReduceSkew = float64(maxPartition) * float64(nReducers) / float64(m.MapOutputRecords)
+	}
+
+	// ---- Commit output ----
+	if err := e.commit(job, outputs, &m); err != nil {
+		return fail(err)
+	}
+	m.Duration = time.Since(start)
+	return m, nil
+}
+
+// commit writes the collectors' buffered records to the job's output file
+// and every declared extra output (MultipleOutputs), updating the metrics.
+func (e *Engine) commit(job *Job, collectors []*sliceCollector, m *JobMetrics) error {
+	writeAll := func(name string, pick func(*sliceCollector) [][]byte) error {
+		w, err := e.dfs.Create(name)
+		if err != nil {
+			return fmt.Errorf("creating output %s: %w", name, err)
+		}
+		for _, col := range collectors {
+			if col == nil {
+				continue
+			}
+			for _, rec := range pick(col) {
+				if err := w.Append(rec); err != nil {
+					w.Abort()
+					return fmt.Errorf("writing output %s: %w", name, err)
+				}
+				m.ReduceOutputRecords++
+				m.ReduceOutputBytes += int64(len(rec))
+			}
+		}
+		if err := w.Close(); err != nil {
+			w.Abort()
+			return fmt.Errorf("closing output %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := writeAll(job.Output, func(c *sliceCollector) [][]byte { return c.records }); err != nil {
+		return err
+	}
+	for _, eo := range job.ExtraOutputs {
+		eo := eo
+		if err := writeAll(eo, func(c *sliceCollector) [][]byte { return c.named[eo] }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runMapOnly(job *Job, splits []split, m JobMetrics, start time.Time,
+	fail func(error) (JobMetrics, error)) (JobMetrics, error) {
+	collectors := make([]*sliceCollector, len(splits))
+	var retries int64
+	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
+		newAttempt := func() { collectors[i] = newSliceCollector(job) }
+		newAttempt()
+		return e.runTask(job.Name, "map", i, &retries, newAttempt, func() error {
+			col := collectors[i]
+			for _, rec := range splits[i].records {
+				if err := job.MapOnly.MapRecord(splits[i].input, rec, col); err != nil {
+					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+				}
+			}
+			return nil
+		})
+	}); err != nil {
+		return fail(err)
+	}
+	m.TaskRetries += retries
+	if err := e.commit(job, collectors, &m); err != nil {
+		return fail(err)
+	}
+	m.Duration = time.Since(start)
+	return m, nil
+}
+
+// parallel runs fn(0..n-1) on at most width goroutines, returning the first
+// error encountered (all started tasks run to completion).
+func (e *Engine) parallel(width, n int, fn func(int) error) error {
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		next  int64 = -1
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Stage is a set of jobs with no mutual dependencies; the workflow runner
+// executes a stage's jobs concurrently (Pig submits independent MR jobs in
+// parallel; Hive runs them serially — engines model that by using
+// one-job stages).
+type Stage []*Job
+
+// RunWorkflow executes stages sequentially, jobs within a stage
+// concurrently. On the first failed job the workflow stops after the
+// current stage completes and reports the failure. Metrics for every
+// executed job are returned in submission order.
+func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
+	start := time.Now()
+	var wf WorkflowMetrics
+	for _, st := range stages {
+		wf.Cycles += len(st)
+	}
+	for _, st := range stages {
+		jms := make([]JobMetrics, len(st))
+		errs := make([]error, len(st))
+		var wg sync.WaitGroup
+		for i, job := range st {
+			wg.Add(1)
+			go func(i int, job *Job) {
+				defer wg.Done()
+				jms[i], errs[i] = e.Run(job)
+			}(i, job)
+		}
+		wg.Wait()
+		wf.Jobs = append(wf.Jobs, jms...)
+		for i, err := range errs {
+			if err != nil {
+				wf.Failed = true
+				wf.FailedJob = st[i].Name
+				wf.Err = err.Error()
+				wf.Duration = time.Since(start)
+				return wf, err
+			}
+		}
+	}
+	wf.Duration = time.Since(start)
+	return wf, nil
+}
+
+// CountScansOf reports how many jobs in the plan scan the named file — the
+// paper's "number of full scans of the triple relation" metric (Figure 3).
+func CountScansOf(stages []Stage, name string) int {
+	n := 0
+	for _, st := range stages {
+		for _, job := range st {
+			for _, in := range job.Inputs {
+				if in == name {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ErrIsDiskFull reports whether err is rooted in DFS capacity exhaustion.
+func ErrIsDiskFull(err error) bool { return errors.Is(err, hdfs.ErrDiskFull) }

@@ -1,0 +1,86 @@
+package mapreduce
+
+import (
+	"time"
+)
+
+// JobMetrics records the cost profile of one executed job.
+type JobMetrics struct {
+	Job  string
+	Name string // deprecated alias of Job; kept equal to Job
+
+	// Map phase.
+	MapInputRecords int64
+	MapInputBytes   int64 // bytes scanned from the DFS
+	MapTasks        int
+
+	// Shuffle (map output). For map-only jobs these stay zero.
+	MapOutputRecords int64
+	MapOutputBytes   int64 // the paper's "shuffle cost": Σ len(key)+len(value)
+
+	// Reduce phase.
+	ReduceTasks         int
+	ReduceInputGroups   int64
+	ReduceOutputRecords int64
+	ReduceOutputBytes   int64 // bytes written to the DFS
+
+	// MaxReducePartitionRecords is the largest reduce partition's input
+	// size; ReduceSkew normalizes it against a perfectly balanced shuffle
+	// (1.0 = balanced, nReducers = everything on one reducer). The paper's
+	// related work on reducer-routing strategies targets exactly this.
+	MaxReducePartitionRecords int64
+	ReduceSkew                float64
+
+	// TaskRetries counts task attempts beyond the first (fault injection
+	// or real failures recovered by the retry budget).
+	TaskRetries int64
+
+	Duration time.Duration
+	MapOnly  bool
+	Failed   bool
+	Err      string
+}
+
+// WorkflowMetrics aggregates the jobs of one workflow run.
+type WorkflowMetrics struct {
+	Jobs []JobMetrics
+
+	// Cycles is the number of MR cycles (jobs) executed, the paper's
+	// workflow-length metric.
+	Cycles int
+	// FullScans counts jobs×inputs that scanned the main triple relation;
+	// engines set this via CountScansOf.
+	FullScans int
+
+	Duration  time.Duration
+	Failed    bool
+	FailedJob string
+	Err       string
+}
+
+// TotalMapOutputBytes sums shuffle bytes across jobs.
+func (w *WorkflowMetrics) TotalMapOutputBytes() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.MapOutputBytes
+	}
+	return t
+}
+
+// TotalReduceOutputBytes sums DFS-write bytes across jobs (logical).
+func (w *WorkflowMetrics) TotalReduceOutputBytes() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.ReduceOutputBytes
+	}
+	return t
+}
+
+// TotalMapInputBytes sums DFS-read bytes across jobs.
+func (w *WorkflowMetrics) TotalMapInputBytes() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.MapInputBytes
+	}
+	return t
+}

@@ -1,0 +1,235 @@
+// Package mapreduce implements the MapReduce execution engine that all
+// query engines in this repository compile to. It reproduces the cost
+// structure of Hadoop MapReduce that the paper's evaluation depends on:
+//
+//   - a job reads its inputs from the simulated DFS (full scans are visible
+//     in the DFS read counters);
+//   - map output is partitioned by key, sorted, and "shuffled" — the total
+//     map-output bytes are the shuffle cost the lazy β-unnesting strategies
+//     target;
+//   - reduce output is materialized back to the DFS between cycles (write
+//     counters, replication amplification, disk-full failures);
+//   - a workflow is a sequence of stages; jobs within a stage may run
+//     concurrently (Pig-style independent-job parallelism).
+//
+// Map and reduce tasks execute in parallel on goroutine pools, so wall-clock
+// measurements of a workflow reflect genuine parallel dataflow execution.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Emitter receives key/value pairs from map tasks.
+type Emitter interface {
+	// Emit hands one intermediate pair to the shuffle. The engine copies
+	// both slices; callers may reuse their buffers.
+	Emit(key, value []byte) error
+}
+
+// Collector receives final output records from reduce tasks (or from map
+// tasks in a map-only job).
+type Collector interface {
+	// Collect appends one record to the job output. The engine copies the
+	// slice; callers may reuse their buffers.
+	Collect(record []byte) error
+}
+
+// NamedCollector is the Hadoop MultipleOutputs facility: reduce (or
+// map-only) functions of a job that declares ExtraOutputs can route records
+// to those outputs by name. Collectors passed by the engine always
+// implement it.
+type NamedCollector interface {
+	Collector
+	// CollectTo appends one record to the named extra output, which must
+	// be listed in the job's ExtraOutputs.
+	CollectTo(output string, record []byte) error
+}
+
+// Mapper transforms one input record into zero or more key/value pairs.
+// The input file name is passed so that one mapper can serve several tagged
+// inputs (relational join mappers need to know which side a record is from).
+type Mapper interface {
+	Map(input string, record []byte, out Emitter) error
+}
+
+// MapOnlyMapper is implemented by mappers used in map-only jobs; output
+// records bypass the shuffle entirely.
+type MapOnlyMapper interface {
+	MapRecord(input string, record []byte, out Collector) error
+}
+
+// Reducer folds all values sharing one key into zero or more output records.
+type Reducer interface {
+	Reduce(key []byte, values [][]byte, out Collector) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(input string, record []byte, out Emitter) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(input string, record []byte, out Emitter) error {
+	return f(input, record, out)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key []byte, values [][]byte, out Collector) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key []byte, values [][]byte, out Collector) error {
+	return f(key, values, out)
+}
+
+// MapOnlyFunc adapts a function to the MapOnlyMapper interface.
+type MapOnlyFunc func(input string, record []byte, out Collector) error
+
+// MapRecord implements MapOnlyMapper.
+func (f MapOnlyFunc) MapRecord(input string, record []byte, out Collector) error {
+	return f(input, record, out)
+}
+
+// Partitioner assigns an intermediate key to one of n reduce partitions.
+type Partitioner func(key []byte, n int) int
+
+// HashPartitioner is Hadoop's default: hash(key) mod n.
+func HashPartitioner(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// Job describes one MapReduce cycle.
+type Job struct {
+	// Name identifies the job in metrics and error messages.
+	Name string
+	// Inputs are DFS file names scanned by the map phase. A job with
+	// several inputs models a shared scan / multi-relation map.
+	Inputs []string
+	// Output is the DFS file the job writes.
+	Output string
+	// ExtraOutputs lists additional DFS files the job may write via
+	// NamedCollector.CollectTo (Hadoop's MultipleOutputs). Every extra
+	// output file is created even if no record is routed to it.
+	ExtraOutputs []string
+	// Mapper runs in the map phase (ignored if MapOnly is set).
+	Mapper Mapper
+	// MapOnly, when non-nil, makes this a map-only job (no shuffle, no
+	// reduce); Mapper and Reducer are ignored.
+	MapOnly MapOnlyMapper
+	// Reducer runs in the reduce phase.
+	Reducer Reducer
+	// NumReducers is the reduce-task parallelism; 0 defaults to the
+	// engine's configured reducer count.
+	NumReducers int
+	// Partitioner routes keys to reducers; nil defaults to HashPartitioner.
+	Partitioner Partitioner
+}
+
+func (j *Job) validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("mapreduce: job has no name")
+	}
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("mapreduce: job %s has no inputs", j.Name)
+	}
+	if j.Output == "" {
+		return fmt.Errorf("mapreduce: job %s has no output", j.Name)
+	}
+	seen := map[string]bool{j.Output: true}
+	for _, eo := range j.ExtraOutputs {
+		if eo == "" {
+			return fmt.Errorf("mapreduce: job %s has an empty extra output name", j.Name)
+		}
+		if seen[eo] {
+			return fmt.Errorf("mapreduce: job %s declares output %q twice", j.Name, eo)
+		}
+		seen[eo] = true
+	}
+	if j.MapOnly == nil {
+		if j.Mapper == nil {
+			return fmt.Errorf("mapreduce: job %s has no mapper", j.Name)
+		}
+		if j.Reducer == nil {
+			return fmt.Errorf("mapreduce: job %s has no reducer", j.Name)
+		}
+	}
+	return nil
+}
+
+// kv is one intermediate pair.
+type kv struct {
+	key, value []byte
+}
+
+// sortKVs orders pairs by key then value, giving deterministic reduce input
+// regardless of map-task scheduling.
+func sortKVs(kvs []kv) {
+	sort.Slice(kvs, func(i, j int) bool {
+		c := compareBytes(kvs[i].key, kvs[j].key)
+		if c != 0 {
+			return c < 0
+		}
+		return compareBytes(kvs[i].value, kvs[j].value) < 0
+	})
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Counters is a concurrency-safe named-counter set, available to operators
+// for domain-specific accounting (e.g. triplegroups unnested).
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package ntgamr
+
+import (
+	"fmt"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// DataStats summarizes the dataset statistics the strategy advisor
+// consumes. Build one with CollectStats; in a deployed system these come
+// from the warehouse's statistics catalog.
+type DataStats struct {
+	Triples              int64
+	Subjects             int64
+	AvgTriplesPerSubject float64
+	// MaxPropertyMultiplicity is the largest number of triples one subject
+	// has for a single property (the paper reports Uniprot multiplicities
+	// up to 13K).
+	MaxPropertyMultiplicity int
+	DistinctObjects         int64
+}
+
+// CollectStats scans a graph once and derives the advisor's statistics.
+func CollectStats(g *rdf.Graph) DataStats {
+	var s DataStats
+	s.Triples = int64(g.Len())
+	subjects := make(map[rdf.ID]int64)
+	objects := make(map[rdf.ID]struct{})
+	for _, t := range g.Triples {
+		subjects[t.S]++
+		objects[t.O] = struct{}{}
+	}
+	s.Subjects = int64(len(subjects))
+	if s.Subjects > 0 {
+		s.AvgTriplesPerSubject = float64(s.Triples) / float64(s.Subjects)
+	}
+	for _, m := range g.PropertyMultiplicity() {
+		if m > s.MaxPropertyMultiplicity {
+			s.MaxPropertyMultiplicity = m
+		}
+	}
+	s.DistinctObjects = int64(len(objects))
+	return s
+}
+
+// Advice is the advisor's recommendation, with the reasoning spelled out.
+type Advice struct {
+	Strategy Strategy
+	PhiM     int
+	Reasons  []string
+}
+
+// Engine builds the recommended NTGA engine.
+func (a Advice) Engine() *NTGA { return New(a.Strategy, a.PhiM) }
+
+// Advise recommends an unnesting strategy and partition range for a query
+// over a dataset, following §4.1 of the paper: "The partition factor used
+// by φ depends on the size of input, potential redundancy factor, and
+// average number of tuples that can be processed by a reducer."
+//
+// The heuristics:
+//
+//   - no unbound patterns, or unbound patterns whose expected candidate
+//     sets are tiny (selective objects, low subject degree): the implicit
+//     representation saves nothing, so Eager avoids the join-time unnest
+//     machinery;
+//   - otherwise LazyAuto — delay β-unnest, choosing partial unnest per
+//     join exactly as the paper's final policy does;
+//   - φ_m targets an average of ~2 slot candidates per (group, bucket):
+//     fewer buckets than that forfeits no shuffle savings but concentrates
+//     reducer work; more buckets degenerate toward full unnest. It is
+//     clamped to [reducers, DefaultPhiM].
+func Advise(stats DataStats, q *query.Query, reducers int) Advice {
+	if reducers <= 0 {
+		reducers = 8
+	}
+	var a Advice
+	expected := expectedSlotCandidates(stats, q)
+	switch {
+	case expected == 0:
+		a.Strategy = Eager
+		a.Reasons = append(a.Reasons, "no unbound-property patterns: nothing to delay")
+	case expected <= 1.5:
+		a.Strategy = Eager
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"expected ≤%.1f candidates per unbound pattern: no redundancy to avoid", expected))
+	default:
+		a.Strategy = LazyAuto
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"expected ≈%.1f candidates per unbound pattern: delay β-unnest", expected))
+	}
+
+	// φ_m: distinct join keys spread so a group's candidates share buckets.
+	phi := int(float64(stats.DistinctObjects) / maxf(1, expected/2))
+	if phi < reducers {
+		phi = reducers
+	}
+	if phi > DefaultPhiM {
+		phi = DefaultPhiM
+	}
+	if phi < 1 {
+		phi = 1
+	}
+	a.PhiM = phi
+	a.Reasons = append(a.Reasons, fmt.Sprintf(
+		"φ_m = %d for %d distinct objects across %d reducers", phi, stats.DistinctObjects, reducers))
+	return a
+}
+
+// expectedSlotCandidates estimates the average candidate-set size of the
+// query's unbound slots: the subject degree, discounted for selective
+// object predicates (a CONTAINS/equality filter admits only its matching
+// ID set).
+func expectedSlotCandidates(stats DataStats, q *query.Query) float64 {
+	var worst float64
+	for _, st := range q.Stars {
+		for _, sl := range st.Slots {
+			est := stats.AvgTriplesPerSubject
+			if id, ok := sl.Obj.Exact(); ok && id != rdf.NoID {
+				est = 1
+			} else if sl.Obj.In != nil && stats.DistinctObjects > 0 {
+				frac := float64(len(sl.Obj.In)) / float64(stats.DistinctObjects)
+				if frac > 1 {
+					frac = 1
+				}
+				est *= frac
+			}
+			if est > worst {
+				worst = est
+			}
+		}
+	}
+	return worst
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

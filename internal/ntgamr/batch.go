@@ -1,0 +1,224 @@
+package ntgamr
+
+import (
+	"bytes"
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Multi-query scan sharing. NTGA's grouping operator is query-agnostic up
+// to the relevance filter, so a batch of queries over the same triple
+// relation can share one grouping cycle: the map side scans the input once
+// (emitting triples relevant to any query in the batch), and the reduce
+// side applies every query's β group-filter to each subject triplegroup,
+// routing the resulting AnnTGs to one output file per query (Hadoop's
+// MultipleOutputs). Subsequent join cycles are per-query but independent,
+// so the workflow runs them concurrently — stage k holds the k-th join of
+// every query that has one.
+//
+// This extends the NTGA scan-sharing idea the paper builds on (its
+// reference [18]) across queries: for a batch of n queries the triple
+// relation is scanned once instead of n times, and each query's join
+// cycles read only that query's triplegroups.
+
+// BatchResult is the outcome of a shared-scan batch execution.
+type BatchResult struct {
+	// Results holds one result per input query, in order. Rows (or Count)
+	// are populated per query; the workflow metrics of the shared run live
+	// in Workflow, not in the per-query results.
+	Results []*engine.Result
+	// Workflow carries the whole batch's cost profile: one grouping cycle
+	// plus every query's join cycles.
+	Workflow mapreduce.WorkflowMetrics
+	// PeakDFSUsed is the batch's disk high-water mark.
+	PeakDFSUsed int64
+}
+
+// batchGroupMapper emits triples relevant to any query in the batch.
+type batchGroupMapper struct {
+	qs []*query.Query
+}
+
+func (m *batchGroupMapper) Map(_ string, record []byte, out mapreduce.Emitter) error {
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	for _, q := range m.qs {
+		if q.TripleRelevant(t) {
+			var val codec.Buffer
+			val.PutID(t.P)
+			val.PutID(t.O)
+			return out.Emit(codec.EncodeID(t.S), val.Bytes())
+		}
+	}
+	return nil
+}
+
+// batchGroupReducer applies every query's TG_UnbGrpFilter to the subject
+// group, routing each query's AnnTGs to its own output file.
+type batchGroupReducer struct {
+	qs       []*query.Query
+	outputs  []string // outputs[0] is the job's main output
+	eager    bool
+	counters *mapreduce.Counters
+}
+
+func (r *batchGroupReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+	subject, err := codec.DecodeID(key)
+	if err != nil {
+		return err
+	}
+	pairs, err := decodeSortedPairs(values)
+	if err != nil {
+		return err
+	}
+	tg := core.NewTripleGroup(subject, pairs)
+	r.counters.Inc(CounterGroups, 1)
+	emit := func(qid int, rec []byte) error {
+		if qid == 0 {
+			return out.Collect(rec)
+		}
+		nc, ok := out.(mapreduce.NamedCollector)
+		if !ok {
+			return fmt.Errorf("ntgamr: collector lacks MultipleOutputs support")
+		}
+		return nc.CollectTo(r.outputs[qid], rec)
+	}
+	for qid, q := range r.qs {
+		for _, a := range core.UnbGrpFilter(tg, q.Stars) {
+			r.counters.Inc(CounterAnnTGs, 1)
+			if r.eager {
+				for _, p := range core.BetaUnnest(q.Stars[a.EC], a) {
+					r.counters.Inc(CounterEagerUnnest, 1)
+					if err := emit(qid, core.EncodeJoined([]core.AnnTG{p})); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := emit(qid, core.EncodeJoined([]core.AnnTG{a})); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunBatch executes a batch of compiled queries with one shared grouping
+// cycle. Queries must be compiled against the same dictionary/input.
+// COUNT(*) queries are answered from the implicit representation as in Run.
+func (n *NTGA) RunBatch(mr *mapreduce.Engine, qs []*query.Query, input string) (*BatchResult, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("ntgamr: empty batch")
+	}
+	var cl engine.Cleaner
+	defer cl.Clean(mr)
+	counters := mapreduce.NewCounters()
+	dfs := mr.DFS()
+	dfs.ResetPeak()
+
+	grouped := make([]string, len(qs))
+	for qi := range qs {
+		grouped[qi] = cl.Track(engine.TempName(n.name, fmt.Sprintf("batch-group-q%d", qi)))
+	}
+	groupJob := &mapreduce.Job{
+		Name:         "ntga-batch-group",
+		Inputs:       []string{input},
+		Output:       grouped[0],
+		ExtraOutputs: grouped[1:],
+		Mapper:       &batchGroupMapper{qs: qs},
+		Reducer: &batchGroupReducer{qs: qs, outputs: grouped,
+			eager: n.strategy == Eager, counters: counters},
+	}
+	stages := []mapreduce.Stage{{groupJob}}
+
+	// Per-query join chains; stage k+1 holds join k of every query.
+	maxJoins := 0
+	for _, q := range qs {
+		if len(q.Joins) > maxJoins {
+			maxJoins = len(q.Joins)
+		}
+	}
+	accs := make([]string, len(qs))
+	copy(accs, grouped)
+	for ji := 0; ji < maxJoins; ji++ {
+		var stage mapreduce.Stage
+		for qi, q := range qs {
+			if ji >= len(q.Joins) {
+				continue
+			}
+			out := cl.Track(engine.TempName(n.name, fmt.Sprintf("batch-q%d-join%d", qi, ji)))
+			j := q.Joins[ji]
+			mode := n.joinModeFor(q, j)
+			stage = append(stage, tgJoinJob(q, fmt.Sprintf("%s-batch-q%d-join%d", n.name, qi, ji),
+				j, mode, n.phiM, counters, accs[qi], grouped[qi], out))
+			accs[qi] = out
+		}
+		stages = append(stages, stage)
+	}
+
+	wf, err := mr.RunWorkflow(stages)
+	res := &BatchResult{Workflow: wf, PeakDFSUsed: dfs.PeakUsed()}
+	if err != nil {
+		return res, err
+	}
+
+	for qi, q := range qs {
+		r := &engine.Result{Engine: n.name, Counters: counters.Snapshot(), IsCount: q.IsCount()}
+		records, err := dfs.ReadAll(accs[qi])
+		if err != nil {
+			return res, err
+		}
+		if size, err := dfs.FileSize(accs[qi]); err == nil {
+			r.OutputBytes = size
+		}
+		r.OutputRecords = int64(len(records))
+		for _, rec := range records {
+			comps, err := core.DecodeJoined(rec)
+			if err != nil {
+				return res, err
+			}
+			if q.IsCount() {
+				r.Count += core.CountJoined(q, comps)
+				continue
+			}
+			rows, err := core.ExpandJoined(q, comps)
+			if err != nil {
+				return res, err
+			}
+			r.Rows = append(r.Rows, rows...)
+		}
+		res.Results = append(res.Results, r)
+	}
+	return res, nil
+}
+
+// decodeSortedPairs decodes and de-duplicates the sorted (P,O) values of a
+// grouping reduce call.
+func decodeSortedPairs(values [][]byte) ([]core.PO, error) {
+	pairs := make([]core.PO, 0, len(values))
+	var prev []byte
+	for _, v := range values {
+		if prev != nil && bytes.Equal(v, prev) {
+			continue
+		}
+		prev = v
+		rd := codec.NewReader(v)
+		p, err := rd.ID()
+		if err != nil {
+			return nil, err
+		}
+		o, err := rd.ID()
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, core.PO{P: p, O: o})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,183 @@
+package ntgamr
+
+import (
+	"fmt"
+
+	"ntga/internal/core"
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Strategy selects when intermediate triplegroups are β-unnested.
+type Strategy int
+
+// The evaluation strategies of §4.
+const (
+	// Eager β-unnests during the star-join computation (Job1 reduce) —
+	// the paper's EagerUnnest baseline.
+	Eager Strategy = iota
+	// LazyFull delays β-unnest to the map phase of the join cycle that
+	// needs the unbound pattern's object (TG_UnbJoin).
+	LazyFull
+	// LazyPartial always uses the partial β-unnest operator μ^β_φm
+	// (TG_OptUnbJoin) for joins on an unbound pattern's object.
+	LazyPartial
+	// LazyAuto is the paper's final LazyUnnest policy: lazy full β-unnest
+	// for unbound-property patterns with partially-bound objects, lazy
+	// partial β-unnest for those with unbound objects.
+	LazyAuto
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "Eager"
+	case LazyFull:
+		return "LazyFull"
+	case LazyPartial:
+		return "LazyPartial"
+	case LazyAuto:
+		return "LazyAuto"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// DefaultPhiM is the partition range the paper's experiments settle on
+// (LazyUnnest(φ1K)).
+const DefaultPhiM = 1024
+
+// NTGA is the TripleGroup-algebra query engine.
+type NTGA struct {
+	strategy Strategy
+	phiM     int
+	name     string
+}
+
+// New returns an NTGA engine with the given strategy. phiM <= 0 selects
+// DefaultPhiM.
+func New(strategy Strategy, phiM int) *NTGA {
+	if phiM <= 0 {
+		phiM = DefaultPhiM
+	}
+	name := "NTGA-" + strategy.String()
+	if strategy == LazyAuto {
+		name = "NTGA-Lazy" // the paper's "LazyUnnest"
+	}
+	return &NTGA{strategy: strategy, phiM: phiM, name: name}
+}
+
+// NewEager returns the EagerUnnest engine.
+func NewEager() *NTGA { return New(Eager, 0) }
+
+// NewLazy returns the paper's LazyUnnest engine (auto policy, φ1K).
+func NewLazy() *NTGA { return New(LazyAuto, 0) }
+
+// Name implements engine.QueryEngine.
+func (n *NTGA) Name() string { return n.name }
+
+// Strategy returns the engine's unnesting strategy.
+func (n *NTGA) Strategy() Strategy { return n.strategy }
+
+// joinModeFor decides per join whether the cycle runs TG_OptUnbJoin
+// (bucketed) or a direct-keyed join.
+func (n *NTGA) joinModeFor(q *query.Query, j query.Join) joinMode {
+	if n.strategy == Eager || n.strategy == LazyFull {
+		return directMode
+	}
+	slotSide := func(pos query.Pos) (sel bool, isSlot bool) {
+		if pos.Role != query.RoleSlotObj {
+			return false, false
+		}
+		return q.Stars[pos.Star].Slots[pos.Idx].Obj.Selective(), true
+	}
+	lSel, lSlot := slotSide(j.Left)
+	rSel, rSlot := slotSide(j.Right)
+	if !lSlot && !rSlot {
+		return directMode
+	}
+	if n.strategy == LazyPartial {
+		return bucketedMode
+	}
+	// LazyAuto: partial β-unnest only pays off when the joining slot's
+	// object is unbound (non-selective); partially-bound objects produce
+	// few matches and a full unnest suffices (§5, Figure 11).
+	if (lSlot && !lSel) || (rSlot && !rSel) {
+		return bucketedMode
+	}
+	return directMode
+}
+
+// Plan builds the workflow: one grouping cycle computing every star
+// subpattern, then one triplegroup-join cycle per inter-star join.
+func (n *NTGA) Plan(q *query.Query, input string, cl *engine.Cleaner,
+	counters *mapreduce.Counters) ([]mapreduce.Stage, string, error) {
+	if len(q.Stars) == 0 {
+		return nil, "", fmt.Errorf("ntgamr: query has no stars")
+	}
+	grouped := cl.Track(engine.TempName(n.name, "group"))
+	stages := []mapreduce.Stage{{job1(q, n.strategy == Eager, counters, input, grouped)}}
+	acc := grouped
+	for ji, j := range q.Joins {
+		out := cl.Track(engine.TempName(n.name, fmt.Sprintf("join%d", ji)))
+		mode := n.joinModeFor(q, j)
+		stages = append(stages, mapreduce.Stage{
+			tgJoinJob(q, fmt.Sprintf("%s-join%d", n.name, ji), j, mode, n.phiM,
+				counters, acc, grouped, out),
+		})
+		acc = out
+	}
+	return stages, acc, nil
+}
+
+// DecodeRows converts final triplegroup records into binding rows by
+// expanding their (possibly still nested) components.
+func DecodeRows(q *query.Query) engine.DecodeFunc {
+	return func(records [][]byte) ([]query.Row, error) {
+		var rows []query.Row
+		for _, rec := range records {
+			comps, err := core.DecodeJoined(rec)
+			if err != nil {
+				return nil, err
+			}
+			expanded, err := core.ExpandJoined(q, comps)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, expanded...)
+		}
+		return rows, nil
+	}
+}
+
+// Run implements engine.QueryEngine.
+func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
+	var cl engine.Cleaner
+	counters := mapreduce.NewCounters()
+	stages, final, err := n.Plan(q, input, &cl, counters)
+	if err != nil {
+		return &engine.Result{Engine: n.name}, err
+	}
+	if q.IsCount() {
+		// Aggregation pushdown over the implicit representation: sum the
+		// expansion counts of the (still nested) triplegroups — no
+		// β-unnest happens at all for non-joining slots.
+		var count int64
+		res, err := engine.Execute(mr, n.name, stages, final, &cl, counters,
+			func(records [][]byte) ([]query.Row, error) {
+				for _, rec := range records {
+					comps, err := core.DecodeJoined(rec)
+					if err != nil {
+						return nil, err
+					}
+					count += core.CountJoined(q, comps)
+				}
+				return nil, nil
+			})
+		res.IsCount = true
+		res.Count = count
+		return res, err
+	}
+	return engine.Execute(mr, n.name, stages, final, &cl, counters, DecodeRows(q))
+}

@@ -1,0 +1,102 @@
+// Package ntgamr lifts the NTGA operators of internal/core onto MapReduce
+// as the paper's physical operators:
+//
+//   - Job1 (Algorithm 1): TG_GroupByMap tags every query-relevant triple by
+//     subject; TG_GroupByReduce + TG_UnbGrpFilter (Algorithm 2) build the
+//     annotated triplegroups for every star subpattern — all stars in a
+//     single MR cycle, sharing one scan of the triple relation;
+//   - join cycles (Algorithm 3): TG_Join for subject/bound-object joins,
+//     TG_UnbJoin (map-side full β-unnest) and TG_OptUnbJoin (map-side
+//     partial β-unnest μ^β_φm, completed in the reduce) for joins on an
+//     unbound-property pattern's object.
+//
+// Three evaluation strategies are provided: Eager (β-unnest during Job1),
+// LazyFull, LazyPartial, and the paper's final policy LazyAuto (partial
+// β-unnest for unbound-object joins, full for partially-bound objects).
+package ntgamr
+
+import (
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Counter names exposed in engine results.
+const (
+	CounterGroups       = "ntga.job1.groups"         // subject triplegroups formed
+	CounterAnnTGs       = "ntga.job1.anntgs"         // AnnTGs passing σ^βγ
+	CounterEagerUnnest  = "ntga.job1.eager_unnested" // perfect TGs from eager μ^β
+	CounterMapUnnest    = "ntga.join.map_unnested"   // TGs from map-side full μ^β
+	CounterPartialTGs   = "ntga.join.partial_tgs"    // partial TGs from μ^β_φm
+	CounterReduceUnnest = "ntga.join.reduce_unnested"
+)
+
+// groupByMapper is TG_GroupByMap: it keys every query-relevant triple by
+// subject. One scan serves every star subpattern (NTGA's scan sharing).
+type groupByMapper struct {
+	q *query.Query
+}
+
+func (m *groupByMapper) Map(_ string, record []byte, out mapreduce.Emitter) error {
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	if !m.q.TripleRelevant(t) {
+		return nil
+	}
+	var val codec.Buffer
+	val.PutID(t.P)
+	val.PutID(t.O)
+	return out.Emit(codec.EncodeID(t.S), val.Bytes())
+}
+
+// groupFilterReducer is TG_GroupByReduce + TG_UnbGrpFilter: it assembles
+// the subject triplegroup, applies the β group-filter for every equivalence
+// class, and — under the Eager strategy — β-unnests immediately.
+type groupFilterReducer struct {
+	q        *query.Query
+	eager    bool
+	counters *mapreduce.Counters
+}
+
+func (r *groupFilterReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+	subject, err := codec.DecodeID(key)
+	if err != nil {
+		return err
+	}
+	pairs, err := decodeSortedPairs(values)
+	if err != nil {
+		return err
+	}
+	tg := core.NewTripleGroup(subject, pairs)
+	r.counters.Inc(CounterGroups, 1)
+	for _, a := range core.UnbGrpFilter(tg, r.q.Stars) {
+		r.counters.Inc(CounterAnnTGs, 1)
+		if r.eager {
+			for _, p := range core.BetaUnnest(r.q.Stars[a.EC], a) {
+				r.counters.Inc(CounterEagerUnnest, 1)
+				if err := out.Collect(core.EncodeJoined([]core.AnnTG{p})); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := out.Collect(core.EncodeJoined([]core.AnnTG{a})); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// job1 builds the grouping cycle.
+func job1(q *query.Query, eager bool, counters *mapreduce.Counters, input, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:    "ntga-group",
+		Inputs:  []string{input},
+		Output:  output,
+		Mapper:  &groupByMapper{q: q},
+		Reducer: &groupFilterReducer{q: q, eager: eager, counters: counters},
+	}
+}

@@ -1,0 +1,291 @@
+package ntgamr
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+const (
+	tagLeft  byte = 0
+	tagRight byte = 1
+)
+
+// joinMode selects how a triplegroup join cycle is keyed.
+type joinMode int
+
+const (
+	// directMode keys the shuffle by the join value itself: TG_Join, and
+	// TG_UnbJoin when a map-side full β-unnest pins the joining slot.
+	directMode joinMode = iota
+	// bucketedMode keys the shuffle by φ_m(join value): TG_OptUnbJoin. The
+	// joining slot stays nested through the shuffle inside partial
+	// triplegroups and is unnested per-bucket in the reduce (Algorithm 3).
+	bucketedMode
+)
+
+// tgJoinMapper is the map side of a triplegroup join cycle.
+type tgJoinMapper struct {
+	q         *query.Query
+	join      query.Join
+	mode      joinMode
+	phiM      int
+	leftFile  string // "" when both sides come from the single input file
+	rightFile string
+	counters  *mapreduce.Counters
+}
+
+func (m *tgJoinMapper) Map(input string, record []byte, out mapreduce.Emitter) error {
+	comps, err := core.DecodeJoined(record)
+	if err != nil {
+		return err
+	}
+	if m.leftFile == "" {
+		// First join: both sides live in Job1's output; route by EC.
+		if len(comps) != 1 {
+			return fmt.Errorf("ntgamr: expected singleton record in grouping output, got %d components", len(comps))
+		}
+		switch comps[0].EC {
+		case m.join.Left.Star:
+			return m.emitSide(comps, m.join.Left, tagLeft, out)
+		case m.join.Right.Star:
+			return m.emitSide(comps, m.join.Right, tagRight, out)
+		default:
+			return nil // a later join's star
+		}
+	}
+	switch input {
+	case m.leftFile:
+		return m.emitSide(comps, m.join.Left, tagLeft, out)
+	case m.rightFile:
+		// The grouping output holds every EC; this join wants one.
+		if len(comps) != 1 || comps[0].EC != m.join.Right.Star {
+			return nil
+		}
+		return m.emitSide(comps, m.join.Right, tagRight, out)
+	default:
+		return fmt.Errorf("ntgamr: join mapper got unexpected input %q", input)
+	}
+}
+
+func (m *tgJoinMapper) key(v rdf.ID) []byte {
+	if m.mode == bucketedMode {
+		var e codec.Buffer
+		e.PutUvarint(uint64(core.Phi(v, m.phiM)))
+		return e.Bytes()
+	}
+	return codec.EncodeID(v)
+}
+
+func bucketKey(b int) []byte {
+	var e codec.Buffer
+	e.PutUvarint(uint64(b))
+	return e.Bytes()
+}
+
+func (m *tgJoinMapper) emit(out mapreduce.Emitter, key []byte, tag byte, comps []core.AnnTG) error {
+	val := append([]byte{tag}, core.EncodeJoined(comps)...)
+	return out.Emit(key, val)
+}
+
+// emitSide produces the map output for one record on one side of the join,
+// pinning or partially unnesting the join position as the strategy demands.
+func (m *tgJoinMapper) emitSide(comps []core.AnnTG, pos query.Pos, tag byte, out mapreduce.Emitter) error {
+	ci := -1
+	for i, c := range comps {
+		if c.EC == pos.Star {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return fmt.Errorf("ntgamr: record lacks component for star %d", pos.Star)
+	}
+	st := m.q.Stars[pos.Star]
+	comp := comps[ci]
+
+	replace := func(c core.AnnTG) []core.AnnTG {
+		cp := append([]core.AnnTG(nil), comps...)
+		cp[ci] = c
+		return cp
+	}
+
+	switch pos.Role {
+	case query.RoleSubject:
+		return m.emit(out, m.key(comp.Subject), tag, comps)
+
+	case query.RoleBoundObj:
+		if comp.BoundSel[pos.Idx] != core.Nested {
+			v, err := core.JoinValue(st, comp, pos)
+			if err != nil {
+				return err
+			}
+			return m.emit(out, m.key(v), tag, comps)
+		}
+		for _, pinned := range core.PinBound(st, comp, pos.Idx) {
+			v := pinned.Triples[pinned.BoundSel[pos.Idx]].O
+			if err := m.emit(out, m.key(v), tag, replace(pinned)); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case query.RoleSlotObj:
+		if comp.SlotSel[pos.Idx] != core.Nested {
+			v, err := core.JoinValue(st, comp, pos)
+			if err != nil {
+				return err
+			}
+			return m.emit(out, m.key(v), tag, comps)
+		}
+		if m.mode == bucketedMode {
+			// TG_OptUnbJoin: partial β-unnest, keyed by bucket.
+			for _, pt := range core.PartialBetaUnnest(st, comp, pos.Idx, m.phiM) {
+				m.counters.Inc(CounterPartialTGs, 1)
+				if err := m.emit(out, bucketKey(pt.Bucket), tag, replace(pt.TG)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// TG_UnbJoin: map-side full β-unnest of the joining slot.
+		for _, u := range core.UnnestSlot(st, comp, pos.Idx) {
+			m.counters.Inc(CounterMapUnnest, 1)
+			v := u.Triples[u.SlotSel[pos.Idx]].O
+			if err := m.emit(out, m.key(v), tag, replace(u)); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("ntgamr: unknown join role %v", pos.Role)
+	}
+}
+
+// tgJoinReducer joins the two sides of a group.
+type tgJoinReducer struct {
+	q        *query.Query
+	join     query.Join
+	mode     joinMode
+	phiM     int
+	counters *mapreduce.Counters
+}
+
+// resolved is one joinable record with its concrete join value.
+type resolved struct {
+	value rdf.ID
+	comps []core.AnnTG
+}
+
+// resolveSide turns a shuffled record into joinable (value, record) pairs,
+// finishing any deferred β-unnest within the reduce bucket.
+func (r *tgJoinReducer) resolveSide(comps []core.AnnTG, pos query.Pos, bucket int) ([]resolved, error) {
+	ci := -1
+	for i, c := range comps {
+		if c.EC == pos.Star {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("ntgamr: record lacks component for star %d", pos.Star)
+	}
+	st := r.q.Stars[pos.Star]
+	comp := comps[ci]
+	if pos.Role == query.RoleSlotObj && comp.SlotSel[pos.Idx] == core.Nested {
+		if r.mode != bucketedMode {
+			return nil, fmt.Errorf("ntgamr: nested slot reached a direct-mode reducer")
+		}
+		var out []resolved
+		for _, u := range core.UnnestSlotInBucket(st, comp, pos.Idx, r.phiM, bucket) {
+			r.counters.Inc(CounterReduceUnnest, 1)
+			u = core.Compact(st, u)
+			cp := append([]core.AnnTG(nil), comps...)
+			cp[ci] = u
+			out = append(out, resolved{value: u.Triples[u.SlotSel[pos.Idx]].O, comps: cp})
+		}
+		return out, nil
+	}
+	v, err := core.JoinValue(st, comp, pos)
+	if err != nil {
+		return nil, err
+	}
+	return []resolved{{value: v, comps: comps}}, nil
+}
+
+func (r *tgJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+	bucket := 0
+	if r.mode == bucketedMode {
+		b, err := codec.NewReader(key).Uvarint()
+		if err != nil {
+			return err
+		}
+		bucket = int(b)
+	}
+	var lefts []resolved
+	rightsByValue := make(map[rdf.ID][]resolved)
+	for _, v := range values {
+		if len(v) == 0 {
+			return fmt.Errorf("ntgamr: empty join value")
+		}
+		comps, err := core.DecodeJoined(v[1:])
+		if err != nil {
+			return err
+		}
+		switch v[0] {
+		case tagLeft:
+			res, err := r.resolveSide(comps, r.join.Left, bucket)
+			if err != nil {
+				return err
+			}
+			lefts = append(lefts, res...)
+		case tagRight:
+			res, err := r.resolveSide(comps, r.join.Right, bucket)
+			if err != nil {
+				return err
+			}
+			for _, re := range res {
+				rightsByValue[re.value] = append(rightsByValue[re.value], re)
+			}
+		default:
+			return fmt.Errorf("ntgamr: unknown join tag %d", v[0])
+		}
+	}
+	for _, l := range lefts {
+		for _, rr := range rightsByValue[l.value] {
+			joined := make([]core.AnnTG, 0, len(l.comps)+len(rr.comps))
+			joined = append(joined, l.comps...)
+			joined = append(joined, rr.comps...)
+			if err := out.Collect(core.EncodeJoined(joined)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tgJoinJob builds one triplegroup join cycle. When leftFile equals
+// rightFile (the first join), the job scans that file once and the mapper
+// routes records by equivalence class.
+func tgJoinJob(q *query.Query, name string, j query.Join, mode joinMode, phiM int,
+	counters *mapreduce.Counters, leftFile, rightFile, output string) *mapreduce.Job {
+	inputs := []string{leftFile, rightFile}
+	mLeft := leftFile
+	if leftFile == rightFile {
+		inputs = []string{rightFile}
+		mLeft = ""
+	}
+	return &mapreduce.Job{
+		Name:   name,
+		Inputs: inputs,
+		Output: output,
+		Mapper: &tgJoinMapper{q: q, join: j, mode: mode, phiM: phiM,
+			leftFile: mLeft, rightFile: rightFile, counters: counters},
+		Reducer: &tgJoinReducer{q: q, join: j, mode: mode, phiM: phiM, counters: counters},
+	}
+}

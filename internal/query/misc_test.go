@@ -1,0 +1,129 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+func TestMustCompile(t *testing.T) {
+	g := testGraph()
+	q := MustCompile(sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . }`), g.Dict)
+	if len(q.Stars) != 1 {
+		t.Errorf("stars = %d", len(q.Stars))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile on unsupported shape did not panic")
+		}
+	}()
+	MustCompile(sparql.MustParse(
+		`SELECT * WHERE { ?a <http://ex/label> ?x . ?b <http://ex/type> ?y . }`), g.Dict)
+}
+
+func TestIsCount(t *testing.T) {
+	g := testGraph()
+	q := MustCompile(sparql.MustParse(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }`), g.Dict)
+	if !q.IsCount() {
+		t.Error("count query not flagged")
+	}
+	q = MustCompile(sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . }`), g.Dict)
+	if q.IsCount() {
+		t.Error("plain query flagged as count")
+	}
+}
+
+func TestProjectAllDistinct(t *testing.T) {
+	g := testGraph()
+	q := MustCompile(sparql.MustParse(`
+PREFIX ex: <http://ex/>
+SELECT DISTINCT ?g WHERE { ?g ex:xGO ?go . }`), g.Dict)
+	rows := []Row{{1, 10}, {1, 20}, {2, 10}}
+	proj := q.ProjectAll(rows)
+	if len(proj) != 2 {
+		t.Errorf("distinct projection = %v", proj)
+	}
+	// Without DISTINCT, duplicates survive projection.
+	q2 := MustCompile(sparql.MustParse(`
+PREFIX ex: <http://ex/>
+SELECT ?g WHERE { ?g ex:xGO ?go . }`), g.Dict)
+	if got := q2.ProjectAll(rows); len(got) != 3 {
+		t.Errorf("plain projection = %v", got)
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	g := testGraph()
+	q := MustCompile(sparql.MustParse(`
+PREFIX ex: <http://ex/>
+SELECT ?g ?l WHERE { ?g ex:label ?l . }`), g.Dict)
+	gene := g.Dict.MustLookup(rdf.NewIRI("http://ex/gene9"))
+	lit := g.Dict.MustLookup(rdf.NewLiteral("retinoid X receptor"))
+	out := q.FormatRow(Row{gene, lit})
+	if !strings.Contains(out, "gene9") || !strings.Contains(out, "retinoid") {
+		t.Errorf("FormatRow = %q", out)
+	}
+	if got := q.FormatRow(Row{rdf.NoID}); got != "_" {
+		t.Errorf("unbound cell = %q", got)
+	}
+}
+
+func TestPredStringForms(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		want string
+	}{
+		{Pred{}, "*"},
+		{Pred{None: true}, "⊥"},
+		{Pred{Eq: 3}, "=3"},
+		{Pred{Neq: []rdf.ID{4, 5}}, "≠4∧≠5"},
+		{Pred{In: map[rdf.ID]struct{}{2: {}, 1: {}}}, "∈{1,2}"},
+		{Pred{Eq: 1, Neq: []rdf.ID{2}}, "=1∧≠2"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Pred.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPredExact(t *testing.T) {
+	if _, ok := (Pred{}).Exact(); ok {
+		t.Error("Any pred reported exact")
+	}
+	if _, ok := (Pred{None: true}).Exact(); ok {
+		t.Error("None pred reported exact")
+	}
+	if id, ok := (Pred{Eq: 9}).Exact(); !ok || id != 9 {
+		t.Errorf("Exact = %d, %v", id, ok)
+	}
+}
+
+func TestPosAndJoinString(t *testing.T) {
+	p := Pos{Star: 1, Role: RoleSubject}
+	if p.String() != "star1.subject" {
+		t.Errorf("Pos = %q", p)
+	}
+	p = Pos{Star: 0, Role: RoleBoundObj, Idx: 2}
+	if !strings.Contains(p.String(), "bound-object[2]") {
+		t.Errorf("Pos = %q", p)
+	}
+	j := Join{Var: "x", Left: p, Right: Pos{Star: 1, Role: RoleSubject}}
+	if !strings.Contains(j.String(), "?x") || !strings.Contains(j.String(), "star1.subject") {
+		t.Errorf("Join = %q", j)
+	}
+	if !strings.Contains(Role(9).String(), "9") {
+		t.Error("unknown role string")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{1, 2, 3}
+	c := r.Clone()
+	c[0] = 9
+	if r[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}

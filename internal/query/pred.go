@@ -1,0 +1,153 @@
+// Package query compiles a parsed SPARQL query against a dataset dictionary
+// into the logical form shared by every execution engine: star subpatterns
+// (grouped by subject), bound patterns vs unbound-property slots, pushed-down
+// term predicates, and the inter-star join graph.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+// Pred is a compiled predicate over dictionary IDs: the conjunction of an
+// optional equality, a set of exclusions, and an optional membership set
+// (from CONTAINS filters, precomputed against the dictionary).
+type Pred struct {
+	// None, when set, makes the predicate unsatisfiable (e.g. an equality
+	// filter against a term absent from the dataset).
+	None bool
+	// Eq, when non-zero, requires the ID to equal it.
+	Eq rdf.ID
+	// Neq lists excluded IDs.
+	Neq []rdf.ID
+	// In, when non-nil, requires membership.
+	In map[rdf.ID]struct{}
+}
+
+// Any reports whether the predicate accepts every ID.
+func (p Pred) Any() bool {
+	return !p.None && p.Eq == rdf.NoID && len(p.Neq) == 0 && p.In == nil
+}
+
+// Exact reports whether the predicate pins the position to a single ID
+// (a constant term or an equality filter), returning that ID.
+func (p Pred) Exact() (rdf.ID, bool) {
+	if p.None || p.Eq == rdf.NoID {
+		return rdf.NoID, false
+	}
+	return p.Eq, true
+}
+
+// Selective reports whether the predicate restricts the position at all —
+// the paper's "partially bound" notion (a filter or constant narrows the
+// matches of an unbound-property pattern's object).
+func (p Pred) Selective() bool { return !p.Any() }
+
+// Match evaluates the predicate.
+func (p Pred) Match(id rdf.ID) bool {
+	if p.None {
+		return false
+	}
+	if p.Eq != rdf.NoID && id != p.Eq {
+		return false
+	}
+	for _, n := range p.Neq {
+		if id == n {
+			return false
+		}
+	}
+	if p.In != nil {
+		if _, ok := p.In[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Pred) String() string {
+	if p.None {
+		return "⊥"
+	}
+	var parts []string
+	if p.Eq != rdf.NoID {
+		parts = append(parts, fmt.Sprintf("=%d", p.Eq))
+	}
+	for _, n := range p.Neq {
+		parts = append(parts, fmt.Sprintf("≠%d", n))
+	}
+	if p.In != nil {
+		ids := make([]int, 0, len(p.In))
+		for id := range p.In {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		strs := make([]string, len(ids))
+		for i, id := range ids {
+			strs[i] = fmt.Sprint(id)
+		}
+		parts = append(parts, "∈{"+strings.Join(strs, ",")+"}")
+	}
+	if len(parts) == 0 {
+		return "*"
+	}
+	return strings.Join(parts, "∧")
+}
+
+// compilePred folds a constant term (if the position is not a variable) and
+// all filters on the position's variable into one Pred.
+func compilePred(dict *rdf.Dict, pos sparql.PatternTerm, filters []sparql.Filter) (Pred, error) {
+	var p Pred
+	if !pos.IsVar {
+		id, ok := dict.Lookup(pos.Term)
+		if !ok {
+			return Pred{None: true}, nil
+		}
+		p.Eq = id
+		return p, nil
+	}
+	for _, f := range filters {
+		if f.Var != pos.Var {
+			continue
+		}
+		switch f.Op {
+		case sparql.FilterEq:
+			id, ok := dict.Lookup(f.Value)
+			if !ok {
+				return Pred{None: true}, nil
+			}
+			if p.Eq != rdf.NoID && p.Eq != id {
+				return Pred{None: true}, nil
+			}
+			p.Eq = id
+		case sparql.FilterNeq:
+			if id, ok := dict.Lookup(f.Value); ok {
+				p.Neq = append(p.Neq, id)
+			}
+		case sparql.FilterContains:
+			sub := f.Value.Value
+			in := make(map[rdf.ID]struct{})
+			dict.Range(func(id rdf.ID, t rdf.Term) bool {
+				if strings.Contains(t.Value, sub) {
+					in[id] = struct{}{}
+				}
+				return true
+			})
+			if p.In == nil {
+				p.In = in
+			} else {
+				for id := range p.In {
+					if _, ok := in[id]; !ok {
+						delete(p.In, id)
+					}
+				}
+			}
+		default:
+			return Pred{}, fmt.Errorf("query: unsupported filter op %v", f.Op)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,131 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense dictionary-encoded identifier for an RDF term. ID 0 is
+// reserved as the zero/invalid value; valid IDs start at 1.
+type ID uint32
+
+// NoID is the invalid/absent term identifier.
+const NoID ID = 0
+
+// Dict is a bidirectional, concurrency-safe dictionary mapping RDF terms to
+// dense IDs. Encoding the same term twice yields the same ID.
+type Dict struct {
+	mu     sync.RWMutex
+	byKey  map[string]ID
+	terms  []Term // terms[id-1] is the term for id
+	frozen bool
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byKey: make(map[string]ID)}
+}
+
+// Encode interns the term and returns its ID, allocating a fresh ID if the
+// term has not been seen before. Encode panics if the dictionary has been
+// frozen and the term is unknown: freezing exists to catch accidental
+// dictionary growth during query execution, which must never mint terms.
+func (d *Dict) Encode(t Term) ID {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byKey[key]; ok {
+		return id
+	}
+	if d.frozen {
+		panic(fmt.Sprintf("rdf: Encode(%s) on frozen dictionary", t))
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID for a term without interning it. The second result
+// reports whether the term was present.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// MustLookup returns the ID for a term, panicking if absent. It is intended
+// for tests and for query compilation against a known dataset.
+func (d *Dict) MustLookup(t Term) ID {
+	id, ok := d.Lookup(t)
+	if !ok {
+		panic(fmt.Sprintf("rdf: term %s not in dictionary", t))
+	}
+	return id
+}
+
+// Decode returns the term for an ID. It panics on NoID or an out-of-range ID;
+// IDs are only produced by Encode, so an invalid ID is a programming error.
+func (d *Dict) Decode(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: Decode(%d) out of range (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len reports the number of distinct terms interned.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Range calls f for every (id, term) pair in id order, stopping early if f
+// returns false. The dictionary must not be mutated from within f.
+func (d *Dict) Range(f func(ID, Term) bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, t := range d.terms {
+		if !f(ID(i+1), t) {
+			return
+		}
+	}
+}
+
+// Freeze marks the dictionary read-only: subsequent Encode calls for unknown
+// terms panic. Query execution over a loaded dataset should never mint terms.
+func (d *Dict) Freeze() {
+	d.mu.Lock()
+	d.frozen = true
+	d.mu.Unlock()
+}
+
+// Triple is a dictionary-encoded RDF triple.
+type Triple struct {
+	S, P, O ID
+}
+
+// Less orders triples by (S, P, O); used for canonical sorting in tests and
+// deterministic output.
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("(%d %d %d)", t.S, t.P, t.O)
+}

@@ -1,0 +1,135 @@
+// Package rdf provides the core RDF data model used throughout the system:
+// terms (IRIs, literals, blank nodes), triples, dictionary encoding of terms
+// to dense integer IDs, and an N-Triples reader/writer.
+//
+// All higher layers (the MapReduce engines, the TripleGroup algebra, the
+// benchmark harness) operate on dictionary-encoded triples for compactness;
+// the Dict maps back to lexical form only at result-presentation time.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The three RDF term kinds.
+const (
+	IRI TermKind = iota
+	Literal
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term. Value holds the lexical form without
+// serialization syntax: the IRI string for IRIs (no angle brackets), the
+// label for blank nodes (no "_:" prefix), and the literal value for
+// literals. Literals may carry a language tag or a datatype IRI (at most
+// one of the two, per RDF 1.1).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Lang     string // non-empty only for language-tagged literals
+	Datatype string // non-empty only for typed literals
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(v, lang string) Term { return Term{Kind: Literal, Value: v, Lang: lang} }
+
+// NewTypedLiteral returns a datatyped literal term.
+func NewTypedLiteral(v, datatype string) Term {
+	return Term{Kind: Literal, Value: v, Datatype: datatype}
+}
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		var sb strings.Builder
+		sb.WriteByte('"')
+		sb.WriteString(escapeLiteral(t.Value))
+		sb.WriteByte('"')
+		if t.Lang != "" {
+			sb.WriteByte('@')
+			sb.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			sb.WriteString("^^<")
+			sb.WriteString(t.Datatype)
+			sb.WriteByte('>')
+		}
+		return sb.String()
+	default:
+		return fmt.Sprintf("?!term(%d,%q)", t.Kind, t.Value)
+	}
+}
+
+// Key returns a canonical string that uniquely identifies the term; it is
+// used as the dictionary key. It is cheaper than String for literals that
+// need no escaping and is injective across kinds.
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRI:
+		return "i" + t.Value
+	case Blank:
+		return "b" + t.Value
+	default:
+		if t.Lang != "" {
+			return "l" + t.Lang + "\x00" + t.Value
+		}
+		if t.Datatype != "" {
+			return "t" + t.Datatype + "\x00" + t.Value
+		}
+		return "p" + t.Value
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

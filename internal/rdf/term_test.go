@@ -1,0 +1,57 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("bonjour", "fr"), `"bonjour"@fr`},
+		{NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral("line1\nline2"), `"line1\nline2"`},
+		{NewLiteral(`quote " and \ back`), `"quote \" and \\ back"`},
+		{NewLiteral("tab\there"), `"tab\there"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKeyInjective(t *testing.T) {
+	// Terms with the same Value but different kinds or tags must have
+	// distinct dictionary keys.
+	terms := []Term{
+		NewIRI("x"),
+		NewBlank("x"),
+		NewLiteral("x"),
+		NewLangLiteral("x", "en"),
+		NewLangLiteral("x", "fr"),
+		NewTypedLiteral("x", "http://dt/1"),
+		NewTypedLiteral("x", "http://dt/2"),
+	}
+	seen := make(map[string]Term)
+	for _, tm := range terms {
+		k := tm.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %v and %v both map to %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "IRI" || Literal.String() != "Literal" || Blank.String() != "Blank" {
+		t.Errorf("TermKind.String mismatch: %s %s %s", IRI, Literal, Blank)
+	}
+	if got := TermKind(9).String(); got != "TermKind(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

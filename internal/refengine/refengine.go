@@ -1,0 +1,142 @@
+// Package refengine evaluates basic graph patterns directly over an
+// in-memory graph with pattern-at-a-time backtracking. It is the semantic
+// ground truth every MapReduce engine (relational-style and NTGA) is tested
+// against: slow, obviously correct, and free of the structural restrictions
+// the distributed planners impose.
+package refengine
+
+import (
+	"strings"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+// Evaluate returns all full binding rows (indexed by q.AllVars) of the
+// query's WHERE clause over the graph, with FILTERs applied. Projection and
+// DISTINCT are left to the caller (query.ProjectAll), so that engines can be
+// compared on complete rows.
+func Evaluate(q *query.Query, g *rdf.Graph) []query.Row {
+	ev := &evaluator{q: q, g: g, bySubject: make(map[rdf.ID][]rdf.Triple)}
+	for _, t := range g.Triples {
+		ev.bySubject[t.S] = append(ev.bySubject[t.S], t)
+	}
+	binding := make(query.Row, len(q.AllVars))
+	ev.match(0, binding)
+	return ev.rows
+}
+
+type evaluator struct {
+	q         *query.Query
+	g         *rdf.Graph
+	bySubject map[rdf.ID][]rdf.Triple
+	rows      []query.Row
+}
+
+// resolve returns the concrete ID a pattern term requires under the current
+// binding, or NoID if the position is free.
+func (ev *evaluator) resolve(t sparql.PatternTerm, binding query.Row) (rdf.ID, bool) {
+	if t.IsVar {
+		if id := binding[ev.q.VarIdx[t.Var]]; id != rdf.NoID {
+			return id, true
+		}
+		return rdf.NoID, true
+	}
+	id, ok := ev.q.Dict.Lookup(t.Term)
+	if !ok {
+		return rdf.NoID, false // constant absent from data: no match possible
+	}
+	return id, true
+}
+
+func (ev *evaluator) match(pi int, binding query.Row) {
+	if pi == len(ev.q.Src.Where) {
+		ev.rows = append(ev.rows, binding.Clone())
+		return
+	}
+	tp := ev.q.Src.Where[pi]
+	s, ok := ev.resolve(tp.S, binding)
+	if !ok {
+		return
+	}
+	p, ok := ev.resolve(tp.P, binding)
+	if !ok {
+		return
+	}
+	o, ok := ev.resolve(tp.O, binding)
+	if !ok {
+		return
+	}
+
+	candidates := ev.g.Triples
+	if s != rdf.NoID {
+		candidates = ev.bySubject[s]
+	}
+	for _, tr := range candidates {
+		if s != rdf.NoID && tr.S != s {
+			continue
+		}
+		if p != rdf.NoID && tr.P != p {
+			continue
+		}
+		if o != rdf.NoID && tr.O != o {
+			continue
+		}
+		// Bind free variables, checking filters eagerly.
+		var bound []int
+		ok := true
+		bind := func(t sparql.PatternTerm, id rdf.ID) {
+			if !ok || !t.IsVar {
+				return
+			}
+			idx := ev.q.VarIdx[t.Var]
+			if binding[idx] != rdf.NoID {
+				if binding[idx] != id {
+					ok = false
+				}
+				return
+			}
+			if !ev.filterOK(t.Var, id) {
+				ok = false
+				return
+			}
+			binding[idx] = id
+			bound = append(bound, idx)
+		}
+		bind(tp.S, tr.S)
+		bind(tp.P, tr.P)
+		bind(tp.O, tr.O)
+		if ok {
+			ev.match(pi+1, binding)
+		}
+		for _, idx := range bound {
+			binding[idx] = rdf.NoID
+		}
+	}
+}
+
+// filterOK applies every FILTER mentioning the variable to a candidate ID.
+func (ev *evaluator) filterOK(v string, id rdf.ID) bool {
+	for _, f := range ev.q.Src.Filters {
+		if f.Var != v {
+			continue
+		}
+		switch f.Op {
+		case sparql.FilterEq:
+			want, ok := ev.q.Dict.Lookup(f.Value)
+			if !ok || id != want {
+				return false
+			}
+		case sparql.FilterNeq:
+			if want, ok := ev.q.Dict.Lookup(f.Value); ok && id == want {
+				return false
+			}
+		case sparql.FilterContains:
+			if !strings.Contains(ev.q.Dict.Decode(id).Value, f.Value.Value) {
+				return false
+			}
+		}
+	}
+	return true
+}

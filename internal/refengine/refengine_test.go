@@ -1,0 +1,219 @@
+package refengine
+
+import (
+	"testing"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+func ex(s string) rdf.Term { return rdf.NewIRI("http://ex/" + s) }
+
+func bioGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.Add(ex("gene9"), ex("label"), rdf.NewLiteral("retinoid X receptor"))
+	g.Add(ex("gene9"), ex("xGO"), ex("go1"))
+	g.Add(ex("gene9"), ex("xGO"), ex("go9"))
+	g.Add(ex("gene9"), ex("synonym"), rdf.NewLiteral("RCoR-1"))
+	g.Add(ex("gene9"), ex("xRef"), ex("hs2131"))
+	g.Add(ex("gene3"), ex("label"), rdf.NewLiteral("hexokinase"))
+	g.Add(ex("gene3"), ex("xGO"), ex("go1"))
+	g.Add(ex("go1"), ex("type"), ex("GOTerm"))
+	g.Add(ex("go1"), ex("label"), rdf.NewLiteral("transcription"))
+	g.Add(ex("go9"), ex("type"), ex("GOTerm"))
+	return g
+}
+
+func eval(t *testing.T, g *rdf.Graph, src string) (*query.Query, []query.Row) {
+	t.Helper()
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := query.Compile(pq, g.Dict)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return q, Evaluate(q, g)
+}
+
+func TestSingleBoundPattern(t *testing.T) {
+	g := bioGraph()
+	_, rows := eval(t, g, `SELECT * WHERE { ?s <http://ex/xGO> ?o . }`)
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestStarJoinMultiValued(t *testing.T) {
+	g := bioGraph()
+	// gene9 has 2 xGO values × 1 label = 2 rows; gene3 has 1×1 = 1 row.
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?g ex:label ?l . ?g ex:xGO ?go . }`)
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestUnboundPropertyAllTriples(t *testing.T) {
+	g := bioGraph()
+	// ?s ?p ?o matches every triple.
+	_, rows := eval(t, g, `SELECT * WHERE { ?s ?p ?o . }`)
+	if len(rows) != g.Len() {
+		t.Errorf("rows = %d, want %d", len(rows), g.Len())
+	}
+}
+
+func TestUnboundPropertyStarRedundancy(t *testing.T) {
+	g := bioGraph()
+	// The paper's running example: bound {label, xGO} plus one unbound
+	// pattern. gene9: 1 label × 2 xGO × 5 triples = 10 rows; gene3:
+	// 1 × 1 × 2 = 2 rows.
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?g ex:label ?l . ?g ex:xGO ?go . ?g ?p ?o . }`)
+	if len(rows) != 12 {
+		t.Errorf("rows = %d, want 12", len(rows))
+	}
+}
+
+func TestUnboundMatchesBoundTripleToo(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(ex("s"), ex("label"), rdf.NewLiteral("only"))
+	// SPARQL semantics: ?p may bind to label even though label is also a
+	// bound pattern.
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?s ex:label ?l . ?s ?p ?o . }`)
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1 (unbound binds the bound triple)", len(rows))
+	}
+}
+
+func TestObjectSubjectJoin(t *testing.T) {
+	g := bioGraph()
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE {
+  ?g ex:label ?l .
+  ?g ex:xGO ?go .
+  ?go ex:type ?t .
+}`)
+	// gene9→go1, gene9→go9, gene3→go1; all three go terms have type.
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestJoinOnUnboundObject(t *testing.T) {
+	g := bioGraph()
+	// B1-style: unbound pattern's object is the join variable.
+	q, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE {
+  ?g ex:label ?gl .
+  ?g ?p ?x .
+  ?x ex:type ?t .
+}`)
+	// Matches where some triple of ?g points at a typed node:
+	// gene9 --xGO--> go1, gene9 --xGO--> go9, gene3 --xGO--> go1.
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3\n%s", len(rows), dump(q, rows))
+	}
+}
+
+func TestFilterEqAndConstObject(t *testing.T) {
+	g := bioGraph()
+	_, r1 := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?g ex:xGO ?go . FILTER(?go = ex:go1) }`)
+	_, r2 := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT ?g WHERE { ?g ex:xGO ex:go1 . }`)
+	if len(r1) != 2 || len(r2) != 2 {
+		t.Errorf("filter rows = %d, const rows = %d, want 2 and 2", len(r1), len(r2))
+	}
+}
+
+func TestFilterNeq(t *testing.T) {
+	g := bioGraph()
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?g ex:xGO ?go . FILTER(?go != ex:go1) }`)
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestFilterContains(t *testing.T) {
+	g := bioGraph()
+	// A6-style: unbound property with object partially bound by substring.
+	_, rows := eval(t, g, `
+SELECT * WHERE { ?s ?p ?o . FILTER(CONTAINS(?o, "hexokinase")) }`)
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestConstantSubject(t *testing.T) {
+	g := bioGraph()
+	_, rows := eval(t, g, `SELECT ?p ?o WHERE { <http://ex/gene9> ?p ?o . }`)
+	if len(rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(rows))
+	}
+}
+
+func TestSharedVariableAcrossStars(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(ex("a"), ex("p"), ex("x"))
+	g.Add(ex("x"), ex("q"), ex("y"))
+	g.Add(ex("x"), ex("q"), ex("z"))
+	// The join variable must bind consistently across stars.
+	_, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?s ex:p ?x . ?x ex:q ?y . }`)
+	if len(rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	g := bioGraph()
+	_, rows := eval(t, g, `SELECT * WHERE { ?s <http://ex/absent> ?o . }`)
+	if len(rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(rows))
+	}
+}
+
+func TestTwoUnboundSlotsCrossProduct(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(ex("s"), ex("a"), ex("1"))
+	g.Add(ex("s"), ex("b"), ex("2"))
+	g.Add(ex("s"), ex("c"), ex("3"))
+	// B3-style: two unbound patterns on the same subject: 3 × 3 = 9 rows.
+	_, rows := eval(t, g, `SELECT * WHERE { ?s ?p ?o . ?s ?q ?r . }`)
+	if len(rows) != 9 {
+		t.Errorf("rows = %d, want 9", len(rows))
+	}
+}
+
+func TestProjectionAndDistinct(t *testing.T) {
+	g := bioGraph()
+	q, rows := eval(t, g, `
+PREFIX ex: <http://ex/>
+SELECT DISTINCT ?g WHERE { ?g ex:xGO ?go . }`)
+	proj := q.ProjectAll(rows)
+	if len(proj) != 2 {
+		t.Errorf("distinct projected rows = %d, want 2", len(proj))
+	}
+}
+
+func dump(q *query.Query, rows []query.Row) string {
+	s := ""
+	for _, r := range rows {
+		s += q.FormatRow(r) + "\n"
+	}
+	return s
+}

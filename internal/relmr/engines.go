@@ -1,0 +1,131 @@
+package relmr
+
+import (
+	"fmt"
+
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Style selects between the two relational baselines' plan shapes.
+type Style int
+
+// The relational plan styles.
+const (
+	// StyleHive: one star-join per MR cycle, each cycle scanning the triple
+	// relation once (shared scan across the star's VP relations); cycles
+	// run sequentially.
+	StyleHive Style = iota
+	// StylePig: an initial map-only SPLIT/compress job materializes the
+	// query-relevant subset of the input; star-join jobs scan that copy
+	// and run concurrently (Pig submits independent MR jobs in parallel).
+	StylePig
+)
+
+// Relational is the Pig-style / Hive-style one-star-join-per-cycle engine.
+type Relational struct {
+	style Style
+	name  string
+	w     wire
+}
+
+// NewPig returns the Pig-style engine (binary wire format).
+func NewPig() *Relational { return &Relational{style: StylePig, name: "Pig"} }
+
+// NewHive returns the Hive-style engine (binary wire format).
+func NewHive() *Relational { return &Relational{style: StyleHive, name: "Hive"} }
+
+// NewPigText and NewHiveText return the engines with the text wire format:
+// intermediate tuples materialized as tab-separated N-Triples terms, the
+// representation real Pig/Hive write between jobs. Text tuples repeat the
+// full term strings in every column, so footprints (and disk-full
+// behaviour) match the paper's string-based measurements more closely than
+// the dictionary-ID encoding does.
+func NewPigText() *Relational {
+	return &Relational{style: StylePig, name: "Pig-text", w: wire{text: true}}
+}
+
+// NewHiveText is the text-wire Hive-style engine; see NewPigText.
+func NewHiveText() *Relational {
+	return &Relational{style: StyleHive, name: "Hive-text", w: wire{text: true}}
+}
+
+// NewSJPerCycle returns the Figure 3 "SJ-per-cycle" baseline: structurally
+// the Hive plan (one star-join cycle per star, then join cycles), named
+// separately for the case-study comparison.
+func NewSJPerCycle() *Relational { return &Relational{style: StyleHive, name: "SJ-per-cycle"} }
+
+// Name implements engine.QueryEngine.
+func (r *Relational) Name() string { return r.name }
+
+// Plan builds the workflow stages without executing them; the final output
+// file name is returned alongside. Exposed for plan inspection
+// (cmd/ntga-explain) and the Figure 3 cycle/scan accounting.
+func (r *Relational) Plan(q *query.Query, input string, cl *engine.Cleaner) ([]mapreduce.Stage, string, error) {
+	if len(q.Stars) == 0 {
+		return nil, "", fmt.Errorf("relmr: query has no stars")
+	}
+	var stages []mapreduce.Stage
+
+	scanInput := input
+	if r.style == StylePig {
+		vp := cl.Track(engine.TempName(r.name, "split"))
+		stages = append(stages, mapreduce.Stage{splitJob(q, input, vp)})
+		scanInput = vp
+	}
+
+	starFiles := make([]string, len(q.Stars))
+	var starStage mapreduce.Stage
+	for i, st := range q.Stars {
+		starFiles[i] = cl.Track(engine.TempName(r.name, fmt.Sprintf("star%d", i)))
+		job := starJoinJob(fmt.Sprintf("%s-star%d", r.name, i), q, st, r.w, scanInput, starFiles[i])
+		if r.style == StylePig {
+			starStage = append(starStage, job)
+		} else {
+			stages = append(stages, mapreduce.Stage{job})
+		}
+	}
+	if r.style == StylePig {
+		stages = append(stages, starStage)
+	}
+
+	acc := starFiles[0]
+	for ji, j := range q.Joins {
+		out := cl.Track(engine.TempName(r.name, fmt.Sprintf("join%d", ji)))
+		stages = append(stages, mapreduce.Stage{
+			joinJob(q, fmt.Sprintf("%s-join%d", r.name, ji), j, r.w, acc, starFiles[j.Right.Star], out),
+		})
+		acc = out
+	}
+	return stages, acc, nil
+}
+
+// Run implements engine.QueryEngine.
+func (r *Relational) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
+	var cl engine.Cleaner
+	stages, final, err := r.Plan(q, input, &cl)
+	if err != nil {
+		return &engine.Result{Engine: r.name}, err
+	}
+	return execute(mr, r.name, q, r.w, stages, final, &cl)
+}
+
+// execute dispatches between row decoding and COUNT(*) aggregation (the
+// relational representation is fully expanded, so the count is simply the
+// final record count).
+func execute(mr *mapreduce.Engine, name string, q *query.Query, w wire,
+	stages []mapreduce.Stage, final string, cl *engine.Cleaner) (*engine.Result, error) {
+	if q.IsCount() {
+		var count int64
+		res, err := engine.Execute(mr, name, stages, final, cl, nil,
+			func(records [][]byte) ([]query.Row, error) {
+				count = int64(len(records))
+				return nil, nil
+			})
+		res.IsCount = true
+		res.Count = count
+		return res, err
+	}
+	return engine.Execute(mr, name, stages, final, cl, nil, decodeRowsWire(q, w))
+}

@@ -1,0 +1,104 @@
+package relmr
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+const (
+	tagLeft  byte = 0
+	tagRight byte = 1
+)
+
+// joinMapper is the map side of a reduce-side equi-join between the
+// accumulated tuple file (left) and one star's tuple file (right). Records
+// are keyed by the join variable's value and tagged by side.
+type joinMapper struct {
+	q         *query.Query
+	join      query.Join
+	w         wire
+	leftFile  string
+	rightFile string
+}
+
+func (m *joinMapper) Map(input string, record []byte, out mapreduce.Emitter) error {
+	t, err := m.w.decodeTuple(m.q, record)
+	if err != nil {
+		return err
+	}
+	var tag byte
+	var pos query.Pos
+	switch input {
+	case m.leftFile:
+		tag, pos = tagLeft, m.join.Left
+	case m.rightFile:
+		tag, pos = tagRight, m.join.Right
+	default:
+		return fmt.Errorf("relmr: join mapper got unexpected input %q", input)
+	}
+	v, err := t.joinValue(m.q, pos)
+	if err != nil {
+		return err
+	}
+	val := make([]byte, 0, len(record)+1)
+	val = append(val, tag)
+	val = append(val, record...)
+	return out.Emit(codec.EncodeID(v), val)
+}
+
+// joinReducer cross-concatenates left and right tuples sharing a join key.
+type joinReducer struct {
+	q *query.Query
+	w wire
+}
+
+func (r joinReducer) Reduce(_ []byte, values [][]byte, out mapreduce.Collector) error {
+	var lefts, rights []Tuple
+	for _, v := range values {
+		if len(v) == 0 {
+			return fmt.Errorf("relmr: empty join value")
+		}
+		t, err := r.w.decodeTuple(r.q, v[1:])
+		if err != nil {
+			return err
+		}
+		switch v[0] {
+		case tagLeft:
+			lefts = append(lefts, t)
+		case tagRight:
+			rights = append(rights, t)
+		default:
+			return fmt.Errorf("relmr: unknown join tag %d", v[0])
+		}
+	}
+	for _, l := range lefts {
+		for _, rt := range rights {
+			joined := make(Tuple, 0, len(l)+len(rt))
+			joined = append(joined, l...)
+			joined = append(joined, rt...)
+			rec, err := r.w.encodeTuple(r.q, joined)
+			if err != nil {
+				return err
+			}
+			if err := out.Collect(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// joinJob builds the MR job joining the accumulated result with one star's
+// tuples.
+func joinJob(q *query.Query, name string, join query.Join, w wire, leftFile, rightFile, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:    name,
+		Inputs:  []string{leftFile, rightFile},
+		Output:  output,
+		Mapper:  &joinMapper{q: q, join: join, w: w, leftFile: leftFile, rightFile: rightFile},
+		Reducer: joinReducer{q: q, w: w},
+	}
+}

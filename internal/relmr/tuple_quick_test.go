@@ -1,0 +1,67 @@
+package relmr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ntga/internal/core"
+	"ntga/internal/rdf"
+)
+
+// TestBinaryTupleRoundtripQuick property-tests the binary tuple codec over
+// random shapes (including empty tuples and empty segments).
+func TestBinaryTupleRoundtripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSegs := rng.Intn(4)
+		tp := make(Tuple, nSegs)
+		for s := range tp {
+			nPats := rng.Intn(4)
+			seg := Segment{
+				Star:    rng.Intn(5),
+				Subject: rdf.ID(rng.Intn(1 << 20)),
+				PatIdxs: make([]int, nPats),
+				Pairs:   make([]core.PO, nPats),
+			}
+			for i := 0; i < nPats; i++ {
+				seg.PatIdxs[i] = rng.Intn(8)
+				seg.Pairs[i] = core.PO{P: rdf.ID(rng.Intn(1 << 16)), O: rdf.ID(rng.Intn(1 << 24))}
+			}
+			tp[s] = seg
+		}
+		got, err := DecodeTuple(EncodeTuple(tp))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tp) {
+			return false
+		}
+		for s := range tp {
+			if got[s].Star != tp[s].Star || got[s].Subject != tp[s].Subject ||
+				len(got[s].PatIdxs) != len(tp[s].PatIdxs) {
+				return false
+			}
+			for i := range tp[s].PatIdxs {
+				if got[s].PatIdxs[i] != tp[s].PatIdxs[i] || got[s].Pairs[i] != tp[s].Pairs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeTupleFuzzNoPanic feeds random bytes to the decoder: it must
+// error, never panic.
+func TestDecodeTupleFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p := make([]byte, rng.Intn(40))
+		rng.Read(p)
+		_, _ = DecodeTuple(p) // must not panic
+	}
+}

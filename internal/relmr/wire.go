@@ -1,0 +1,206 @@
+package relmr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// Wire selects how intermediate records are serialized between MR cycles.
+type Wire int
+
+const (
+	// BinaryWire uses the compact dictionary-ID varint encoding.
+	BinaryWire Wire = iota
+	// TextWire materializes records as tab-separated N-Triples terms —
+	// what Pig and Hive actually write between jobs (PigStorage /
+	// delimited text). Text records repeat full IRI and literal strings in
+	// every tuple, which is the representation the paper's footprint
+	// numbers were measured against; the dictionary-ID encoding understates
+	// relational redundancy by roughly the average term length.
+	TextWire
+)
+
+func (w Wire) String() string {
+	if w == TextWire {
+		return "text"
+	}
+	return "binary"
+}
+
+// wire implements the two serializations behind a common interface. The
+// text forms need the dictionary (via the compiled query) to render and
+// resolve terms.
+type wire struct {
+	text bool
+}
+
+// ---- (P,O) pair values (star-join shuffle) ----
+
+func (w wire) encodePair(q *query.Query, p core.PO) ([]byte, error) {
+	if !w.text {
+		var e codec.Buffer
+		e.PutID(p.P)
+		e.PutID(p.O)
+		return e.Bytes(), nil
+	}
+	ps, err := renderTerm(q, p.P)
+	if err != nil {
+		return nil, err
+	}
+	os, err := renderTerm(q, p.O)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(ps + "\t" + os), nil
+}
+
+func (w wire) decodePair(q *query.Query, b []byte) (core.PO, error) {
+	if !w.text {
+		r := codec.NewReader(b)
+		p, err := r.ID()
+		if err != nil {
+			return core.PO{}, err
+		}
+		o, err := r.ID()
+		if err != nil {
+			return core.PO{}, err
+		}
+		return core.PO{P: p, O: o}, nil
+	}
+	fields := strings.Split(string(b), "\t")
+	if len(fields) != 2 {
+		return core.PO{}, fmt.Errorf("relmr: text pair has %d fields", len(fields))
+	}
+	p, err := resolveTerm(q, fields[0])
+	if err != nil {
+		return core.PO{}, err
+	}
+	o, err := resolveTerm(q, fields[1])
+	if err != nil {
+		return core.PO{}, err
+	}
+	return core.PO{P: p, O: o}, nil
+}
+
+// ---- tuples (star-join and join outputs) ----
+
+// Text tuple layout, flat tab-separated:
+//
+//	nSegs { star subjTerm nPats { patIdx Pterm Oterm }* }*
+//
+// N-Triples term syntax escapes tabs inside literals, so the raw tab is
+// free to act as the field separator (IRIs may not contain tabs).
+func (w wire) encodeTuple(q *query.Query, t Tuple) ([]byte, error) {
+	if !w.text {
+		return EncodeTuple(t), nil
+	}
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(len(t)))
+	for _, seg := range t {
+		subj, err := renderTerm(q, seg.Subject)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "\t%d\t%s\t%d", seg.Star, subj, len(seg.PatIdxs))
+		for i, pi := range seg.PatIdxs {
+			ps, err := renderTerm(q, seg.Pairs[i].P)
+			if err != nil {
+				return nil, err
+			}
+			os, err := renderTerm(q, seg.Pairs[i].O)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&sb, "\t%d\t%s\t%s", pi, ps, os)
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+func (w wire) decodeTuple(q *query.Query, b []byte) (Tuple, error) {
+	if !w.text {
+		return DecodeTuple(b)
+	}
+	fields := strings.Split(string(b), "\t")
+	pos := 0
+	nextInt := func() (int, error) {
+		if pos >= len(fields) {
+			return 0, fmt.Errorf("relmr: truncated text tuple")
+		}
+		n, err := strconv.Atoi(fields[pos])
+		pos++
+		return n, err
+	}
+	nextTerm := func() (rdf.ID, error) {
+		if pos >= len(fields) {
+			return rdf.NoID, fmt.Errorf("relmr: truncated text tuple")
+		}
+		id, err := resolveTerm(q, fields[pos])
+		pos++
+		return id, err
+	}
+	nSegs, err := nextInt()
+	if err != nil {
+		return nil, err
+	}
+	t := make(Tuple, 0, nSegs)
+	for s := 0; s < nSegs; s++ {
+		star, err := nextInt()
+		if err != nil {
+			return nil, err
+		}
+		subj, err := nextTerm()
+		if err != nil {
+			return nil, err
+		}
+		nPats, err := nextInt()
+		if err != nil {
+			return nil, err
+		}
+		seg := Segment{Star: star, Subject: subj,
+			PatIdxs: make([]int, nPats), Pairs: make([]core.PO, nPats)}
+		for i := 0; i < nPats; i++ {
+			if seg.PatIdxs[i], err = nextInt(); err != nil {
+				return nil, err
+			}
+			if seg.Pairs[i].P, err = nextTerm(); err != nil {
+				return nil, err
+			}
+			if seg.Pairs[i].O, err = nextTerm(); err != nil {
+				return nil, err
+			}
+		}
+		t = append(t, seg)
+	}
+	if pos != len(fields) {
+		return nil, fmt.Errorf("relmr: %d trailing fields in text tuple", len(fields)-pos)
+	}
+	return t, nil
+}
+
+func renderTerm(q *query.Query, id rdf.ID) (string, error) {
+	term := q.Dict.Decode(id)
+	s := term.String()
+	if term.Kind != rdf.Literal && strings.ContainsAny(s, "\t\n") {
+		return "", fmt.Errorf("relmr: term %q contains separator characters", s)
+	}
+	return s, nil
+}
+
+func resolveTerm(q *query.Query, s string) (rdf.ID, error) {
+	term, err := rdf.ParseTermText(s)
+	if err != nil {
+		return rdf.NoID, err
+	}
+	id, ok := q.Dict.Lookup(term)
+	if !ok {
+		return rdf.NoID, fmt.Errorf("relmr: term %s not in dictionary", s)
+	}
+	return id, nil
+}

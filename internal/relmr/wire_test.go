@@ -1,0 +1,163 @@
+package relmr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ntga/internal/core"
+	"ntga/internal/engine"
+	"ntga/internal/enginetest"
+	"ntga/internal/rdf"
+)
+
+func TestTextWireEnginesMatchReference(t *testing.T) {
+	g := enginetest.BioGraph()
+	for _, eng := range []engine.QueryEngine{NewPigText(), NewHiveText()} {
+		for _, tc := range testQueries {
+			t.Run(eng.Name()+"/"+tc.name, func(t *testing.T) {
+				enginetest.RunAndCompare(t, eng, g, tc.src)
+			})
+		}
+	}
+}
+
+func TestTextTupleRoundtripQuick(t *testing.T) {
+	// Random tuples over terms with hostile lexical forms must survive the
+	// text encoding.
+	g := rdf.NewGraph()
+	hostile := []rdf.Term{
+		rdf.NewIRI("http://ex/plain"),
+		rdf.NewLiteral("tab\there"),
+		rdf.NewLiteral("newline\nhere"),
+		rdf.NewLiteral(`quote " and \ backslash`),
+		rdf.NewLangLiteral("héllo wörld", "de"),
+		rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		rdf.NewBlank("b0"),
+		rdf.NewLiteral(""),
+	}
+	for i, tm := range hostile {
+		g.Add(rdf.NewIRI(fmt.Sprintf("http://s/%d", i)), rdf.NewIRI("http://ex/p0"), tm)
+	}
+	q := enginetest.Compile(t, g, `SELECT * WHERE { ?s <http://ex/p0> ?o . }`)
+	nTerms := rdf.ID(g.Dict.Len())
+	w := wire{text: true}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSegs := 1 + rng.Intn(3)
+		tp := make(Tuple, nSegs)
+		for s := range tp {
+			nPats := 1 + rng.Intn(3)
+			seg := Segment{
+				Star:    rng.Intn(3),
+				Subject: 1 + rdf.ID(rng.Intn(int(nTerms))),
+				PatIdxs: make([]int, nPats),
+				Pairs:   make([]core.PO, nPats),
+			}
+			for i := 0; i < nPats; i++ {
+				seg.PatIdxs[i] = rng.Intn(5)
+				seg.Pairs[i] = core.PO{
+					P: 1 + rdf.ID(rng.Intn(int(nTerms))),
+					O: 1 + rdf.ID(rng.Intn(int(nTerms))),
+				}
+			}
+			tp[s] = seg
+		}
+		enc, err := w.encodeTuple(q, tp)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := w.decodeTuple(q, enc)
+		if err != nil {
+			t.Logf("decode of %q: %v", enc, err)
+			return false
+		}
+		if len(got) != len(tp) {
+			return false
+		}
+		for s := range tp {
+			if got[s].Star != tp[s].Star || got[s].Subject != tp[s].Subject {
+				return false
+			}
+			for i := range tp[s].Pairs {
+				if got[s].PatIdxs[i] != tp[s].PatIdxs[i] || got[s].Pairs[i] != tp[s].Pairs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextPairRoundtrip(t *testing.T) {
+	g := enginetest.BioGraph()
+	q := enginetest.Compile(t, g, `SELECT * WHERE { ?s ?p ?o . }`)
+	w := wire{text: true}
+	for _, tr := range g.Triples[:20] {
+		p := core.PO{P: tr.P, O: tr.O}
+		enc, err := w.encodePair(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.decodePair(q, enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if got != p {
+			t.Errorf("roundtrip %v -> %v", p, got)
+		}
+	}
+}
+
+func TestTextDecodeErrors(t *testing.T) {
+	g := enginetest.BioGraph()
+	q := enginetest.Compile(t, g, `SELECT * WHERE { ?s ?p ?o . }`)
+	w := wire{text: true}
+	for _, bad := range []string{
+		"", "x", "1\t0", "1\t0\t<http://ex/label>\tnotanint",
+		"1\t0\t<http://nosuchterm>\t0",
+		"0\textra",
+	} {
+		if _, err := w.decodeTuple(q, []byte(bad)); err == nil {
+			t.Errorf("decodeTuple(%q) succeeded", bad)
+		}
+	}
+	if _, err := w.decodePair(q, []byte("onlyonefield")); err == nil {
+		t.Error("decodePair with one field succeeded")
+	}
+	if _, err := w.decodePair(q, []byte("<http://a>\t<http://b>\t<http://c>")); err == nil {
+		t.Error("decodePair with three fields succeeded")
+	}
+}
+
+// TestTextWireInflatesFootprint verifies the fidelity property the text
+// mode exists for: the same query writes substantially more bytes under
+// the text wire (full term strings per column) than under dictionary IDs.
+func TestTextWireInflatesFootprint(t *testing.T) {
+	g := enginetest.BioGraph()
+	src := `
+PREFIX ex: <http://ex/>
+SELECT * WHERE { ?g ex:label ?l . ?g ex:xGO ?go . ?g ?p ?o . }`
+	binary := enginetest.RunAndCompare(t, NewHive(), g, src)
+	text := enginetest.RunAndCompare(t, NewHiveText(), g, src)
+	if len(text.Rows) != len(binary.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(text.Rows), len(binary.Rows))
+	}
+	bw := binary.Workflow.TotalReduceOutputBytes()
+	tw := text.Workflow.TotalReduceOutputBytes()
+	if tw < 4*bw {
+		t.Errorf("text writes (%d) not ≥4x binary writes (%d)", tw, bw)
+	}
+}
+
+func TestWireString(t *testing.T) {
+	if BinaryWire.String() != "binary" || TextWire.String() != "text" {
+		t.Error("Wire.String mismatch")
+	}
+}

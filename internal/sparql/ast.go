@@ -1,0 +1,163 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ntga/internal/rdf"
+)
+
+// PatternTerm is one position of a triple pattern: either a variable or a
+// concrete RDF term.
+type PatternTerm struct {
+	IsVar bool
+	Var   string   // variable name without '?', set when IsVar
+	Term  rdf.Term // set when !IsVar
+}
+
+// Variable returns a variable pattern term.
+func Variable(name string) PatternTerm { return PatternTerm{IsVar: true, Var: name} }
+
+// Constant returns a concrete pattern term.
+func Constant(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+func (p PatternTerm) String() string {
+	if p.IsVar {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+// TriplePattern is one pattern of a basic graph pattern. A variable in the
+// P position makes it an unbound-property triple pattern.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// Unbound reports whether the pattern has an unbound (variable) property.
+func (tp TriplePattern) Unbound() bool { return tp.P.IsVar }
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// FilterOp is a FILTER comparison operator.
+type FilterOp int
+
+// Supported filter operators.
+const (
+	FilterEq FilterOp = iota
+	FilterNeq
+	FilterContains
+)
+
+func (op FilterOp) String() string {
+	switch op {
+	case FilterEq:
+		return "="
+	case FilterNeq:
+		return "!="
+	case FilterContains:
+		return "CONTAINS"
+	default:
+		return fmt.Sprintf("FilterOp(%d)", int(op))
+	}
+}
+
+// Filter constrains one variable: ?Var op Value. CONTAINS compares the
+// lexical form of the bound term against a substring.
+type Filter struct {
+	Var   string
+	Op    FilterOp
+	Value rdf.Term
+}
+
+func (f Filter) String() string {
+	if f.Op == FilterContains {
+		return fmt.Sprintf("FILTER(CONTAINS(?%s, %s))", f.Var, f.Value)
+	}
+	return fmt.Sprintf("FILTER(?%s %s %s)", f.Var, f.Op, f.Value)
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	// Select lists projected variable names; empty means SELECT *.
+	Select   []string
+	Distinct bool
+	// CountVar, when non-empty, makes this an aggregation query
+	// SELECT (COUNT(*) AS ?CountVar): the result is the number of solution
+	// rows of the WHERE clause. The paper lists aggregation constraints
+	// over unbound-property queries as future work; the NTGA engines
+	// answer these without β-unnesting (counting the implicit expansions).
+	CountVar string
+	Where    []TriplePattern
+	Filters  []Filter
+}
+
+// IsCount reports whether the query is a COUNT(*) aggregation.
+func (q *Query) IsCount() bool { return q.CountVar != "" }
+
+// Vars returns all variables mentioned in the WHERE clause, in first-use
+// order.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(t PatternTerm) {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	for _, tp := range q.Where {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	return out
+}
+
+// UnboundPatternCount reports how many WHERE patterns have an unbound
+// property.
+func (q *Query) UnboundPatternCount() int {
+	n := 0
+	for _, tp := range q.Where {
+		if tp.Unbound() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the query in parseable SPARQL.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for p, iri := range q.Prefixes {
+		fmt.Fprintf(&sb, "PREFIX %s: <%s>\n", p, iri)
+	}
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if q.IsCount() {
+		sb.WriteString("(COUNT(*) AS ?" + q.CountVar + ")")
+	} else if len(q.Select) == 0 {
+		sb.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString("?" + v)
+		}
+	}
+	sb.WriteString(" WHERE {\n")
+	for _, tp := range q.Where {
+		sb.WriteString("  " + tp.String() + "\n")
+	}
+	for _, f := range q.Filters {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,232 @@
+// Package sparql parses the subset of SPARQL needed to express every query
+// in the paper's evaluation: SELECT queries over basic graph patterns with
+// variables in any triple position (a variable in the predicate position is
+// an unbound-property triple pattern), PREFIX declarations, and FILTER
+// constraints of the forms FILTER(?v = term), FILTER(?v != term) and
+// FILTER(CONTAINS(?v, "substring")).
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar    // ?name
+	tokIRI    // <...>
+	tokPName  // prefix:local
+	tokString // "..."
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokDot
+	tokComma
+	tokStar
+	tokEq
+	tokNeq
+	tokLang  // @tag (after a string)
+	tokDTSep // ^^
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front; SPARQL queries are small.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	line := 1 + strings.Count(l.src[:l.pos], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case c == '!':
+		if strings.HasPrefix(l.src[l.pos:], "!=") {
+			l.pos += 2
+			return token{tokNeq, "!=", start}, nil
+		}
+		return token{}, l.errf("unexpected '!'")
+	case c == '^':
+		if strings.HasPrefix(l.src[l.pos:], "^^") {
+			l.pos += 2
+			return token{tokDTSep, "^^", start}, nil
+		}
+		return token{}, l.errf("unexpected '^'")
+	case c == '?' || c == '$':
+		l.pos++
+		name := l.ident()
+		if name == "" {
+			return token{}, l.errf("empty variable name")
+		}
+		return token{tokVar, name, start}, nil
+	case c == '<':
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return token{}, l.errf("unterminated IRI")
+		}
+		iri := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{tokIRI, iri, start}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				return token{tokString, sb.String(), start}, nil
+			}
+			if ch == '\\' {
+				if l.pos+1 >= len(l.src) {
+					return token{}, l.errf("dangling escape")
+				}
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return token{}, l.errf("unsupported escape \\%c", l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, l.errf("unterminated string literal")
+	case c == '@':
+		l.pos++
+		tag := l.ident()
+		if tag == "" {
+			return token{}, l.errf("empty language tag")
+		}
+		return token{tokLang, tag, start}, nil
+	case isIdentStart(rune(c)):
+		word := l.ident()
+		// prefix:local (possibly with empty prefix handled below)
+		if l.pos < len(l.src) && l.src[l.pos] == ':' {
+			l.pos++
+			local := l.ident()
+			return token{tokPName, word + ":" + local, start}, nil
+		}
+		up := strings.ToUpper(word)
+		switch up {
+		case "SELECT", "WHERE", "PREFIX", "FILTER", "CONTAINS", "DISTINCT", "A", "COUNT", "AS":
+			return token{tokKeyword, up, start}, nil
+		}
+		return token{}, l.errf("unexpected identifier %q", word)
+	case c == ':':
+		// PName with empty prefix, e.g. ":local".
+		l.pos++
+		local := l.ident()
+		return token{tokPName, ":" + local, start}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+// ident consumes [A-Za-z0-9_-]* starting at the current position.
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if !isIdentStart(r) && !unicode.IsDigit(r) && r != '-' {
+			break
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || unicode.IsDigit(r)
+}

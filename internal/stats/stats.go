@@ -1,0 +1,118 @@
+// Package stats provides the derived metrics and table formatting the
+// benchmark harness uses to report experiments in the paper's terms.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RedundancyFactor quantifies how much of a representation is redundant
+// relative to a minimal (concisely nested) representation of the same
+// information: 1 − minimal/actual. It is 0 when the representation is as
+// small as the minimal one and approaches 1 as redundancy grows — matching
+// the paper's in-text redundancy factors (e.g. "C4 ... redundancy factor
+// close to 0.89").
+func RedundancyFactor(minimalBytes, actualBytes int64) float64 {
+	if actualBytes <= 0 || minimalBytes >= actualBytes {
+		return 0
+	}
+	return 1 - float64(minimalBytes)/float64(actualBytes)
+}
+
+// Gain reports the relative improvement of measured over baseline
+// (positive = measured is better/smaller/faster), as a fraction: 0.25 means
+// "25% less/faster than baseline".
+func Gain(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - measured) / baseline
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n < 0:
+		return "-" + FormatBytes(-n)
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	}
+}
+
+// FormatCount renders a record count compactly (1234567 → "1.23M").
+func FormatCount(n int64) string {
+	switch {
+	case n < 0:
+		return "-" + FormatCount(-n)
+	case n < 1000:
+		return fmt.Sprintf("%d", n)
+	case n < 1000000:
+		return fmt.Sprintf("%.1fK", float64(n)/1000)
+	default:
+		return fmt.Sprintf("%.2fM", float64(n)/1000000)
+	}
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}

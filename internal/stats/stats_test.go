@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRedundancyFactor(t *testing.T) {
+	cases := []struct {
+		minimal, actual int64
+		want            float64
+	}{
+		{100, 1000, 0.9},
+		{1000, 1000, 0},
+		{2000, 1000, 0}, // clamped
+		{0, 0, 0},
+		{100, 0, 0},
+		{11, 100, 0.89},
+	}
+	for _, c := range cases {
+		if got := RedundancyFactor(c.minimal, c.actual); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RedundancyFactor(%d,%d) = %v, want %v", c.minimal, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestGain(t *testing.T) {
+	if g := Gain(100, 75); math.Abs(g-0.25) > 1e-9 {
+		t.Errorf("Gain = %v, want 0.25", g)
+	}
+	if g := Gain(0, 10); g != 0 {
+		t.Errorf("Gain with zero baseline = %v", g)
+	}
+	if g := Gain(100, 150); math.Abs(g+0.5) > 1e-9 {
+		t.Errorf("negative gain = %v, want -0.5", g)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"}, {512, "512B"}, {2048, "2.0KB"},
+		{3 << 20, "3.0MB"}, {5 << 30, "5.00GB"}, {-2048, "-2.0KB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {6300, "6.3K"}, {1230000, "1.23M"}, {-6300, "-6.3K"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.n); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"query", "time", "writes"}}
+	tb.AddRow("B1", "12ms", "3.0KB")
+	tb.AddRow("B1-long-name", 7, 42)
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "B1-long-name") {
+		t.Errorf("Render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns must align: "time" starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "time")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Errorf("row shorter than header: %q", ln)
+		}
+	}
+}
