@@ -1,8 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet
+.PHONY: all build test test-race bench figures cover fmt vet check
 
-all: build vet test
+all: build check test
+
+# Fast gate for every change: formatting, vet, and a race pass over the two
+# packages with real concurrency (the MR engine and the simulated DFS).
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
+	go test -race ./internal/mapreduce/ ./internal/hdfs/
 
 build:
 	go build ./...

@@ -34,6 +34,7 @@ func main() {
 		nodes     = flag.Int("nodes", 8, "simulated cluster size")
 		rep       = flag.Int("replication", 1, "DFS replication factor")
 		phiM      = flag.Int("phim", 0, "partial β-unnest partition range (0 = default)")
+		sortBuf   = flag.Int64("sortbuf", 0, "map sort-buffer budget in bytes; map output beyond it spills to local disk (0 = unbounded)")
 		metrics   = flag.Bool("metrics", false, "print per-job workflow metrics")
 		advise    = flag.Bool("advise", false, "print the cost advisor's strategy recommendation")
 		limit     = flag.Int("limit", 0, "print at most N rows (0 = all)")
@@ -93,7 +94,7 @@ func main() {
 		}
 		mr := mapreduce.NewEngine(
 			hdfs.New(hdfs.Config{Nodes: *nodes, Replication: *rep}),
-			mapreduce.EngineConfig{},
+			mapreduce.EngineConfig{SortBufferBytes: *sortBuf},
 		)
 		if err := engine.LoadGraph(mr.DFS(), "data/triples", g); err != nil {
 			fatal(err)
@@ -141,18 +142,22 @@ func main() {
 
 func printMetrics(res *engine.Result) {
 	t := &stats.Table{Title: "-- workflow metrics (" + res.Engine + ") --",
-		Header: []string{"job", "time", "map in", "shuffle", "reduce out"}}
+		Header: []string{"job", "time", "map in", "shuffle", "spilled", "merges", "reduce out"}}
 	for _, j := range res.Workflow.Jobs {
 		t.AddRow(j.Job, j.Duration.Round(1000).String(), stats.FormatBytes(j.MapInputBytes),
-			stats.FormatBytes(j.MapOutputBytes), stats.FormatBytes(j.ReduceOutputBytes))
+			stats.FormatBytes(j.MapOutputBytes), stats.FormatBytes(j.SpilledBytes),
+			j.MergePasses, stats.FormatBytes(j.ReduceOutputBytes))
 	}
 	t.AddRow("TOTAL", res.Workflow.Duration.Round(1000).String(),
 		stats.FormatBytes(res.Workflow.TotalMapInputBytes()),
 		stats.FormatBytes(res.Workflow.TotalMapOutputBytes()),
+		stats.FormatBytes(res.Workflow.TotalSpilledBytes()),
+		res.Workflow.TotalMergePasses(),
 		stats.FormatBytes(res.Workflow.TotalReduceOutputBytes()))
 	fmt.Fprintln(os.Stderr, t.Render())
-	fmt.Fprintf(os.Stderr, "cycles=%d peakDisk=%s outputRecords=%d outputBytes=%s\n",
+	fmt.Fprintf(os.Stderr, "cycles=%d peakDisk=%s peakSortBuffer=%s outputRecords=%d outputBytes=%s\n",
 		res.Workflow.Cycles, stats.FormatBytes(res.PeakDFSUsed),
+		stats.FormatBytes(res.Workflow.MaxPeakSortBufferBytes()),
 		res.OutputRecords, stats.FormatBytes(res.OutputBytes))
 	for name, v := range res.Counters {
 		fmt.Fprintf(os.Stderr, "counter %s = %d\n", name, v)

@@ -8,6 +8,7 @@ import (
 	"ntga/internal/engine"
 	"ntga/internal/ntgamr"
 	"ntga/internal/query"
+	"ntga/internal/relmr"
 	"ntga/internal/sparql"
 	"ntga/internal/stats"
 )
@@ -170,6 +171,61 @@ func AblationAggregation(opt Options) (*Report, error) {
 	return &Report{ID: "abl-agg", Title: "Aggregation over the implicit representation (paper future work)",
 		Tables: []*stats.Table{t}, Queries: all,
 		Notes: []string{"expected shape: identical counts everywhere; NTGA-Lazy materializes orders of magnitude fewer records"}}, nil
+}
+
+// AblationSortBuffer sweeps the map-side sort-buffer budget on B1: an
+// unbounded buffer never touches local disk, while shrinking budgets force
+// sorted spill runs and external merge passes — trading task memory for
+// local-disk I/O exactly as Hadoop's io.sort.mb does. Results must be
+// identical at every budget; only the spill profile moves.
+func AblationSortBuffer(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	cq, err := Lookup("B1")
+	if err != nil {
+		return nil, err
+	}
+	g, err := Dataset("bsbm", opt.Scale, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	engines := []engine.QueryEngine{
+		relmr.NewHive(),
+		ntgamr.New(ntgamr.LazyAuto, PhiMForScale(opt.Scale)),
+	}
+	t := &stats.Table{Title: "Ablation — map sort-buffer budget (query B1)",
+		Header: []string{"sort buffer", "engine", "time", "spilled", "spilled recs", "merge passes", "peak buffer"}}
+	var all []QueryReport
+	baseline := make(map[string]uint64) // engine -> rows hash at unbounded budget
+	for _, budget := range []int64{0, 256 << 10, 64 << 10, 16 << 10} {
+		qr, err := RunQuery(ClusterSpec{SortBufferBytes: budget}, g, cq, engines)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, qr)
+		label := "∞"
+		if budget > 0 {
+			label = stats.FormatBytes(budget)
+		}
+		for _, r := range qr.Runs {
+			if !r.OK {
+				return nil, fmt.Errorf("bench: abl-sort %s failed at budget %d: %s", r.Engine, budget, r.Err)
+			}
+			if budget == 0 {
+				baseline[r.Engine] = r.RowsHash
+				if r.SpilledBytes != 0 || r.MergePasses != 0 {
+					return nil, fmt.Errorf("bench: abl-sort %s spilled %d bytes with an unbounded buffer",
+						r.Engine, r.SpilledBytes)
+				}
+			} else if r.RowsHash != baseline[r.Engine] {
+				return nil, fmt.Errorf("bench: abl-sort %s results changed under budget %d", r.Engine, budget)
+			}
+			t.AddRow(label, r.Engine, ms(r.Duration), stats.FormatBytes(r.SpilledBytes),
+				stats.FormatCount(r.SpilledRecords), r.MergePasses, stats.FormatBytes(r.PeakSortBuffer))
+		}
+	}
+	return &Report{ID: "abl-sort", Title: "Bounded-memory shuffle: sort-buffer sweep",
+		Tables: []*stats.Table{t}, Queries: all,
+		Notes: []string{"expected shape: identical results at every budget; spill bytes and merge passes grow as the buffer shrinks while peak task memory falls"}}, nil
 }
 
 // AblationScanSharing contrasts running the A-series exploration queries

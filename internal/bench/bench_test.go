@@ -367,7 +367,7 @@ func TestAblationsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration")
 	}
-	for _, id := range []string{"abl-phim", "abl-mult", "abl-repl", "abl-select", "abl-agg", "abl-share"} {
+	for _, id := range []string{"abl-phim", "abl-mult", "abl-repl", "abl-select", "abl-agg", "abl-share", "abl-sort"} {
 		rep := runFigure(t, id)
 		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
 			t.Errorf("%s produced no table rows", id)

@@ -77,6 +77,7 @@ var figureRunners = map[string]func(Options) (*Report, error){
 	"abl-repl":   AblationReplication,
 	"abl-select": AblationSelectivity,
 	"abl-share":  AblationScanSharing,
+	"abl-sort":   AblationSortBuffer,
 }
 
 // RunFigure runs one experiment by id.

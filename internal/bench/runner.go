@@ -60,6 +60,11 @@ type ClusterSpec struct {
 	CapacityRatio float64
 	// Reducers per job; zero defaults to 8.
 	Reducers int
+	// SortBufferBytes bounds each map task's in-memory sort buffer
+	// (Hadoop's io.sort.mb): when map output exceeds it, sorted runs spill
+	// to node-local disk and are merge-sorted into the reduce phase. Zero
+	// means unbounded (no spilling).
+	SortBufferBytes int64
 }
 
 func (c ClusterSpec) withDefaults() ClusterSpec {
@@ -97,6 +102,7 @@ func (c ClusterSpec) newCluster(inputBytes int64) *mapreduce.Engine {
 	return mapreduce.NewEngine(dfs, mapreduce.EngineConfig{
 		DefaultReducers: c.Reducers,
 		SplitRecords:    4096,
+		SortBufferBytes: c.SortBufferBytes,
 	})
 }
 
@@ -114,9 +120,16 @@ type EngineRun struct {
 	OutputRecords int64
 	OutputBytes   int64
 	PeakDFS       int64
-	Rows          int64
-	RowsHash      uint64
-	Counters      map[string]int64
+	// Bounded-memory shuffle profile (all zero when SortBufferBytes is
+	// unbounded, except PeakSortBuffer which always reports the largest
+	// in-memory map-output buffer).
+	SpilledBytes   int64
+	SpilledRecords int64
+	MergePasses    int64
+	PeakSortBuffer int64
+	Rows           int64
+	RowsHash       uint64
+	Counters       map[string]int64
 	// JobMetrics carries the per-cycle breakdown (Figure 11 zooms into the
 	// final join cycle).
 	JobMetrics []mapreduce.JobMetrics
@@ -182,18 +195,22 @@ func RunQuery(spec ClusterSpec, g *rdf.Graph, cq CatalogQuery, engines []engine.
 	for _, eng := range engines {
 		res, runErr := eng.Run(mr, q, input)
 		run := EngineRun{
-			Engine:        eng.Name(),
-			OK:            runErr == nil,
-			Cycles:        res.Workflow.Cycles,
-			Duration:      res.Workflow.Duration,
-			ReadBytes:     res.Workflow.TotalMapInputBytes(),
-			ShuffleBytes:  res.Workflow.TotalMapOutputBytes(),
-			WriteBytes:    res.Workflow.TotalReduceOutputBytes(),
-			OutputRecords: res.OutputRecords,
-			OutputBytes:   res.OutputBytes,
-			PeakDFS:       res.PeakDFSUsed,
-			Counters:      res.Counters,
-			JobMetrics:    res.Workflow.Jobs,
+			Engine:         eng.Name(),
+			OK:             runErr == nil,
+			Cycles:         res.Workflow.Cycles,
+			Duration:       res.Workflow.Duration,
+			ReadBytes:      res.Workflow.TotalMapInputBytes(),
+			ShuffleBytes:   res.Workflow.TotalMapOutputBytes(),
+			WriteBytes:     res.Workflow.TotalReduceOutputBytes(),
+			OutputRecords:  res.OutputRecords,
+			OutputBytes:    res.OutputBytes,
+			PeakDFS:        res.PeakDFSUsed,
+			SpilledBytes:   res.Workflow.TotalSpilledBytes(),
+			SpilledRecords: res.Workflow.TotalSpilledRecords(),
+			MergePasses:    res.Workflow.TotalMergePasses(),
+			PeakSortBuffer: res.Workflow.MaxPeakSortBufferBytes(),
+			Counters:       res.Counters,
+			JobMetrics:     res.Workflow.Jobs,
 		}
 		if runErr != nil {
 			run.Err = runErr.Error()

@@ -78,7 +78,7 @@ func TestExecuteFailurePath(t *testing.T) {
 		}),
 	}
 	res, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, nil,
-		func([][]byte) ([]query.Row, error) { return nil, nil })
+		func([]byte) ([]query.Row, error) { return nil, nil })
 	if err == nil {
 		t.Fatal("Execute of failing workflow succeeded")
 	}
@@ -105,7 +105,7 @@ func TestExecuteDecodeErrorPath(t *testing.T) {
 	}
 	boom := errors.New("bad record")
 	_, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, nil,
-		func([][]byte) ([]query.Row, error) { return nil, boom })
+		func([]byte) ([]query.Row, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want decode error", err)
 	}
@@ -130,7 +130,7 @@ func TestExecuteCollectsCounters(t *testing.T) {
 		}),
 	}
 	res, err := Execute(mr, "test", []mapreduce.Stage{{job}}, "out", &cl, counters,
-		func(recs [][]byte) ([]query.Row, error) { return make([]query.Row, len(recs)), nil })
+		func([]byte) ([]query.Row, error) { return make([]query.Row, 1), nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"io"
+
 	"ntga/internal/codec"
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
@@ -31,13 +33,17 @@ func LoadGraph(dfs *hdfs.DFS, name string, g *rdf.Graph) error {
 	return nil
 }
 
-// DecodeFunc turns an engine's final output records into binding rows.
-type DecodeFunc func(records [][]byte) ([]query.Row, error)
+// DecodeFunc turns one of an engine's final output records into binding
+// rows. Execute streams the final file through it record by record, so the
+// client never materializes the full output.
+type DecodeFunc func(record []byte) ([]query.Row, error)
 
 // Execute runs a planned workflow, decodes the final output, fills in the
 // Result, and removes every tracked intermediate file. It is the shared
 // tail of every engine's Run method. On workflow failure the partial
-// Result (metrics only) and the error are returned.
+// Result (metrics only) and the error are returned. The final file is
+// streamed, not read wholesale: records are decoded one at a time and the
+// output counters accumulate as they are consumed.
 func Execute(mr *mapreduce.Engine, name string, stages []mapreduce.Stage,
 	finalFile string, cleaner *Cleaner, counters *mapreduce.Counters,
 	decode DecodeFunc) (*Result, error) {
@@ -57,18 +63,25 @@ func Execute(mr *mapreduce.Engine, name string, stages []mapreduce.Stage,
 		return res, err
 	}
 
-	records, err := dfs.ReadAll(finalFile)
+	r, err := dfs.Open(finalFile)
 	if err != nil {
 		return res, err
 	}
-	if size, err := dfs.FileSize(finalFile); err == nil {
-		res.OutputBytes = size
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		res.OutputRecords++
+		res.OutputBytes += int64(len(rec))
+		rows, err := decode(rec)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, rows...)
 	}
-	res.OutputRecords = int64(len(records))
-	rows, err := decode(records)
-	if err != nil {
-		return res, err
-	}
-	res.Rows = rows
 	return res, nil
 }

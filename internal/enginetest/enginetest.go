@@ -85,6 +85,18 @@ func NewMR() *mapreduce.Engine {
 	)
 }
 
+// NewSpillMR builds an engine like NewMR but with a bounded map sort buffer,
+// so map output spills sorted runs to node-local disk and reducers consume an
+// external merge. Used to prove the bounded-memory path is behaviorally
+// identical to the in-memory one.
+func NewSpillMR(sortBufferBytes int64) *mapreduce.Engine {
+	return mapreduce.NewEngine(
+		hdfs.New(hdfs.Config{Nodes: 4, BlockSize: 1 << 16}),
+		mapreduce.EngineConfig{SplitRecords: 64, DefaultReducers: 4,
+			SortBufferBytes: sortBufferBytes},
+	)
+}
+
 // NewTinyMR builds an engine over a capacity-limited cluster for failure
 // injection.
 func NewTinyMR(capacityPerNode int64, replication int) *mapreduce.Engine {
@@ -114,7 +126,13 @@ func Compile(t *testing.T, g *rdf.Graph, src string) *query.Query {
 // for metric assertions.
 func RunAndCompare(t *testing.T, eng engine.QueryEngine, g *rdf.Graph, src string) *engine.Result {
 	t.Helper()
-	mr := NewMR()
+	return RunAndCompareOn(t, NewMR(), eng, g, src)
+}
+
+// RunAndCompareOn is RunAndCompare over a caller-built cluster (e.g. one with
+// a bounded sort buffer from NewSpillMR).
+func RunAndCompareOn(t *testing.T, mr *mapreduce.Engine, eng engine.QueryEngine, g *rdf.Graph, src string) *engine.Result {
+	t.Helper()
 	const input = "data/triples"
 	if err := engine.LoadGraph(mr.DFS(), input, g); err != nil {
 		t.Fatalf("LoadGraph: %v", err)

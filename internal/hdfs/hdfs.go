@@ -42,6 +42,10 @@ type Config struct {
 	// Replication is the block replication factor (dfs.replication).
 	// Zero defaults to 1. Must be <= Nodes.
 	Replication int
+	// LocalSpillPerNode bounds the node-local spill disk used by the MR
+	// engine's sort/spill phase (separate from the replicated DFS store).
+	// Zero means unbounded.
+	LocalSpillPerNode int64
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +71,16 @@ type Metrics struct {
 	RecordsWritten       int64
 	FilesCreated         int64
 	FilesDeleted         int64
+
+	// Node-local spill disk counters (MR sort/spill phase). Spill bytes are
+	// unreplicated and transient — charged by SpillWriter, freed by
+	// Spill.Release — and deliberately kept out of the DFS byte counters so
+	// the paper's HDFS read/write figures are unaffected by the engine's
+	// memory budget.
+	SpillBytesWritten  int64
+	SpillBytesRead     int64
+	SpillFilesCreated  int64
+	SpillFilesReleased int64
 }
 
 // Add accumulates other into m.
@@ -78,6 +92,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.RecordsWritten += other.RecordsWritten
 	m.FilesCreated += other.FilesCreated
 	m.FilesDeleted += other.FilesDeleted
+	m.SpillBytesWritten += other.SpillBytesWritten
+	m.SpillBytesRead += other.SpillBytesRead
+	m.SpillFilesCreated += other.SpillFilesCreated
+	m.SpillFilesReleased += other.SpillFilesReleased
 }
 
 type block struct {
@@ -94,12 +112,14 @@ type file struct {
 // DFS is a simulated distributed file system. All methods are safe for
 // concurrent use.
 type DFS struct {
-	mu       sync.Mutex
-	cfg      Config
-	files    map[string]*file
-	used     []int64 // per-node bytes stored
-	peakUsed int64   // high-water mark of total bytes stored
-	metrics  Metrics
+	mu            sync.Mutex
+	cfg           Config
+	files         map[string]*file
+	used          []int64 // per-node bytes stored
+	peakUsed      int64   // high-water mark of total bytes stored
+	spillUsed     []int64 // per-node local spill bytes held (see spill.go)
+	peakSpillUsed int64   // high-water mark of total spill bytes held
+	metrics       Metrics
 }
 
 // New creates a cluster per cfg.
@@ -109,9 +129,10 @@ func New(cfg Config) *DFS {
 		panic(fmt.Sprintf("hdfs: replication %d exceeds node count %d", cfg.Replication, cfg.Nodes))
 	}
 	return &DFS{
-		cfg:   cfg,
-		files: make(map[string]*file),
-		used:  make([]int64, cfg.Nodes),
+		cfg:       cfg,
+		files:     make(map[string]*file),
+		used:      make([]int64, cfg.Nodes),
+		spillUsed: make([]int64, cfg.Nodes),
 	}
 }
 

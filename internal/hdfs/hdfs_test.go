@@ -255,10 +255,14 @@ func TestReplicationExceedsNodesPanics(t *testing.T) {
 }
 
 func TestMetricsAdd(t *testing.T) {
-	a := Metrics{BytesRead: 1, BytesWritten: 2, PhysicalBytesWritten: 3, RecordsRead: 4, RecordsWritten: 5, FilesCreated: 6, FilesDeleted: 7}
+	a := Metrics{
+		BytesRead: 1, BytesWritten: 2, PhysicalBytesWritten: 3, RecordsRead: 4,
+		RecordsWritten: 5, FilesCreated: 6, FilesDeleted: 7,
+		SpillBytesWritten: 8, SpillBytesRead: 9, SpillFilesCreated: 10, SpillFilesReleased: 11,
+	}
 	b := a
 	a.Add(b)
-	want := Metrics{2, 4, 6, 8, 10, 12, 14}
+	want := Metrics{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22}
 	if a != want {
 		t.Errorf("Add = %+v, want %+v", a, want)
 	}

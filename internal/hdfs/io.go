@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"fmt"
+	"io"
 )
 
 // Writer appends records to a file being created. It buffers records into
@@ -113,6 +114,101 @@ func (d *DFS) ReadAll(name string) ([][]byte, error) {
 	d.metrics.BytesRead += f.size
 	d.metrics.RecordsRead += int64(len(f.records))
 	return f.records, nil
+}
+
+// FileReader streams a file's records one at a time, charging the read
+// counters incrementally as records are consumed instead of all at once at
+// open time. It is the streaming counterpart of ReadAll: a reader abandoned
+// halfway charges only the bytes it actually delivered, and a re-executed
+// task that re-opens its split re-charges the re-read — both faithful to
+// how Hadoop accounts HDFS reads.
+type FileReader struct {
+	d    *DFS
+	recs [][]byte // immutable snapshot of the file's records
+	i    int
+	end  int
+}
+
+// Open begins a streaming read of the whole file.
+func (d *DFS) Open(name string) (*FileReader, error) {
+	return d.OpenRange(name, 0, -1)
+}
+
+// OpenRange begins a streaming read of n records starting at record off
+// (n < 0 means "through the end of the file"). The range is clamped to the
+// file's current record count. MR map tasks use ranges so that several
+// splits of one file each charge exactly the bytes they scan.
+func (d *DFS) OpenRange(name string, off, n int) (*FileReader, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > len(f.records) {
+		off = len(f.records)
+	}
+	end := len(f.records)
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	return &FileReader{d: d, recs: f.records, i: off, end: end}, nil
+}
+
+// Next returns the next record, or io.EOF when the range is exhausted. The
+// returned slice aliases DFS-owned storage and must not be mutated.
+func (r *FileReader) Next() ([]byte, error) {
+	if r.i >= r.end {
+		return nil, io.EOF
+	}
+	rec := r.recs[r.i]
+	r.i++
+	r.d.mu.Lock()
+	r.d.metrics.BytesRead += int64(len(rec))
+	r.d.metrics.RecordsRead++
+	r.d.mu.Unlock()
+	return rec, nil
+}
+
+// Remaining reports how many records of the range are left to read.
+func (r *FileReader) Remaining() int { return r.end - r.i }
+
+// Concat assembles dst from the given source files in order, transferring
+// their records and already-placed blocks without charging any new write
+// bytes — modelling HDFS concat, which splices block lists in the NameNode.
+// The sources are removed. dst must not already exist. The MR engine uses
+// this to commit per-reduce-task part files into the job's output file
+// after every task has streamed (and paid for) its own writes.
+func (d *DFS) Concat(dst string, srcs []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[dst]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+	parts := make([]*file, len(srcs))
+	for i, s := range srcs {
+		f, ok := d.files[s]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, s)
+		}
+		parts[i] = f
+	}
+	out := &file{}
+	for _, f := range parts {
+		out.records = append(out.records, f.records...)
+		out.blocks = append(out.blocks, f.blocks...)
+		out.size += f.size
+	}
+	for _, s := range srcs {
+		delete(d.files, s)
+	}
+	d.files[dst] = out
+	d.metrics.FilesCreated++
+	d.metrics.FilesDeleted += int64(len(srcs))
+	return nil
 }
 
 // WriteFile creates a file from a complete record slice, closing it on

@@ -1,0 +1,153 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node-local spill disk. Hadoop map tasks spill sorted runs of intermediate
+// output to the local disks of their worker nodes (io.sort.mb overflow), a
+// storage pool entirely separate from replicated DFS blocks: spill bytes
+// are written once (no replication), read back during the shuffle merge,
+// and freed when the job completes. The simulation mirrors that split so
+// the paper's intermediate-footprint metrics stay honest when the engine
+// runs with a bounded sort buffer: DFS counters measure materialization
+// between MR cycles, spill counters measure transient within-cycle disk.
+
+// SpillWriter accumulates one spill file on a node's local disk, charging
+// spill accounting incrementally as bytes are written.
+type SpillWriter struct {
+	d      *DFS
+	node   int
+	data   []byte
+	closed bool
+}
+
+// CreateSpill starts a new node-local spill file on the node with the most
+// free local-disk space (tasks are not pinned to nodes in the simulation,
+// so least-loaded placement stands in for "the task's own node").
+func (d *DFS) CreateSpill() *SpillWriter {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	node := 0
+	for n := 1; n < len(d.spillUsed); n++ {
+		if d.spillUsed[n] < d.spillUsed[node] {
+			node = n
+		}
+	}
+	d.metrics.SpillFilesCreated++
+	return &SpillWriter{d: d, node: node}
+}
+
+// Write appends bytes to the spill file, charging the node's local disk.
+// It fails with a wrapped ErrDiskFull when LocalSpillPerNode is exceeded.
+func (w *SpillWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write to closed spill writer")
+	}
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	if cap := w.d.cfg.LocalSpillPerNode; cap != 0 && w.d.spillUsed[w.node]+int64(len(p)) > cap {
+		return 0, fmt.Errorf("%w: node %d local spill disk (%d bytes) exhausted",
+			ErrDiskFull, w.node, cap)
+	}
+	w.data = append(w.data, p...)
+	w.d.spillUsed[w.node] += int64(len(p))
+	w.d.metrics.SpillBytesWritten += int64(len(p))
+	var total int64
+	for _, u := range w.d.spillUsed {
+		total += u
+	}
+	if total > w.d.peakSpillUsed {
+		w.d.peakSpillUsed = total
+	}
+	return len(p), nil
+}
+
+// Len reports the bytes written so far.
+func (w *SpillWriter) Len() int { return len(w.data) }
+
+// Close seals the spill file and returns the readable Spill. The charged
+// bytes remain held against the node until Release.
+func (w *SpillWriter) Close() *Spill {
+	w.closed = true
+	return &Spill{d: w.d, node: w.node, data: w.data}
+}
+
+// Abort discards the spill file, releasing its charged bytes.
+func (w *SpillWriter) Abort() {
+	w.closed = true
+	s := &Spill{d: w.d, node: w.node, data: w.data}
+	w.data = nil
+	s.Release()
+}
+
+// Spill is a sealed node-local spill file.
+type Spill struct {
+	d        *DFS
+	node     int
+	data     []byte
+	released bool
+}
+
+// Size reports the spill file's length in bytes.
+func (s *Spill) Size() int64 { return int64(len(s.data)) }
+
+// Slice returns a view of the spill's bytes without charging any read
+// accounting; pair it with ChargeRead as the view is actually consumed.
+func (s *Spill) Slice(off, n int) []byte { return s.data[off : off+n] }
+
+// ChargeRead adds consumed bytes to the spill read counters — callers
+// decoding a Slice charge exactly what they decode, keeping spill read
+// accounting as incremental as FileReader's.
+func (s *Spill) ChargeRead(n int64) {
+	s.d.mu.Lock()
+	s.d.metrics.SpillBytesRead += n
+	s.d.mu.Unlock()
+}
+
+// Release frees the spill file's local-disk bytes. Releasing twice is a
+// no-op. Every spill a job creates must be released when the job finishes
+// (or when the task that wrote it is retried), or the simulated local disk
+// leaks — the engine and its fault-injection tests enforce this.
+func (s *Spill) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.d.mu.Lock()
+	s.d.spillUsed[s.node] -= int64(len(s.data))
+	s.d.metrics.SpillFilesReleased++
+	s.d.mu.Unlock()
+	s.data = nil
+}
+
+// SpillUsed reports total bytes currently held on node-local spill disks.
+func (d *DFS) SpillUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, u := range d.spillUsed {
+		total += u
+	}
+	return total
+}
+
+// PeakSpillUsed reports the high-water mark of simultaneous node-local
+// spill bytes — the transient disk footprint a bounded-memory shuffle
+// trades RAM for.
+func (d *DFS) PeakSpillUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakSpillUsed
+}
+
+// SpillUsedPerNode returns a copy of the per-node local spill usage,
+// sorted descending (for balance inspection in tests).
+func (d *DFS) SpillUsedPerNode() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := append([]int64(nil), d.spillUsed...)
+	sort.Slice(out, func(a, b int) bool { return out[a] > out[b] })
+	return out
+}

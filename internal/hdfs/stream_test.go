@@ -1,0 +1,207 @@
+package hdfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestOpenStreamsWithIncrementalAccounting(t *testing.T) {
+	d := New(Config{Nodes: 1})
+	if err := d.WriteFile("f", [][]byte{[]byte("aa"), []byte("bbb"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetMetrics()
+	r, err := d.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Metrics().BytesRead; got != 0 {
+		t.Errorf("BytesRead after Open = %d, want 0 (accounting must be incremental)", got)
+	}
+	rec, err := r.Next()
+	if err != nil || string(rec) != "aa" {
+		t.Fatalf("Next = %q, %v", rec, err)
+	}
+	if m := d.Metrics(); m.BytesRead != 2 || m.RecordsRead != 1 {
+		t.Errorf("after 1 record: BytesRead=%d RecordsRead=%d, want 2, 1", m.BytesRead, m.RecordsRead)
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := d.Metrics(); m.BytesRead != 6 || m.RecordsRead != 3 {
+		t.Errorf("after full read: BytesRead=%d RecordsRead=%d, want 6, 3", m.BytesRead, m.RecordsRead)
+	}
+}
+
+func TestOpenRangeClampsAndChargesOnlyScannedBytes(t *testing.T) {
+	d := New(Config{Nodes: 1})
+	recs := [][]byte{[]byte("0"), []byte("11"), []byte("222"), []byte("3333")}
+	if err := d.WriteFile("f", recs); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetMetrics()
+	r, err := d.OpenRange("f", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", r.Remaining())
+	}
+	var got []string
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(rec))
+	}
+	if len(got) != 2 || got[0] != "11" || got[1] != "222" {
+		t.Errorf("range read = %v, want [11 222]", got)
+	}
+	if m := d.Metrics(); m.BytesRead != 5 || m.RecordsRead != 2 {
+		t.Errorf("BytesRead=%d RecordsRead=%d, want 5, 2", m.BytesRead, m.RecordsRead)
+	}
+	// Ranges past EOF clamp to empty rather than erroring.
+	r2, err := d.OpenRange("f", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); err != io.EOF {
+		t.Errorf("Next past EOF = %v, want io.EOF", err)
+	}
+	if _, err := d.Open("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Open(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcatSplicesWithoutRecharging(t *testing.T) {
+	d := New(Config{Nodes: 2, BlockSize: 4})
+	if err := d.WriteFile("p0", [][]byte{[]byte("aaaa"), []byte("bb")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("p1", [][]byte{[]byte("cccc")}); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := d.Used()
+	written := d.Metrics().BytesWritten
+	if err := d.Concat("out", []string{"p0", "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("p0") || d.Exists("p1") {
+		t.Error("sources survived Concat")
+	}
+	if d.Metrics().BytesWritten != written {
+		t.Errorf("Concat charged write bytes: %d -> %d", written, d.Metrics().BytesWritten)
+	}
+	if d.Used() != usedBefore {
+		t.Errorf("Concat changed stored bytes: %d -> %d", usedBefore, d.Used())
+	}
+	recs, err := d.ReadAll("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[0]) != "aaaa" || string(recs[2]) != "cccc" {
+		t.Errorf("concat records wrong: %q", recs)
+	}
+	sz, err := d.FileSize("out")
+	if err != nil || sz != 10 {
+		t.Errorf("FileSize = %d, %v, want 10", sz, err)
+	}
+	if err := d.Concat("out", []string{"x"}); !errors.Is(err, ErrExists) {
+		t.Errorf("Concat onto existing = %v, want ErrExists", err)
+	}
+	if err := d.Concat("out2", []string{"missing"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Concat of missing source = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSpillChargeAndRelease(t *testing.T) {
+	d := New(Config{Nodes: 3})
+	w := d.CreateSpill()
+	if _, err := w.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SpillUsed(); got != 150 {
+		t.Errorf("SpillUsed = %d, want 150", got)
+	}
+	if d.Used() != 0 {
+		t.Errorf("spill bytes leaked into DFS storage: Used = %d", d.Used())
+	}
+	s := w.Close()
+	if s.Size() != 150 {
+		t.Errorf("Size = %d, want 150", s.Size())
+	}
+	s.ChargeRead(150)
+	s.Release()
+	s.Release() // second release is a no-op
+	if got := d.SpillUsed(); got != 0 {
+		t.Errorf("SpillUsed after release = %d, want 0", got)
+	}
+	if got := d.PeakSpillUsed(); got != 150 {
+		t.Errorf("PeakSpillUsed = %d, want 150", got)
+	}
+	m := d.Metrics()
+	if m.SpillBytesWritten != 150 || m.SpillBytesRead != 150 {
+		t.Errorf("spill bytes: wrote %d read %d, want 150, 150", m.SpillBytesWritten, m.SpillBytesRead)
+	}
+	if m.SpillFilesCreated != 1 || m.SpillFilesReleased != 1 {
+		t.Errorf("spill files: created %d released %d, want 1, 1", m.SpillFilesCreated, m.SpillFilesReleased)
+	}
+	if m.BytesWritten != 0 || m.BytesRead != 0 {
+		t.Errorf("spill traffic leaked into DFS byte counters: %+v", m)
+	}
+}
+
+func TestSpillCapacityEnforced(t *testing.T) {
+	d := New(Config{Nodes: 2, LocalSpillPerNode: 100})
+	// Spills balance across nodes, so two 80-byte spills fit...
+	w0 := d.CreateSpill()
+	if _, err := w0.Write(make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	w1 := d.CreateSpill()
+	if _, err := w1.Write(make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// ...but a third overflows whichever node it lands on.
+	w2 := d.CreateSpill()
+	if _, err := w2.Write(make([]byte, 80)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("overflow write err = %v, want ErrDiskFull", err)
+	}
+	w2.Abort()
+	w0.Close().Release()
+	w1.Close().Release()
+	if d.SpillUsed() != 0 {
+		t.Errorf("SpillUsed after releases = %d, want 0", d.SpillUsed())
+	}
+}
+
+func TestSpillAbortReleasesBytes(t *testing.T) {
+	d := New(Config{Nodes: 1})
+	w := d.CreateSpill()
+	if _, err := w.Write(make([]byte, 42)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if d.SpillUsed() != 0 {
+		t.Errorf("SpillUsed after abort = %d, want 0", d.SpillUsed())
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after abort succeeded")
+	}
+	m := d.Metrics()
+	if m.SpillFilesCreated != 1 || m.SpillFilesReleased != 1 {
+		t.Errorf("spill files: created %d released %d, want 1, 1", m.SpillFilesCreated, m.SpillFilesReleased)
+	}
+}

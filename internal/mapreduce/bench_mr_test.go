@@ -80,6 +80,75 @@ func BenchmarkMapOnlyThroughput(b *testing.B) {
 	}
 }
 
+// benchmarkSpill runs the shuffle benchmark job under a fixed map sort-buffer
+// budget, reporting how much of the map output spilled to local disk and how
+// many merge passes the bounded buffer forced.
+func benchmarkSpill(b *testing.B, sortBufferBytes int64) {
+	e := NewEngine(hdfs.New(hdfs.Config{Nodes: 8}), EngineConfig{
+		SplitRecords:    4096,
+		SortBufferBytes: sortBufferBytes,
+	})
+	rng := rand.New(rand.NewSource(7))
+	recs := make([][]byte, 100000)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("key%d value-%08d", rng.Intn(len(recs)/10+1), i))
+	}
+	if err := e.DFS().WriteFile("in", recs); err != nil {
+		b.Fatal(err)
+	}
+	job := func(out string) *Job {
+		return &Job{
+			Name: "bench-spill", Inputs: []string{"in"}, Output: out,
+			Mapper: MapperFunc(func(_ string, r []byte, out Emitter) error {
+				for i, c := range r {
+					if c == ' ' {
+						return out.Emit(r[:i], r[i+1:])
+					}
+				}
+				return out.Emit(r, nil)
+			}),
+			StreamReducer: StreamReducerFunc(func(key []byte, values ValueIter, out Collector) error {
+				n := 0
+				for {
+					_, ok, err := values.Next()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				return out.Collect([]byte(fmt.Sprintf("%s=%d", key, n)))
+			}),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var spilled, merges int64
+	for i := 0; i < b.N; i++ {
+		out := fmt.Sprintf("out%d", i)
+		m, err := e.Run(job(out))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(m.MapOutputBytes)
+		spilled, merges = m.SpilledBytes, m.MergePasses
+		e.DFS().DeleteIfExists(out)
+	}
+	b.ReportMetric(float64(spilled), "spilledB/op")
+	b.ReportMetric(float64(merges), "mergePasses/op")
+}
+
+// BenchmarkSpill_* sweep the sort-buffer budget from unbounded down to a few
+// KB over the same 100k-record shuffle, exposing the cost of spilling and
+// external merging.
+func BenchmarkSpill_Unbounded(b *testing.B) { benchmarkSpill(b, 0) }
+func BenchmarkSpill_256KB(b *testing.B)     { benchmarkSpill(b, 256<<10) }
+func BenchmarkSpill_64KB(b *testing.B)      { benchmarkSpill(b, 64<<10) }
+func BenchmarkSpill_16KB(b *testing.B)      { benchmarkSpill(b, 16<<10) }
+func BenchmarkSpill_4KB(b *testing.B)       { benchmarkSpill(b, 4<<10) }
+
 // BenchmarkSortKVs isolates the shuffle sort.
 func BenchmarkSortKVs(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,16 @@ type EngineConfig struct {
 	// SplitRecords is the number of records per map split; 0 defaults to
 	// 8192. Smaller splits increase map-task parallelism.
 	SplitRecords int
+	// SortBufferBytes bounds each map task's in-memory output buffer
+	// (Hadoop's io.sort.mb): when the buffered key+value bytes reach the
+	// budget the task sorts the buffer, applies the job's combiner, and
+	// spills a run to node-local disk. 0 means unbounded — no spilling,
+	// the pre-refactor in-memory behavior.
+	SortBufferBytes int64
+	// MergeFactor bounds how many on-disk runs one external merge reads at
+	// once (Hadoop's io.sort.factor); more runs force intermediate merge
+	// passes. In-memory segments never count against it. 0 defaults to 10.
+	MergeFactor int
 	// TaskMaxAttempts is the per-task retry budget (Hadoop's
 	// mapreduce.map.maxattempts); 0 defaults to 1 (no retries).
 	TaskMaxAttempts int
@@ -52,6 +63,9 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.SplitRecords == 0 {
 		c.SplitRecords = 8192
 	}
+	if c.MergeFactor == 0 {
+		c.MergeFactor = 10
+	}
 	if c.TaskMaxAttempts == 0 {
 		c.TaskMaxAttempts = 1
 	}
@@ -72,73 +86,99 @@ func NewEngine(dfs *hdfs.DFS, cfg EngineConfig) *Engine {
 // DFS returns the engine's file system.
 func (e *Engine) DFS() *hdfs.DFS { return e.dfs }
 
-// taskEmitter buffers one map task's output, partitioned by reducer.
-type taskEmitter struct {
-	partitioner Partitioner
-	nReducers   int
-	parts       [][]kv
-	records     int64
-	bytes       int64
+// partName is the per-task part file a reduce (or map-only) task streams
+// its output into; parts are spliced into the job output via hdfs.Concat
+// once every task has committed.
+func partName(base string, i int) string {
+	return fmt.Sprintf("%s._part-%05d", base, i)
 }
 
-func (t *taskEmitter) Emit(key, value []byte) error {
-	p := t.partitioner(key, t.nReducers)
-	if p < 0 || p >= t.nReducers {
-		return fmt.Errorf("mapreduce: partitioner returned %d for %d reducers", p, t.nReducers)
-	}
-	k := make([]byte, len(key))
-	copy(k, key)
-	v := make([]byte, len(value))
-	copy(v, value)
-	t.parts[p] = append(t.parts[p], kv{k, v})
-	t.records++
-	t.bytes += int64(len(key) + len(value))
-	return nil
-}
-
-// sliceCollector buffers output records in memory, including records routed
-// to declared extra outputs (MultipleOutputs).
-type sliceCollector struct {
-	allowed map[string]bool
-	records [][]byte
+// streamCollector streams one task's output records straight into DFS part
+// files as they are collected, so a job that overruns cluster capacity
+// fails mid-reduce (hdfs.ErrDiskFull while records are produced), not at a
+// commit step afterwards.
+type streamCollector struct {
+	main    *hdfs.Writer
+	extras  map[string]*hdfs.Writer
+	records int64
 	bytes   int64
-	named   map[string][][]byte
 }
 
-func newSliceCollector(job *Job) *sliceCollector {
-	c := &sliceCollector{}
-	if len(job.ExtraOutputs) > 0 {
-		c.allowed = make(map[string]bool, len(job.ExtraOutputs))
-		for _, eo := range job.ExtraOutputs {
-			c.allowed[eo] = true
-		}
-		c.named = make(map[string][][]byte)
+// openParts creates the part files for task index i of the job: one for
+// the main output and one per declared extra output.
+func (e *Engine) openParts(job *Job, i int) (*streamCollector, error) {
+	col := &streamCollector{}
+	w, err := e.dfs.Create(partName(job.Output, i))
+	if err != nil {
+		return nil, fmt.Errorf("creating output %s: %w", job.Output, err)
 	}
-	return c
+	col.main = w
+	if len(job.ExtraOutputs) > 0 {
+		col.extras = make(map[string]*hdfs.Writer, len(job.ExtraOutputs))
+		for _, eo := range job.ExtraOutputs {
+			w, err := e.dfs.Create(partName(eo, i))
+			if err != nil {
+				col.abort()
+				return nil, fmt.Errorf("creating output %s: %w", eo, err)
+			}
+			col.extras[eo] = w
+		}
+	}
+	return col, nil
 }
 
-func (c *sliceCollector) Collect(record []byte) error {
-	r := make([]byte, len(record))
-	copy(r, record)
-	c.records = append(c.records, r)
-	c.bytes += int64(len(r))
+func (c *streamCollector) Collect(record []byte) error {
+	if err := c.main.Append(record); err != nil {
+		return err
+	}
+	c.records++
+	c.bytes += int64(len(record))
 	return nil
 }
 
-func (c *sliceCollector) CollectTo(output string, record []byte) error {
-	if !c.allowed[output] {
+func (c *streamCollector) CollectTo(output string, record []byte) error {
+	w, ok := c.extras[output]
+	if !ok {
 		return fmt.Errorf("mapreduce: CollectTo(%q): not a declared extra output", output)
 	}
-	r := make([]byte, len(record))
-	copy(r, record)
-	c.named[output] = append(c.named[output], r)
-	c.bytes += int64(len(r))
+	if err := w.Append(record); err != nil {
+		return err
+	}
+	c.records++
+	c.bytes += int64(len(record))
 	return nil
 }
 
+// close seals every part file; on error the caller should abort.
+func (c *streamCollector) close() error {
+	if err := c.main.Close(); err != nil {
+		return err
+	}
+	for _, w := range c.extras {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort discards every part file written by this task attempt.
+func (c *streamCollector) abort() {
+	if c.main != nil {
+		c.main.Abort()
+	}
+	for _, w := range c.extras {
+		w.Abort()
+	}
+}
+
+// split is one map task's input assignment: a record range of one file,
+// read through a streaming hdfs.FileReader so only scanned bytes are
+// charged (and a retried task re-charges its re-read).
 type split struct {
-	input   string
-	records [][]byte
+	input string
+	off   int
+	n     int
 }
 
 // errInjectedFailure marks a fault-injection task failure.
@@ -156,15 +196,14 @@ func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int)
 }
 
 // runTask executes one task attempt loop: injected or real failures are
-// retried with a fresh attempt (the reset callback discards any partial
-// task output) until the attempt budget is exhausted.
-func (e *Engine) runTask(job, kind string, task int, retries *int64,
-	reset func(), body func() error) error {
+// retried with a fresh attempt until the attempt budget is exhausted. The
+// body must clean up its own partial state (spill runs, part files) before
+// returning an error.
+func (e *Engine) runTask(job, kind string, task int, retries *int64, body func() error) error {
 	var lastErr error
 	for attempt := 0; attempt < e.cfg.TaskMaxAttempts; attempt++ {
 		if attempt > 0 {
 			atomic.AddInt64(retries, 1)
-			reset()
 		}
 		if e.shouldInjectFailure(job, kind, task, attempt) {
 			lastErr = fmt.Errorf("%w (%s task %d attempt %d)", errInjectedFailure, kind, task, attempt)
@@ -179,18 +218,22 @@ func (e *Engine) runTask(job, kind string, task int, retries *int64,
 	return fmt.Errorf("%s task %d failed after %d attempts: %w", kind, task, e.cfg.TaskMaxAttempts, lastErr)
 }
 
-// Run executes one job to completion. On failure the job's output file is
-// removed and the returned metrics carry the error.
+// Run executes one job to completion. On failure the job's output files
+// (including any committed part files) are removed and the returned
+// metrics carry the error.
 func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	start := time.Now()
-	m := JobMetrics{Job: job.Name, Name: job.Name, MapOnly: job.MapOnly != nil}
+	m := JobMetrics{Job: job.Name, MapOnly: job.MapOnly != nil}
+	nParts := 0 // part files per output base once tasks are planned
 	fail := func(err error) (JobMetrics, error) {
 		m.Failed = true
 		m.Err = err.Error()
 		m.Duration = time.Since(start)
-		e.dfs.DeleteIfExists(job.Output)
-		for _, eo := range job.ExtraOutputs {
-			e.dfs.DeleteIfExists(eo)
+		for _, base := range append([]string{job.Output}, job.ExtraOutputs...) {
+			e.dfs.DeleteIfExists(base)
+			for i := 0; i < nParts; i++ {
+				e.dfs.DeleteIfExists(partName(base, i))
+			}
 		}
 		return m, fmt.Errorf("job %s: %w", job.Name, err)
 	}
@@ -198,31 +241,35 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 		return fail(err)
 	}
 
-	// Plan map splits, scanning each input once.
+	// Plan map splits from file metadata; the records themselves are
+	// streamed by the map tasks.
 	var splits []split
 	for _, in := range job.Inputs {
-		records, err := e.dfs.ReadAll(in)
+		n, err := e.dfs.RecordCount(in)
 		if err != nil {
 			return fail(fmt.Errorf("reading input: %w", err))
 		}
-		size, _ := e.dfs.FileSize(in)
-		m.MapInputBytes += size
-		m.MapInputRecords += int64(len(records))
-		for off := 0; off < len(records); off += e.cfg.SplitRecords {
-			end := off + e.cfg.SplitRecords
-			if end > len(records) {
-				end = len(records)
-			}
-			splits = append(splits, split{input: in, records: records[off:end]})
+		size, err := e.dfs.FileSize(in)
+		if err != nil {
+			return fail(fmt.Errorf("sizing input: %w", err))
 		}
-		if len(records) == 0 {
+		m.MapInputBytes += size
+		m.MapInputRecords += int64(n)
+		for off := 0; off < n; off += e.cfg.SplitRecords {
+			cnt := e.cfg.SplitRecords
+			if off+cnt > n {
+				cnt = n - off
+			}
+			splits = append(splits, split{input: in, off: off, n: cnt})
+		}
+		if n == 0 {
 			splits = append(splits, split{input: in}) // keep empty inputs visible
 		}
 	}
 	m.MapTasks = len(splits)
 
 	if job.MapOnly != nil {
-		return e.runMapOnly(job, splits, m, start, fail)
+		return e.runMapOnly(job, splits, m, start, &nParts, fail)
 	}
 
 	nReducers := job.NumReducers
@@ -235,21 +282,48 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	}
 
 	// ---- Map phase ----
+	// Each task streams its split through a spilling emitter; sealed
+	// emitters hold the sorted in-memory segments and spill runs the
+	// reduce phase merges. All spill runs are released when Run returns.
 	emitters := make([]*taskEmitter, len(splits))
+	defer func() {
+		for _, te := range emitters {
+			if te != nil {
+				te.discard()
+			}
+		}
+	}()
 	var retries int64
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		newAttempt := func() {
-			emitters[i] = &taskEmitter{partitioner: partitioner, nReducers: nReducers,
-				parts: make([][]kv, nReducers)}
-		}
-		newAttempt()
-		return e.runTask(job.Name, "map", i, &retries, newAttempt, func() error {
-			te := emitters[i]
-			for _, rec := range splits[i].records {
+		return e.runTask(job.Name, "map", i, &retries, func() error {
+			te := newTaskEmitter(e.dfs, partitioner, nReducers, job.Combiner, e.cfg.SortBufferBytes)
+			committed := false
+			defer func() {
+				if !committed {
+					te.discard()
+				}
+			}()
+			r, err := e.dfs.OpenRange(splits[i].input, splits[i].off, splits[i].n)
+			if err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			for {
+				rec, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+				}
 				if err := job.Mapper.Map(splits[i].input, rec, te); err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
 			}
+			if err := te.seal(); err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			emitters[i] = te
+			committed = true
 			return nil
 		})
 	}); err != nil {
@@ -259,62 +333,107 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	for _, te := range emitters {
 		m.MapOutputRecords += te.records
 		m.MapOutputBytes += te.bytes
+		m.SpilledRecords += te.spilledRecords
+		m.SpilledBytes += te.spilledBytes
+		if te.peakBuffered > m.PeakSortBufferBytes {
+			m.PeakSortBufferBytes = te.peakBuffered
+		}
 	}
 
-	// ---- Shuffle & sort ----
-	partitions := make([][]kv, nReducers)
-	for p := 0; p < nReducers; p++ {
-		var total int
-		for _, te := range emitters {
-			total += len(te.parts[p])
-		}
-		part := make([]kv, 0, total)
-		for _, te := range emitters {
-			part = append(part, te.parts[p]...)
-		}
-		partitions[p] = part
+	// ---- Shuffle-merge + reduce phase ----
+	// Each reduce task merges its partition's sorted segments (in-memory
+	// and spilled) into one stream, groups by key, and feeds the reducer,
+	// streaming output records straight into its part files.
+	reducer := job.StreamReducer
+	if reducer == nil {
+		reducer = adaptedReducer{job.Reducer}
 	}
+	nParts = nReducers
+	var groups, reduceRetries, maxPartition int64
+	var outRecords, outBytes int64
+	var spilledRecs, spilledBytes, mergePasses int64
 	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
-		sortKVs(partitions[p])
-		return nil
-	}); err != nil {
-		return fail(err)
-	}
-
-	// ---- Reduce phase ----
-	outputs := make([]*sliceCollector, nReducers)
-	var groups int64
-	var reduceRetries int64
-	var maxPartition int64
-	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
-		part := partitions[p]
-		for n := int64(len(part)); ; {
-			cur := atomic.LoadInt64(&maxPartition)
-			if n <= cur || atomic.CompareAndSwapInt64(&maxPartition, cur, n) {
-				break
+		return e.runTask(job.Name, "reduce", p, &reduceRetries, func() error {
+			var sources []kvSource
+			var runSrcs []*runSource
+			for _, te := range emitters {
+				if len(te.parts[p]) > 0 {
+					sources = append(sources, &memSource{kvs: te.parts[p]})
+				}
+				for _, run := range te.runs {
+					if seg := run.segs[p]; seg.records > 0 {
+						runSrcs = append(runSrcs, newRunSource(run.spill, seg))
+					}
+				}
 			}
-		}
-		newAttempt := func() { outputs[p] = newSliceCollector(job) }
-		newAttempt()
-		return e.runTask(job.Name, "reduce", p, &reduceRetries, newAttempt, func() error {
-			col := outputs[p]
+			// Intermediate merges are attempt-local: their temporary runs
+			// are released when this attempt finishes, success or not.
+			var localPasses, localSpilledRecs, localSpilledBytes int64
+			var temps []*spillRun
+			defer func() {
+				for _, r := range temps {
+					r.release()
+				}
+			}()
+			if len(runSrcs) > e.cfg.MergeFactor {
+				var err error
+				runSrcs, temps, err = e.mergeRuns(runSrcs, e.cfg.MergeFactor,
+					&localPasses, &localSpilledRecs, &localSpilledBytes)
+				if err != nil {
+					return fmt.Errorf("reduce partition %d merge: %w", p, err)
+				}
+			}
+			if len(runSrcs) > 0 {
+				localPasses++ // the final merge reads at least one on-disk run
+			}
+			for _, rs := range runSrcs {
+				sources = append(sources, rs)
+			}
+			mi, err := newMergeIter(sources)
+			if err != nil {
+				return fmt.Errorf("reduce partition %d: %w", p, err)
+			}
+			col, err := e.openParts(job, p)
+			if err != nil {
+				return err
+			}
+			committed := false
+			defer func() {
+				if !committed {
+					col.abort()
+				}
+			}()
+			g, err := newGroupIter(mi)
+			if err != nil {
+				return fmt.Errorf("reduce partition %d: %w", p, err)
+			}
 			var localGroups int64
-			for i := 0; i < len(part); {
-				j := i + 1
-				for j < len(part) && compareBytes(part[j].key, part[i].key) == 0 {
-					j++
-				}
-				values := make([][]byte, 0, j-i)
-				for k := i; k < j; k++ {
-					values = append(values, part[k].value)
-				}
+			for g.ok {
+				vals := &groupValues{g: g, key: g.cur.key, head: true}
 				localGroups++
-				if err := job.Reducer.Reduce(part[i].key, values, col); err != nil {
+				if err := reducer.Reduce(g.cur.key, vals, col); err != nil {
 					return fmt.Errorf("reduce partition %d: %w", p, err)
 				}
-				i = j
+				if err := vals.drain(); err != nil {
+					return fmt.Errorf("reduce partition %d: %w", p, err)
+				}
 			}
+			if err := col.close(); err != nil {
+				return fmt.Errorf("reduce partition %d: %w", p, err)
+			}
+			committed = true
 			atomic.AddInt64(&groups, localGroups)
+			atomic.AddInt64(&outRecords, col.records)
+			atomic.AddInt64(&outBytes, col.bytes)
+			atomic.AddInt64(&spilledRecs, localSpilledRecs)
+			atomic.AddInt64(&spilledBytes, localSpilledBytes)
+			atomic.AddInt64(&mergePasses, localPasses)
+			for n := g.pairs; ; {
+				cur := atomic.LoadInt64(&maxPartition)
+				if n <= cur || atomic.CompareAndSwapInt64(&maxPartition, cur, n) {
+					break
+				}
+			}
 			return nil
 		})
 	}); err != nil {
@@ -323,79 +442,88 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	m.TaskRetries += reduceRetries
 	m.ReduceTasks = nReducers
 	m.ReduceInputGroups = groups
+	m.ReduceOutputRecords = outRecords
+	m.ReduceOutputBytes = outBytes
+	m.SpilledRecords += spilledRecs
+	m.SpilledBytes += spilledBytes
+	m.MergePasses = mergePasses
 	m.MaxReducePartitionRecords = maxPartition
 	if m.MapOutputRecords > 0 && nReducers > 0 {
 		m.ReduceSkew = float64(maxPartition) * float64(nReducers) / float64(m.MapOutputRecords)
 	}
 
-	// ---- Commit output ----
-	if err := e.commit(job, outputs, &m); err != nil {
+	// ---- Commit: splice part files into the job outputs ----
+	if err := e.commitParts(job, nReducers); err != nil {
 		return fail(err)
 	}
 	m.Duration = time.Since(start)
 	return m, nil
 }
 
-// commit writes the collectors' buffered records to the job's output file
-// and every declared extra output (MultipleOutputs), updating the metrics.
-func (e *Engine) commit(job *Job, collectors []*sliceCollector, m *JobMetrics) error {
-	writeAll := func(name string, pick func(*sliceCollector) [][]byte) error {
-		w, err := e.dfs.Create(name)
-		if err != nil {
-			return fmt.Errorf("creating output %s: %w", name, err)
+// commitParts assembles each output from its per-task part files in task
+// order — a pure block splice (hdfs.Concat), since every record was already
+// written (and paid for) by the task that produced it.
+func (e *Engine) commitParts(job *Job, nParts int) error {
+	for _, base := range append([]string{job.Output}, job.ExtraOutputs...) {
+		names := make([]string, nParts)
+		for i := range names {
+			names[i] = partName(base, i)
 		}
-		for _, col := range collectors {
-			if col == nil {
-				continue
-			}
-			for _, rec := range pick(col) {
-				if err := w.Append(rec); err != nil {
-					w.Abort()
-					return fmt.Errorf("writing output %s: %w", name, err)
-				}
-				m.ReduceOutputRecords++
-				m.ReduceOutputBytes += int64(len(rec))
-			}
-		}
-		if err := w.Close(); err != nil {
-			w.Abort()
-			return fmt.Errorf("closing output %s: %w", name, err)
-		}
-		return nil
-	}
-	if err := writeAll(job.Output, func(c *sliceCollector) [][]byte { return c.records }); err != nil {
-		return err
-	}
-	for _, eo := range job.ExtraOutputs {
-		eo := eo
-		if err := writeAll(eo, func(c *sliceCollector) [][]byte { return c.named[eo] }); err != nil {
-			return err
+		if err := e.dfs.Concat(base, names); err != nil {
+			return fmt.Errorf("committing output %s: %w", base, err)
 		}
 	}
 	return nil
 }
 
 func (e *Engine) runMapOnly(job *Job, splits []split, m JobMetrics, start time.Time,
-	fail func(error) (JobMetrics, error)) (JobMetrics, error) {
-	collectors := make([]*sliceCollector, len(splits))
+	nParts *int, fail func(error) (JobMetrics, error)) (JobMetrics, error) {
+	*nParts = len(splits)
 	var retries int64
+	var outRecords, outBytes int64
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		newAttempt := func() { collectors[i] = newSliceCollector(job) }
-		newAttempt()
-		return e.runTask(job.Name, "map", i, &retries, newAttempt, func() error {
-			col := collectors[i]
-			for _, rec := range splits[i].records {
+		return e.runTask(job.Name, "map", i, &retries, func() error {
+			col, err := e.openParts(job, i)
+			if err != nil {
+				return err
+			}
+			committed := false
+			defer func() {
+				if !committed {
+					col.abort()
+				}
+			}()
+			r, err := e.dfs.OpenRange(splits[i].input, splits[i].off, splits[i].n)
+			if err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			for {
+				rec, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+				}
 				if err := job.MapOnly.MapRecord(splits[i].input, rec, col); err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
 			}
+			if err := col.close(); err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			committed = true
+			atomic.AddInt64(&outRecords, col.records)
+			atomic.AddInt64(&outBytes, col.bytes)
 			return nil
 		})
 	}); err != nil {
 		return fail(err)
 	}
 	m.TaskRetries += retries
-	if err := e.commit(job, collectors, &m); err != nil {
+	m.ReduceOutputRecords = outRecords
+	m.ReduceOutputBytes = outBytes
+	if err := e.commitParts(job, len(splits)); err != nil {
 		return fail(err)
 	}
 	m.Duration = time.Since(start)
@@ -454,14 +582,17 @@ type Stage []*Job
 
 // RunWorkflow executes stages sequentially, jobs within a stage
 // concurrently. On the first failed job the workflow stops after the
-// current stage completes and reports the failure. Metrics for every
-// executed job are returned in submission order.
+// current stage completes, deletes the outputs of every job that had
+// succeeded (so repeated capacity-limited runs do not leak simulated
+// disk), and reports the failure. Metrics for every executed job are
+// returned in submission order.
 func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
 	start := time.Now()
 	var wf WorkflowMetrics
 	for _, st := range stages {
 		wf.Cycles += len(st)
 	}
+	var done []*Job // successfully completed jobs, for failure cleanup
 	for _, st := range stages {
 		jms := make([]JobMetrics, len(st))
 		errs := make([]error, len(st))
@@ -475,12 +606,23 @@ func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
 		}
 		wg.Wait()
 		wf.Jobs = append(wf.Jobs, jms...)
+		for i := range st {
+			if errs[i] == nil {
+				done = append(done, st[i])
+			}
+		}
 		for i, err := range errs {
 			if err != nil {
 				wf.Failed = true
 				wf.FailedJob = st[i].Name
 				wf.Err = err.Error()
 				wf.Duration = time.Since(start)
+				for _, job := range done {
+					e.dfs.DeleteIfExists(job.Output)
+					for _, eo := range job.ExtraOutputs {
+						e.dfs.DeleteIfExists(eo)
+					}
+				}
 				return wf, err
 			}
 		}

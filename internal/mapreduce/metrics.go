@@ -6,8 +6,8 @@ import (
 
 // JobMetrics records the cost profile of one executed job.
 type JobMetrics struct {
-	Job  string
-	Name string // deprecated alias of Job; kept equal to Job
+	// Job is the job's name (Job.Name at submission).
+	Job string
 
 	// Map phase.
 	MapInputRecords int64
@@ -31,6 +31,15 @@ type JobMetrics struct {
 	MaxReducePartitionRecords int64
 	ReduceSkew                float64
 
+	// Spill (bounded-memory shuffle). All four stay zero when
+	// EngineConfig.SortBufferBytes is unbounded except PeakSortBufferBytes,
+	// which always reports the largest in-memory map-output buffer any
+	// single map task held.
+	SpilledRecords      int64 // records written to local-disk spill runs (post-combine)
+	SpilledBytes        int64 // bytes written to local-disk spill runs
+	MergePasses         int64 // external merge passes over spilled runs
+	PeakSortBufferBytes int64
+
 	// TaskRetries counts task attempts beyond the first (fault injection
 	// or real failures recovered by the retry budget).
 	TaskRetries int64
@@ -40,6 +49,12 @@ type JobMetrics struct {
 	Failed   bool
 	Err      string
 }
+
+// Name returns the job's name.
+//
+// Deprecated: JobMetrics used to carry a Name field duplicating Job; use
+// the Job field.
+func (m JobMetrics) Name() string { return m.Job }
 
 // WorkflowMetrics aggregates the jobs of one workflow run.
 type WorkflowMetrics struct {
@@ -81,6 +96,45 @@ func (w *WorkflowMetrics) TotalMapInputBytes() int64 {
 	var t int64
 	for _, j := range w.Jobs {
 		t += j.MapInputBytes
+	}
+	return t
+}
+
+// TotalSpilledBytes sums local-disk spill bytes across jobs.
+func (w *WorkflowMetrics) TotalSpilledBytes() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.SpilledBytes
+	}
+	return t
+}
+
+// TotalSpilledRecords sums spilled records across jobs.
+func (w *WorkflowMetrics) TotalSpilledRecords() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.SpilledRecords
+	}
+	return t
+}
+
+// TotalMergePasses sums external merge passes across jobs.
+func (w *WorkflowMetrics) TotalMergePasses() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.MergePasses
+	}
+	return t
+}
+
+// MaxPeakSortBufferBytes reports the largest sort buffer any map task of
+// any job held — the workflow's per-task memory high-water mark.
+func (w *WorkflowMetrics) MaxPeakSortBufferBytes() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		if j.PeakSortBufferBytes > t {
+			t = j.PeakSortBufferBytes
+		}
 	}
 	return t
 }

@@ -14,6 +14,22 @@
 //
 // Map and reduce tasks execute in parallel on goroutine pools, so wall-clock
 // measurements of a workflow reflect genuine parallel dataflow execution.
+//
+// # Bounded-memory shuffle
+//
+// EngineConfig.SortBufferBytes bounds each map task's in-memory sort buffer
+// (Hadoop's io.sort.mb). When the buffered map output for a task exceeds the
+// budget, the buffer is sorted, pre-folded by the job's optional Combiner,
+// and spilled as a sorted codec-framed run to node-local disk; at reduce
+// time the runs of each partition are merge-sorted MergeFactor at a time
+// (multi-pass when there are many runs — see JobMetrics.MergePasses).
+// Reducers that implement StreamReducer consume each group's values through
+// a ValueIter fed straight from the merge, so neither the map output nor a
+// reduce group need ever be resident in memory; slice Reducers are adapted
+// transparently. Reduce output streams into the DFS writer record by record,
+// which means hdfs.ErrDiskFull can surface mid-reduce, exactly where a real
+// cluster hits it. A zero budget (the default) disables spilling; results
+// are byte-identical either way.
 package mapreduce
 
 import (
@@ -63,8 +79,37 @@ type MapOnlyMapper interface {
 }
 
 // Reducer folds all values sharing one key into zero or more output records.
+// It is the fully-materialized form: the engine buffers every value of the
+// group in memory before the call. Large groups should implement
+// StreamReducer instead.
 type Reducer interface {
 	Reduce(key []byte, values [][]byte, out Collector) error
+}
+
+// ValueIter streams the values of one reduce group in sorted order. Next
+// returns ok=false once the group is exhausted. Returned slices alias
+// engine-owned storage that stays valid until the job completes; they must
+// not be mutated.
+type ValueIter interface {
+	Next() (value []byte, ok bool, err error)
+}
+
+// StreamReducer is the streaming form of Reducer: values arrive through an
+// iterator instead of a materialized slice, so a group larger than memory
+// can be folded incrementally. The engine feeds it from a merge of sorted
+// in-memory segments and on-disk spill runs; values within a group arrive
+// in nondecreasing byte order (the engine's deterministic shuffle order).
+type StreamReducer interface {
+	Reduce(key []byte, values ValueIter, out Collector) error
+}
+
+// Combiner pre-folds the values of one key on the map side, before pairs
+// are spilled or shuffled (Hadoop's combiner). It must be associative and
+// commutative: the engine applies it to arbitrary sub-groups — at every
+// spill and again on the final in-memory segment — and the reducer then
+// sees the combined values. The returned value slices become engine-owned.
+type Combiner interface {
+	Combine(key []byte, values [][]byte) ([][]byte, error)
 }
 
 // MapperFunc adapts a function to the Mapper interface.
@@ -81,6 +126,22 @@ type ReducerFunc func(key []byte, values [][]byte, out Collector) error
 // Reduce implements Reducer.
 func (f ReducerFunc) Reduce(key []byte, values [][]byte, out Collector) error {
 	return f(key, values, out)
+}
+
+// StreamReducerFunc adapts a function to the StreamReducer interface.
+type StreamReducerFunc func(key []byte, values ValueIter, out Collector) error
+
+// Reduce implements StreamReducer.
+func (f StreamReducerFunc) Reduce(key []byte, values ValueIter, out Collector) error {
+	return f(key, values, out)
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(key []byte, values [][]byte) ([][]byte, error)
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key []byte, values [][]byte) ([][]byte, error) {
+	return f(key, values)
 }
 
 // MapOnlyFunc adapts a function to the MapOnlyMapper interface.
@@ -119,8 +180,16 @@ type Job struct {
 	// MapOnly, when non-nil, makes this a map-only job (no shuffle, no
 	// reduce); Mapper and Reducer are ignored.
 	MapOnly MapOnlyMapper
-	// Reducer runs in the reduce phase.
+	// Reducer runs in the reduce phase (exclusive with StreamReducer).
 	Reducer Reducer
+	// StreamReducer runs in the reduce phase consuming values through an
+	// iterator; exactly one of Reducer and StreamReducer must be set for a
+	// job with a reduce phase.
+	StreamReducer StreamReducer
+	// Combiner, when non-nil, pre-folds map output per key at spill time
+	// and on each map task's final in-memory segment. It must be
+	// associative and commutative. Ignored for map-only jobs.
+	Combiner Combiner
 	// NumReducers is the reduce-task parallelism; 0 defaults to the
 	// engine's configured reducer count.
 	NumReducers int
@@ -152,8 +221,11 @@ func (j *Job) validate() error {
 		if j.Mapper == nil {
 			return fmt.Errorf("mapreduce: job %s has no mapper", j.Name)
 		}
-		if j.Reducer == nil {
+		if j.Reducer == nil && j.StreamReducer == nil {
 			return fmt.Errorf("mapreduce: job %s has no reducer", j.Name)
+		}
+		if j.Reducer != nil && j.StreamReducer != nil {
+			return fmt.Errorf("mapreduce: job %s sets both Reducer and StreamReducer", j.Name)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package ntgamr
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"ntga/internal/codec"
 	"ntga/internal/core"
@@ -69,7 +70,7 @@ type batchGroupReducer struct {
 	counters *mapreduce.Counters
 }
 
-func (r *batchGroupReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+func (r *batchGroupReducer) Reduce(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
 	subject, err := codec.DecodeID(key)
 	if err != nil {
 		return err
@@ -133,7 +134,7 @@ func (n *NTGA) RunBatch(mr *mapreduce.Engine, qs []*query.Query, input string) (
 		Output:       grouped[0],
 		ExtraOutputs: grouped[1:],
 		Mapper:       &batchGroupMapper{qs: qs},
-		Reducer: &batchGroupReducer{qs: qs, outputs: grouped,
+		StreamReducer: &batchGroupReducer{qs: qs, outputs: grouped,
 			eager: n.strategy == Eager, counters: counters},
 	}
 	stages := []mapreduce.Stage{{groupJob}}
@@ -171,15 +172,20 @@ func (n *NTGA) RunBatch(mr *mapreduce.Engine, qs []*query.Query, input string) (
 
 	for qi, q := range qs {
 		r := &engine.Result{Engine: n.name, Counters: counters.Snapshot(), IsCount: q.IsCount()}
-		records, err := dfs.ReadAll(accs[qi])
+		rd, err := dfs.Open(accs[qi])
 		if err != nil {
 			return res, err
 		}
-		if size, err := dfs.FileSize(accs[qi]); err == nil {
-			r.OutputBytes = size
-		}
-		r.OutputRecords = int64(len(records))
-		for _, rec := range records {
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return res, err
+			}
+			r.OutputRecords++
+			r.OutputBytes += int64(len(rec))
 			comps, err := core.DecodeJoined(rec)
 			if err != nil {
 				return res, err
@@ -199,12 +205,21 @@ func (n *NTGA) RunBatch(mr *mapreduce.Engine, qs []*query.Query, input string) (
 	return res, nil
 }
 
-// decodeSortedPairs decodes and de-duplicates the sorted (P,O) values of a
-// grouping reduce call.
-func decodeSortedPairs(values [][]byte) ([]core.PO, error) {
-	pairs := make([]core.PO, 0, len(values))
+// decodeSortedPairs streams, decodes, and de-duplicates the sorted (P,O)
+// values of a grouping reduce call. Because the engine delivers values in
+// sorted order, duplicates are adjacent and only the decoded pairs — not the
+// raw value slices — are ever held in memory.
+func decodeSortedPairs(values mapreduce.ValueIter) ([]core.PO, error) {
+	var pairs []core.PO
 	var prev []byte
-	for _, v := range values {
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return pairs, nil
+		}
 		if prev != nil && bytes.Equal(v, prev) {
 			continue
 		}
@@ -220,5 +235,4 @@ func decodeSortedPairs(values [][]byte) ([]core.PO, error) {
 		}
 		pairs = append(pairs, core.PO{P: p, O: o})
 	}
-	return pairs, nil
 }

@@ -3,6 +3,7 @@ package ntgamr
 import (
 	"fmt"
 
+	"ntga/internal/codec"
 	"ntga/internal/core"
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
@@ -131,23 +132,15 @@ func (n *NTGA) Plan(q *query.Query, input string, cl *engine.Cleaner,
 	return stages, acc, nil
 }
 
-// DecodeRows converts final triplegroup records into binding rows by
-// expanding their (possibly still nested) components.
+// DecodeRows converts one final triplegroup record into binding rows by
+// expanding its (possibly still nested) components.
 func DecodeRows(q *query.Query) engine.DecodeFunc {
-	return func(records [][]byte) ([]query.Row, error) {
-		var rows []query.Row
-		for _, rec := range records {
-			comps, err := core.DecodeJoined(rec)
-			if err != nil {
-				return nil, err
-			}
-			expanded, err := core.ExpandJoined(q, comps)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, expanded...)
+	return func(record []byte) ([]query.Row, error) {
+		comps, err := core.DecodeJoined(record)
+		if err != nil {
+			return nil, err
 		}
-		return rows, nil
+		return core.ExpandJoined(q, comps)
 	}
 }
 
@@ -160,19 +153,20 @@ func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.
 		return &engine.Result{Engine: n.name}, err
 	}
 	if q.IsCount() {
-		// Aggregation pushdown over the implicit representation: sum the
-		// expansion counts of the (still nested) triplegroups — no
-		// β-unnest happens at all for non-joining slots.
+		// Aggregation pushdown over the implicit representation: an extra
+		// count-fold cycle sums the expansion counts of the (still nested)
+		// triplegroups — no β-unnest happens at all for non-joining slots,
+		// and the sum Combiner folds partial counts at spill time.
+		cntFile := cl.Track(engine.TempName(n.name, "count"))
+		stages = append(stages, mapreduce.Stage{countFoldJob(q, final, cntFile)})
 		var count int64
-		res, err := engine.Execute(mr, n.name, stages, final, &cl, counters,
-			func(records [][]byte) ([]query.Row, error) {
-				for _, rec := range records {
-					comps, err := core.DecodeJoined(rec)
-					if err != nil {
-						return nil, err
-					}
-					count += core.CountJoined(q, comps)
+		res, err := engine.Execute(mr, n.name, stages, cntFile, &cl, counters,
+			func(record []byte) ([]query.Row, error) {
+				c, err := codec.NewReader(record).Uvarint()
+				if err != nil {
+					return nil, err
 				}
+				count += int64(c)
 				return nil, nil
 			})
 		res.IsCount = true

@@ -381,9 +381,19 @@ SELECT (COUNT(*) AS ?n) WHERE { ?g ex:label ?l . ?g ex:xGO ?go . ?g ?p ?o . }`
 	if lazy.Count != eager.Count {
 		t.Fatalf("counts differ: %d vs %d", lazy.Count, eager.Count)
 	}
-	if lazy.OutputRecords >= eager.OutputRecords {
-		t.Errorf("lazy output records (%d) not below eager (%d)",
-			lazy.OutputRecords, eager.OutputRecords)
+	// Both plans end in the count-fold cycle (whose output is one record),
+	// so the materialization gap shows up as that cycle's map input: the
+	// records the query plan proper produced.
+	materialized := func(res *engine.Result) int64 {
+		jobs := res.Workflow.Jobs
+		if len(jobs) == 0 || jobs[len(jobs)-1].Job != "ntga-count" {
+			t.Fatalf("%s plan did not end in the count-fold cycle: %+v", res.Engine, jobs)
+		}
+		return jobs[len(jobs)-1].MapInputRecords
+	}
+	if materialized(lazy) >= materialized(eager) {
+		t.Errorf("lazy materialized records (%d) not below eager (%d)",
+			materialized(lazy), materialized(eager))
 	}
 	if lazy.Counters[CounterEagerUnnest] != 0 {
 		t.Errorf("lazy engine unnested %d TGs for a count query",

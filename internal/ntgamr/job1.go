@@ -61,7 +61,7 @@ type groupFilterReducer struct {
 	counters *mapreduce.Counters
 }
 
-func (r *groupFilterReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+func (r *groupFilterReducer) Reduce(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
 	subject, err := codec.DecodeID(key)
 	if err != nil {
 		return err
@@ -93,10 +93,10 @@ func (r *groupFilterReducer) Reduce(key []byte, values [][]byte, out mapreduce.C
 // job1 builds the grouping cycle.
 func job1(q *query.Query, eager bool, counters *mapreduce.Counters, input, output string) *mapreduce.Job {
 	return &mapreduce.Job{
-		Name:    "ntga-group",
-		Inputs:  []string{input},
-		Output:  output,
-		Mapper:  &groupByMapper{q: q},
-		Reducer: &groupFilterReducer{q: q, eager: eager, counters: counters},
+		Name:          "ntga-group",
+		Inputs:        []string{input},
+		Output:        output,
+		Mapper:        &groupByMapper{q: q},
+		StreamReducer: &groupFilterReducer{q: q, eager: eager, counters: counters},
 	}
 }

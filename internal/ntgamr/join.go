@@ -218,7 +218,11 @@ func (r *tgJoinReducer) resolveSide(comps []core.AnnTG, pos query.Pos, bucket in
 	return []resolved{{value: v, comps: comps}}, nil
 }
 
-func (r *tgJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+// Reduce streams the group. The side tag leads every value and the engine
+// delivers values in sorted order, so every left (tag 0) arrives before the
+// first right (tag 1): only the left side — indexed by join value — is
+// buffered, and each right record joins and is emitted as it streams past.
+func (r *tgJoinReducer) Reduce(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
 	bucket := 0
 	if r.mode == bucketedMode {
 		b, err := codec.NewReader(key).Uvarint()
@@ -227,9 +231,15 @@ func (r *tgJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collec
 		}
 		bucket = int(b)
 	}
-	var lefts []resolved
-	rightsByValue := make(map[rdf.ID][]resolved)
-	for _, v := range values {
+	leftsByValue := make(map[rdf.ID][]resolved)
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		if len(v) == 0 {
 			return fmt.Errorf("ntgamr: empty join value")
 		}
@@ -243,30 +253,28 @@ func (r *tgJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collec
 			if err != nil {
 				return err
 			}
-			lefts = append(lefts, res...)
+			for _, re := range res {
+				leftsByValue[re.value] = append(leftsByValue[re.value], re)
+			}
 		case tagRight:
 			res, err := r.resolveSide(comps, r.join.Right, bucket)
 			if err != nil {
 				return err
 			}
 			for _, re := range res {
-				rightsByValue[re.value] = append(rightsByValue[re.value], re)
+				for _, l := range leftsByValue[re.value] {
+					joined := make([]core.AnnTG, 0, len(l.comps)+len(re.comps))
+					joined = append(joined, l.comps...)
+					joined = append(joined, re.comps...)
+					if err := out.Collect(core.EncodeJoined(joined)); err != nil {
+						return err
+					}
+				}
 			}
 		default:
 			return fmt.Errorf("ntgamr: unknown join tag %d", v[0])
 		}
 	}
-	for _, l := range lefts {
-		for _, rr := range rightsByValue[l.value] {
-			joined := make([]core.AnnTG, 0, len(l.comps)+len(rr.comps))
-			joined = append(joined, l.comps...)
-			joined = append(joined, rr.comps...)
-			if err := out.Collect(core.EncodeJoined(joined)); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // tgJoinJob builds one triplegroup join cycle. When leftFile equals
@@ -286,6 +294,6 @@ func tgJoinJob(q *query.Query, name string, j query.Join, mode joinMode, phiM in
 		Output: output,
 		Mapper: &tgJoinMapper{q: q, join: j, mode: mode, phiM: phiM,
 			leftFile: mLeft, rightFile: rightFile, counters: counters},
-		Reducer: &tgJoinReducer{q: q, join: j, mode: mode, phiM: phiM, counters: counters},
+		StreamReducer: &tgJoinReducer{q: q, join: j, mode: mode, phiM: phiM, counters: counters},
 	}
 }

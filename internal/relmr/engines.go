@@ -119,8 +119,8 @@ func execute(mr *mapreduce.Engine, name string, q *query.Query, w wire,
 	if q.IsCount() {
 		var count int64
 		res, err := engine.Execute(mr, name, stages, final, cl, nil,
-			func(records [][]byte) ([]query.Row, error) {
-				count = int64(len(records))
+			func(record []byte) ([]query.Row, error) {
+				count++
 				return nil, nil
 			})
 		res.IsCount = true

@@ -50,14 +50,24 @@ func (m *joinMapper) Map(input string, record []byte, out mapreduce.Emitter) err
 }
 
 // joinReducer cross-concatenates left and right tuples sharing a join key.
+// Values arrive in sorted order with the side tag as the leading byte, so
+// every left (tag 0) precedes every right (tag 1): only the left side is
+// buffered, and each right tuple streams through, joining as it arrives.
 type joinReducer struct {
 	q *query.Query
 	w wire
 }
 
-func (r joinReducer) Reduce(_ []byte, values [][]byte, out mapreduce.Collector) error {
-	var lefts, rights []Tuple
-	for _, v := range values {
+func (r joinReducer) Reduce(_ []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
+	var lefts []Tuple
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		if len(v) == 0 {
 			return fmt.Errorf("relmr: empty join value")
 		}
@@ -69,36 +79,32 @@ func (r joinReducer) Reduce(_ []byte, values [][]byte, out mapreduce.Collector) 
 		case tagLeft:
 			lefts = append(lefts, t)
 		case tagRight:
-			rights = append(rights, t)
+			for _, l := range lefts {
+				joined := make(Tuple, 0, len(l)+len(t))
+				joined = append(joined, l...)
+				joined = append(joined, t...)
+				rec, err := r.w.encodeTuple(r.q, joined)
+				if err != nil {
+					return err
+				}
+				if err := out.Collect(rec); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("relmr: unknown join tag %d", v[0])
 		}
 	}
-	for _, l := range lefts {
-		for _, rt := range rights {
-			joined := make(Tuple, 0, len(l)+len(rt))
-			joined = append(joined, l...)
-			joined = append(joined, rt...)
-			rec, err := r.w.encodeTuple(r.q, joined)
-			if err != nil {
-				return err
-			}
-			if err := out.Collect(rec); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // joinJob builds the MR job joining the accumulated result with one star's
 // tuples.
 func joinJob(q *query.Query, name string, join query.Join, w wire, leftFile, rightFile, output string) *mapreduce.Job {
 	return &mapreduce.Job{
-		Name:    name,
-		Inputs:  []string{leftFile, rightFile},
-		Output:  output,
-		Mapper:  &joinMapper{q: q, join: join, w: w, leftFile: leftFile, rightFile: rightFile},
-		Reducer: joinReducer{q: q, w: w},
+		Name:          name,
+		Inputs:        []string{leftFile, rightFile},
+		Output:        output,
+		Mapper:        &joinMapper{q: q, join: join, w: w, leftFile: leftFile, rightFile: rightFile},
+		StreamReducer: joinReducer{q: q, w: w},
 	}
 }

@@ -1,6 +1,7 @@
 package relmr
 
 import (
+	"bytes"
 	"fmt"
 
 	"ntga/internal/codec"
@@ -138,11 +139,11 @@ func (m *edgeJoinMapper) Map(_ string, record []byte, out mapreduce.Emitter) err
 
 func edgeJoinJob(q *query.Query, name string, j query.Join, w wire, input, output string) *mapreduce.Job {
 	return &mapreduce.Job{
-		Name:    name,
-		Inputs:  []string{input},
-		Output:  output,
-		Mapper:  &edgeJoinMapper{q: q, join: j, w: w},
-		Reducer: joinReducer{q: q, w: w},
+		Name:          name,
+		Inputs:        []string{input},
+		Output:        output,
+		Mapper:        &edgeJoinMapper{q: q, join: j, w: w},
+		StreamReducer: joinReducer{q: q, w: w},
 	}
 }
 
@@ -214,7 +215,12 @@ type completionReducer struct {
 	w  wire
 }
 
-func (r *completionReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+// Reduce streams the group: the sorted value order delivers every pair
+// (tag 0) before the first tuple (tag 1), so the pairs are accumulated and
+// de-duplicated incrementally, the candidate sets are fixed when the first
+// tuple arrives, and each tuple is then extended and emitted without ever
+// buffering the tuple side.
+func (r *completionReducer) Reduce(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
 	subject, err := codec.DecodeID(key)
 	if err != nil {
 		return err
@@ -222,79 +228,96 @@ func (r *completionReducer) Reduce(key []byte, values [][]byte, out mapreduce.Co
 	if !r.st.Subj.Match(subject) {
 		return nil
 	}
-	var pairVals [][]byte
-	var tuples []Tuple
-	for _, v := range values {
+	var pairs []core.PO
+	var prevPair []byte
+	var allCands [][]core.PO
+	candsReady := false
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		if len(v) == 0 {
 			return fmt.Errorf("relmr: empty completion value")
 		}
 		switch v[0] {
 		case tagPair:
-			pairVals = append(pairVals, v[1:])
+			pv := v[1:]
+			if prevPair != nil && bytes.Equal(pv, prevPair) {
+				continue
+			}
+			prevPair = pv
+			p, err := r.w.decodePair(r.q, pv)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, p)
 		case tagTuple:
+			if !candsReady {
+				var ok bool
+				allCands, ok = patternCandidates(r.st, pairs)
+				if !ok {
+					return nil
+				}
+				candsReady = true
+			}
 			t, err := r.w.decodeTuple(r.q, v[1:])
 			if err != nil {
 				return err
 			}
-			tuples = append(tuples, t)
+			if err := r.completeTuple(subject, t, allCands, out); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("relmr: unknown completion tag %d", v[0])
 		}
 	}
-	if len(tuples) == 0 {
-		return nil
+}
+
+// completeTuple extends one partial tuple's st-segment (or creates it) with
+// the cross product of candidates for the star's missing patterns.
+func (r *completionReducer) completeTuple(subject rdf.ID, t Tuple, allCands [][]core.PO,
+	out mapreduce.Collector) error {
+	segIdx := -1
+	for i, seg := range t {
+		if seg.Star == r.st.Index {
+			segIdx = i
+		}
 	}
-	pairs, err := decodePairs(r.w, r.q, pairVals)
-	if err != nil {
-		return err
+	present := make(map[int]core.PO)
+	if segIdx >= 0 {
+		for i, pi := range t[segIdx].PatIdxs {
+			present[pi] = t[segIdx].Pairs[i]
+		}
 	}
-	allCands, ok := patternCandidates(r.st, pairs)
-	if !ok {
-		return nil
+	// Cross product over the star's patterns: present patterns keep
+	// their pinned pair, missing ones branch over candidates.
+	cands := make([][]core.PO, patternCount(r.st))
+	for pi := range cands {
+		if pair, ok := present[pi]; ok {
+			cands[pi] = []core.PO{pair}
+		} else {
+			cands[pi] = allCands[pi]
+		}
 	}
-	for _, t := range tuples {
-		segIdx := -1
+	return crossTuples(r.st, subject, cands, func(full Tuple) error {
+		joined := make(Tuple, 0, len(t)+1)
 		for i, seg := range t {
-			if seg.Star == r.st.Index {
-				segIdx = i
+			if i == segIdx {
+				continue
 			}
+			joined = append(joined, seg)
 		}
-		present := make(map[int]core.PO)
-		if segIdx >= 0 {
-			for i, pi := range t[segIdx].PatIdxs {
-				present[pi] = t[segIdx].Pairs[i]
-			}
-		}
-		// Cross product over the star's patterns: present patterns keep
-		// their pinned pair, missing ones branch over candidates.
-		cands := make([][]core.PO, patternCount(r.st))
-		for pi := range cands {
-			if pair, ok := present[pi]; ok {
-				cands[pi] = []core.PO{pair}
-			} else {
-				cands[pi] = allCands[pi]
-			}
-		}
-		err := crossTuples(r.st, subject, cands, func(full Tuple) error {
-			joined := make(Tuple, 0, len(t)+1)
-			for i, seg := range t {
-				if i == segIdx {
-					continue
-				}
-				joined = append(joined, seg)
-			}
-			joined = append(joined, full[0])
-			rec, err := r.w.encodeTuple(r.q, joined)
-			if err != nil {
-				return err
-			}
-			return out.Collect(rec)
-		})
+		joined = append(joined, full[0])
+		rec, err := r.w.encodeTuple(r.q, joined)
 		if err != nil {
 			return err
 		}
-	}
-	return nil
+		return out.Collect(rec)
+	})
 }
 
 // completionJob builds a combined star-join + join cycle: it scans the
@@ -307,6 +330,6 @@ func completionJob(q *query.Query, name string, st *query.Star, w wire, tripleIn
 		Output: output,
 		Mapper: &completionMapper{q: q, st: st, w: w, tripleIn: tripleIn, tupleIn: tupleIn,
 			absentPos: absentPos},
-		Reducer: &completionReducer{q: q, st: st, w: w},
+		StreamReducer: &completionReducer{q: q, st: st, w: w},
 	}
 }

@@ -35,12 +35,21 @@ func (m *starScanMapper) Map(_ string, record []byte, out mapreduce.Emitter) err
 	return out.Emit(codec.EncodeID(t.S), val)
 }
 
-// decodePairs decodes and de-duplicates the sorted pair values of one
-// reduce group (the engine sorts values, so duplicates are adjacent).
-func decodePairs(w wire, q *query.Query, values [][]byte) ([]core.PO, error) {
-	pairs := make([]core.PO, 0, len(values))
+// decodePairs streams, decodes, and de-duplicates the sorted pair values of
+// one reduce group (the engine sorts values, so duplicates are adjacent).
+// Only the decoded, de-duplicated pairs are held in memory — the raw value
+// slice is never materialized.
+func decodePairs(w wire, q *query.Query, values mapreduce.ValueIter) ([]core.PO, error) {
+	var pairs []core.PO
 	var prev []byte
-	for _, v := range values {
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return pairs, nil
+		}
 		if prev != nil && bytes.Equal(v, prev) {
 			continue
 		}
@@ -51,7 +60,6 @@ func decodePairs(w wire, q *query.Query, values [][]byte) ([]core.PO, error) {
 		}
 		pairs = append(pairs, p)
 	}
-	return pairs, nil
 }
 
 // patternCandidates computes, for every pattern of the star (bound then
@@ -116,7 +124,7 @@ type starJoinReducer struct {
 	w  wire
 }
 
-func (r *starJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Collector) error {
+func (r *starJoinReducer) Reduce(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
 	subject, err := codec.DecodeID(key)
 	if err != nil {
 		return err
@@ -142,11 +150,11 @@ func (r *starJoinReducer) Reduce(key []byte, values [][]byte, out mapreduce.Coll
 // relation (or a pre-filtered copy of it).
 func starJoinJob(name string, q *query.Query, st *query.Star, w wire, input, output string) *mapreduce.Job {
 	return &mapreduce.Job{
-		Name:    name,
-		Inputs:  []string{input},
-		Output:  output,
-		Mapper:  &starScanMapper{q: q, st: st, w: w},
-		Reducer: &starJoinReducer{q: q, st: st, w: w},
+		Name:          name,
+		Inputs:        []string{input},
+		Output:        output,
+		Mapper:        &starScanMapper{q: q, st: st, w: w},
+		StreamReducer: &starJoinReducer{q: q, st: st, w: w},
 	}
 }
 

@@ -175,27 +175,23 @@ func TupleRow(q *query.Query, t Tuple) (query.Row, error) {
 	return row, nil
 }
 
-// DecodeRows converts final binary-wire output records into rows
+// DecodeRows converts one final binary-wire output record into its row
 // (engine.DecodeFunc).
-func DecodeRows(q *query.Query) func(records [][]byte) ([]query.Row, error) {
+func DecodeRows(q *query.Query) func(record []byte) ([]query.Row, error) {
 	return decodeRowsWire(q, wire{})
 }
 
-// decodeRowsWire converts final output records of either wire format.
-func decodeRowsWire(q *query.Query, w wire) func(records [][]byte) ([]query.Row, error) {
-	return func(records [][]byte) ([]query.Row, error) {
-		rows := make([]query.Row, 0, len(records))
-		for _, rec := range records {
-			t, err := w.decodeTuple(q, rec)
-			if err != nil {
-				return nil, err
-			}
-			row, err := TupleRow(q, t)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+// decodeRowsWire converts one final output record of either wire format.
+func decodeRowsWire(q *query.Query, w wire) func(record []byte) ([]query.Row, error) {
+	return func(record []byte) ([]query.Row, error) {
+		t, err := w.decodeTuple(q, record)
+		if err != nil {
+			return nil, err
 		}
-		return rows, nil
+		row, err := TupleRow(q, t)
+		if err != nil {
+			return nil, err
+		}
+		return []query.Row{row}, nil
 	}
 }

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // RedundancyFactor quantifies how much of a representation is redundant
@@ -82,14 +83,16 @@ func (t *Table) Render() string {
 	if t.Title != "" {
 		sb.WriteString(t.Title + "\n")
 	}
+	// Column widths are display widths: count runes, not bytes, so cells
+	// like "∞" align.
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -100,7 +103,7 @@ func (t *Table) Render() string {
 			}
 			sb.WriteString(c)
 			if i < len(cells)-1 {
-				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 			}
 		}
 		sb.WriteByte('\n')
