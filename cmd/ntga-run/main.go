@@ -23,6 +23,7 @@ import (
 	"ntga/internal/refengine"
 	"ntga/internal/sparql"
 	"ntga/internal/stats"
+	"ntga/internal/trace"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 		phiM      = flag.Int("phim", 0, "partial β-unnest partition range (0 = default)")
 		sortBuf   = flag.Int64("sortbuf", 0, "map sort-buffer budget in bytes; map output beyond it spills to local disk (0 = unbounded)")
 		metrics   = flag.Bool("metrics", false, "print per-job workflow metrics")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the workflow to this file (open in chrome://tracing or ui.perfetto.dev)")
+		timeline  = flag.Bool("timeline", false, "print a per-job plain-text task timeline (implies tracing)")
 		advise    = flag.Bool("advise", false, "print the cost advisor's strategy recommendation")
 		limit     = flag.Int("limit", 0, "print at most N rows (0 = all)")
 	)
@@ -92,14 +95,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var tracer *trace.Tracer
+		if *traceOut != "" || *timeline {
+			tracer = trace.New()
+		}
 		mr := mapreduce.NewEngine(
 			hdfs.New(hdfs.Config{Nodes: *nodes, Replication: *rep}),
-			mapreduce.EngineConfig{SortBufferBytes: *sortBuf},
+			mapreduce.EngineConfig{SortBufferBytes: *sortBuf, Tracer: tracer},
 		)
 		if err := engine.LoadGraph(mr.DFS(), "data/triples", g); err != nil {
 			fatal(err)
 		}
 		res, err := eng.Run(mr, q, "data/triples")
+		if tracer != nil {
+			// Export whatever spans were recorded even on failure — a trace
+			// of a failed workflow is exactly when you want the profile.
+			if *traceOut != "" {
+				if werr := writeTrace(*traceOut, tracer); werr != nil {
+					fatal(werr)
+				}
+				fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceOut)
+			}
+			if *timeline {
+				fmt.Fprint(os.Stderr, trace.Timeline(tracer.Roots()))
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -142,18 +162,30 @@ func main() {
 
 func printMetrics(res *engine.Result) {
 	t := &stats.Table{Title: "-- workflow metrics (" + res.Engine + ") --",
-		Header: []string{"job", "time", "map in", "shuffle", "spilled", "merges", "reduce out"}}
+		Header: []string{"job", "time", "map in", "shuffle", "spilled", "merges", "reduce out", "straggler", "key skew", "byte skew"}}
+	straggler := func(j mapreduce.JobMetrics) float64 {
+		s := j.MapTaskStats.StragglerRatio
+		if j.ReduceTaskStats.StragglerRatio > s {
+			s = j.ReduceTaskStats.StragglerRatio
+		}
+		return s
+	}
 	for _, j := range res.Workflow.Jobs {
 		t.AddRow(j.Job, j.Duration.Round(1000).String(), stats.FormatBytes(j.MapInputBytes),
 			stats.FormatBytes(j.MapOutputBytes), stats.FormatBytes(j.SpilledBytes),
-			j.MergePasses, stats.FormatBytes(j.ReduceOutputBytes))
+			j.MergePasses, stats.FormatBytes(j.ReduceOutputBytes),
+			stats.FormatRatio(straggler(j)), stats.FormatRatio(j.ReduceKeySkew),
+			stats.FormatRatio(j.ReduceByteSkew))
 	}
 	t.AddRow("TOTAL", res.Workflow.Duration.Round(1000).String(),
 		stats.FormatBytes(res.Workflow.TotalMapInputBytes()),
 		stats.FormatBytes(res.Workflow.TotalMapOutputBytes()),
 		stats.FormatBytes(res.Workflow.TotalSpilledBytes()),
 		res.Workflow.TotalMergePasses(),
-		stats.FormatBytes(res.Workflow.TotalReduceOutputBytes()))
+		stats.FormatBytes(res.Workflow.TotalReduceOutputBytes()),
+		stats.FormatRatio(res.Workflow.MaxStragglerRatio()),
+		stats.FormatRatio(res.Workflow.MaxReduceKeySkew()),
+		stats.FormatRatio(res.Workflow.MaxReduceByteSkew()))
 	fmt.Fprintln(os.Stderr, t.Render())
 	fmt.Fprintf(os.Stderr, "cycles=%d peakDisk=%s peakSortBuffer=%s outputRecords=%d outputBytes=%s\n",
 		res.Workflow.Cycles, stats.FormatBytes(res.PeakDFSUsed),
@@ -162,6 +194,18 @@ func printMetrics(res *engine.Result) {
 	for name, v := range res.Counters {
 		fmt.Fprintf(os.Stderr, "counter %s = %d\n", name, v)
 	}
+}
+
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

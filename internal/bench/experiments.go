@@ -124,20 +124,24 @@ func runSeries(spec ClusterSpec, dataset string, opt Options, ids []string,
 	return out, nil
 }
 
-// timeAndIOTable renders the standard per-query × per-engine comparison.
+// timeAndIOTable renders the standard per-query × per-engine comparison,
+// including the load-balance columns (worst straggler ratio and per-reducer
+// key/byte skew across the workflow's jobs).
 func timeAndIOTable(title string, reports []QueryReport) *stats.Table {
 	t := &stats.Table{Title: title,
-		Header: []string{"query", "engine", "time", "cycles", "HDFS reads", "shuffle", "HDFS writes", "out recs", "peak disk"}}
+		Header: []string{"query", "engine", "time", "cycles", "HDFS reads", "shuffle", "HDFS writes", "out recs", "peak disk", "straggler", "key skew", "byte skew"}}
 	for _, qr := range reports {
 		for _, r := range qr.Runs {
 			if !r.OK {
-				t.AddRow(qr.Query.ID, r.Engine, "X", r.Cycles, "-", "-", "-", "-", "-")
+				t.AddRow(qr.Query.ID, r.Engine, "X", r.Cycles, "-", "-", "-", "-", "-", "-", "-", "-")
 				continue
 			}
 			t.AddRow(qr.Query.ID, r.Engine, ms(r.Duration), r.Cycles,
 				stats.FormatBytes(r.ReadBytes), stats.FormatBytes(r.ShuffleBytes),
 				stats.FormatBytes(r.WriteBytes), stats.FormatCount(r.OutputRecords),
-				stats.FormatBytes(r.PeakDFS))
+				stats.FormatBytes(r.PeakDFS),
+				stats.FormatRatio(r.StragglerRatio), stats.FormatRatio(r.ReduceKeySkew),
+				stats.FormatRatio(r.ReduceByteSkew))
 		}
 	}
 	return t

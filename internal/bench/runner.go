@@ -127,6 +127,12 @@ type EngineRun struct {
 	SpilledRecords int64
 	MergePasses    int64
 	PeakSortBuffer int64
+	// Load-balance profile: the workflow's worst task-duration straggler
+	// ratio and worst per-reducer key/byte skew across all jobs (1.0 =
+	// perfectly balanced; see mapreduce.TaskSummary and JobMetrics).
+	StragglerRatio float64
+	ReduceKeySkew  float64
+	ReduceByteSkew float64
 	Rows           int64
 	RowsHash       uint64
 	Counters       map[string]int64
@@ -209,6 +215,9 @@ func RunQuery(spec ClusterSpec, g *rdf.Graph, cq CatalogQuery, engines []engine.
 			SpilledRecords: res.Workflow.TotalSpilledRecords(),
 			MergePasses:    res.Workflow.TotalMergePasses(),
 			PeakSortBuffer: res.Workflow.MaxPeakSortBufferBytes(),
+			StragglerRatio: res.Workflow.MaxStragglerRatio(),
+			ReduceKeySkew:  res.Workflow.MaxReduceKeySkew(),
+			ReduceByteSkew: res.Workflow.MaxReduceByteSkew(),
 			Counters:       res.Counters,
 			JobMetrics:     res.Workflow.Jobs,
 		}

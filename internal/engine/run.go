@@ -53,7 +53,7 @@ func Execute(mr *mapreduce.Engine, name string, stages []mapreduce.Stage,
 	res := &Result{Engine: name}
 	defer cleaner.Clean(mr)
 
-	wf, err := mr.RunWorkflow(stages)
+	wf, err := mr.RunWorkflowNamed(name, stages)
 	res.Workflow = wf
 	res.PeakDFSUsed = dfs.PeakUsed()
 	if counters != nil {

@@ -10,12 +10,14 @@ import (
 // that exhausts cluster capacity fails while the file is being produced —
 // mirroring a Hadoop job failing mid-reduce, not at commit time.
 type Writer struct {
-	d       *DFS
-	name    string
-	f       *file
-	pending int64 // bytes appended since the last placed block
-	closed  bool
-	failed  bool
+	d        *DFS
+	name     string
+	f        *file
+	pending  int64 // bytes appended since the last placed block
+	wRecords int64 // records appended through this writer
+	wBytes   int64 // logical bytes appended through this writer
+	closed   bool
+	failed   bool
 }
 
 // Create begins writing a new file. The file becomes visible immediately;
@@ -51,6 +53,8 @@ func (w *Writer) Append(record []byte) error {
 	w.f.records = append(w.f.records, cp)
 	w.f.size += int64(len(cp))
 	w.pending += int64(len(cp))
+	w.wRecords++
+	w.wBytes += int64(len(cp))
 	w.d.metrics.BytesWritten += int64(len(cp))
 	w.d.metrics.PhysicalBytesWritten += int64(len(cp)) * int64(w.d.cfg.Replication)
 	w.d.metrics.RecordsWritten++
@@ -93,6 +97,14 @@ func (w *Writer) Close() error {
 		}
 	}
 	return nil
+}
+
+// Written reports the records and logical bytes appended through this
+// writer so far. The MR engine uses it to attribute DFS-write spans to the
+// task that streamed the bytes (per part file, including failed attempts'
+// partial output before an Abort).
+func (w *Writer) Written() (records, bytes int64) {
+	return w.wRecords, w.wBytes
 }
 
 // Abort discards the partially-written file and frees its blocks.

@@ -12,6 +12,7 @@ import (
 
 	"ntga/internal/engine"
 	"ntga/internal/enginetest"
+	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
 	"ntga/internal/query"
 	"ntga/internal/refengine"
@@ -113,6 +114,18 @@ func allEngines() []engine.QueryEngine {
 	}
 }
 
+// clusterVariants are the MR configurations every fuzzed query runs under:
+// the roomy in-memory cluster and a spilling one whose 192-byte sort buffer
+// is far below any map task's output, forcing the spill/external-merge path
+// on every job.
+var clusterVariants = []struct {
+	name string
+	mk   func() *mapreduce.Engine
+}{
+	{"mem", enginetest.NewMR},
+	{"spill", func() *mapreduce.Engine { return enginetest.NewSpillMR(192) }},
+}
+
 func TestFuzzEnginesAgainstReference(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz sweep")
@@ -142,20 +155,54 @@ func TestFuzzEnginesAgainstReference(t *testing.T) {
 			continue // pathological cross product; not informative
 		}
 		for _, eng := range allEngines() {
-			mr := enginetest.NewMR()
+			for _, variant := range clusterVariants {
+				mr := variant.mk()
+				if err := engine.LoadGraph(mr.DFS(), "in", g); err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Run(mr, q, "in")
+				if err != nil {
+					t.Fatalf("round %d: %s (%s) failed on\n%s\n%v", round, eng.Name(), variant.name, src, err)
+				}
+				if !query.RowsEqual(want, res.Rows) {
+					t.Fatalf("round %d: %s (%s) differs from reference on\n%s\n%s",
+						round, eng.Name(), variant.name, src, query.DiffRows(want, res.Rows, 6))
+				}
+			}
+		}
+
+		// The COUNT(*) variant of the same query must agree with the
+		// reference row count on a spilling cluster (counting takes the
+		// engines' no-expansion path, a separate code shape worth fuzzing).
+		countSrc := strings.Replace(src, "SELECT *", "SELECT (COUNT(*) AS ?cnt)", 1)
+		cq, err := query.Compile(mustParse(t, countSrc), g.Dict)
+		if err != nil {
+			continue
+		}
+		for _, eng := range allEngines() {
+			mr := enginetest.NewSpillMR(192)
 			if err := engine.LoadGraph(mr.DFS(), "in", g); err != nil {
 				t.Fatal(err)
 			}
-			res, err := eng.Run(mr, q, "in")
+			res, err := eng.Run(mr, cq, "in")
 			if err != nil {
-				t.Fatalf("round %d: %s failed on\n%s\n%v", round, eng.Name(), src, err)
+				t.Fatalf("round %d: %s failed on count variant of\n%s\n%v", round, eng.Name(), src, err)
 			}
-			if !query.RowsEqual(want, res.Rows) {
-				t.Fatalf("round %d: %s differs from reference on\n%s\n%s",
-					round, eng.Name(), src, query.DiffRows(want, res.Rows, 6))
+			if res.Count != int64(len(want)) {
+				t.Fatalf("round %d: %s counted %d, reference %d, on\n%s",
+					round, eng.Name(), res.Count, len(want), countSrc)
 			}
 		}
 	}
+}
+
+func mustParse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("unparsable query:\n%s\n%v", src, err)
+	}
+	return pq
 }
 
 func TestFuzzCountAgainstReference(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ntga/internal/hdfs"
+	"ntga/internal/trace"
 )
 
 // EngineConfig tunes the execution engine.
@@ -48,6 +49,27 @@ type EngineConfig struct {
 	TaskFailureRate float64
 	// TaskFailureSeed varies which (job, task, attempt) triples fail.
 	TaskFailureSeed int64
+	// Tracer, when non-nil, records every workflow/job/task/phase as a
+	// typed span tree (see internal/trace): per-task scan/map/sort/spill/
+	// merge/reduce/DFS-write intervals with record and byte counts,
+	// exportable as a Chrome trace_event profile or a plain-text timeline.
+	// A nil Tracer is a zero-overhead no-op — the engine skips all
+	// fine-grained timing.
+	Tracer *trace.Tracer
+}
+
+// validate rejects configurations that would silently misbehave: an
+// external merge needs at least two-way fan-in to make progress, and a
+// negative sort budget would spill on every emitted pair. Called (on the
+// defaults-applied config) at Run time so the error carries context.
+func (c EngineConfig) validate() error {
+	if c.MergeFactor < 2 {
+		return fmt.Errorf("mapreduce: EngineConfig.MergeFactor must be >= 2 (got %d); 0 selects the default", c.MergeFactor)
+	}
+	if c.SortBufferBytes < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.SortBufferBytes must be >= 0 (got %d); 0 disables spilling", c.SortBufferBytes)
+	}
+	return nil
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -102,6 +124,11 @@ type streamCollector struct {
 	extras  map[string]*hdfs.Writer
 	records int64
 	bytes   int64
+	// timed accumulates the wall-clock spent inside DFS appends so a traced
+	// task can split its fused loop into reduce-vs-write phases; off (the
+	// default) when no tracer is configured.
+	timed    bool
+	writeDur time.Duration
 }
 
 // openParts creates the part files for task index i of the job: one for
@@ -128,7 +155,15 @@ func (e *Engine) openParts(job *Job, i int) (*streamCollector, error) {
 }
 
 func (c *streamCollector) Collect(record []byte) error {
-	if err := c.main.Append(record); err != nil {
+	var t0 time.Time
+	if c.timed {
+		t0 = time.Now()
+	}
+	err := c.main.Append(record)
+	if c.timed {
+		c.writeDur += time.Since(t0)
+	}
+	if err != nil {
 		return err
 	}
 	c.records++
@@ -141,12 +176,33 @@ func (c *streamCollector) CollectTo(output string, record []byte) error {
 	if !ok {
 		return fmt.Errorf("mapreduce: CollectTo(%q): not a declared extra output", output)
 	}
-	if err := w.Append(record); err != nil {
+	var t0 time.Time
+	if c.timed {
+		t0 = time.Now()
+	}
+	err := w.Append(record)
+	if c.timed {
+		c.writeDur += time.Since(t0)
+	}
+	if err != nil {
 		return err
 	}
 	c.records++
 	c.bytes += int64(len(record))
 	return nil
+}
+
+// written sums the records and bytes actually appended through the part
+// writers (hdfs-attributed, so a failed Append that partially streamed is
+// still accounted to the task's write span).
+func (c *streamCollector) written() (records, bytes int64) {
+	r, b := c.main.Written()
+	for _, w := range c.extras {
+		wr, wb := w.Written()
+		r += wr
+		b += wb
+	}
+	return r, b
 }
 
 // close seals every part file; on error the caller should abort.
@@ -198,8 +254,9 @@ func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int)
 // runTask executes one task attempt loop: injected or real failures are
 // retried with a fresh attempt until the attempt budget is exhausted. The
 // body must clean up its own partial state (spill runs, part files) before
-// returning an error.
-func (e *Engine) runTask(job, kind string, task int, retries *int64, body func() error) error {
+// returning an error. The successful attempt's wall-clock duration is
+// recorded in durs[task] for the per-job task-timing summaries.
+func (e *Engine) runTask(job, kind string, task int, retries *int64, durs []time.Duration, body func(attempt int) error) error {
 	var lastErr error
 	for attempt := 0; attempt < e.cfg.TaskMaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -209,19 +266,37 @@ func (e *Engine) runTask(job, kind string, task int, retries *int64, body func()
 			lastErr = fmt.Errorf("%w (%s task %d attempt %d)", errInjectedFailure, kind, task, attempt)
 			continue
 		}
-		if err := body(); err != nil {
+		start := time.Now()
+		if err := body(attempt); err != nil {
 			lastErr = err
 			continue
 		}
+		durs[task] = time.Since(start)
 		return nil
 	}
 	return fmt.Errorf("%s task %d failed after %d attempts: %w", kind, task, e.cfg.TaskMaxAttempts, lastErr)
 }
 
+// taskNode assigns a task index to a simulated data node (round-robin — the
+// engine has no locality model, but traces and timelines want a stable
+// node attribution).
+func (e *Engine) taskNode(task int) int {
+	return task % e.dfs.Config().Nodes
+}
+
 // Run executes one job to completion. On failure the job's output files
 // (including any committed part files) are removed and the returned
-// metrics carry the error.
+// metrics carry the error. With a Tracer configured the job becomes a root
+// span (jobs executed via RunWorkflow nest under the workflow span
+// instead).
 func (e *Engine) Run(job *Job) (JobMetrics, error) {
+	jsp := e.cfg.Tracer.Start(trace.KindJob, job.Name)
+	defer jsp.Finish()
+	return e.run(job, jsp)
+}
+
+// run is the body of Run with an explicit (possibly nil) parent job span.
+func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	start := time.Now()
 	m := JobMetrics{Job: job.Name, MapOnly: job.MapOnly != nil}
 	nParts := 0 // part files per output base once tasks are planned
@@ -236,6 +311,9 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			}
 		}
 		return m, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+	if err := e.cfg.validate(); err != nil {
+		return fail(err)
 	}
 	if err := job.validate(); err != nil {
 		return fail(err)
@@ -269,7 +347,7 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	m.MapTasks = len(splits)
 
 	if job.MapOnly != nil {
-		return e.runMapOnly(job, splits, m, start, &nParts, fail)
+		return e.runMapOnly(job, jsp, splits, m, start, &nParts, fail)
 	}
 
 	nReducers := job.NumReducers
@@ -294,9 +372,14 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 		}
 	}()
 	var retries int64
+	mapDurs := make([]time.Duration, len(splits))
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		return e.runTask(job.Name, "map", i, &retries, func() error {
+		return e.runTask(job.Name, "map", i, &retries, mapDurs, func(attempt int) error {
+			tsp := jsp.ChildTask("map", i, i, e.taskNode(i), attempt)
+			defer tsp.Finish()
+			traced := tsp != nil
 			te := newTaskEmitter(e.dfs, partitioner, nReducers, job.Combiner, e.cfg.SortBufferBytes)
+			te.traced = traced
 			committed := false
 			defer func() {
 				if !committed {
@@ -307,20 +390,58 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			if err != nil {
 				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 			}
+			// The loop fuses scanning and mapping; when traced, each side's
+			// time is accumulated separately (plus the input bytes for the
+			// scan span).
+			var scanDur, mapDur time.Duration
+			var scanBytes int64
 			for {
-				rec, err := r.Next()
+				var rec []byte
+				var err error
+				if traced {
+					t0 := time.Now()
+					rec, err = r.Next()
+					scanDur += time.Since(t0)
+				} else {
+					rec, err = r.Next()
+				}
 				if err == io.EOF {
 					break
 				}
 				if err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
-				if err := job.Mapper.Map(splits[i].input, rec, te); err != nil {
+				if traced {
+					scanBytes += int64(len(rec))
+					t0 := time.Now()
+					err = job.Mapper.Map(splits[i].input, rec, te)
+					mapDur += time.Since(t0)
+				} else {
+					err = job.Mapper.Map(splits[i].input, rec, te)
+				}
+				if err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
 			}
+			sortStart := time.Now()
 			if err := te.seal(); err != nil {
 				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			if traced {
+				// Spill time happened inside Mapper.Map calls (the emitter
+				// spills when the buffer crosses the budget); carve it out of
+				// the map phase so the two aren't double-counted.
+				var spillDur time.Duration
+				for _, sp := range te.spills {
+					spillDur += sp.dur
+				}
+				tsp.AddPhase(trace.KindScan, "scan", scanDur, int64(splits[i].n), scanBytes)
+				tsp.AddPhase(trace.KindMap, "map", mapDur-spillDur, te.records, te.bytes)
+				for _, sp := range te.spills {
+					tsp.AddPhase(trace.KindSpill, "spill", sp.dur, sp.records, sp.bytes)
+				}
+				tsp.AddPhase(trace.KindSort, "sort", time.Since(sortStart), te.records, te.bytes)
+				tsp.SetIO(te.records, te.bytes)
 			}
 			emitters[i] = te
 			committed = true
@@ -330,6 +451,7 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 		return fail(err)
 	}
 	m.TaskRetries += retries
+	m.MapTaskStats = summarizeTasks(mapDurs)
 	for _, te := range emitters {
 		m.MapOutputRecords += te.records
 		m.MapOutputBytes += te.bytes
@@ -352,8 +474,13 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	var groups, reduceRetries, maxPartition int64
 	var outRecords, outBytes int64
 	var spilledRecs, spilledBytes, mergePasses int64
+	reduceDurs := make([]time.Duration, nReducers)
+	perGroups := make([]int64, nReducers)
+	perBytes := make([]int64, nReducers)
 	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
-		return e.runTask(job.Name, "reduce", p, &reduceRetries, func() error {
+		return e.runTask(job.Name, "reduce", p, &reduceRetries, reduceDurs, func(attempt int) error {
+			tsp := jsp.ChildTask("reduce", len(splits)+p, p, e.taskNode(p), attempt)
+			defer tsp.Finish()
 			var sources []kvSource
 			var runSrcs []*runSource
 			for _, te := range emitters {
@@ -377,7 +504,7 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			}()
 			if len(runSrcs) > e.cfg.MergeFactor {
 				var err error
-				runSrcs, temps, err = e.mergeRuns(runSrcs, e.cfg.MergeFactor,
+				runSrcs, temps, err = e.mergeRuns(runSrcs, e.cfg.MergeFactor, tsp,
 					&localPasses, &localSpilledRecs, &localSpilledBytes)
 				if err != nil {
 					return fmt.Errorf("reduce partition %d merge: %w", p, err)
@@ -397,6 +524,7 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			if err != nil {
 				return err
 			}
+			col.timed = tsp != nil
 			committed := false
 			defer func() {
 				if !committed {
@@ -407,6 +535,9 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			if err != nil {
 				return fmt.Errorf("reduce partition %d: %w", p, err)
 			}
+			// The reduce loop fuses reducing with streaming the output; the
+			// collector times its DFS appends so the two phases can be split.
+			loopStart := time.Now()
 			var localGroups int64
 			for g.ok {
 				vals := &groupValues{g: g, key: g.cur.key, head: true}
@@ -421,6 +552,13 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			if err := col.close(); err != nil {
 				return fmt.Errorf("reduce partition %d: %w", p, err)
 			}
+			if tsp != nil {
+				loopDur := time.Since(loopStart)
+				wRecs, wBytes := col.written()
+				tsp.AddPhase(trace.KindReduce, "reduce", loopDur-col.writeDur, g.pairs, g.bytes)
+				tsp.AddPhase(trace.KindWrite, "write", col.writeDur, wRecs, wBytes)
+				tsp.SetIO(wRecs, wBytes)
+			}
 			committed = true
 			atomic.AddInt64(&groups, localGroups)
 			atomic.AddInt64(&outRecords, col.records)
@@ -428,6 +566,8 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 			atomic.AddInt64(&spilledRecs, localSpilledRecs)
 			atomic.AddInt64(&spilledBytes, localSpilledBytes)
 			atomic.AddInt64(&mergePasses, localPasses)
+			perGroups[p] = localGroups
+			perBytes[p] = g.bytes
 			for n := g.pairs; ; {
 				cur := atomic.LoadInt64(&maxPartition)
 				if n <= cur || atomic.CompareAndSwapInt64(&maxPartition, cur, n) {
@@ -441,6 +581,9 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	}
 	m.TaskRetries += reduceRetries
 	m.ReduceTasks = nReducers
+	m.ReduceTaskStats = summarizeTasks(reduceDurs)
+	m.ReduceKeySkew = skewOf(perGroups)
+	m.ReduceByteSkew = skewOf(perBytes)
 	m.ReduceInputGroups = groups
 	m.ReduceOutputRecords = outRecords
 	m.ReduceOutputBytes = outBytes
@@ -453,9 +596,13 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	}
 
 	// ---- Commit: splice part files into the job outputs ----
-	if err := e.commitParts(job, nReducers); err != nil {
+	csp := jsp.Child(trace.KindCommit, "commit", len(splits)+nReducers)
+	err := e.commitParts(job, nReducers)
+	csp.Finish()
+	if err != nil {
 		return fail(err)
 	}
+	jsp.SetIO(m.ReduceOutputRecords, m.ReduceOutputBytes)
 	m.Duration = time.Since(start)
 	return m, nil
 }
@@ -476,17 +623,22 @@ func (e *Engine) commitParts(job *Job, nParts int) error {
 	return nil
 }
 
-func (e *Engine) runMapOnly(job *Job, splits []split, m JobMetrics, start time.Time,
+func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetrics, start time.Time,
 	nParts *int, fail func(error) (JobMetrics, error)) (JobMetrics, error) {
 	*nParts = len(splits)
 	var retries int64
 	var outRecords, outBytes int64
+	mapDurs := make([]time.Duration, len(splits))
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		return e.runTask(job.Name, "map", i, &retries, func() error {
+		return e.runTask(job.Name, "map", i, &retries, mapDurs, func(attempt int) error {
+			tsp := jsp.ChildTask("map", i, i, e.taskNode(i), attempt)
+			defer tsp.Finish()
+			traced := tsp != nil
 			col, err := e.openParts(job, i)
 			if err != nil {
 				return err
 			}
+			col.timed = traced
 			committed := false
 			defer func() {
 				if !committed {
@@ -497,20 +649,48 @@ func (e *Engine) runMapOnly(job *Job, splits []split, m JobMetrics, start time.T
 			if err != nil {
 				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 			}
+			// As in the shuffle path: the fused loop's scan and map sides are
+			// timed separately when traced, and the collector's append time
+			// is carved out of the map phase as a DFS-write phase.
+			var scanDur, mapDur time.Duration
+			var scanBytes int64
 			for {
-				rec, err := r.Next()
+				var rec []byte
+				var err error
+				if traced {
+					t0 := time.Now()
+					rec, err = r.Next()
+					scanDur += time.Since(t0)
+				} else {
+					rec, err = r.Next()
+				}
 				if err == io.EOF {
 					break
 				}
 				if err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
-				if err := job.MapOnly.MapRecord(splits[i].input, rec, col); err != nil {
+				if traced {
+					scanBytes += int64(len(rec))
+					t0 := time.Now()
+					err = job.MapOnly.MapRecord(splits[i].input, rec, col)
+					mapDur += time.Since(t0)
+				} else {
+					err = job.MapOnly.MapRecord(splits[i].input, rec, col)
+				}
+				if err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
 			}
 			if err := col.close(); err != nil {
 				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			if traced {
+				wRecs, wBytes := col.written()
+				tsp.AddPhase(trace.KindScan, "scan", scanDur, int64(splits[i].n), scanBytes)
+				tsp.AddPhase(trace.KindMap, "map", mapDur-col.writeDur, col.records, col.bytes)
+				tsp.AddPhase(trace.KindWrite, "write", col.writeDur, wRecs, wBytes)
+				tsp.SetIO(wRecs, wBytes)
 			}
 			committed = true
 			atomic.AddInt64(&outRecords, col.records)
@@ -521,11 +701,16 @@ func (e *Engine) runMapOnly(job *Job, splits []split, m JobMetrics, start time.T
 		return fail(err)
 	}
 	m.TaskRetries += retries
+	m.MapTaskStats = summarizeTasks(mapDurs)
 	m.ReduceOutputRecords = outRecords
 	m.ReduceOutputBytes = outBytes
-	if err := e.commitParts(job, len(splits)); err != nil {
+	csp := jsp.Child(trace.KindCommit, "commit", len(splits))
+	err := e.commitParts(job, len(splits))
+	csp.Finish()
+	if err != nil {
 		return fail(err)
 	}
+	jsp.SetIO(outRecords, outBytes)
 	m.Duration = time.Since(start)
 	return m, nil
 }
@@ -587,6 +772,16 @@ type Stage []*Job
 // disk), and reports the failure. Metrics for every executed job are
 // returned in submission order.
 func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
+	return e.RunWorkflowNamed("workflow", stages)
+}
+
+// RunWorkflowNamed is RunWorkflow with an explicit workflow name: with a
+// Tracer configured the whole run becomes one workflow span (named after the
+// engine or query that built the plan) with every job span nested under it,
+// in submission order.
+func (e *Engine) RunWorkflowNamed(name string, stages []Stage) (WorkflowMetrics, error) {
+	wsp := e.cfg.Tracer.Start(trace.KindWorkflow, name)
+	defer wsp.Finish()
 	start := time.Now()
 	var wf WorkflowMetrics
 	for _, st := range stages {
@@ -596,12 +791,15 @@ func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
 	for _, st := range stages {
 		jms := make([]JobMetrics, len(st))
 		errs := make([]error, len(st))
+		order := len(wf.Jobs) // submission-order base for this stage's job spans
 		var wg sync.WaitGroup
 		for i, job := range st {
 			wg.Add(1)
 			go func(i int, job *Job) {
 				defer wg.Done()
-				jms[i], errs[i] = e.Run(job)
+				jsp := wsp.Child(trace.KindJob, job.Name, order+i)
+				defer jsp.Finish()
+				jms[i], errs[i] = e.run(job, jsp)
 			}(i, job)
 		}
 		wg.Wait()

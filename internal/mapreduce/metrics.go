@@ -1,8 +1,65 @@
 package mapreduce
 
 import (
+	"sort"
 	"time"
 )
+
+// TaskSummary condenses the wall-clock durations of one phase's tasks into
+// the distribution shape that explains a slow job: the fastest, median, and
+// slowest task, plus the straggler ratio (slowest ÷ median — ~1.0 means the
+// phase was evenly balanced, large values mean one task gated the barrier).
+type TaskSummary struct {
+	Tasks            int
+	Min, Median, Max time.Duration
+	StragglerRatio   float64
+}
+
+// summarizeTasks computes a TaskSummary from per-task durations.
+func summarizeTasks(durs []time.Duration) TaskSummary {
+	if len(durs) == 0 {
+		return TaskSummary{}
+	}
+	sorted := make([]time.Duration, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := TaskSummary{
+		Tasks: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	if s.Median > 0 {
+		s.StragglerRatio = float64(s.Max) / float64(s.Median)
+	} else if s.Max > 0 {
+		// Median below clock resolution: treat it as one nanosecond so the
+		// ratio stays finite while still flagging the imbalance.
+		s.StragglerRatio = float64(s.Max)
+	} else {
+		s.StragglerRatio = 1
+	}
+	return s
+}
+
+// skewOf normalizes the largest per-partition load against a perfectly
+// balanced split: 1.0 = even, len(per) = everything on one partition.
+func skewOf(per []int64) float64 {
+	var total, max int64
+	for _, v := range per {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(per)) / float64(total)
+}
 
 // JobMetrics records the cost profile of one executed job.
 type JobMetrics struct {
@@ -39,6 +96,20 @@ type JobMetrics struct {
 	SpilledBytes        int64 // bytes written to local-disk spill runs
 	MergePasses         int64 // external merge passes over spilled runs
 	PeakSortBufferBytes int64
+
+	// Per-task timing profiles. MapTaskStats covers the map (or map-only)
+	// tasks, ReduceTaskStats the reduce tasks; both are populated on every
+	// run (tracing not required).
+	MapTaskStats    TaskSummary
+	ReduceTaskStats TaskSummary
+
+	// Per-reducer skew, normalized like ReduceSkew (1.0 = balanced,
+	// ReduceTasks = everything on one reducer): ReduceKeySkew over distinct
+	// key groups per reducer, ReduceByteSkew over reduce-input bytes per
+	// reducer. Together with the record-based ReduceSkew these separate
+	// "one hot key" from "many small keys hashed together".
+	ReduceKeySkew  float64
+	ReduceByteSkew float64
 
 	// TaskRetries counts task attempts beyond the first (fault injection
 	// or real failures recovered by the retry budget).
@@ -123,6 +194,43 @@ func (w *WorkflowMetrics) TotalMergePasses() int64 {
 	var t int64
 	for _, j := range w.Jobs {
 		t += j.MergePasses
+	}
+	return t
+}
+
+// MaxStragglerRatio reports the worst task-duration straggler ratio of any
+// phase of any job — the workflow's load-balance low point.
+func (w *WorkflowMetrics) MaxStragglerRatio() float64 {
+	var t float64
+	for _, j := range w.Jobs {
+		if j.MapTaskStats.StragglerRatio > t {
+			t = j.MapTaskStats.StragglerRatio
+		}
+		if j.ReduceTaskStats.StragglerRatio > t {
+			t = j.ReduceTaskStats.StragglerRatio
+		}
+	}
+	return t
+}
+
+// MaxReduceKeySkew reports the worst per-reducer key skew of any job.
+func (w *WorkflowMetrics) MaxReduceKeySkew() float64 {
+	var t float64
+	for _, j := range w.Jobs {
+		if j.ReduceKeySkew > t {
+			t = j.ReduceKeySkew
+		}
+	}
+	return t
+}
+
+// MaxReduceByteSkew reports the worst per-reducer input-byte skew of any job.
+func (w *WorkflowMetrics) MaxReduceByteSkew() float64 {
+	var t float64
+	for _, j := range w.Jobs {
+		if j.ReduceByteSkew > t {
+			t = j.ReduceByteSkew
+		}
 	}
 	return t
 }

@@ -2,9 +2,11 @@ package mapreduce
 
 import (
 	"fmt"
+	"time"
 
 	"ntga/internal/codec"
 	"ntga/internal/hdfs"
+	"ntga/internal/trace"
 )
 
 // This file implements the bounded-memory half of the shuffle: map tasks
@@ -55,6 +57,20 @@ type taskEmitter struct {
 
 	runs   []*spillRun
 	sealed bool
+
+	// traced turns on per-spill wall-clock profiling; the engine replays the
+	// recorded profiles as spill phases on the map task's span.
+	traced bool
+	spills []spillProfile
+}
+
+// spillProfile is the timing/IO record of one buffer spill, kept so the
+// engine can emit spill phases (and subtract their time from the fused map
+// phase) after the task finishes.
+type spillProfile struct {
+	dur     time.Duration
+	records int64
+	bytes   int64
 }
 
 func newTaskEmitter(dfs *hdfs.DFS, p Partitioner, nReducers int, combiner Combiner, budget int64) *taskEmitter {
@@ -124,6 +140,12 @@ func (t *taskEmitter) spillBuffer() error {
 	if t.buffered == 0 {
 		return nil
 	}
+	var spillStart time.Time
+	var recsBefore int64
+	if t.traced {
+		spillStart = time.Now()
+		recsBefore = t.spilledRecords
+	}
 	w := t.dfs.CreateSpill()
 	run := &spillRun{segs: make([]runSeg, t.nReducers)}
 	buf := codec.NewBuffer(256)
@@ -155,6 +177,13 @@ func (t *taskEmitter) spillBuffer() error {
 	run.spill = w.Close()
 	t.runs = append(t.runs, run)
 	t.buffered = 0
+	if t.traced {
+		t.spills = append(t.spills, spillProfile{
+			dur:     time.Since(spillStart),
+			records: t.spilledRecords - recsBefore,
+			bytes:   int64(off),
+		})
+	}
 	return nil
 }
 
@@ -317,8 +346,10 @@ type groupIter struct {
 	cur kv
 	ok  bool
 	// pairs counts every pair consumed from the merge (the partition's
-	// post-combine record count, for the skew metric).
+	// post-combine record count, for the skew metric); bytes sums their
+	// key+value sizes (for the byte-skew metric and reduce-span IO).
 	pairs int64
+	bytes int64
 }
 
 func newGroupIter(m *mergeIter) (*groupIter, error) {
@@ -327,6 +358,7 @@ func newGroupIter(m *mergeIter) (*groupIter, error) {
 	g.cur, g.ok, err = m.next()
 	if g.ok {
 		g.pairs++
+		g.bytes += int64(len(g.cur.key) + len(g.cur.value))
 	}
 	return g, err
 }
@@ -360,6 +392,7 @@ func (v *groupValues) Next() ([]byte, bool, error) {
 	}
 	g.cur = p
 	g.pairs++
+	g.bytes += int64(len(p.key) + len(p.value))
 	if compareBytes(p.key, v.key) != 0 {
 		v.done = true
 		return nil, false, nil
@@ -403,10 +436,16 @@ func (a adaptedReducer) Reduce(key []byte, values ValueIter, out Collector) erro
 // merge pass per batch (Hadoop's multi-pass external merge under
 // io.sort.factor). It returns the surviving sources plus the temporary
 // runs it created, which the caller must release when the reduce attempt
-// finishes. In-memory segments never count against the factor.
-func (e *Engine) mergeRuns(srcs []*runSource, factor int, passes, spilledRecs, spilledBytes *int64) ([]*runSource, []*spillRun, error) {
+// finishes. In-memory segments never count against the factor. Each batch
+// merged is recorded as a merge phase on tsp (nil-safe no-op).
+func (e *Engine) mergeRuns(srcs []*runSource, factor int, tsp *trace.Span, passes, spilledRecs, spilledBytes *int64) ([]*runSource, []*spillRun, error) {
 	var temps []*spillRun
+	traced := tsp != nil
 	for len(srcs) > factor {
+		var passStart time.Time
+		if traced {
+			passStart = time.Now()
+		}
 		batch := make([]kvSource, factor)
 		for i, s := range srcs[:factor] {
 			batch[i] = s
@@ -446,6 +485,9 @@ func (e *Engine) mergeRuns(srcs []*runSource, factor int, passes, spilledRecs, s
 		*passes++
 		*spilledRecs += int64(nrec)
 		*spilledBytes += int64(off)
+		if traced {
+			tsp.AddPhase(trace.KindMerge, "merge", time.Since(passStart), int64(nrec), int64(off))
+		}
 		srcs = append([]*runSource{newRunSource(run.spill, run.segs[0])}, srcs[factor:]...)
 	}
 	return srcs, temps, nil

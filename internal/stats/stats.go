@@ -47,6 +47,15 @@ func FormatBytes(n int64) string {
 	}
 }
 
+// FormatRatio renders a dimensionless ratio (straggler ratio, skew) with two
+// decimals; zero — "no data" for these metrics — renders as "-".
+func FormatRatio(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", r)
+}
+
 // FormatCount renders a record count compactly (1234567 → "1.23M").
 func FormatCount(n int64) string {
 	switch {

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ChromeEvent is one trace_event record as consumed by chrome://tracing and
+// Perfetto. Only the duration-event subset is emitted: "B"/"E" pairs plus
+// "M" metadata events naming processes and threads.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since the tracer epoch
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format ("[...]"
+// bare-array traces are also legal; the object form lets viewers attach
+// display units).
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track assignment: the workflow span lives on (pid 1, tid 1); every job
+// gets its own pid (jobs within a stage run concurrently, and duration
+// events on one track must nest); a job's span and its commit live on the
+// job's tid 1 while task spans (and their phase children) live on tid
+// 2+taskIndex. Map task i and reduce task i may share a tid because the
+// phases never overlap — the reduce phase starts only after every map task
+// has finished.
+const (
+	workflowPid = 1
+	controlTid  = 1
+)
+
+// ChromeEvents flattens span trees into balanced B/E duration events plus
+// process/thread-naming metadata, timestamped in microseconds relative to
+// epoch.
+func ChromeEvents(roots []*Span, epoch time.Time) []ChromeEvent {
+	var events []ChromeEvent
+	nextJobPid := workflowPid + 1
+	ts := func(t time.Time) float64 {
+		return float64(t.Sub(epoch).Nanoseconds()) / 1e3
+	}
+	named := map[[2]int]bool{}
+	var emit func(s *Span, pid, tid int)
+	emit = func(s *Span, pid, tid int) {
+		switch s.Kind {
+		case KindJob:
+			pid = nextJobPid
+			nextJobPid++
+			tid = controlTid
+			events = append(events, ChromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": "job " + s.Name}})
+		case KindTask:
+			tid = 2 + s.Task
+			if !named[[2]int{pid, tid}] {
+				named[[2]int{pid, tid}] = true
+				events = append(events, ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf("task %d", s.Task)}})
+			}
+		}
+		args := map[string]any{}
+		if s.Task >= 0 {
+			args["task"] = s.Task
+			args["node"] = s.Node
+			args["attempt"] = s.Attempt
+		}
+		if s.Records != 0 {
+			args["records"] = s.Records
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, ChromeEvent{Name: s.Name, Cat: string(s.Kind), Ph: "B",
+			Ts: ts(s.Start), Pid: pid, Tid: tid, Args: args})
+		for _, c := range s.children {
+			emit(c, pid, tid)
+		}
+		events = append(events, ChromeEvent{Name: s.Name, Cat: string(s.Kind), Ph: "E",
+			Ts: ts(s.End), Pid: pid, Tid: tid})
+	}
+	for _, r := range roots {
+		emit(r, workflowPid, controlTid)
+	}
+	return events
+}
+
+// WriteChrome exports the tracer's span trees as Chrome trace_event JSON,
+// loadable in chrome://tracing and https://ui.perfetto.dev. A nil tracer
+// writes an empty (but valid) trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	trace := chromeTrace{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		trace.TraceEvents = ChromeEvents(t.Roots(), t.epoch)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

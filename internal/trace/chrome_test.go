@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// buildSampleTrace assembles a tracer shaped like a real run: a workflow
+// containing two jobs (as from one concurrent stage), each with task spans
+// carrying phase children, plus a commit span.
+func buildSampleTrace() *Tracer {
+	tr := New()
+	w := tr.Start(KindWorkflow, "wf")
+	for j := 0; j < 2; j++ {
+		job := w.Child(KindJob, "job", j)
+		for i := 0; i < 3; i++ {
+			m := job.ChildTask("map", i, i, i%2, 0)
+			m.AddPhase(KindScan, "scan", time.Microsecond, 4, 40)
+			m.AddPhase(KindMap, "map", time.Microsecond, 8, 80)
+			m.Finish()
+		}
+		r := job.ChildTask("reduce", 3, 0, 0, 0)
+		r.AddPhase(KindReduce, "reduce", time.Microsecond, 8, 80)
+		r.AddPhase(KindWrite, "write", time.Microsecond, 2, 20)
+		r.Finish()
+		job.Child(KindCommit, "commit", 4).Finish()
+		job.Finish()
+	}
+	w.Finish()
+	return tr
+}
+
+// checkChromeSchema decodes trace_event JSON and validates the invariants a
+// viewer depends on: the traceEvents container, required fields on every
+// event, and strictly balanced B/E pairs per (pid, tid) track with matching
+// names and non-decreasing timestamps.
+func checkChromeSchema(t *testing.T, raw []byte) map[string]int {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("trace has no traceEvents array")
+	}
+	type frame struct {
+		name string
+		ts   float64
+	}
+	stacks := map[[2]int][]frame{}
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		phases[ph]++
+		if ph == "M" {
+			continue
+		}
+		if ph != "B" && ph != "E" {
+			t.Fatalf("event %d has unexpected phase %q", i, ph)
+		}
+		track := [2]int{int(ev["pid"].(float64)), int(ev["tid"].(float64))}
+		name := ev["name"].(string)
+		ts := ev["ts"].(float64)
+		if ph == "B" {
+			stacks[track] = append(stacks[track], frame{name, ts})
+			continue
+		}
+		st := stacks[track]
+		if len(st) == 0 {
+			t.Fatalf("event %d: E %q on track %v with no open B", i, name, track)
+		}
+		top := st[len(st)-1]
+		if top.name != name {
+			t.Fatalf("event %d: E %q closes B %q on track %v (improper nesting)", i, name, top.name, track)
+		}
+		if ts < top.ts {
+			t.Fatalf("event %d: E %q at ts %v precedes its B at %v", i, name, ts, top.ts)
+		}
+		stacks[track] = st[:len(st)-1]
+	}
+	for track, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("track %v has %d unclosed B events (first: %q)", track, len(st), st[0].name)
+		}
+	}
+	return phases
+}
+
+func TestWriteChromeSchema(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	phases := checkChromeSchema(t, buf.Bytes())
+	if phases["B"] == 0 || phases["B"] != phases["E"] {
+		t.Fatalf("B/E counts = %d/%d, want equal and nonzero", phases["B"], phases["E"])
+	}
+	// workflow + 2×(job + 3 map tasks×(1+2 phases) + reduce×(1+2 phases) + commit)
+	wantPairs := 1 + 2*(1+3*3+3+1)
+	if phases["B"] != wantPairs {
+		t.Fatalf("B events = %d, want %d", phases["B"], wantPairs)
+	}
+	if phases["M"] == 0 {
+		t.Fatal("expected process/thread naming metadata events")
+	}
+}
+
+func TestWriteChromeDistinctJobPids(t *testing.T) {
+	tr := buildSampleTrace()
+	events := ChromeEvents(tr.Roots(), tr.Epoch())
+	jobPids := map[int]bool{}
+	for _, ev := range events {
+		if ev.Ph == "B" && ev.Cat == string(KindJob) {
+			jobPids[ev.Pid] = true
+		}
+	}
+	if len(jobPids) != 2 {
+		t.Fatalf("2 concurrent jobs must get 2 distinct pids, got %v", jobPids)
+	}
+	if jobPids[workflowPid] {
+		t.Fatal("a job must not share the workflow's pid")
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChrome: %v", err)
+	}
+	checkChromeSchema(t, buf.Bytes())
+}

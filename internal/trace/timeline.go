@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ntga/internal/stats"
+)
+
+// Timeline renders span trees as plain-text per-job timeline tables: one
+// table per job with a row per task attempt — start offset (relative to the
+// job), duration, an ASCII gantt bar, I/O counts, and the task's phase
+// breakdown. Commit spans and nested workflows render as ordinary rows.
+func Timeline(roots []*Span) string {
+	var sb strings.Builder
+	for _, r := range roots {
+		r.Walk(func(s *Span, _ int) {
+			if s.Kind == KindJob {
+				sb.WriteString(jobTimeline(s))
+			}
+		})
+	}
+	return sb.String()
+}
+
+const ganttWidth = 24
+
+func jobTimeline(job *Span) string {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("-- timeline: job %s (%s) --", job.Name, fmtDur(job.Duration())),
+		Header: []string{"span", "node", "start", "dur", "timeline", "records", "bytes", "phases"},
+	}
+	jobDur := job.Duration()
+	for _, c := range job.Children() {
+		name := c.Name
+		if c.Task >= 0 {
+			name = fmt.Sprintf("%s[%d]", c.Name, c.Task)
+			if c.Attempt > 0 {
+				name += fmt.Sprintf("#%d", c.Attempt)
+			}
+		}
+		node := "-"
+		if c.Node >= 0 {
+			node = fmt.Sprintf("n%d", c.Node)
+		}
+		t.AddRow(name, node,
+			fmtDur(c.Start.Sub(job.Start)), fmtDur(c.Duration()),
+			gantt(job.Start, jobDur, c),
+			c.Records, stats.FormatBytes(c.Bytes), phaseSummary(c))
+	}
+	return t.Render() + "\n"
+}
+
+// gantt draws the span's interval as a bar within the job's extent.
+func gantt(jobStart time.Time, jobDur time.Duration, s *Span) string {
+	if jobDur <= 0 {
+		return strings.Repeat("·", ganttWidth)
+	}
+	frac := func(t time.Time) int {
+		f := float64(t.Sub(jobStart)) / float64(jobDur)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * ganttWidth)
+	}
+	from, to := frac(s.Start), frac(s.End)
+	if to <= from {
+		to = from + 1
+		if to > ganttWidth {
+			from, to = ganttWidth-1, ganttWidth
+		}
+	}
+	return strings.Repeat("·", from) + strings.Repeat("#", to-from) + strings.Repeat("·", ganttWidth-to)
+}
+
+// phaseSummary compacts a task's phase children into "scan 1.2ms | map
+// 3.4ms | spill×2 0.8ms" form, merging repeated kinds.
+func phaseSummary(task *Span) string {
+	type agg struct {
+		kind  Kind
+		n     int
+		total time.Duration
+	}
+	var order []Kind
+	byKind := map[Kind]*agg{}
+	for _, c := range task.Children() {
+		a, ok := byKind[c.Kind]
+		if !ok {
+			a = &agg{kind: c.Kind}
+			byKind[c.Kind] = a
+			order = append(order, c.Kind)
+		}
+		a.n++
+		a.total += c.Duration()
+	}
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		a := byKind[k]
+		label := string(k)
+		if a.n > 1 {
+			label = fmt.Sprintf("%s×%d", k, a.n)
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", label, fmtDur(a.total)))
+	}
+	return strings.Join(parts, " | ")
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(KindJob, "j")
+	if s != nil {
+		t.Fatalf("nil tracer Start returned %v, want nil", s)
+	}
+	// Every span method must be a silent no-op on nil.
+	c := s.Child(KindCommit, "c", 0)
+	if c != nil {
+		t.Fatalf("nil span Child returned %v, want nil", c)
+	}
+	if ct := s.ChildTask("m", 0, 0, 0, 0); ct != nil {
+		t.Fatalf("nil span ChildTask returned %v, want nil", ct)
+	}
+	s.AddPhase(KindScan, "scan", time.Millisecond, 1, 2)
+	s.SetIO(1, 2)
+	s.Finish()
+	s.Walk(func(*Span, int) { t.Fatal("nil span Walk visited a node") })
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", d)
+	}
+	if ch := s.Children(); ch != nil {
+		t.Fatalf("nil span Children = %v, want nil", ch)
+	}
+	if roots := tr.Roots(); roots != nil {
+		t.Fatalf("nil tracer Roots = %v, want nil", roots)
+	}
+	if !tr.Epoch().IsZero() {
+		t.Fatal("nil tracer Epoch should be zero")
+	}
+}
+
+func TestRootsSortSiblingsByGroup(t *testing.T) {
+	tr := New()
+	w := tr.Start(KindWorkflow, "wf")
+	// Created out of group order, as a goroutine pool would.
+	w.Child(KindJob, "third", 2).Finish()
+	w.Child(KindJob, "first", 0).Finish()
+	w.Child(KindJob, "second", 1).Finish()
+	w.Finish()
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	var names []string
+	for _, c := range roots[0].Children() {
+		names = append(names, c.Name)
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted children = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRootsSortTaskAttempts(t *testing.T) {
+	tr := New()
+	j := tr.Start(KindJob, "job")
+	// Same group (one task, two attempts), reverse creation order plus a
+	// different task in a lower group created last.
+	j.ChildTask("map", 1, 1, 0, 1).Finish()
+	j.ChildTask("map", 1, 1, 0, 0).Finish()
+	j.ChildTask("map", 0, 0, 0, 0).Finish()
+	j.Finish()
+	ch := tr.Roots()[0].Children()
+	got := []int{ch[0].Task, ch[1].Attempt, ch[2].Attempt}
+	if ch[0].Task != 0 || ch[1].Task != 1 || ch[1].Attempt != 0 || ch[2].Attempt != 1 {
+		t.Fatalf("sorted (task, attempt) order wrong: %v", got)
+	}
+}
+
+func TestPhasesMaterializeSequentially(t *testing.T) {
+	tr := New()
+	s := tr.Start(KindTask, "map")
+	s.AddPhase(KindScan, "scan", time.Millisecond, 10, 100)
+	s.AddPhase(KindMap, "map", 2*time.Millisecond, 20, 200)
+	time.Sleep(5 * time.Millisecond) // ensure the span outlasts its phases
+	s.Finish()
+	ch := tr.Roots()[0].Children()
+	if len(ch) != 2 {
+		t.Fatalf("materialized %d phases, want 2", len(ch))
+	}
+	if ch[0].Kind != KindScan || ch[1].Kind != KindMap {
+		t.Fatalf("phase kinds = %v, %v", ch[0].Kind, ch[1].Kind)
+	}
+	if !ch[0].Start.Equal(s.Start) {
+		t.Error("first phase must start at the span start")
+	}
+	if !ch[1].Start.Equal(ch[0].End) {
+		t.Error("phases must be laid out back to back")
+	}
+	if ch[1].End.After(s.End) {
+		t.Error("phases must not extend past the span end")
+	}
+	if ch[0].Records != 10 || ch[0].Bytes != 100 {
+		t.Errorf("phase IO = (%d, %d), want (10, 100)", ch[0].Records, ch[0].Bytes)
+	}
+}
+
+func TestPhasesClampToSpanEnd(t *testing.T) {
+	tr := New()
+	s := tr.Start(KindTask, "map")
+	// A phase longer than the span itself (measurement jitter) must clamp.
+	s.AddPhase(KindScan, "scan", time.Hour, 0, 0)
+	s.AddPhase(KindMap, "map", time.Hour, 0, 0)
+	s.Finish()
+	for _, c := range tr.Roots()[0].Children() {
+		if c.Start.Before(s.Start) || c.End.After(s.End) {
+			t.Fatalf("phase [%v, %v] escapes span [%v, %v]", c.Start, c.End, s.Start, s.End)
+		}
+		if c.End.Before(c.Start) {
+			t.Fatalf("phase end precedes start")
+		}
+	}
+}
+
+func TestTreeStringOmitsTimestamps(t *testing.T) {
+	tr := New()
+	j := tr.Start(KindJob, "job")
+	m := j.ChildTask("map", 0, 0, 2, 0)
+	m.AddPhase(KindScan, "scan", time.Millisecond, 5, 50)
+	m.SetIO(7, 70)
+	m.Finish()
+	j.Finish()
+	got := TreeString(tr.Roots())
+	want := "job \"job\"\n" +
+		"  task \"map\" task=0 node=2 attempt=0 records=7 bytes=70\n" +
+		"    scan \"scan\" task=0 node=2 attempt=0 records=5 bytes=50\n"
+	if got != want {
+		t.Fatalf("TreeString =\n%s\nwant\n%s", got, want)
+	}
+	if strings.Contains(got, ":") {
+		t.Fatalf("TreeString must not contain timestamps:\n%s", got)
+	}
+}
