@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check
+.PHONY: all build test test-race bench figures cover fmt vet check chaos
 
 all: build check test
 
@@ -28,6 +28,11 @@ test:
 
 test-race:
 	go test -race ./...
+
+# Full chaos sweep: every catalog query on every engine with mid-phase
+# faults, node kills, and speculation armed (internal/integration/chaos_test.go).
+chaos:
+	go test ./internal/integration -run TestChaos -count=1 -timeout 15m
 
 # One testing.B target per paper figure/table + per-query micros.
 bench:

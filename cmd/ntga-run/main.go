@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ntga/internal/bench"
 	"ntga/internal/engine"
@@ -36,6 +38,8 @@ func main() {
 		rep       = flag.Int("replication", 1, "DFS replication factor")
 		phiM      = flag.Int("phim", 0, "partial β-unnest partition range (0 = default)")
 		sortBuf   = flag.Int64("sortbuf", 0, "map sort-buffer budget in bytes; map output beyond it spills to local disk (0 = unbounded)")
+		faults    = flag.String("faults", "", "inject seeded mid-phase faults: rate:seed[:nodekills], e.g. 0.01:7 or 0.01:7:2 (node kills escalate from faults); prints a recovery summary")
+		speculate = flag.Bool("speculate", false, "launch speculative backup attempts for straggling tasks")
 		metrics   = flag.Bool("metrics", false, "print per-job workflow metrics")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the workflow to this file (open in chrome://tracing or ui.perfetto.dev)")
 		timeline  = flag.Bool("timeline", false, "print a per-job plain-text task timeline (implies tracing)")
@@ -99,9 +103,18 @@ func main() {
 		if *traceOut != "" || *timeline {
 			tracer = trace.New()
 		}
+		cfg := mapreduce.EngineConfig{SortBufferBytes: *sortBuf, Tracer: tracer, Speculation: *speculate}
+		if *faults != "" {
+			plan, attempts, err := parseFaults(*faults)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Faults = plan
+			cfg.TaskMaxAttempts = attempts
+		}
 		mr := mapreduce.NewEngine(
 			hdfs.New(hdfs.Config{Nodes: *nodes, Replication: *rep}),
-			mapreduce.EngineConfig{SortBufferBytes: *sortBuf, Tracer: tracer},
+			cfg,
 		)
 		if err := engine.LoadGraph(mr.DFS(), "data/triples", g); err != nil {
 			fatal(err)
@@ -119,6 +132,11 @@ func main() {
 			if *timeline {
 				fmt.Fprint(os.Stderr, trace.Timeline(tracer.Roots()))
 			}
+		}
+		if *faults != "" || *speculate {
+			// A recovery summary is most interesting when the run needed
+			// recovering — print it even for a failed workflow.
+			printRecovery(res)
 		}
 		if err != nil {
 			fatal(err)
@@ -194,6 +212,49 @@ func printMetrics(res *engine.Result) {
 	for name, v := range res.Counters {
 		fmt.Fprintf(os.Stderr, "counter %s = %d\n", name, v)
 	}
+}
+
+// parseFaults turns "rate:seed[:nodekills]" into a mid-phase fault plan and
+// the retry budget to pair with it. A non-zero nodekills arms node-failure
+// escalation: one in four firing faults takes the attempt's data node down,
+// up to the given budget.
+func parseFaults(s string) (*mapreduce.FaultPlan, int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, 0, fmt.Errorf("-faults: want rate:seed[:nodekills], got %q", s)
+	}
+	rate, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return nil, 0, fmt.Errorf("-faults: bad rate %q (want 0..1)", parts[0])
+	}
+	seed, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("-faults: bad seed %q", parts[1])
+	}
+	plan := &mapreduce.FaultPlan{Rate: rate, Seed: seed, MidPhase: true}
+	if len(parts) == 3 {
+		nk, err := strconv.Atoi(parts[2])
+		if err != nil || nk < 0 {
+			return nil, 0, fmt.Errorf("-faults: bad nodekills %q", parts[2])
+		}
+		if nk > 0 {
+			plan.NodeFailureRate = 0.25
+			plan.MaxNodeKills = nk
+		}
+	}
+	return plan, 8, nil
+}
+
+// printRecovery summarizes what the fault-tolerance machinery did during the
+// run: attempts retried or killed, nodes lost, map output regenerated,
+// speculative backups raced, and the attempt-private bytes reclaimed.
+func printRecovery(res *engine.Result) {
+	w := res.Workflow
+	fmt.Fprintf(os.Stderr,
+		"recovery: retries=%d killedAttempts=%d nodeKills=%d mapOutputRecoveries=%d speculative=%d/%d won tempBytesReclaimed=%s\n",
+		w.TotalTaskRetries(), w.TotalKilledAttempts(), w.TotalNodeKills(),
+		w.TotalMapOutputRecoveries(), w.TotalSpeculativeWins(), w.TotalSpeculativeLaunched(),
+		stats.FormatBytes(w.TotalTempBytesReclaimed()))
 }
 
 func writeTrace(path string, tr *trace.Tracer) error {

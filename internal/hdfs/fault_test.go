@@ -1,0 +1,161 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestErrNotExistSharesIdentityWithErrNotFound(t *testing.T) {
+	// Cleanup paths check errors.Is(err, ErrNotExist); everything older
+	// checks ErrNotFound. The two must stay the same sentinel.
+	if !errors.Is(ErrNotExist, ErrNotFound) || !errors.Is(ErrNotFound, ErrNotExist) {
+		t.Fatal("ErrNotExist and ErrNotFound must share identity")
+	}
+	d := New(Config{Nodes: 1})
+	if err := d.Delete("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Delete(missing) = %v, want ErrNotExist", err)
+	}
+}
+
+func TestRenameMovesFileAtomically(t *testing.T) {
+	d := New(Config{Nodes: 2, BlockSize: 8})
+	recs := [][]byte{[]byte("hello"), []byte("world!")}
+	if err := d.WriteFile("tmp/a", recs); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := d.Used()
+	m := d.Metrics()
+	if err := d.Rename("tmp/a", "final/a"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if d.Exists("tmp/a") || !d.Exists("final/a") {
+		t.Fatalf("Rename left files %v", d.List())
+	}
+	got, err := d.ReadAll("final/a")
+	if err != nil || len(got) != 2 || !bytes.Equal(got[0], recs[0]) {
+		t.Fatalf("ReadAll after rename = %q, %v", got, err)
+	}
+	if d.Used() != usedBefore {
+		t.Errorf("Rename changed used bytes: %d -> %d", usedBefore, d.Used())
+	}
+	// A metadata move writes no bytes and deletes no files.
+	after := d.Metrics()
+	after.BytesRead, m.BytesRead = 0, 0 // ReadAll above read bytes
+	after.RecordsRead, m.RecordsRead = 0, 0
+	if !reflect.DeepEqual(after, m) {
+		t.Errorf("Rename touched byte counters: %+v vs %+v", after, m)
+	}
+
+	if err := d.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Rename(missing) = %v, want ErrNotExist", err)
+	}
+	if err := d.WriteFile("other", recs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("final/a", "other"); !errors.Is(err, ErrExists) {
+		t.Errorf("Rename onto existing = %v, want ErrExists", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	d := New(Config{Nodes: 1})
+	for _, name := range []string{"_tmp/j/map-00000/0/out", "_tmp/j/map-00001/2/out", "_tmp/k/x", "out"} {
+		if err := d.WriteFile(name, [][]byte{[]byte("r")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.ListPrefix("_tmp/j/")
+	want := []string{"_tmp/j/map-00000/0/out", "_tmp/j/map-00001/2/out"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ListPrefix = %v, want %v", got, want)
+	}
+	if got := d.ListPrefix("nope/"); len(got) != 0 {
+		t.Errorf("ListPrefix(nope/) = %v, want empty", got)
+	}
+}
+
+func TestKillNodeReReplicatesBlockAccounting(t *testing.T) {
+	d := New(Config{Nodes: 3, BlockSize: 8, Replication: 2})
+	recs := [][]byte{make([]byte, 30)}
+	if err := d.WriteFile("f", recs); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := d.Used()
+	if _, ok := d.KillNode(0); !ok {
+		t.Fatal("KillNode(0) refused")
+	}
+	if d.NodeAlive(0) || !d.NodeAlive(1) || d.AliveNodes() != 2 || d.NodesKilled() != 1 {
+		t.Fatalf("liveness wrong after kill: alive=%d killed=%d", d.AliveNodes(), d.NodesKilled())
+	}
+	// With a spare live node for every replica, physical usage is conserved:
+	// each replica that lived on node 0 moved to the remaining live node.
+	if d.Used() != usedBefore {
+		t.Errorf("Used after kill = %d, want %d (replicas re-replicated)", d.Used(), usedBefore)
+	}
+	got, err := d.ReadAll("f")
+	if err != nil || len(got) != 1 || len(got[0]) != 30 {
+		t.Fatalf("ReadAll after node death: %q, %v", got, err)
+	}
+	// Killing the same node twice is refused.
+	if _, ok := d.KillNode(0); ok {
+		t.Error("KillNode(0) twice succeeded")
+	}
+	// New writes land only on live nodes, under-replicated if needed.
+	if _, ok := d.KillNode(1); !ok {
+		t.Fatal("KillNode(1) refused")
+	}
+	if err := d.WriteFile("g", recs); err != nil {
+		t.Fatalf("write with one live node: %v", err)
+	}
+	// Last live node cannot be killed.
+	if _, ok := d.KillNode(2); ok {
+		t.Error("killed the last live node")
+	}
+}
+
+func TestKillNodeLosesLocalSpills(t *testing.T) {
+	d := New(Config{Nodes: 3})
+	w := d.CreateSpillOn(1)
+	if w.Node() != 1 {
+		t.Fatalf("CreateSpillOn(1) landed on node %d", w.Node())
+	}
+	if _, err := w.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	sp := w.Close()
+	w2 := d.CreateSpillOn(2)
+	if _, err := w2.Write(make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	lost, ok := d.KillNode(1)
+	if !ok || lost != 100 {
+		t.Fatalf("KillNode(1) = (%d, %v), want (100, true)", lost, ok)
+	}
+	if !sp.Lost() {
+		t.Error("sealed spill on dead node not marked Lost")
+	}
+	if d.SpillUsed() != 40 {
+		t.Errorf("SpillUsed after kill = %d, want 40 (only the survivor)", d.SpillUsed())
+	}
+	sp.Release() // must be a no-op after node death
+	if d.SpillUsed() != 40 {
+		t.Errorf("Release after node death double-freed: SpillUsed = %d", d.SpillUsed())
+	}
+	// Writers pinned to the dead node fail with ErrNodeLost, including ones
+	// created after the death.
+	if _, err := d.CreateSpillOn(1).Write([]byte("x")); !errors.Is(err, ErrNodeLost) {
+		t.Errorf("spill write on dead node = %v, want ErrNodeLost", err)
+	}
+	// CreateSpill (no affinity) avoids dead nodes.
+	w3 := d.CreateSpill()
+	if w3.Node() == 1 {
+		t.Error("CreateSpill placed a spill on a dead node")
+	}
+	w3.Abort()
+	w2.Close().Release()
+	if d.SpillUsed() != 0 {
+		t.Errorf("residual spill bytes: %d", d.SpillUsed())
+	}
+}

@@ -27,8 +27,21 @@ var ErrDiskFull = errors.New("hdfs: cluster out of disk space")
 // ErrNotFound is returned when opening or deleting a file that does not exist.
 var ErrNotFound = errors.New("hdfs: file not found")
 
+// ErrNotExist is the canonical sentinel for "the file is already gone".
+// It shares identity with ErrNotFound so every existing errors.Is check
+// keeps working; cleanup paths that race over the same temporaries (task
+// retries, speculative-attempt abort, job-failure sweeps) should test
+// errors.Is(err, ErrNotExist) and treat it as benign, while any other
+// Delete error stays fatal.
+var ErrNotExist = ErrNotFound
+
 // ErrExists is returned when creating a file that already exists.
 var ErrExists = errors.New("hdfs: file already exists")
+
+// ErrNodeLost is returned (wrapped) when an operation depends on a data
+// node that has been killed: writing or reading a node-local spill file
+// that died with its node, or a task attempt pinned to the dead node.
+var ErrNodeLost = errors.New("hdfs: data node lost")
 
 // Config describes a simulated cluster.
 type Config struct {
@@ -119,6 +132,9 @@ type DFS struct {
 	peakUsed      int64   // high-water mark of total bytes stored
 	spillUsed     []int64 // per-node local spill bytes held (see spill.go)
 	peakSpillUsed int64   // high-water mark of total spill bytes held
+	spillReg      map[*spillState]struct{}
+	dead          []bool // per-node liveness (KillNode)
+	nodesKilled   int
 	metrics       Metrics
 }
 
@@ -133,6 +149,8 @@ func New(cfg Config) *DFS {
 		files:     make(map[string]*file),
 		used:      make([]int64, cfg.Nodes),
 		spillUsed: make([]int64, cfg.Nodes),
+		spillReg:  make(map[*spillState]struct{}),
+		dead:      make([]bool, cfg.Nodes),
 	}
 }
 
@@ -215,6 +233,43 @@ func (d *DFS) List() []string {
 	return names
 }
 
+// ListPrefix returns the names of all files whose name starts with prefix,
+// sorted. The MR engine uses it to sweep a failed job's attempt-scoped
+// temporaries ("_tmp/<job>/...") without tracking each one individually.
+func (d *DFS) ListPrefix(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var names []string
+	for n := range d.files {
+		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rename atomically moves a file to a new name without touching its records
+// or blocks (a pure NameNode metadata operation, like HDFS rename). It is
+// the commit primitive of the MR engine's attempt-scoped output protocol:
+// the winning attempt promotes its "_tmp/..." part files to their final
+// names in one step. Returns ErrNotExist if oldName is missing and
+// ErrExists if newName is already taken.
+func (d *DFS) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
+	}
+	if _, ok := d.files[newName]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, newName)
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+	return nil
+}
+
 // Delete removes a file, freeing its blocks.
 func (d *DFS) Delete(name string) error {
 	d.mu.Lock()
@@ -235,18 +290,129 @@ func (d *DFS) Delete(name string) error {
 
 // DeleteIfExists removes a file if present; absent files are not an error.
 func (d *DFS) DeleteIfExists(name string) {
-	if err := d.Delete(name); err != nil && !errors.Is(err, ErrNotFound) {
-		panic(err) // Delete only errors with ErrNotFound
+	if err := d.Delete(name); err != nil && !errors.Is(err, ErrNotExist) {
+		panic(err) // Delete only errors with ErrNotExist
 	}
 }
 
-// placeBlock charges one block of the given size to rep distinct nodes,
-// choosing the nodes with most free space. Caller holds d.mu.
+// NodeAlive reports whether data node n is still up.
+func (d *DFS) NodeAlive(n int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return n >= 0 && n < len(d.dead) && !d.dead[n]
+}
+
+// AliveNodes reports how many data nodes are still up.
+func (d *DFS) AliveNodes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.aliveLocked()
+}
+
+func (d *DFS) aliveLocked() int {
+	alive := 0
+	for _, dd := range d.dead {
+		if !dd {
+			alive++
+		}
+	}
+	return alive
+}
+
+// NodesKilled reports how many nodes have been killed since creation.
+func (d *DFS) NodesKilled() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nodesKilled
+}
+
+// KillNode simulates the permanent loss of data node n and returns the
+// node-local spill bytes that died with it. Replicated DFS blocks survive:
+// block accounting held by n is re-replicated onto the least-loaded live
+// nodes (the record data itself is stored centrally in the simulation, so
+// only placement moves — mirroring the NameNode re-replicating from the
+// surviving replicas). Node-local spill files on n are lost for good:
+// their bytes are freed and every Spill/SpillWriter on the node starts
+// failing with ErrNodeLost, which is what forces the MR engine to re-run
+// the map attempts whose output lived there. Killing an already-dead node
+// or the last live node is refused (ok=false).
+func (d *DFS) KillNode(n int) (lostSpillBytes int64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 || n >= len(d.dead) || d.dead[n] || d.aliveLocked() <= 1 {
+		return 0, false
+	}
+	d.dead[n] = true
+	d.nodesKilled++
+	// Re-replicate block accounting from the dead node to live nodes that
+	// do not already hold the block (best effort: with no eligible target
+	// the block simply stays under-replicated).
+	for _, f := range d.files {
+		for bi := range f.blocks {
+			b := &f.blocks[bi]
+			for idx, bn := range b.nodes {
+				if bn != n {
+					continue
+				}
+				d.used[n] -= b.size
+				target := -1
+				for cand := range d.dead {
+					if d.dead[cand] {
+						continue
+					}
+					dup := false
+					for _, other := range b.nodes {
+						if other == cand {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					if target < 0 || d.used[cand] < d.used[target] {
+						target = cand
+					}
+				}
+				if target >= 0 {
+					b.nodes[idx] = target
+					d.used[target] += b.size
+				} else {
+					b.nodes = append(b.nodes[:idx], b.nodes[idx+1:]...)
+				}
+				break // at most one replica of a block per node
+			}
+		}
+	}
+	// Node-local spill files die with the node.
+	for st := range d.spillReg {
+		if st.node != n || st.released {
+			continue
+		}
+		st.lost = true
+		st.released = true
+		d.spillUsed[n] -= st.charged
+		d.metrics.SpillFilesReleased++
+		lostSpillBytes += st.charged
+		delete(d.spillReg, st)
+	}
+	return lostSpillBytes, true
+}
+
+// placeBlock charges one block of the given size to rep distinct live
+// nodes, choosing the nodes with most free space. Caller holds d.mu. When
+// fewer live nodes than the replication factor remain, the block is placed
+// under-replicated rather than failing the write.
 func (d *DFS) placeBlock(size int64) ([]int, error) {
 	rep := d.cfg.Replication
-	order := make([]int, len(d.used))
-	for i := range order {
-		order[i] = i
+	if alive := d.aliveLocked(); rep > alive {
+		rep = alive
+	}
+	order := make([]int, 0, len(d.used))
+	for i := range d.used {
+		if !d.dead[i] {
+			order = append(order, i)
+		}
 	}
 	sort.Slice(order, func(a, b int) bool { return d.used[order[a]] < d.used[order[b]] })
 	nodes := make([]int, 0, rep)

@@ -13,46 +13,95 @@ import (
 // the paper's intermediate-footprint metrics stay honest when the engine
 // runs with a bounded sort buffer: DFS counters measure materialization
 // between MR cycles, spill counters measure transient within-cycle disk.
+//
+// Unlike DFS blocks, spill files are unreplicated: when KillNode takes a
+// node down, every spill on it is lost and subsequent reads or writes fail
+// with ErrNodeLost — the MR engine must regenerate the data by re-running
+// the map attempt that produced it, exactly as Hadoop refetches lost map
+// output by re-executing the map task.
+
+// spillState is the accounting record shared by a SpillWriter and the
+// Spill it seals into, tracked in the DFS spill registry so KillNode can
+// find and invalidate every live spill on a dying node. Guarded by DFS.mu.
+type spillState struct {
+	node     int
+	charged  int64 // bytes currently held against the node's spill disk
+	lost     bool  // node died while the spill was live
+	released bool  // bytes already freed (Release, Abort, or node death)
+}
 
 // SpillWriter accumulates one spill file on a node's local disk, charging
 // spill accounting incrementally as bytes are written.
 type SpillWriter struct {
 	d      *DFS
-	node   int
+	st     *spillState
 	data   []byte
 	closed bool
 }
 
-// CreateSpill starts a new node-local spill file on the node with the most
-// free local-disk space (tasks are not pinned to nodes in the simulation,
-// so least-loaded placement stands in for "the task's own node").
+// CreateSpill starts a new node-local spill file on the live node with the
+// most free local-disk space (for callers with no node affinity).
 func (d *DFS) CreateSpill() *SpillWriter {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	node := 0
-	for n := 1; n < len(d.spillUsed); n++ {
-		if d.spillUsed[n] < d.spillUsed[node] {
+	node := -1
+	for n := range d.spillUsed {
+		if d.dead[n] {
+			continue
+		}
+		if node < 0 || d.spillUsed[n] < d.spillUsed[node] {
 			node = n
 		}
 	}
+	if node < 0 {
+		node = 0 // all nodes dead: writes will fail with ErrNodeLost
+	}
+	return d.createSpillLocked(node)
+}
+
+// CreateSpillOn starts a new node-local spill file pinned to the given
+// node — the MR engine pins each task attempt's spills to the attempt's
+// own node, so a node failure loses exactly that node's intermediate data.
+// Spills created on a dead node fail their first Write with ErrNodeLost.
+func (d *DFS) CreateSpillOn(node int) *SpillWriter {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if node < 0 || node >= len(d.spillUsed) {
+		node = 0
+	}
+	return d.createSpillLocked(node)
+}
+
+func (d *DFS) createSpillLocked(node int) *SpillWriter {
+	st := &spillState{node: node, lost: d.dead[node]}
+	if !st.lost {
+		d.spillReg[st] = struct{}{}
+	} else {
+		st.released = true
+	}
 	d.metrics.SpillFilesCreated++
-	return &SpillWriter{d: d, node: node}
+	return &SpillWriter{d: d, st: st}
 }
 
 // Write appends bytes to the spill file, charging the node's local disk.
-// It fails with a wrapped ErrDiskFull when LocalSpillPerNode is exceeded.
+// It fails with a wrapped ErrDiskFull when LocalSpillPerNode is exceeded,
+// and with a wrapped ErrNodeLost if the spill's node has been killed.
 func (w *SpillWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("hdfs: write to closed spill writer")
 	}
 	w.d.mu.Lock()
 	defer w.d.mu.Unlock()
-	if cap := w.d.cfg.LocalSpillPerNode; cap != 0 && w.d.spillUsed[w.node]+int64(len(p)) > cap {
+	if w.st.lost {
+		return 0, fmt.Errorf("%w: spill write on dead node %d", ErrNodeLost, w.st.node)
+	}
+	if cap := w.d.cfg.LocalSpillPerNode; cap != 0 && w.d.spillUsed[w.st.node]+int64(len(p)) > cap {
 		return 0, fmt.Errorf("%w: node %d local spill disk (%d bytes) exhausted",
-			ErrDiskFull, w.node, cap)
+			ErrDiskFull, w.st.node, cap)
 	}
 	w.data = append(w.data, p...)
-	w.d.spillUsed[w.node] += int64(len(p))
+	w.st.charged += int64(len(p))
+	w.d.spillUsed[w.st.node] += int64(len(p))
 	w.d.metrics.SpillBytesWritten += int64(len(p))
 	var total int64
 	for _, u := range w.d.spillUsed {
@@ -67,34 +116,49 @@ func (w *SpillWriter) Write(p []byte) (int, error) {
 // Len reports the bytes written so far.
 func (w *SpillWriter) Len() int { return len(w.data) }
 
+// Node reports the data node holding this spill file.
+func (w *SpillWriter) Node() int { return w.st.node }
+
 // Close seals the spill file and returns the readable Spill. The charged
-// bytes remain held against the node until Release.
+// bytes remain held against the node until Release (or node death).
 func (w *SpillWriter) Close() *Spill {
 	w.closed = true
-	return &Spill{d: w.d, node: w.node, data: w.data}
+	return &Spill{d: w.d, st: w.st, data: w.data}
 }
 
 // Abort discards the spill file, releasing its charged bytes.
 func (w *SpillWriter) Abort() {
 	w.closed = true
-	s := &Spill{d: w.d, node: w.node, data: w.data}
+	s := &Spill{d: w.d, st: w.st, data: w.data}
 	w.data = nil
 	s.Release()
 }
 
 // Spill is a sealed node-local spill file.
 type Spill struct {
-	d        *DFS
-	node     int
-	data     []byte
-	released bool
+	d    *DFS
+	st   *spillState
+	data []byte
 }
 
 // Size reports the spill file's length in bytes.
 func (s *Spill) Size() int64 { return int64(len(s.data)) }
 
+// Node reports the data node holding this spill file.
+func (s *Spill) Node() int { return s.st.node }
+
+// Lost reports whether the spill's node has been killed — its data is gone
+// and readers must treat the run as unavailable (ErrNodeLost).
+func (s *Spill) Lost() bool {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	return s.st.lost
+}
+
 // Slice returns a view of the spill's bytes without charging any read
 // accounting; pair it with ChargeRead as the view is actually consumed.
+// Callers must check Lost() first — the simulation keeps the bytes in
+// memory after a node death, but reading them would be cheating.
 func (s *Spill) Slice(off, n int) []byte { return s.data[off : off+n] }
 
 // ChargeRead adds consumed bytes to the spill read counters — callers
@@ -106,19 +170,21 @@ func (s *Spill) ChargeRead(n int64) {
 	s.d.mu.Unlock()
 }
 
-// Release frees the spill file's local-disk bytes. Releasing twice is a
+// Release frees the spill file's local-disk bytes. Releasing twice — or
+// releasing a spill whose node already died (the death freed it) — is a
 // no-op. Every spill a job creates must be released when the job finishes
 // (or when the task that wrote it is retried), or the simulated local disk
 // leaks — the engine and its fault-injection tests enforce this.
 func (s *Spill) Release() {
-	if s.released {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	if s.st.released {
 		return
 	}
-	s.released = true
-	s.d.mu.Lock()
-	s.d.spillUsed[s.node] -= int64(len(s.data))
+	s.st.released = true
+	s.d.spillUsed[s.st.node] -= s.st.charged
 	s.d.metrics.SpillFilesReleased++
-	s.d.mu.Unlock()
+	delete(s.d.spillReg, s.st)
 	s.data = nil
 }
 

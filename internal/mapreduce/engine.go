@@ -45,10 +45,28 @@ type EngineConfig struct {
 	// with the given probability (0 disables), for fault-tolerance
 	// testing. A failed attempt is retried until TaskMaxAttempts is
 	// exhausted, at which point the job fails — mirroring Hadoop's task
-	// retry semantics.
+	// retry semantics. This legacy mode fires *before* the attempt body
+	// runs; use Faults for failures that interrupt an attempt mid-phase.
 	TaskFailureRate float64
 	// TaskFailureSeed varies which (job, task, attempt) triples fail.
 	TaskFailureSeed int64
+	// Faults, when non-nil, is the seeded chaos schedule: mid-phase
+	// failures inside scan/map/sort/spill/merge/reduce/write, simulated
+	// node deaths (losing local spill disks and every attempt pinned to
+	// the node), and straggler delays. See FaultPlan.
+	Faults *FaultPlan
+	// Speculation enables backup attempts for straggling tasks: when a
+	// task has run longer than SpeculationRatio × the median completed
+	// duration of its phase (and at least SpeculationMinRuntime), one
+	// backup attempt launches; the first attempt to commit wins and the
+	// loser is killed and its temporaries reclaimed.
+	Speculation bool
+	// SpeculationRatio is the straggler threshold multiplier; 0 defaults
+	// to 2.0.
+	SpeculationRatio float64
+	// SpeculationMinRuntime is the minimum elapsed time before a task can
+	// be speculated; 0 defaults to 5ms.
+	SpeculationMinRuntime time.Duration
 	// Tracer, when non-nil, records every workflow/job/task/phase as a
 	// typed span tree (see internal/trace): per-task scan/map/sort/spill/
 	// merge/reduce/DFS-write intervals with record and byte counts,
@@ -91,6 +109,12 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.TaskMaxAttempts == 0 {
 		c.TaskMaxAttempts = 1
 	}
+	if c.SpeculationRatio == 0 {
+		c.SpeculationRatio = 2.0
+	}
+	if c.SpeculationMinRuntime == 0 {
+		c.SpeculationMinRuntime = 5 * time.Millisecond
+	}
 	return c
 }
 
@@ -108,19 +132,42 @@ func NewEngine(dfs *hdfs.DFS, cfg EngineConfig) *Engine {
 // DFS returns the engine's file system.
 func (e *Engine) DFS() *hdfs.DFS { return e.dfs }
 
-// partName is the per-task part file a reduce (or map-only) task streams
-// its output into; parts are spliced into the job output via hdfs.Concat
-// once every task has committed.
+// partName is the per-task part file a reduce (or map-only) task's winning
+// attempt promotes its output to; parts are spliced into the job output
+// via hdfs.Concat once every task has committed.
 func partName(base string, i int) string {
 	return fmt.Sprintf("%s._part-%05d", base, i)
 }
 
-// streamCollector streams one task's output records straight into DFS part
-// files as they are collected, so a job that overruns cluster capacity
-// fails mid-reduce (hdfs.ErrDiskFull while records are produced), not at a
-// commit step afterwards.
+// tmpRoot is the attempt-scoped temporary namespace of one job; a failed
+// job sweeps the whole prefix so no attempt can leak partial output.
+func tmpRoot(job string) string {
+	return fmt.Sprintf("_tmp/%s/", job)
+}
+
+// tmpPartName is the attempt-private name a task attempt streams its
+// output into. Keeping every attempt's bytes under its own name is what
+// turns at-least-once execution into exactly-once output: rival attempts
+// never touch each other's files, the winner's are promoted atomically by
+// rename, and losers' are deleted wholesale.
+func tmpPartName(job, kind string, task, attempt int, base string, part int) string {
+	return fmt.Sprintf("%s%s-%05d/%d/%s._part-%05d", tmpRoot(job), kind, task, attempt, base, part)
+}
+
+// partOut is one output base's attempt-temp part file with the final name
+// the commit step promotes it to.
+type partOut struct {
+	w          *hdfs.Writer
+	tmp, final string
+}
+
+// streamCollector streams one task attempt's output records straight into
+// attempt-private DFS part files as they are collected, so a job that
+// overruns cluster capacity fails mid-reduce (hdfs.ErrDiskFull while
+// records are produced), not at a commit step afterwards. commit renames
+// the temps to their final part names; abort deletes them.
 type streamCollector struct {
-	main    *hdfs.Writer
+	files   []partOut // files[0] is the main output
 	extras  map[string]*hdfs.Writer
 	records int64
 	bytes   int64
@@ -131,24 +178,23 @@ type streamCollector struct {
 	writeDur time.Duration
 }
 
-// openParts creates the part files for task index i of the job: one for
-// the main output and one per declared extra output.
-func (e *Engine) openParts(job *Job, i int) (*streamCollector, error) {
+// openParts creates the attempt-private part files for task index i of the
+// job: one for the main output and one per declared extra output.
+func (e *Engine) openParts(job *Job, ac *attemptCtx, i int) (*streamCollector, error) {
 	col := &streamCollector{}
-	w, err := e.dfs.Create(partName(job.Output, i))
-	if err != nil {
-		return nil, fmt.Errorf("creating output %s: %w", job.Output, err)
-	}
-	col.main = w
-	if len(job.ExtraOutputs) > 0 {
-		col.extras = make(map[string]*hdfs.Writer, len(job.ExtraOutputs))
-		for _, eo := range job.ExtraOutputs {
-			w, err := e.dfs.Create(partName(eo, i))
-			if err != nil {
-				col.abort()
-				return nil, fmt.Errorf("creating output %s: %w", eo, err)
+	for _, base := range append([]string{job.Output}, job.ExtraOutputs...) {
+		tmp := tmpPartName(job.Name, ac.kind, ac.task, ac.attempt, base, i)
+		w, err := e.dfs.Create(tmp)
+		if err != nil {
+			col.abort(ac.js)
+			return nil, fmt.Errorf("creating output %s: %w", base, err)
+		}
+		col.files = append(col.files, partOut{w: w, tmp: tmp, final: partName(base, i)})
+		if base != job.Output {
+			if col.extras == nil {
+				col.extras = make(map[string]*hdfs.Writer, len(job.ExtraOutputs))
 			}
-			col.extras[eo] = w
+			col.extras[base] = w
 		}
 	}
 	return col, nil
@@ -159,7 +205,7 @@ func (c *streamCollector) Collect(record []byte) error {
 	if c.timed {
 		t0 = time.Now()
 	}
-	err := c.main.Append(record)
+	err := c.files[0].w.Append(record)
 	if c.timed {
 		c.writeDur += time.Since(t0)
 	}
@@ -196,9 +242,9 @@ func (c *streamCollector) CollectTo(output string, record []byte) error {
 // writers (hdfs-attributed, so a failed Append that partially streamed is
 // still accounted to the task's write span).
 func (c *streamCollector) written() (records, bytes int64) {
-	r, b := c.main.Written()
-	for _, w := range c.extras {
-		wr, wb := w.Written()
+	var r, b int64
+	for _, f := range c.files {
+		wr, wb := f.w.Written()
 		r += wr
 		b += wb
 	}
@@ -207,25 +253,37 @@ func (c *streamCollector) written() (records, bytes int64) {
 
 // close seals every part file; on error the caller should abort.
 func (c *streamCollector) close() error {
-	if err := c.main.Close(); err != nil {
-		return err
-	}
-	for _, w := range c.extras {
-		if err := w.Close(); err != nil {
+	for _, f := range c.files {
+		if err := f.w.Close(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// abort discards every part file written by this task attempt.
-func (c *streamCollector) abort() {
-	if c.main != nil {
-		c.main.Abort()
+// commit atomically promotes the attempt's temp part files to their final
+// names. Only the attempt that won the task's claim may call it.
+func (c *streamCollector) commit(d *hdfs.DFS) error {
+	for _, f := range c.files {
+		if err := d.Rename(f.tmp, f.final); err != nil {
+			return fmt.Errorf("committing %s: %w", f.final, err)
+		}
 	}
-	for _, w := range c.extras {
-		w.Abort()
+	return nil
+}
+
+// abort discards every attempt-private part file written by this task
+// attempt, accounting the reclaimed bytes to the job's recovery counters.
+func (c *streamCollector) abort(js *jobRunState) {
+	var reclaimed int64
+	for _, f := range c.files {
+		if f.w != nil {
+			_, b := f.w.Written()
+			reclaimed += b
+			f.w.Abort()
+		}
 	}
+	js.reclaim(reclaimed)
 }
 
 // split is one map task's input assignment: a record range of one file,
@@ -251,37 +309,20 @@ func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int)
 	return float64(h.Sum64()%10000) < e.cfg.TaskFailureRate*10000
 }
 
-// runTask executes one task attempt loop: injected or real failures are
-// retried with a fresh attempt until the attempt budget is exhausted. The
-// body must clean up its own partial state (spill runs, part files) before
-// returning an error. The successful attempt's wall-clock duration is
-// recorded in durs[task] for the per-job task-timing summaries.
-func (e *Engine) runTask(job, kind string, task int, retries *int64, durs []time.Duration, body func(attempt int) error) error {
-	var lastErr error
-	for attempt := 0; attempt < e.cfg.TaskMaxAttempts; attempt++ {
-		if attempt > 0 {
-			atomic.AddInt64(retries, 1)
+// taskNode assigns a task attempt to a simulated data node: round-robin
+// over (task + attempt) so a retried attempt lands on a different node
+// than the one that just failed it, skipping dead nodes. The engine has no
+// locality model, but spills are pinned to the attempt's node and traces
+// want a stable attribution.
+func (e *Engine) taskNode(task, attempt int) int {
+	n := e.dfs.Config().Nodes
+	start := (task + attempt) % n
+	for k := 0; k < n; k++ {
+		if cand := (start + k) % n; e.dfs.NodeAlive(cand) {
+			return cand
 		}
-		if e.shouldInjectFailure(job, kind, task, attempt) {
-			lastErr = fmt.Errorf("%w (%s task %d attempt %d)", errInjectedFailure, kind, task, attempt)
-			continue
-		}
-		start := time.Now()
-		if err := body(attempt); err != nil {
-			lastErr = err
-			continue
-		}
-		durs[task] = time.Since(start)
-		return nil
 	}
-	return fmt.Errorf("%s task %d failed after %d attempts: %w", kind, task, e.cfg.TaskMaxAttempts, lastErr)
-}
-
-// taskNode assigns a task index to a simulated data node (round-robin — the
-// engine has no locality model, but traces and timelines want a stable
-// node attribution).
-func (e *Engine) taskNode(task int) int {
-	return task % e.dfs.Config().Nodes
+	return start
 }
 
 // Run executes one job to completion. On failure the job's output files
@@ -299,17 +340,20 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	start := time.Now()
 	m := JobMetrics{Job: job.Name, MapOnly: job.MapOnly != nil}
+	js := newJobRunState(e, job.Name)
 	nParts := 0 // part files per output base once tasks are planned
 	fail := func(err error) (JobMetrics, error) {
 		m.Failed = true
 		m.Err = err.Error()
-		m.Duration = time.Since(start)
 		for _, base := range append([]string{job.Output}, job.ExtraOutputs...) {
 			e.dfs.DeleteIfExists(base)
 			for i := 0; i < nParts; i++ {
 				e.dfs.DeleteIfExists(partName(base, i))
 			}
 		}
+		e.sweepTemps(job.Name, js)
+		js.fold(&m)
+		m.Duration = time.Since(start)
 		return m, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 	if err := e.cfg.validate(); err != nil {
@@ -347,7 +391,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	m.MapTasks = len(splits)
 
 	if job.MapOnly != nil {
-		return e.runMapOnly(job, jsp, splits, m, start, &nParts, fail)
+		return e.runMapOnly(job, jsp, splits, m, start, js, &nParts, fail)
 	}
 
 	nReducers := job.NumReducers
@@ -371,86 +415,24 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 			}
 		}
 	}()
-	var retries int64
 	mapDurs := make([]time.Duration, len(splits))
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		return e.runTask(job.Name, "map", i, &retries, mapDurs, func(attempt int) error {
-			tsp := jsp.ChildTask("map", i, i, e.taskNode(i), attempt)
-			defer tsp.Finish()
-			traced := tsp != nil
-			te := newTaskEmitter(e.dfs, partitioner, nReducers, job.Combiner, e.cfg.SortBufferBytes)
-			te.traced = traced
-			committed := false
-			defer func() {
-				if !committed {
-					te.discard()
-				}
-			}()
-			r, err := e.dfs.OpenRange(splits[i].input, splits[i].off, splits[i].n)
+		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
+			te, err := e.mapAttempt(job, jsp, splits[i], partitioner, nReducers, ac)
 			if err != nil {
-				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+				return err
 			}
-			// The loop fuses scanning and mapping; when traced, each side's
-			// time is accumulated separately (plus the input bytes for the
-			// scan span).
-			var scanDur, mapDur time.Duration
-			var scanBytes int64
-			for {
-				var rec []byte
-				var err error
-				if traced {
-					t0 := time.Now()
-					rec, err = r.Next()
-					scanDur += time.Since(t0)
-				} else {
-					rec, err = r.Next()
-				}
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
-				}
-				if traced {
-					scanBytes += int64(len(rec))
-					t0 := time.Now()
-					err = job.Mapper.Map(splits[i].input, rec, te)
-					mapDur += time.Since(t0)
-				} else {
-					err = job.Mapper.Map(splits[i].input, rec, te)
-				}
-				if err != nil {
-					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
-				}
-			}
-			sortStart := time.Now()
-			if err := te.seal(); err != nil {
-				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
-			}
-			if traced {
-				// Spill time happened inside Mapper.Map calls (the emitter
-				// spills when the buffer crosses the budget); carve it out of
-				// the map phase so the two aren't double-counted.
-				var spillDur time.Duration
-				for _, sp := range te.spills {
-					spillDur += sp.dur
-				}
-				tsp.AddPhase(trace.KindScan, "scan", scanDur, int64(splits[i].n), scanBytes)
-				tsp.AddPhase(trace.KindMap, "map", mapDur-spillDur, te.records, te.bytes)
-				for _, sp := range te.spills {
-					tsp.AddPhase(trace.KindSpill, "spill", sp.dur, sp.records, sp.bytes)
-				}
-				tsp.AddPhase(trace.KindSort, "sort", time.Since(sortStart), te.records, te.bytes)
-				tsp.SetIO(te.records, te.bytes)
+			if !ac.claim() {
+				js.reclaim(te.spilledBytes)
+				te.discard()
+				return errLostRace
 			}
 			emitters[i] = te
-			committed = true
 			return nil
 		})
 	}); err != nil {
 		return fail(err)
 	}
-	m.TaskRetries += retries
 	m.MapTaskStats = summarizeTasks(mapDurs)
 	for _, te := range emitters {
 		m.MapOutputRecords += te.records
@@ -465,33 +447,100 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	// ---- Shuffle-merge + reduce phase ----
 	// Each reduce task merges its partition's sorted segments (in-memory
 	// and spilled) into one stream, groups by key, and feeds the reducer,
-	// streaming output records straight into its part files.
+	// streaming output records into its attempt-private part files.
 	reducer := job.StreamReducer
 	if reducer == nil {
 		reducer = adaptedReducer{job.Reducer}
 	}
 	nParts = nReducers
-	var groups, reduceRetries, maxPartition int64
+	var groups, maxPartition int64
 	var outRecords, outBytes int64
 	var spilledRecs, spilledBytes, mergePasses int64
 	reduceDurs := make([]time.Duration, nReducers)
 	perGroups := make([]int64, nReducers)
 	perBytes := make([]int64, nReducers)
+
+	// Map-output recovery: a node death loses the spill runs pinned to it.
+	// A reduce attempt that trips over a lost run fails with a wrapped
+	// hdfs.ErrNodeLost; before its retry, recoverMaps re-executes every map
+	// task whose output died, on a live node, with fresh attempt numbers —
+	// Hadoop's "map output lost, re-running map task" path. emMu guards the
+	// emitters slice against reduce attempts reading it concurrently.
+	var emMu sync.RWMutex
+	recNext := make([]int, len(splits))
+	for i := range recNext {
+		recNext[i] = e.cfg.TaskMaxAttempts
+	}
+	recoverMaps := func() error {
+		emMu.Lock()
+		defer emMu.Unlock()
+		for i, te := range emitters {
+			if te == nil || !te.lost() {
+				continue
+			}
+			te.discard()
+			var lastErr error
+			recovered := false
+			for r := 0; r < e.cfg.TaskMaxAttempts; r++ {
+				a := recNext[i]
+				recNext[i]++
+				atomic.AddInt64(&js.taskRetries, 1)
+				if e.shouldInjectFailure(job.Name, "map", i, a) {
+					lastErr = fmt.Errorf("%w (map task %d attempt %d)", errInjectedFailure, i, a)
+					continue
+				}
+				ac := &attemptCtx{
+					e: e, js: js, ctl: newTaskCtl(), kind: "map", task: i,
+					attempt: a, node: e.taskNode(i, a), killed: make(chan struct{}),
+				}
+				nte, err := e.mapAttempt(job, jsp, splits[i], partitioner, nReducers, ac)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				emitters[i] = nte
+				atomic.AddInt64(&js.mapRecoveries, 1)
+				recovered = true
+				break
+			}
+			if !recovered {
+				return fmt.Errorf("recovering lost map output for task %d: %w", i, lastErr)
+			}
+		}
+		return nil
+	}
+
 	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
-		return e.runTask(job.Name, "reduce", p, &reduceRetries, reduceDurs, func(attempt int) error {
-			tsp := jsp.ChildTask("reduce", len(splits)+p, p, e.taskNode(p), attempt)
+		return e.runTask(js, "reduce", p, reduceDurs, recoverMaps, func(ac *attemptCtx) error {
+			tsp := jsp.ChildTask("reduce", len(splits)+p, p, ac.node, ac.attempt)
 			defer tsp.Finish()
+			if err := ac.checkpoint("reduce"); err != nil {
+				return err
+			}
 			var sources []kvSource
 			var runSrcs []*runSource
+			var lostErr error
+			emMu.RLock()
 			for _, te := range emitters {
 				if len(te.parts[p]) > 0 {
 					sources = append(sources, &memSource{kvs: te.parts[p]})
 				}
 				for _, run := range te.runs {
 					if seg := run.segs[p]; seg.records > 0 {
+						if run.spill.Lost() {
+							lostErr = fmt.Errorf("reduce partition %d: map output run lost: %w", p, hdfs.ErrNodeLost)
+							break
+						}
 						runSrcs = append(runSrcs, newRunSource(run.spill, seg))
 					}
 				}
+				if lostErr != nil {
+					break
+				}
+			}
+			emMu.RUnlock()
+			if lostErr != nil {
+				return lostErr
 			}
 			// Intermediate merges are attempt-local: their temporary runs
 			// are released when this attempt finishes, success or not.
@@ -504,7 +553,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 			}()
 			if len(runSrcs) > e.cfg.MergeFactor {
 				var err error
-				runSrcs, temps, err = e.mergeRuns(runSrcs, e.cfg.MergeFactor, tsp,
+				runSrcs, temps, err = e.mergeRuns(runSrcs, e.cfg.MergeFactor, tsp, ac,
 					&localPasses, &localSpilledRecs, &localSpilledBytes)
 				if err != nil {
 					return fmt.Errorf("reduce partition %d merge: %w", p, err)
@@ -520,7 +569,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 			if err != nil {
 				return fmt.Errorf("reduce partition %d: %w", p, err)
 			}
-			col, err := e.openParts(job, p)
+			col, err := e.openParts(job, ac, p)
 			if err != nil {
 				return err
 			}
@@ -528,7 +577,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 			committed := false
 			defer func() {
 				if !committed {
-					col.abort()
+					col.abort(js)
 				}
 			}()
 			g, err := newGroupIter(mi)
@@ -540,6 +589,11 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 			loopStart := time.Now()
 			var localGroups int64
 			for g.ok {
+				if localGroups%64 == 0 {
+					if err := ac.checkpoint("reduce"); err != nil {
+						return err
+					}
+				}
 				vals := &groupValues{g: g, key: g.cur.key, head: true}
 				localGroups++
 				if err := reducer.Reduce(g.cur.key, vals, col); err != nil {
@@ -549,7 +603,18 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 					return fmt.Errorf("reduce partition %d: %w", p, err)
 				}
 			}
+			if err := ac.checkpoint("write"); err != nil {
+				return err
+			}
 			if err := col.close(); err != nil {
+				return fmt.Errorf("reduce partition %d: %w", p, err)
+			}
+			if !ac.claim() {
+				col.abort(js)
+				committed = true // abort already done; skip the deferred one
+				return errLostRace
+			}
+			if err := col.commit(e.dfs); err != nil {
 				return fmt.Errorf("reduce partition %d: %w", p, err)
 			}
 			if tsp != nil {
@@ -579,7 +644,6 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	}); err != nil {
 		return fail(err)
 	}
-	m.TaskRetries += reduceRetries
 	m.ReduceTasks = nReducers
 	m.ReduceTaskStats = summarizeTasks(reduceDurs)
 	m.ReduceKeySkew = skewOf(perGroups)
@@ -602,9 +666,130 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	if err != nil {
 		return fail(err)
 	}
+	js.fold(&m)
 	jsp.SetIO(m.ReduceOutputRecords, m.ReduceOutputBytes)
 	m.Duration = time.Since(start)
 	return m, nil
+}
+
+// mapAttempt is the body of one map task attempt: stream the split through
+// a spilling emitter pinned to the attempt's node, with fault checkpoints
+// threaded through every phase (scan, the fused map loop, each spill, and
+// the final sort). On error the attempt's spill runs are discarded before
+// returning, so a retry starts clean. The caller publishes the returned
+// emitter only after winning the task's commit claim.
+func (e *Engine) mapAttempt(job *Job, jsp *trace.Span, sp split, partitioner Partitioner, nReducers int, ac *attemptCtx) (te *taskEmitter, err error) {
+	tsp := jsp.ChildTask("map", ac.task, ac.task, ac.node, ac.attempt)
+	defer tsp.Finish()
+	traced := tsp != nil
+	te = newTaskEmitter(e.dfs, partitioner, nReducers, job.Combiner, e.cfg.SortBufferBytes, ac.node, ac.checkpoint)
+	te.traced = traced
+	defer func() {
+		if err != nil {
+			ac.js.reclaim(te.spilledBytes)
+			te.discard()
+		}
+	}()
+	if err := ac.checkpoint("scan"); err != nil {
+		return te, err
+	}
+	r, err := e.dfs.OpenRange(sp.input, sp.off, sp.n)
+	if err != nil {
+		return te, fmt.Errorf("map task %d (%s): %w", ac.task, sp.input, err)
+	}
+	// The loop fuses scanning and mapping; when traced, each side's time is
+	// accumulated separately (plus the input bytes for the scan span).
+	var scanDur, mapDur time.Duration
+	var scanBytes int64
+	for n := 0; ; n++ {
+		if n%64 == 0 {
+			if err := ac.checkpoint("map"); err != nil {
+				return te, err
+			}
+		}
+		var rec []byte
+		var err error
+		if traced {
+			t0 := time.Now()
+			rec, err = r.Next()
+			scanDur += time.Since(t0)
+		} else {
+			rec, err = r.Next()
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return te, fmt.Errorf("map task %d (%s): %w", ac.task, sp.input, err)
+		}
+		if traced {
+			scanBytes += int64(len(rec))
+			t0 := time.Now()
+			err = job.Mapper.Map(sp.input, rec, te)
+			mapDur += time.Since(t0)
+		} else {
+			err = job.Mapper.Map(sp.input, rec, te)
+		}
+		if err != nil {
+			return te, fmt.Errorf("map task %d (%s): %w", ac.task, sp.input, err)
+		}
+	}
+	if err := ac.checkpoint("sort"); err != nil {
+		return te, err
+	}
+	sortStart := time.Now()
+	if err := te.seal(); err != nil {
+		return te, fmt.Errorf("map task %d (%s): %w", ac.task, sp.input, err)
+	}
+	if traced {
+		// Spill time happened inside Mapper.Map calls (the emitter spills
+		// when the buffer crosses the budget); carve it out of the map
+		// phase so the two aren't double-counted.
+		var spillDur time.Duration
+		for _, s := range te.spills {
+			spillDur += s.dur
+		}
+		tsp.AddPhase(trace.KindScan, "scan", scanDur, int64(sp.n), scanBytes)
+		tsp.AddPhase(trace.KindMap, "map", mapDur-spillDur, te.records, te.bytes)
+		for _, s := range te.spills {
+			tsp.AddPhase(trace.KindSpill, "spill", s.dur, s.records, s.bytes)
+		}
+		tsp.AddPhase(trace.KindSort, "sort", time.Since(sortStart), te.records, te.bytes)
+		tsp.SetIO(te.records, te.bytes)
+	}
+	return te, nil
+}
+
+// sweepTemps deletes every attempt-scoped temporary of a failed job (the
+// whole "_tmp/<job>/" prefix), accounting the reclaimed bytes. Absent files
+// are benign — a rival cleanup may have raced us here (hdfs.ErrNotExist).
+func (e *Engine) sweepTemps(job string, js *jobRunState) {
+	for _, name := range e.dfs.ListPrefix(tmpRoot(job)) {
+		size, err := e.dfs.FileSize(name)
+		if err != nil {
+			continue // already gone
+		}
+		if err := e.dfs.Delete(name); err != nil {
+			if errors.Is(err, hdfs.ErrNotExist) {
+				continue
+			}
+			panic(err) // Delete only errors with ErrNotExist
+		}
+		js.reclaim(size)
+	}
+}
+
+// fold adds the run's fault-tolerance counters into the job metrics. It is
+// called on both the success and failure paths, so even a job that exhausted
+// its attempt budget reports the retries it burned getting there.
+func (js *jobRunState) fold(m *JobMetrics) {
+	m.TaskRetries += atomic.LoadInt64(&js.taskRetries)
+	m.SpeculativeLaunched += atomic.LoadInt64(&js.specLaunched)
+	m.SpeculativeWins += atomic.LoadInt64(&js.specWins)
+	m.KilledAttempts += atomic.LoadInt64(&js.killedAttempts)
+	m.NodeKills += atomic.LoadInt64(&js.nodeKills)
+	m.MapOutputRecoveries += atomic.LoadInt64(&js.mapRecoveries)
+	m.TempBytesReclaimed += atomic.LoadInt64(&js.tempBytesReclaimed)
 }
 
 // commitParts assembles each output from its per-task part files in task
@@ -624,17 +809,19 @@ func (e *Engine) commitParts(job *Job, nParts int) error {
 }
 
 func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetrics, start time.Time,
-	nParts *int, fail func(error) (JobMetrics, error)) (JobMetrics, error) {
+	js *jobRunState, nParts *int, fail func(error) (JobMetrics, error)) (JobMetrics, error) {
 	*nParts = len(splits)
-	var retries int64
 	var outRecords, outBytes int64
 	mapDurs := make([]time.Duration, len(splits))
 	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
-		return e.runTask(job.Name, "map", i, &retries, mapDurs, func(attempt int) error {
-			tsp := jsp.ChildTask("map", i, i, e.taskNode(i), attempt)
+		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
+			tsp := jsp.ChildTask("map", i, i, ac.node, ac.attempt)
 			defer tsp.Finish()
 			traced := tsp != nil
-			col, err := e.openParts(job, i)
+			if err := ac.checkpoint("scan"); err != nil {
+				return err
+			}
+			col, err := e.openParts(job, ac, i)
 			if err != nil {
 				return err
 			}
@@ -642,7 +829,7 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 			committed := false
 			defer func() {
 				if !committed {
-					col.abort()
+					col.abort(js)
 				}
 			}()
 			r, err := e.dfs.OpenRange(splits[i].input, splits[i].off, splits[i].n)
@@ -654,7 +841,12 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 			// is carved out of the map phase as a DFS-write phase.
 			var scanDur, mapDur time.Duration
 			var scanBytes int64
-			for {
+			for n := 0; ; n++ {
+				if n%64 == 0 {
+					if err := ac.checkpoint("map"); err != nil {
+						return err
+					}
+				}
 				var rec []byte
 				var err error
 				if traced {
@@ -682,7 +874,18 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
 			}
+			if err := ac.checkpoint("write"); err != nil {
+				return err
+			}
 			if err := col.close(); err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
+			if !ac.claim() {
+				col.abort(js)
+				committed = true // abort already done; skip the deferred one
+				return errLostRace
+			}
+			if err := col.commit(e.dfs); err != nil {
 				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 			}
 			if traced {
@@ -700,7 +903,6 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	}); err != nil {
 		return fail(err)
 	}
-	m.TaskRetries += retries
 	m.MapTaskStats = summarizeTasks(mapDurs)
 	m.ReduceOutputRecords = outRecords
 	m.ReduceOutputBytes = outBytes
@@ -710,6 +912,7 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	if err != nil {
 		return fail(err)
 	}
+	js.fold(&m)
 	jsp.SetIO(outRecords, outBytes)
 	m.Duration = time.Since(start)
 	return m, nil

@@ -1,0 +1,420 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntga/internal/hdfs"
+)
+
+// This file implements the engine's fault-tolerance machinery: the seeded
+// FaultPlan that fires failures *inside* task phases (and can take a whole
+// simulated node down), the attempt context whose checkpoints every phase
+// threads through, the per-task control block that arbitrates the commit
+// race between a primary and a speculative backup attempt, and the
+// job-level state that carries the speculation policy and the recovery
+// counters into JobMetrics.
+
+// FaultPlan is a deterministic chaos schedule. Every checkpoint a task
+// attempt passes (one per phase boundary, plus periodic checkpoints inside
+// the record loops, plus one per spill and per merge pass) draws a seeded
+// hash over (job, kind, task, attempt, phase, sequence) and fails the
+// attempt when the draw lands under Rate. Unlike the legacy pre-body
+// injection (EngineConfig.TaskFailureRate), a mid-phase fault interrupts an
+// attempt that has already produced partial side effects — buffered map
+// output, spill runs on local disk, partially-written DFS part files — so
+// retries exercise the engine's cleanup and the attempt-scoped commit
+// protocol for real.
+type FaultPlan struct {
+	// Rate is the per-checkpoint failure probability (0 disables).
+	Rate float64
+	// Seed varies which checkpoints fail.
+	Seed int64
+	// MidPhase routes injection through the phase checkpoints. When false
+	// the plan only contributes straggler injection (failures stay with the
+	// legacy pre-body TaskFailureRate model).
+	MidPhase bool
+	// NodeFailureRate is the probability that a firing fault escalates to
+	// killing the attempt's data node (losing its local spill disk and
+	// failing every attempt pinned to it) instead of just the attempt.
+	NodeFailureRate float64
+	// MaxNodeKills bounds how many nodes the plan may take down (the DFS
+	// additionally refuses to kill the last live node).
+	MaxNodeKills int
+	// StragglerRate injects seeded slowdowns: a checkpoint that draws under
+	// it sleeps StragglerDelay (interruptibly, so a speculative winner can
+	// kill the sleeping loser). The draw is attempt-scoped — a backup
+	// attempt of the same task re-draws — which is what lets speculative
+	// execution beat an unlucky first attempt.
+	StragglerRate  float64
+	StragglerDelay time.Duration
+}
+
+func (p *FaultPlan) active() bool {
+	return p != nil && (p.MidPhase && p.Rate > 0 || p.StragglerRate > 0)
+}
+
+// errAttemptKilled marks an attempt stopped because a rival attempt of the
+// same task committed first (speculation) — not a task failure.
+var errAttemptKilled = errors.New("mapreduce: attempt killed by committed rival")
+
+// errLostRace marks an attempt that finished its work but lost the commit
+// claim to a rival — also not a task failure.
+var errLostRace = errors.New("mapreduce: attempt lost commit race")
+
+// attemptNeutral reports whether an attempt error means "a rival attempt
+// won", i.e. the task as a whole is fine.
+func attemptNeutral(err error) bool {
+	return errors.Is(err, errAttemptKilled) || errors.Is(err, errLostRace)
+}
+
+// chaosDraw maps a seeded identity to [0,1) deterministically (fnv64a, the
+// same generator the legacy pre-body injection uses).
+func chaosDraw(job, kind string, task, attempt int, phase string, seq int, which string, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s|%d|%s|%d", job, kind, task, attempt, phase, seq, which, seed)
+	return float64(h.Sum64()%100000) / 100000
+}
+
+// taskCtl arbitrates the commit race between concurrent attempts of one
+// task: exactly one attempt claims the right to publish its output; the
+// moment it does, every rival's kill channel closes so stragglers stop at
+// their next checkpoint and clean up their temporaries.
+type taskCtl struct {
+	mu      sync.Mutex
+	claimed bool
+	winner  int
+	kills   map[int]chan struct{}
+}
+
+func newTaskCtl() *taskCtl {
+	return &taskCtl{winner: -1, kills: make(map[int]chan struct{})}
+}
+
+// killCh registers an attempt and returns its kill channel.
+func (c *taskCtl) killCh(attempt int) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan struct{})
+	if c.claimed {
+		close(ch) // born dead: a rival already committed
+	} else {
+		c.kills[attempt] = ch
+	}
+	return ch
+}
+
+// claim tries to win the commit race for attempt. The winner's rivals are
+// killed; a false return means some rival already committed and the caller
+// must discard its own output.
+func (c *taskCtl) claim(attempt int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.claimed {
+		return false
+	}
+	c.claimed = true
+	c.winner = attempt
+	for a, ch := range c.kills {
+		if a != attempt {
+			close(ch)
+		}
+		delete(c.kills, a)
+	}
+	return true
+}
+
+// drop unregisters a finished attempt's kill channel.
+func (c *taskCtl) drop(attempt int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.kills, attempt)
+}
+
+func (c *taskCtl) winnerAttempt() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.winner
+}
+
+// jobRunState is the per-job-run fault and speculation state shared by
+// every task of the run: the resolved fault plan, the node-kill budget,
+// the per-phase duration samples the speculation policy consults, and the
+// recovery counters folded into JobMetrics when the run finishes.
+type jobRunState struct {
+	e    *Engine
+	job  string
+	plan *FaultPlan
+
+	nodeKillsLeft int64 // atomic
+
+	specMu   sync.Mutex
+	specDone map[string][]time.Duration // completed task durations per kind
+
+	// Counters (atomics), folded into JobMetrics at job end — on the
+	// failure path too, so a failed job's metrics still report how hard
+	// the machinery tried before giving up.
+	taskRetries        int64
+	specLaunched       int64
+	specWins           int64
+	killedAttempts     int64
+	nodeKills          int64
+	mapRecoveries      int64
+	tempBytesReclaimed int64
+}
+
+func newJobRunState(e *Engine, job string) *jobRunState {
+	js := &jobRunState{e: e, job: job, plan: e.cfg.Faults, specDone: make(map[string][]time.Duration)}
+	if js.plan != nil {
+		js.nodeKillsLeft = int64(js.plan.MaxNodeKills)
+	}
+	return js
+}
+
+// reclaim accounts bytes of attempt-private state (temp part files, spill
+// runs) deleted because their attempt failed, was killed, or lost the race.
+func (js *jobRunState) reclaim(bytes int64) {
+	if js != nil && bytes > 0 {
+		atomic.AddInt64(&js.tempBytesReclaimed, bytes)
+	}
+}
+
+// noteDone records a winning attempt's duration for the speculation policy.
+func (js *jobRunState) noteDone(kind string, d time.Duration) {
+	js.specMu.Lock()
+	js.specDone[kind] = append(js.specDone[kind], d)
+	js.specMu.Unlock()
+}
+
+// shouldSpeculate decides whether a task of the given kind that has been
+// running for elapsed is straggling enough to deserve a backup attempt:
+// longer than SpeculationRatio × the median completed duration of its
+// phase, with a floor so micro-tasks are never speculated.
+func (js *jobRunState) shouldSpeculate(kind string, elapsed time.Duration) bool {
+	if elapsed < js.e.cfg.SpeculationMinRuntime {
+		return false
+	}
+	js.specMu.Lock()
+	done := append([]time.Duration(nil), js.specDone[kind]...)
+	js.specMu.Unlock()
+	if len(done) == 0 {
+		return false
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	median := done[len(done)/2]
+	threshold := time.Duration(js.e.cfg.SpeculationRatio * float64(median))
+	if threshold < js.e.cfg.SpeculationMinRuntime {
+		threshold = js.e.cfg.SpeculationMinRuntime
+	}
+	return elapsed > threshold
+}
+
+// attemptCtx is one task attempt's identity and fault surface. Every phase
+// of the attempt body calls checkpoint, which is where kill signals are
+// observed, node death is noticed, and the fault plan's mid-phase failures,
+// node kills, and straggler delays fire.
+type attemptCtx struct {
+	e       *Engine
+	js      *jobRunState
+	ctl     *taskCtl
+	kind    string
+	task    int
+	attempt int
+	node    int
+	killed  chan struct{}
+	seq     int
+}
+
+// checkpoint is called at phase boundaries and inside the record loops of
+// a task attempt. It returns errAttemptKilled if a rival attempt has
+// committed, a wrapped hdfs.ErrNodeLost if the attempt's node has died (or
+// the fault plan kills it right now), or errInjectedFailure for a plain
+// mid-phase fault.
+func (a *attemptCtx) checkpoint(phase string) error {
+	select {
+	case <-a.killed:
+		return fmt.Errorf("%w (%s task %d attempt %d in %s)", errAttemptKilled, a.kind, a.task, a.attempt, phase)
+	default:
+	}
+	if !a.e.dfs.NodeAlive(a.node) {
+		return fmt.Errorf("%s task %d attempt %d: node %d died: %w", a.kind, a.task, a.attempt, a.node, hdfs.ErrNodeLost)
+	}
+	p := a.js.plan
+	if !p.active() {
+		return nil
+	}
+	a.seq++
+	if p.StragglerRate > 0 && p.StragglerDelay > 0 &&
+		chaosDraw(a.js.job, a.kind, a.task, a.attempt, phase, a.seq, "straggle", p.Seed) < p.StragglerRate {
+		if err := a.sleep(p.StragglerDelay); err != nil {
+			return err
+		}
+	}
+	if !p.MidPhase || p.Rate <= 0 {
+		return nil
+	}
+	if chaosDraw(a.js.job, a.kind, a.task, a.attempt, phase, a.seq, "fail", p.Seed) >= p.Rate {
+		return nil
+	}
+	if p.NodeFailureRate > 0 &&
+		chaosDraw(a.js.job, a.kind, a.task, a.attempt, phase, a.seq, "node", p.Seed) < p.NodeFailureRate &&
+		atomic.AddInt64(&a.js.nodeKillsLeft, -1) >= 0 {
+		if lost, ok := a.e.dfs.KillNode(a.node); ok {
+			atomic.AddInt64(&a.js.nodeKills, 1)
+			a.js.reclaim(lost)
+			return fmt.Errorf("%s task %d attempt %d in %s: injected node %d failure: %w",
+				a.kind, a.task, a.attempt, phase, a.node, hdfs.ErrNodeLost)
+		}
+		atomic.AddInt64(&a.js.nodeKillsLeft, 1) // kill refused (last live node)
+	}
+	return fmt.Errorf("%w (%s task %d attempt %d in %s)", errInjectedFailure, a.kind, a.task, a.attempt, phase)
+}
+
+// sleep waits for d in small slices, returning errAttemptKilled early if a
+// rival attempt commits — a straggling loser must not hold the phase
+// barrier for its full injected delay.
+func (a *attemptCtx) sleep(d time.Duration) error {
+	const slice = time.Millisecond
+	deadline := time.Now().Add(d)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil
+		}
+		if remaining > slice {
+			remaining = slice
+		}
+		select {
+		case <-a.killed:
+			return fmt.Errorf("%w (%s task %d attempt %d, straggling)", errAttemptKilled, a.kind, a.task, a.attempt)
+		case <-time.After(remaining):
+		}
+	}
+}
+
+// claim races for the task's commit right.
+func (a *attemptCtx) claim() bool { return a.ctl.claim(a.attempt) }
+
+// runTask executes one task with retries and (optionally) speculative
+// backup attempts. The body runs under an attemptCtx; it must clean up its
+// own partial state (spill runs, temp part files) before returning an
+// error, publish its results only after ac.claim() succeeds, and return
+// errLostRace after discarding them if the claim fails. Failed attempts
+// are retried with fresh attempt numbers until the attempt budget is
+// exhausted. An attempt failing with hdfs.ErrNodeLost triggers the recover
+// callback (if any) before the next attempt — the reduce phase uses it to
+// regenerate map output that died with a node. The winning attempt's
+// wall-clock duration lands in durs[task].
+func (e *Engine) runTask(js *jobRunState, kind string, task int, durs []time.Duration,
+	recover func() error, body func(*attemptCtx) error) error {
+
+	ctl := newTaskCtl()
+	budget := e.cfg.TaskMaxAttempts
+	next := 0
+	var lastErr error
+	type result struct {
+		attempt int
+		err     error
+		dur     time.Duration
+	}
+	resCh := make(chan result, budget+1)
+	running := 0
+
+	// launch starts the next attempt that passes the legacy pre-body
+	// injection gate; it returns false when the budget is exhausted.
+	launch := func() bool {
+		for next < budget {
+			a := next
+			next++
+			if a > 0 {
+				atomic.AddInt64(&js.taskRetries, 1)
+			}
+			if e.shouldInjectFailure(js.job, kind, task, a) {
+				lastErr = fmt.Errorf("%w (%s task %d attempt %d)", errInjectedFailure, kind, task, a)
+				continue
+			}
+			ac := &attemptCtx{
+				e: e, js: js, ctl: ctl, kind: kind, task: task,
+				attempt: a, node: e.taskNode(task, a), killed: ctl.killCh(a),
+			}
+			running++
+			go func() {
+				t0 := time.Now()
+				err := body(ac)
+				resCh <- result{a, err, time.Since(t0)}
+			}()
+			return true
+		}
+		return false
+	}
+
+	exhausted := func() error {
+		return fmt.Errorf("%s task %d failed after %d attempts: %w", kind, task, budget, lastErr)
+	}
+	if !launch() {
+		return exhausted()
+	}
+
+	var tick <-chan time.Time
+	if e.cfg.Speculation {
+		t := time.NewTicker(500 * time.Microsecond)
+		defer t.Stop()
+		tick = t.C
+	}
+	started := time.Now()
+	backupAttempt := -1
+	won := false
+
+	for {
+		select {
+		case r := <-resCh:
+			running--
+			ctl.drop(r.attempt)
+			switch {
+			case r.err == nil:
+				won = true
+				durs[task] = r.dur
+				js.noteDone(kind, r.dur)
+				if r.attempt == backupAttempt && backupAttempt >= 0 {
+					atomic.AddInt64(&js.specWins, 1)
+				}
+			case attemptNeutral(r.err):
+				// A rival committed (or will commit) — this attempt's
+				// temporaries are already reclaimed by the body.
+				atomic.AddInt64(&js.killedAttempts, 1)
+			default:
+				lastErr = r.err
+				if errors.Is(r.err, hdfs.ErrNodeLost) && recover != nil {
+					if rerr := recover(); rerr != nil {
+						for running > 0 {
+							<-resCh
+							running--
+						}
+						return fmt.Errorf("%s task %d: %w", kind, task, rerr)
+					}
+				}
+			}
+			if won && running == 0 {
+				return nil
+			}
+			if !won && running == 0 {
+				if !launch() {
+					return exhausted()
+				}
+			}
+		case <-tick:
+			if backupAttempt < 0 && !won && running == 1 && next < budget &&
+				js.shouldSpeculate(kind, time.Since(started)) {
+				if launch() {
+					backupAttempt = next - 1
+					atomic.AddInt64(&js.specLaunched, 1)
+				}
+			}
+		}
+	}
+}

@@ -115,6 +115,23 @@ type JobMetrics struct {
 	// or real failures recovered by the retry budget).
 	TaskRetries int64
 
+	// Fault-tolerance counters (see FaultPlan and EngineConfig.Speculation).
+	// SpeculativeLaunched counts backup attempts started for straggling
+	// tasks; SpeculativeWins counts tasks whose backup attempt committed
+	// first; KilledAttempts counts attempts stopped (or finished too late)
+	// because a rival attempt of the same task had already committed.
+	SpeculativeLaunched int64
+	SpeculativeWins     int64
+	KilledAttempts      int64
+	// NodeKills counts simulated data-node deaths injected during the job;
+	// MapOutputRecoveries counts map tasks re-executed because their spill
+	// runs died with a node; TempBytesReclaimed sums the attempt-private
+	// bytes (temp part files, spill runs) deleted for failed, killed, or
+	// race-losing attempts.
+	NodeKills           int64
+	MapOutputRecoveries int64
+	TempBytesReclaimed  int64
+
 	Duration time.Duration
 	MapOnly  bool
 	Failed   bool
@@ -194,6 +211,71 @@ func (w *WorkflowMetrics) TotalMergePasses() int64 {
 	var t int64
 	for _, j := range w.Jobs {
 		t += j.MergePasses
+	}
+	return t
+}
+
+// TotalTaskRetries sums task attempts beyond the first across jobs.
+func (w *WorkflowMetrics) TotalTaskRetries() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.TaskRetries
+	}
+	return t
+}
+
+// TotalSpeculativeLaunched sums speculative backup attempts across jobs.
+func (w *WorkflowMetrics) TotalSpeculativeLaunched() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.SpeculativeLaunched
+	}
+	return t
+}
+
+// TotalSpeculativeWins sums backup attempts that won their race across jobs.
+func (w *WorkflowMetrics) TotalSpeculativeWins() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.SpeculativeWins
+	}
+	return t
+}
+
+// TotalKilledAttempts sums attempts killed by a committed rival across jobs.
+func (w *WorkflowMetrics) TotalKilledAttempts() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.KilledAttempts
+	}
+	return t
+}
+
+// TotalNodeKills sums injected node deaths across jobs.
+func (w *WorkflowMetrics) TotalNodeKills() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.NodeKills
+	}
+	return t
+}
+
+// TotalMapOutputRecoveries sums map tasks re-executed after losing their
+// spill runs to a node death, across jobs.
+func (w *WorkflowMetrics) TotalMapOutputRecoveries() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.MapOutputRecoveries
+	}
+	return t
+}
+
+// TotalTempBytesReclaimed sums attempt-private bytes reclaimed from failed,
+// killed, or race-losing attempts across jobs.
+func (w *WorkflowMetrics) TotalTempBytesReclaimed() int64 {
+	var t int64
+	for _, j := range w.Jobs {
+		t += j.TempBytesReclaimed
 	}
 	return t
 }

@@ -43,6 +43,11 @@ type taskEmitter struct {
 	nReducers   int
 	combiner    Combiner
 	budget      int64
+	// node pins the attempt's spill runs to its own data node, so a node
+	// death loses exactly that node's map output; cp (nil-safe) is the
+	// attempt's fault checkpoint, fired inside every buffer spill.
+	node int
+	cp   func(phase string) error
 
 	parts        [][]kv
 	buffered     int64 // bytes currently in parts
@@ -73,10 +78,10 @@ type spillProfile struct {
 	bytes   int64
 }
 
-func newTaskEmitter(dfs *hdfs.DFS, p Partitioner, nReducers int, combiner Combiner, budget int64) *taskEmitter {
+func newTaskEmitter(dfs *hdfs.DFS, p Partitioner, nReducers int, combiner Combiner, budget int64, node int, cp func(string) error) *taskEmitter {
 	return &taskEmitter{
 		dfs: dfs, partitioner: p, nReducers: nReducers,
-		combiner: combiner, budget: budget,
+		combiner: combiner, budget: budget, node: node, cp: cp,
 		parts: make([][]kv, nReducers),
 	}
 }
@@ -140,13 +145,18 @@ func (t *taskEmitter) spillBuffer() error {
 	if t.buffered == 0 {
 		return nil
 	}
+	if t.cp != nil {
+		if err := t.cp("spill"); err != nil {
+			return err
+		}
+	}
 	var spillStart time.Time
 	var recsBefore int64
 	if t.traced {
 		spillStart = time.Now()
 		recsBefore = t.spilledRecords
 	}
-	w := t.dfs.CreateSpill()
+	w := t.dfs.CreateSpillOn(t.node)
 	run := &spillRun{segs: make([]runSeg, t.nReducers)}
 	buf := codec.NewBuffer(256)
 	off := 0
@@ -205,11 +215,23 @@ func (t *taskEmitter) seal() error {
 
 // discard releases every spill run the task wrote — called when a spilled
 // attempt fails (so retries do not leak local disk) and at job end.
+// Releasing a run lost to a node death is a no-op.
 func (t *taskEmitter) discard() {
 	for _, r := range t.runs {
 		r.release()
 	}
 	t.runs = nil
+}
+
+// lost reports whether any of the emitter's spill runs died with its node
+// — the task's map output is incomplete and must be regenerated.
+func (t *taskEmitter) lost() bool {
+	for _, r := range t.runs {
+		if r.spill.Lost() {
+			return true
+		}
+	}
+	return false
 }
 
 // kvSource yields (key,value) pairs in nondecreasing (key,value) order.
@@ -251,6 +273,9 @@ func newRunSource(spill *hdfs.Spill, seg runSeg) *runSource {
 func (s *runSource) next() (kv, bool, error) {
 	if s.remaining == 0 {
 		return kv{}, false, nil
+	}
+	if s.spill.Lost() {
+		return kv{}, false, fmt.Errorf("mapreduce: spill run read: %w", hdfs.ErrNodeLost)
 	}
 	before := s.r.Remaining()
 	key, err := s.r.Bytes()
@@ -432,16 +457,20 @@ func (a adaptedReducer) Reduce(key []byte, values ValueIter, out Collector) erro
 }
 
 // mergeRuns reduces the number of on-disk runs to at most factor by
-// merging batches of runs into new single-segment runs on local disk, one
-// merge pass per batch (Hadoop's multi-pass external merge under
-// io.sort.factor). It returns the surviving sources plus the temporary
-// runs it created, which the caller must release when the reduce attempt
-// finishes. In-memory segments never count against the factor. Each batch
-// merged is recorded as a merge phase on tsp (nil-safe no-op).
-func (e *Engine) mergeRuns(srcs []*runSource, factor int, tsp *trace.Span, passes, spilledRecs, spilledBytes *int64) ([]*runSource, []*spillRun, error) {
+// merging batches of runs into new single-segment runs on the attempt's
+// local disk, one merge pass per batch (Hadoop's multi-pass external merge
+// under io.sort.factor). It returns the surviving sources plus the
+// temporary runs it created, which the caller must release when the reduce
+// attempt finishes. In-memory segments never count against the factor.
+// Each batch merged is recorded as a merge phase on tsp (nil-safe no-op)
+// and passes one fault checkpoint.
+func (e *Engine) mergeRuns(srcs []*runSource, factor int, tsp *trace.Span, ac *attemptCtx, passes, spilledRecs, spilledBytes *int64) ([]*runSource, []*spillRun, error) {
 	var temps []*spillRun
 	traced := tsp != nil
 	for len(srcs) > factor {
+		if err := ac.checkpoint("merge"); err != nil {
+			return srcs, temps, err
+		}
 		var passStart time.Time
 		if traced {
 			passStart = time.Now()
@@ -454,7 +483,7 @@ func (e *Engine) mergeRuns(srcs []*runSource, factor int, tsp *trace.Span, passe
 		if err != nil {
 			return srcs, temps, err
 		}
-		w := e.dfs.CreateSpill()
+		w := e.dfs.CreateSpillOn(ac.node)
 		buf := codec.NewBuffer(256)
 		off, nrec := 0, 0
 		for {
