@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens
 
 all: build check test
 
@@ -13,6 +13,7 @@ check:
 	fi
 	go vet ./...
 	go test -race ./internal/mapreduce/ ./internal/hdfs/
+	go test ./internal/plan/ ./internal/explain/
 
 build:
 	go build ./...
@@ -41,6 +42,11 @@ bench:
 # Regenerate every figure of the paper's evaluation as text tables.
 figures:
 	go run ./cmd/ntga-bench -fig all
+
+# Regenerate the EXPLAIN golden files (internal/explain/testdata) after
+# intentional planner or cost-model changes. CI fails if they are stale.
+goldens:
+	go test ./internal/explain/ -run TestExplainGoldens -update
 
 cover:
 	go test -cover ./...

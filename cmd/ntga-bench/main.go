@@ -7,9 +7,15 @@
 //	ntga-bench -list
 //	ntga-bench -fig fig9a
 //	ntga-bench -fig all -scale 2
+//	ntga-bench -fig fig9a -json
+//
+// With -json each figure is emitted as a JSON document whose per-engine
+// rows pair the planner's estimated cycle count and shuffle volume with the
+// measured ones, so the cost model's accuracy can be tracked over time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +24,62 @@ import (
 	"ntga/internal/bench"
 )
 
+// runJSON is one engine's measured-vs-estimated row in -json output.
+type runJSON struct {
+	Engine          string `json:"engine"`
+	OK              bool   `json:"ok"`
+	Err             string `json:"err,omitempty"`
+	DurationMS      int64  `json:"duration_ms"`
+	Cycles          int    `json:"cycles"`
+	EstCycles       int    `json:"est_cycles"`
+	ShuffleBytes    int64  `json:"shuffle_bytes"`
+	EstShuffleBytes int64  `json:"est_shuffle_bytes"`
+	ReadBytes       int64  `json:"read_bytes"`
+	Rows            int64  `json:"rows"`
+}
+
+type queryJSON struct {
+	Query string    `json:"query"`
+	Runs  []runJSON `json:"runs"`
+}
+
+type figureJSON struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Notes   []string    `json:"notes,omitempty"`
+	Queries []queryJSON `json:"queries"`
+}
+
+func toJSON(rep *bench.Report) figureJSON {
+	fj := figureJSON{ID: rep.ID, Title: rep.Title, Notes: rep.Notes}
+	for _, qr := range rep.Queries {
+		qj := queryJSON{Query: qr.Query.ID}
+		for _, r := range qr.Runs {
+			qj.Runs = append(qj.Runs, runJSON{
+				Engine:          r.Engine,
+				OK:              r.OK,
+				Err:             r.Err,
+				DurationMS:      r.Duration.Milliseconds(),
+				Cycles:          r.Cycles,
+				EstCycles:       r.EstCycles,
+				ShuffleBytes:    r.ShuffleBytes,
+				EstShuffleBytes: r.EstShuffleBytes,
+				ReadBytes:       r.ReadBytes,
+				Rows:            r.Rows,
+			})
+		}
+		fj.Queries = append(fj.Queries, qj)
+	}
+	return fj
+}
+
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment id (see -list) or 'all'")
-		scale = flag.Int("scale", 1, "dataset size multiplier")
-		seed  = flag.Int64("seed", 42, "dataset seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		fig    = flag.String("fig", "all", "experiment id (see -list) or 'all'")
+		scale  = flag.Int("scale", 1, "dataset size multiplier")
+		seed   = flag.Int64("seed", 42, "dataset seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		asJSON = flag.Bool("json", false, "emit per-figure JSON with estimated vs actual cycles and shuffle bytes")
 	)
 	flag.Parse()
 
@@ -40,11 +96,20 @@ func main() {
 	}
 	opt := bench.Options{Scale: *scale, Seed: *seed}
 	failed := false
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	for _, id := range ids {
 		rep, err := bench.RunFigure(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntga-bench: %s: %v\n", id, err)
 			failed = true
+			continue
+		}
+		if *asJSON {
+			if err := enc.Encode(toJSON(rep)); err != nil {
+				fmt.Fprintf(os.Stderr, "ntga-bench: %s: %v\n", id, err)
+				failed = true
+			}
 			continue
 		}
 		fmt.Println(rep.Render())

@@ -1,11 +1,22 @@
-// Command ntga-explain compiles a query against a dataset and prints its
-// logical structure (star decomposition, unbound slots, join plan) plus the
-// physical MapReduce plan each engine would execute — the cycle counts and
-// triple-relation scans that drive the paper's cost comparisons.
+// Command ntga-explain compiles a query and prints its logical structure
+// (star decomposition, unbound slots, join plan) plus the physical plan and
+// catalog-estimated cost for each engine — the cycle counts, triple-relation
+// scans, and shuffle-byte estimates that drive the paper's cost comparisons.
+//
+// Statistics come from either the dataset itself (-data, exact catalog) or a
+// persisted statistics catalog (-stats, no graph load at all — the warehouse
+// deployment mode where plans are priced against the catalog file produced
+// by `ntga-run -stats-out`).
+//
+// With -analyze (needs -data) each supported engine also executes the query
+// on an in-memory cluster and the output pairs every estimate with the
+// measured cycles, scans, and shuffle bytes.
 //
 // Usage:
 //
 //	ntga-explain -data data.nt -e 'SELECT * WHERE { ?s ?p ?o . ?s <http://x/label> ?l . }'
+//	ntga-explain -stats catalog.json -json -query q.rq
+//	ntga-explain -data data.nt -analyze -query q.rq
 package main
 
 import (
@@ -13,25 +24,30 @@ import (
 	"fmt"
 	"os"
 
-	"ntga/internal/engine"
-	"ntga/internal/mapreduce"
-	"ntga/internal/ntgamr"
+	"ntga/internal/explain"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
-	"ntga/internal/relmr"
 	"ntga/internal/sparql"
 )
 
 func main() {
 	var (
-		dataFile  = flag.String("data", "", "N-Triples input file (required: the dictionary resolves constants)")
+		dataFile  = flag.String("data", "", "N-Triples input file (builds an exact catalog)")
+		statsFile = flag.String("stats", "", "statistics catalog file (plan without loading any data)")
 		queryFile = flag.String("query", "", "SPARQL query file")
 		inline    = flag.String("e", "", "inline SPARQL query text")
+		jsonOut   = flag.Bool("json", false, "emit the plan and cost estimates as JSON")
+		optimize  = flag.Bool("optimize", false, "reorder inter-star joins by estimated selectivity before planning")
+		analyze   = flag.Bool("analyze", false, "also execute the query per engine and report estimated vs actual costs (needs -data)")
 	)
 	flag.Parse()
 
-	if *dataFile == "" {
-		fatal(fmt.Errorf("-data is required"))
+	if *dataFile == "" && *statsFile == "" {
+		fatal(fmt.Errorf("one of -data or -stats is required"))
+	}
+	if *analyze && *dataFile == "" {
+		fatal(fmt.Errorf("-analyze executes the query and therefore needs -data"))
 	}
 	src := *inline
 	if src == "" {
@@ -44,78 +60,95 @@ func main() {
 		}
 		src = string(b)
 	}
-	f, err := os.Open(*dataFile)
-	if err != nil {
-		fatal(err)
+
+	// Resolve the catalog and the dictionary the query compiles against.
+	// With -stats there is no dataset: the query compiles against an empty
+	// dictionary (constants become unsatisfiable predicates, which changes
+	// nothing about plan shape or estimates — the cost model reads the
+	// source AST, not compiled IDs).
+	var cat *plan.Catalog
+	var g *rdf.Graph
+	dict := rdf.NewDict()
+	if *dataFile != "" {
+		f, err := os.Open(*dataFile)
+		if err != nil {
+			fatal(err)
+		}
+		g, err = rdf.ReadNTriples(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		dict = g.Dict
+		cat = plan.FromGraph(g)
+	} else {
+		var err error
+		cat, err = plan.ReadFile(*statsFile)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	g, err := rdf.ReadNTriples(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
+
 	pq, err := sparql.Parse(src)
 	if err != nil {
 		fatal(err)
 	}
-	q, err := query.Compile(pq, g.Dict)
+	q, err := query.Compile(pq, dict)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Println("== logical plan ==")
-	fmt.Print(q.Explain())
-	if q.Empty() {
-		fmt.Println("(provably empty against this dataset)")
+	var reorder *plan.Reorder
+	if *optimize {
+		reorder, err = plan.Optimize(cat, q)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
-	const input = "T"
-	plans := []struct {
-		name string
-		plan func() ([]mapreduce.Stage, error)
-	}{
-		{"Pig", func() ([]mapreduce.Stage, error) {
-			var cl engine.Cleaner
-			s, _, err := relmr.NewPig().Plan(q, input, &cl)
-			return s, err
-		}},
-		{"Hive", func() ([]mapreduce.Stage, error) {
-			var cl engine.Cleaner
-			s, _, err := relmr.NewHive().Plan(q, input, &cl)
-			return s, err
-		}},
-		{"Sel-SJ-first", func() ([]mapreduce.Stage, error) {
-			var cl engine.Cleaner
-			s, _, err := relmr.NewSelSJFirst().Plan(q, input, &cl)
-			return s, err
-		}},
-		{"NTGA-Eager", func() ([]mapreduce.Stage, error) {
-			var cl engine.Cleaner
-			s, _, err := ntgamr.NewEager().Plan(q, input, &cl, mapreduce.NewCounters())
-			return s, err
-		}},
-		{"NTGA-Lazy", func() ([]mapreduce.Stage, error) {
-			var cl engine.Cleaner
-			s, _, err := ntgamr.NewLazy().Plan(q, input, &cl, mapreduce.NewCounters())
-			return s, err
-		}},
-	}
-	for _, p := range plans {
-		fmt.Printf("\n== %s physical plan ==\n", p.name)
-		stages, err := p.plan()
+	if *analyze {
+		runs, err := explain.Analyze(cat, g, q, explain.Engines())
 		if err != nil {
-			fmt.Printf("  (unsupported: %v)\n", err)
-			continue
+			fatal(err)
 		}
-		cycles := 0
-		for si, st := range stages {
-			for _, job := range st {
-				cycles++
-				fmt.Printf("  stage %d: %-24s inputs=%v\n", si+1, job.Name, job.Inputs)
-			}
+		var s string
+		if *jsonOut {
+			s, err = explain.RenderAnalyzeJSON(runs)
+		} else {
+			s = explain.RenderAnalyze(runs)
 		}
-		fmt.Printf("  MR cycles: %d, full scans of triple relation: %d\n",
-			cycles, mapreduce.CountScansOf(stages, input))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
 	}
+
+	costs := explain.ForQuery(cat, q, explain.Engines())
+	if *jsonOut {
+		s, err := explain.RenderJSON(costs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+
+	fmt.Println("== logical plan ==")
+	fmt.Print(q.Explain())
+	if *dataFile != "" && q.Empty() {
+		fmt.Println("(provably empty against this dataset)")
+	}
+	if reorder != nil {
+		if reorder.Changed {
+			fmt.Printf("join order optimized: %v (est shuffle %d, legacy %d)\n",
+				reorder.Order, reorder.Est, reorder.LegacyEst)
+		} else {
+			fmt.Printf("join order kept: %v (est shuffle %d)\n", reorder.Order, reorder.Est)
+		}
+	}
+	fmt.Println()
+	fmt.Print(explain.Render(costs))
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 	"ntga/internal/refengine"
@@ -33,7 +34,7 @@ func main() {
 		dataFile  = flag.String("data", "", "N-Triples input file (required)")
 		queryFile = flag.String("query", "", "SPARQL query file")
 		inline    = flag.String("e", "", "inline SPARQL query text")
-		engName   = flag.String("engine", "ntga-lazy", "engine: pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial, ref")
+		engName   = flag.String("engine", "ntga-lazy", "engine: auto, pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial, ref (auto lets the cost advisor pick)")
 		nodes     = flag.Int("nodes", 8, "simulated cluster size")
 		rep       = flag.Int("replication", 1, "DFS replication factor")
 		phiM      = flag.Int("phim", 0, "partial β-unnest partition range (0 = default)")
@@ -44,6 +45,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the workflow to this file (open in chrome://tracing or ui.perfetto.dev)")
 		timeline  = flag.Bool("timeline", false, "print a per-job plain-text task timeline (implies tracing)")
 		advise    = flag.Bool("advise", false, "print the cost advisor's strategy recommendation")
+		optimize  = flag.Bool("optimize", false, "reorder inter-star joins by catalog-estimated selectivity before running")
+		statsOut  = flag.String("stats-out", "", "build the statistics catalog (map-only MR job) and write it to this file")
 		limit     = flag.Int("limit", 0, "print at most N rows (0 = all)")
 	)
 	flag.Parse()
@@ -83,19 +86,41 @@ func main() {
 	}
 
 	if *advise {
-		advice := ntgamr.Advise(ntgamr.CollectStats(g), q, 8)
+		advice, err := ntgamr.Advise(ntgamr.CollectStats(g), q, 8)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "advisor: strategy=%v phiM=%d\n", advice.Strategy, advice.PhiM)
 		for _, r := range advice.Reasons {
 			fmt.Fprintln(os.Stderr, "  -", r)
 		}
 	}
 
+	if *optimize {
+		r, err := plan.Optimize(plan.FromGraph(g), q)
+		if err != nil {
+			fatal(err)
+		}
+		if r.Changed {
+			fmt.Fprintf(os.Stderr, "optimizer: join order %v (est shuffle %d, legacy %d)\n",
+				r.Order, r.Est, r.LegacyEst)
+		} else {
+			fmt.Fprintf(os.Stderr, "optimizer: join order kept %v (est shuffle %d)\n", r.Order, r.Est)
+		}
+	}
+
 	var rows []query.Row
 	var lastCount int64
 	if *engName == "ref" {
+		if *statsOut != "" {
+			if err := plan.FromGraph(g).WriteFile(*statsOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "stats: wrote %s\n", *statsOut)
+		}
 		rows = refengine.Evaluate(q, g)
 	} else {
-		eng, err := bench.EngineByName(*engName, *phiM)
+		eng, err := resolveEngine(*engName, *phiM, g, q)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,11 +130,11 @@ func main() {
 		}
 		cfg := mapreduce.EngineConfig{SortBufferBytes: *sortBuf, Tracer: tracer, Speculation: *speculate}
 		if *faults != "" {
-			plan, attempts, err := parseFaults(*faults)
+			fp, attempts, err := parseFaults(*faults)
 			if err != nil {
 				fatal(err)
 			}
-			cfg.Faults = plan
+			cfg.Faults = fp
 			cfg.TaskMaxAttempts = attempts
 		}
 		mr := mapreduce.NewEngine(
@@ -118,6 +143,19 @@ func main() {
 		)
 		if err := engine.LoadGraph(mr.DFS(), "data/triples", g); err != nil {
 			fatal(err)
+		}
+		if *statsOut != "" {
+			// Build the catalog the way a warehouse would: a map-only MR job
+			// over the DFS-resident relation, persisted both as a DFS file
+			// (plan-time loading) and as an OS file (ntga-explain -stats).
+			cat, err := plan.BuildCatalog(mr, "data/triples", "data/catalog", g.Dict)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cat.WriteFile(*statsOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "stats: wrote %s (also persisted to DFS data/catalog)\n", *statsOut)
 		}
 		res, err := eng.Run(mr, q, "data/triples")
 		if tracer != nil {
@@ -176,6 +214,25 @@ func main() {
 		fmt.Println(q.FormatRow(r))
 	}
 	fmt.Fprintf(os.Stderr, "%d rows\n", len(projected))
+}
+
+// resolveEngine maps the -engine flag to an engine. "auto" asks the cost
+// advisor: it picks the NTGA strategy (eager vs lazy) and φ_m from the
+// dataset statistics — the same recommendation `-advise` prints.
+func resolveEngine(name string, phiM int, g *rdf.Graph, q *query.Query) (engine.QueryEngine, error) {
+	if name != "auto" {
+		return bench.EngineByName(name, phiM)
+	}
+	advice, err := ntgamr.Advise(ntgamr.CollectStats(g), q, 8)
+	if err != nil {
+		return nil, err
+	}
+	if phiM > 0 {
+		advice.PhiM = phiM
+	}
+	eng := advice.Engine()
+	fmt.Fprintf(os.Stderr, "auto: selected %s (phiM=%d)\n", eng.Name(), advice.PhiM)
+	return eng, nil
 }
 
 func printMetrics(res *engine.Result) {

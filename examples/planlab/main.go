@@ -14,7 +14,6 @@ import (
 
 	"ntga/internal/bench"
 	"ntga/internal/engine"
-	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
 	"ntga/internal/query"
 	"ntga/internal/relmr"
@@ -47,22 +46,11 @@ func main() {
 			log.Fatal(err)
 		}
 		row := []any{id}
-		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
-			s, _, err := relmr.NewPig().Plan(q, input, cl)
-			return s, err
-		}))
-		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
-			s, _, err := relmr.NewHive().Plan(q, input, cl)
-			return s, err
-		}))
-		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
-			s, _, err := relmr.NewSelSJFirst().Plan(q, input, cl)
-			return s, err
-		}))
-		row = append(row, planShape(func(cl *engine.Cleaner) ([]mapreduce.Stage, error) {
-			s, _, err := ntgamr.NewLazy().Plan(q, input, cl, mapreduce.NewCounters())
-			return s, err
-		}))
+		for _, e := range []engine.QueryEngine{
+			relmr.NewPig(), relmr.NewHive(), relmr.NewSelSJFirst(), ntgamr.NewLazy(),
+		} {
+			row = append(row, planShape(e, q, input))
+		}
 		table.AddRow(row...)
 	}
 	fmt.Println(table.Render())
@@ -78,15 +66,11 @@ func main() {
 	fmt.Printf("\nlogical plan for B1:\n%s", q.Explain())
 }
 
-func planShape(plan func(*engine.Cleaner) ([]mapreduce.Stage, error)) string {
+func planShape(e engine.QueryEngine, q *query.Query, input string) string {
 	var cl engine.Cleaner
-	stages, err := plan(&cl)
+	p, err := e.Plan(q, input, &cl, nil)
 	if err != nil {
 		return "n/a"
 	}
-	cycles := 0
-	for _, st := range stages {
-		cycles += len(st)
-	}
-	return fmt.Sprintf("%d/%d", cycles, mapreduce.CountScansOf(stages, "T"))
+	return fmt.Sprintf("%d/%d", p.Cycles(), p.ScanCount())
 }

@@ -113,6 +113,14 @@ var catalog = []CatalogQuery{
   FILTER(CONTAINS(?y, "Producer"))
 }`},
 
+	{ID: "B7", Dataset: "bsbm", Description: "three stars on one join variable, selective review star last in syntax order",
+		Src: bsbmPrefix + `SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v . ?o bsbm:price ?price .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+  ?r bsbm:reviewFor ?prod . ?r bsbm:rating ?rt .
+  FILTER(?rt = "10")
+}`},
+
 	// ---- B1 with varying bound-property arity (Figs 9c, 10) ----
 	{ID: "B1-3bnd", Dataset: "bsbm", Description: "B1 with 3 bound properties", Src: b1Bnd(3)},
 	{ID: "B1-4bnd", Dataset: "bsbm", Description: "B1 with 4 bound properties", Src: b1Bnd(4)},

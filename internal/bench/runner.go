@@ -11,6 +11,7 @@ import (
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 	"ntga/internal/relmr"
@@ -139,6 +140,11 @@ type EngineRun struct {
 	// JobMetrics carries the per-cycle breakdown (Figure 11 zooms into the
 	// final join cycle).
 	JobMetrics []mapreduce.JobMetrics
+	// Planner estimates for the same execution, from the statistics
+	// catalog: compare against Cycles and ShuffleBytes to judge the cost
+	// model's accuracy.
+	EstCycles       int
+	EstShuffleBytes int64
 }
 
 // QueryReport gathers every engine's run of one query.
@@ -196,30 +202,34 @@ func RunQuery(spec ClusterSpec, g *rdf.Graph, cq CatalogQuery, engines []engine.
 		return report, fmt.Errorf("bench: compiling %s: %w", cq.ID, err)
 	}
 
+	cat := plan.FromGraph(g)
 	var refHash uint64
 	var refRows int64 = -1
 	for _, eng := range engines {
+		estCycles, estShuffle := estimateRun(cat, eng, q, input)
 		res, runErr := eng.Run(mr, q, input)
 		run := EngineRun{
-			Engine:         eng.Name(),
-			OK:             runErr == nil,
-			Cycles:         res.Workflow.Cycles,
-			Duration:       res.Workflow.Duration,
-			ReadBytes:      res.Workflow.TotalMapInputBytes(),
-			ShuffleBytes:   res.Workflow.TotalMapOutputBytes(),
-			WriteBytes:     res.Workflow.TotalReduceOutputBytes(),
-			OutputRecords:  res.OutputRecords,
-			OutputBytes:    res.OutputBytes,
-			PeakDFS:        res.PeakDFSUsed,
-			SpilledBytes:   res.Workflow.TotalSpilledBytes(),
-			SpilledRecords: res.Workflow.TotalSpilledRecords(),
-			MergePasses:    res.Workflow.TotalMergePasses(),
-			PeakSortBuffer: res.Workflow.MaxPeakSortBufferBytes(),
-			StragglerRatio: res.Workflow.MaxStragglerRatio(),
-			ReduceKeySkew:  res.Workflow.MaxReduceKeySkew(),
-			ReduceByteSkew: res.Workflow.MaxReduceByteSkew(),
-			Counters:       res.Counters,
-			JobMetrics:     res.Workflow.Jobs,
+			Engine:          eng.Name(),
+			OK:              runErr == nil,
+			Cycles:          res.Workflow.Cycles,
+			Duration:        res.Workflow.Duration,
+			ReadBytes:       res.Workflow.TotalMapInputBytes(),
+			ShuffleBytes:    res.Workflow.TotalMapOutputBytes(),
+			WriteBytes:      res.Workflow.TotalReduceOutputBytes(),
+			OutputRecords:   res.OutputRecords,
+			OutputBytes:     res.OutputBytes,
+			PeakDFS:         res.PeakDFSUsed,
+			SpilledBytes:    res.Workflow.TotalSpilledBytes(),
+			SpilledRecords:  res.Workflow.TotalSpilledRecords(),
+			MergePasses:     res.Workflow.TotalMergePasses(),
+			PeakSortBuffer:  res.Workflow.MaxPeakSortBufferBytes(),
+			StragglerRatio:  res.Workflow.MaxStragglerRatio(),
+			ReduceKeySkew:   res.Workflow.MaxReduceKeySkew(),
+			ReduceByteSkew:  res.Workflow.MaxReduceByteSkew(),
+			Counters:        res.Counters,
+			JobMetrics:      res.Workflow.Jobs,
+			EstCycles:       estCycles,
+			EstShuffleBytes: estShuffle,
 		}
 		if runErr != nil {
 			run.Err = runErr.Error()
@@ -320,4 +330,19 @@ func EngineByName(name string, phiM int) (engine.QueryEngine, error) {
 	default:
 		return nil, fmt.Errorf("bench: unknown engine %q (want pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial)", name)
 	}
+}
+
+// estimateRun plans the query with a throwaway cleaner and prices the plan
+// against the catalog, so each EngineRun carries the planner's predicted
+// cycle count and shuffle volume next to the measured ones. Planning
+// failures (an engine rejecting the query shape) yield zero estimates; the
+// subsequent Run records the real error.
+func estimateRun(cat *plan.Catalog, eng engine.QueryEngine, q *query.Query, input string) (int, int64) {
+	var cl engine.Cleaner
+	p, err := eng.Plan(q, input, &cl, nil)
+	if err != nil {
+		return 0, 0
+	}
+	cost, _ := plan.Estimate(cat, q, p)
+	return cost.Cycles, cost.ShuffleBytes
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 )
 
@@ -39,12 +40,18 @@ type Result struct {
 	PeakDFSUsed int64
 }
 
-// QueryEngine executes compiled queries as MapReduce workflows.
+// QueryEngine plans and executes compiled queries as MapReduce workflows.
 type QueryEngine interface {
 	// Name identifies the engine in reports ("Pig", "Hive", "NTGA-Eager", ...).
 	Name() string
-	// Run plans and executes the query over the triple relation stored in
-	// the DFS file named input. Implementations must clean up every
+	// Plan builds the engine's physical plan for the query over the triple
+	// relation stored in the DFS file named input, without executing
+	// anything. Intermediate file names are registered with cl for later
+	// cleanup; engines that maintain run counters draw them from counters
+	// (nil selects a throwaway set). The plan's typed nodes drive the cost
+	// model and EXPLAIN; Physical.Lower yields the executable stages.
+	Plan(q *query.Query, input string, cl *Cleaner, counters *mapreduce.Counters) (*plan.Physical, error)
+	// Run plans and executes the query. Implementations must clean up every
 	// intermediate and output file they create, even on failure, and
 	// return a Result whose Workflow reflects the executed jobs. The
 	// returned error is non-nil when the workflow failed (e.g. disk full);

@@ -6,6 +6,7 @@ import (
 	"ntga/internal/codec"
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 )
@@ -37,6 +38,22 @@ func LoadGraph(dfs *hdfs.DFS, name string, g *rdf.Graph) error {
 // rows. Execute streams the final file through it record by record, so the
 // client never materializes the full output.
 type DecodeFunc func(record []byte) ([]query.Row, error)
+
+// ExecutePlan lowers a physical plan and executes it — the shared tail of
+// every engine's Run. Beyond Execute it fills in the plan-derived workflow
+// metrics: Workflow.FullScans is set from the plan's scan count (the
+// Figure 3 "full scans of T" accounting).
+func ExecutePlan(mr *mapreduce.Engine, name string, p *plan.Physical,
+	cleaner *Cleaner, counters *mapreduce.Counters, decode DecodeFunc) (*Result, error) {
+	stages, err := p.Lower()
+	if err != nil {
+		cleaner.Clean(mr)
+		return &Result{Engine: name}, err
+	}
+	res, err := Execute(mr, name, stages, p.Final, cleaner, counters, decode)
+	res.Workflow.FullScans = p.ScanCount()
+	return res, err
+}
 
 // Execute runs a planned workflow, decodes the final output, fills in the
 // Result, and removes every tracked intermediate file. It is the shared

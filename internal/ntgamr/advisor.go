@@ -1,8 +1,7 @@
 package ntgamr
 
 import (
-	"fmt"
-
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 )
@@ -55,88 +54,19 @@ type Advice struct {
 func (a Advice) Engine() *NTGA { return New(a.Strategy, a.PhiM) }
 
 // Advise recommends an unnesting strategy and partition range for a query
-// over a dataset, following §4.1 of the paper: "The partition factor used
-// by φ depends on the size of input, potential redundancy factor, and
-// average number of tuples that can be processed by a reducer."
-//
-// The heuristics:
-//
-//   - no unbound patterns, or unbound patterns whose expected candidate
-//     sets are tiny (selective objects, low subject degree): the implicit
-//     representation saves nothing, so Eager avoids the join-time unnest
-//     machinery;
-//   - otherwise LazyAuto — delay β-unnest, choosing partial unnest per
-//     join exactly as the paper's final policy does;
-//   - φ_m targets an average of ~2 slot candidates per (group, bucket):
-//     fewer buckets than that forfeits no shuffle savings but concentrates
-//     reducer work; more buckets degenerate toward full unnest. It is
-//     clamped to [reducers, DefaultPhiM].
-func Advise(stats DataStats, q *query.Query, reducers int) Advice {
-	if reducers <= 0 {
-		reducers = 8
+// over a dataset. It is a thin wrapper around the planner's unified
+// advisor (plan.AdviseUnnest — see its comment for the §4.1 heuristics),
+// mapping the recommendation onto the engine's Strategy values. Unlike the
+// old behaviour of silently defaulting a non-positive reducer count, bad
+// inputs (reducers <= 0, a nil or star-less query) are explicit errors.
+func Advise(stats DataStats, q *query.Query, reducers int) (Advice, error) {
+	ua, err := plan.AdviseUnnest(stats.AvgTriplesPerSubject, stats.DistinctObjects, q, reducers)
+	if err != nil {
+		return Advice{}, err
 	}
-	var a Advice
-	expected := expectedSlotCandidates(stats, q)
-	switch {
-	case expected == 0:
-		a.Strategy = Eager
-		a.Reasons = append(a.Reasons, "no unbound-property patterns: nothing to delay")
-	case expected <= 1.5:
-		a.Strategy = Eager
-		a.Reasons = append(a.Reasons, fmt.Sprintf(
-			"expected ≤%.1f candidates per unbound pattern: no redundancy to avoid", expected))
-	default:
+	a := Advice{PhiM: ua.PhiM, Reasons: ua.Reasons, Strategy: Eager}
+	if ua.Lazy {
 		a.Strategy = LazyAuto
-		a.Reasons = append(a.Reasons, fmt.Sprintf(
-			"expected ≈%.1f candidates per unbound pattern: delay β-unnest", expected))
 	}
-
-	// φ_m: distinct join keys spread so a group's candidates share buckets.
-	phi := int(float64(stats.DistinctObjects) / maxf(1, expected/2))
-	if phi < reducers {
-		phi = reducers
-	}
-	if phi > DefaultPhiM {
-		phi = DefaultPhiM
-	}
-	if phi < 1 {
-		phi = 1
-	}
-	a.PhiM = phi
-	a.Reasons = append(a.Reasons, fmt.Sprintf(
-		"φ_m = %d for %d distinct objects across %d reducers", phi, stats.DistinctObjects, reducers))
-	return a
-}
-
-// expectedSlotCandidates estimates the average candidate-set size of the
-// query's unbound slots: the subject degree, discounted for selective
-// object predicates (a CONTAINS/equality filter admits only its matching
-// ID set).
-func expectedSlotCandidates(stats DataStats, q *query.Query) float64 {
-	var worst float64
-	for _, st := range q.Stars {
-		for _, sl := range st.Slots {
-			est := stats.AvgTriplesPerSubject
-			if id, ok := sl.Obj.Exact(); ok && id != rdf.NoID {
-				est = 1
-			} else if sl.Obj.In != nil && stats.DistinctObjects > 0 {
-				frac := float64(len(sl.Obj.In)) / float64(stats.DistinctObjects)
-				if frac > 1 {
-					frac = 1
-				}
-				est *= frac
-			}
-			if est > worst {
-				worst = est
-			}
-		}
-	}
-	return worst
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	return a, nil
 }

@@ -43,7 +43,10 @@ func TestAdviseStrategySelection(t *testing.T) {
 	q := enginetest.Compile(t, g, `
 PREFIX ex: <http://ex/>
 SELECT * WHERE { ?g ex:label ?l . ?g ex:xGO ?go . }`)
-	a := Advise(stats, q, 8)
+	a, err := Advise(stats, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Strategy != Eager {
 		t.Errorf("bound-only advice = %v, want Eager (%v)", a.Strategy, a.Reasons)
 	}
@@ -52,7 +55,10 @@ SELECT * WHERE { ?g ex:label ?l . ?g ex:xGO ?go . }`)
 	q = enginetest.Compile(t, g, `
 PREFIX ex: <http://ex/>
 SELECT * WHERE { ?g ex:label ?l . ?g ?p ?o . }`)
-	a = Advise(stats, q, 8)
+	a, err = Advise(stats, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Strategy != LazyAuto {
 		t.Errorf("unbound advice = %v, want LazyAuto (%v)", a.Strategy, a.Reasons)
 	}
@@ -67,7 +73,10 @@ SELECT * WHERE { ?g ex:label ?l . ?g ?p ?o . }`)
 	q = enginetest.Compile(t, g, `
 PREFIX ex: <http://ex/>
 SELECT * WHERE { ?g ex:label ?l . ?g ?p ?o . FILTER(?o = ex:go1) }`)
-	a = Advise(stats, q, 8)
+	a, err = Advise(stats, q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Strategy != Eager {
 		t.Errorf("exact-object advice = %v, want Eager (%v)", a.Strategy, a.Reasons)
 	}
@@ -81,7 +90,10 @@ SELECT * WHERE { ?g ex:label ?l . ?g ?p ?o . }`)
 	for _, objects := range []int64{10, 1000, 100000} {
 		stats := DataStats{Triples: 10 * objects, Subjects: objects / 4,
 			AvgTriplesPerSubject: 40, DistinctObjects: objects}
-		a := Advise(stats, q, 8)
+		a, err := Advise(stats, q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if a.PhiM < prev {
 			t.Errorf("PhiM decreased: %d after %d (objects=%d)", a.PhiM, prev, objects)
 		}
@@ -109,7 +121,10 @@ SELECT * WHERE {
   ?x ex:type ?t . ?x ex:label ?xl .
 }`
 	q := enginetest.Compile(t, g, src)
-	advice := Advise(CollectStats(g), q, 4)
+	advice, err := Advise(CollectStats(g), q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if advice.Strategy != LazyAuto {
 		t.Fatalf("advice = %v (%v)", advice.Strategy, advice.Reasons)
 	}

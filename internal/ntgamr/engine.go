@@ -7,6 +7,7 @@ import (
 	"ntga/internal/core"
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 )
 
@@ -46,8 +47,8 @@ func (s Strategy) String() string {
 }
 
 // DefaultPhiM is the partition range the paper's experiments settle on
-// (LazyUnnest(φ1K)).
-const DefaultPhiM = 1024
+// (LazyUnnest(φ1K)); it aliases the planner's canonical constant.
+const DefaultPhiM = plan.DefaultPhiM
 
 // NTGA is the TripleGroup-algebra query engine.
 type NTGA struct {
@@ -110,26 +111,75 @@ func (n *NTGA) joinModeFor(q *query.Query, j query.Join) joinMode {
 	return directMode
 }
 
-// Plan builds the workflow: one grouping cycle computing every star
-// subpattern, then one triplegroup-join cycle per inter-star join.
+// unnestFor maps a join's evaluation mode to the plan-level UnnestMode: no
+// unnesting for bound-position joins (or eager strategies, where the groups
+// are already expanded), lazy full μ^β for direct-keyed slot joins, partial
+// μ^β_φm for bucketed ones.
+func (n *NTGA) unnestFor(j query.Join, mode joinMode) plan.UnnestMode {
+	if n.strategy == Eager {
+		return plan.UnnestNone
+	}
+	if j.Left.Role != query.RoleSlotObj && j.Right.Role != query.RoleSlotObj {
+		return plan.UnnestNone
+	}
+	if mode == bucketedMode {
+		return plan.UnnestPartial
+	}
+	return plan.UnnestLazy
+}
+
+// Plan implements engine.QueryEngine: one grouping cycle computing every
+// star subpattern, one triplegroup-join cycle per inter-star join, and —
+// for COUNT(*) queries — a final count-fold cycle over the implicit
+// representation.
 func (n *NTGA) Plan(q *query.Query, input string, cl *engine.Cleaner,
-	counters *mapreduce.Counters) ([]mapreduce.Stage, string, error) {
+	counters *mapreduce.Counters) (*plan.Physical, error) {
 	if len(q.Stars) == 0 {
-		return nil, "", fmt.Errorf("ntgamr: query has no stars")
+		return nil, fmt.Errorf("ntgamr: query has no stars")
+	}
+	if counters == nil {
+		counters = mapreduce.NewCounters()
 	}
 	grouped := cl.Track(engine.TempName(n.name, "group"))
-	stages := []mapreduce.Stage{{job1(q, n.strategy == Eager, counters, input, grouped)}}
+	groupUnnest := plan.UnnestNone
+	if n.strategy == Eager {
+		groupUnnest = plan.UnnestEager
+	}
+	p := &plan.Physical{Engine: n.name, Input: input, Final: grouped}
+	p.Stages = append(p.Stages, plan.Stage{{
+		Kind: plan.KindGroupFilter, Name: "ntga-group", Star: -1,
+		Inputs: []string{input}, Output: grouped, Unnest: groupUnnest,
+		Job: job1(q, n.strategy == Eager, counters, input, grouped),
+	}})
 	acc := grouped
-	for ji, j := range q.Joins {
+	for ji := range q.Joins {
+		j := q.Joins[ji]
 		out := cl.Track(engine.TempName(n.name, fmt.Sprintf("join%d", ji)))
 		mode := n.joinModeFor(q, j)
-		stages = append(stages, mapreduce.Stage{
-			tgJoinJob(q, fmt.Sprintf("%s-join%d", n.name, ji), j, mode, n.phiM,
-				counters, acc, grouped, out),
-		})
+		name := fmt.Sprintf("%s-join%d", n.name, ji)
+		job := tgJoinJob(q, name, j, mode, n.phiM, counters, acc, grouped, out)
+		node := &plan.Node{
+			Kind: plan.KindTGJoin, Name: name, Star: -1,
+			Inputs: append([]string(nil), job.Inputs...), Output: out,
+			Join: &q.Joins[ji], Unnest: n.unnestFor(j, mode), Job: job,
+		}
+		if node.Unnest == plan.UnnestPartial {
+			node.PhiM = n.phiM
+		}
+		p.Stages = append(p.Stages, plan.Stage{node})
 		acc = out
 	}
-	return stages, acc, nil
+	p.Final = acc
+	if q.IsCount() {
+		cntFile := cl.Track(engine.TempName(n.name, "count"))
+		p.Stages = append(p.Stages, plan.Stage{{
+			Kind: plan.KindCountFold, Name: "ntga-count", Star: -1,
+			Inputs: []string{acc}, Output: cntFile,
+			Job: countFoldJob(q, acc, cntFile),
+		}})
+		p.Final = cntFile
+	}
+	return p, nil
 }
 
 // DecodeRows converts one final triplegroup record into binding rows by
@@ -148,19 +198,18 @@ func DecodeRows(q *query.Query) engine.DecodeFunc {
 func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
 	var cl engine.Cleaner
 	counters := mapreduce.NewCounters()
-	stages, final, err := n.Plan(q, input, &cl, counters)
+	p, err := n.Plan(q, input, &cl, counters)
 	if err != nil {
+		cl.Clean(mr)
 		return &engine.Result{Engine: n.name}, err
 	}
 	if q.IsCount() {
-		// Aggregation pushdown over the implicit representation: an extra
+		// Aggregation pushdown over the implicit representation: the plan's
 		// count-fold cycle sums the expansion counts of the (still nested)
 		// triplegroups — no β-unnest happens at all for non-joining slots,
 		// and the sum Combiner folds partial counts at spill time.
-		cntFile := cl.Track(engine.TempName(n.name, "count"))
-		stages = append(stages, mapreduce.Stage{countFoldJob(q, final, cntFile)})
 		var count int64
-		res, err := engine.Execute(mr, n.name, stages, cntFile, &cl, counters,
+		res, err := engine.ExecutePlan(mr, n.name, p, &cl, counters,
 			func(record []byte) ([]query.Row, error) {
 				c, err := codec.NewReader(record).Uvarint()
 				if err != nil {
@@ -173,5 +222,5 @@ func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.
 		res.Count = count
 		return res, err
 	}
-	return engine.Execute(mr, n.name, stages, final, &cl, counters, DecodeRows(q))
+	return engine.ExecutePlan(mr, n.name, p, &cl, counters, DecodeRows(q))
 }

@@ -163,11 +163,11 @@ func TestNTGAWorkflowShape(t *testing.T) {
 		t.Errorf("NTGA cycles = %d, want 2", res.Workflow.Cycles)
 	}
 	var cl engine.Cleaner
-	stages, _, err := NewLazy().Plan(enginetest.Compile(t, g, twoStar), "in", &cl, mapreduce.NewCounters())
+	p, err := NewLazy().Plan(enginetest.Compile(t, g, twoStar), "in", &cl, mapreduce.NewCounters())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scans := mapreduce.CountScansOf(stages, "in"); scans != 1 {
+	if scans := p.ScanCount(); scans != 1 {
 		t.Errorf("NTGA full scans = %d, want 1", scans)
 	}
 }

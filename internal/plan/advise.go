@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"fmt"
+
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// DefaultPhiM is the partition range the paper's experiments settle on for
+// partial unnesting (μ^β_φm). ntgamr re-exports it as its default.
+const DefaultPhiM = 1024
+
+// UnnestAdvice is the unnesting recommendation for an NTGA run: whether to
+// delay β-unnest (lazy/auto) or apply it eagerly during grouping, and the
+// φ_m partition range for partial unnesting.
+type UnnestAdvice struct {
+	// Lazy selects delayed β-unnest (the paper's TG_UnbJoin/TG_OptUnbJoin
+	// path, auto-chosen per join); false selects eager unnest at grouping.
+	Lazy bool
+	// PhiM is the recommended μ^β_φm partition range.
+	PhiM int
+	// Expected is the estimated worst-case candidate-set size per subject
+	// across the query's unbound slots (0 when the query has none).
+	Expected float64
+	// Reasons spells out the decision.
+	Reasons []string
+}
+
+// AdviseUnnest recommends an unnesting strategy and partition range,
+// following §4.1 of the paper: "The partition factor used by φ depends on
+// the size of input, potential redundancy factor, and average number of
+// tuples that can be processed by a reducer."
+//
+// The heuristics:
+//
+//   - no unbound patterns, or unbound patterns whose expected candidate
+//     sets are tiny (selective objects, low subject degree): the implicit
+//     representation saves nothing, so eager unnest avoids the join-time
+//     unnest machinery;
+//   - otherwise lazy — delay β-unnest, choosing partial unnest per join
+//     exactly as the paper's final policy does;
+//   - φ_m targets an average of ~2 slot candidates per (group, bucket):
+//     fewer buckets than that forfeits no shuffle savings but concentrates
+//     reducer work; more buckets degenerate toward full unnest. It is
+//     clamped to [reducers, DefaultPhiM].
+//
+// avgTriplesPerSubject and distinctObjects come from the statistics catalog
+// (Catalog.AvgTriplesPerSubject, Catalog.Objects) or any other source of
+// the same counts. Invalid inputs are errors, not silent defaults.
+func AdviseUnnest(avgTriplesPerSubject float64, distinctObjects int64, q *query.Query, reducers int) (UnnestAdvice, error) {
+	if reducers <= 0 {
+		return UnnestAdvice{}, fmt.Errorf("plan: AdviseUnnest needs a positive reducer count, got %d", reducers)
+	}
+	if q == nil || len(q.Stars) == 0 {
+		return UnnestAdvice{}, fmt.Errorf("plan: AdviseUnnest needs a compiled query with at least one star")
+	}
+	var a UnnestAdvice
+	a.Expected = expectedSlotCandidates(avgTriplesPerSubject, distinctObjects, q)
+	switch {
+	case a.Expected == 0:
+		a.Reasons = append(a.Reasons, "no unbound-property patterns: nothing to delay")
+	case a.Expected <= 1.5:
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"expected ≤%.1f candidates per unbound pattern: no redundancy to avoid", a.Expected))
+	default:
+		a.Lazy = true
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"expected ≈%.1f candidates per unbound pattern: delay β-unnest", a.Expected))
+	}
+
+	// φ_m: distinct join keys spread so a group's candidates share buckets.
+	phi := int(float64(distinctObjects) / maxf(1, a.Expected/2))
+	if phi < reducers {
+		phi = reducers
+	}
+	if phi > DefaultPhiM {
+		phi = DefaultPhiM
+	}
+	if phi < 1 {
+		phi = 1
+	}
+	a.PhiM = phi
+	a.Reasons = append(a.Reasons, fmt.Sprintf(
+		"φ_m = %d for %d distinct objects across %d reducers", phi, distinctObjects, reducers))
+	return a, nil
+}
+
+// expectedSlotCandidates estimates the worst-case candidate-set size of the
+// query's unbound slots: the subject degree, discounted for selective
+// object predicates (a CONTAINS/equality filter admits only its matching
+// ID set).
+func expectedSlotCandidates(avgTriplesPerSubject float64, distinctObjects int64, q *query.Query) float64 {
+	var worst float64
+	for _, st := range q.Stars {
+		for _, sl := range st.Slots {
+			est := avgTriplesPerSubject
+			if id, ok := sl.Obj.Exact(); ok && id != rdf.NoID {
+				est = 1
+			} else if sl.Obj.In != nil && distinctObjects > 0 {
+				frac := float64(len(sl.Obj.In)) / float64(distinctObjects)
+				if frac > 1 {
+					frac = 1
+				}
+				est *= frac
+			}
+			if est > worst {
+				worst = est
+			}
+		}
+	}
+	return worst
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package plan
+
+import (
+	"ntga/internal/query"
+)
+
+// NodeCost is one node's contribution to the plan estimate.
+type NodeCost struct {
+	Name            string
+	Kind            Kind
+	EstShuffleBytes int64
+	EstOutRecords   int64
+}
+
+// Estimate prices a physical plan against the catalog: cycles and scans are
+// structural (counted off the plan), shuffle bytes are estimated node by
+// node with the paper's redundancy-factor accounting for unbound slots.
+func Estimate(cat *Catalog, q *query.Query, p *Physical) (Cost, []NodeCost) {
+	e := NewEstimator(cat, q)
+	tb := cat.AvgTripleBytes()
+	eager := false
+	total := 0.0
+	var nodes []NodeCost
+	for _, node := range p.Nodes() {
+		var shuffle float64
+		var out fileEst
+		switch node.Kind {
+		case KindSplit:
+			recs := e.relevantTriples()
+			if node.DoubleCopy {
+				recs *= 2
+			}
+			out = fileEst{records: recs, bytes: recs * tb}
+
+		case KindStarJoin:
+			se := e.stars[node.Star]
+			shuffle = se.triples * (tb + keyOverhead)
+			out = e.starFile(node.Star, true) // relational output is expanded
+
+		case KindGroupFilter:
+			eager = node.Unnest == UnnestEager
+			shuffle = e.relevantTriples() * (tb + keyOverhead)
+			for i := range e.stars {
+				sf := e.starFile(i, eager)
+				out.records += sf.records
+				out.bytes += sf.bytes
+			}
+
+		case KindTGJoin:
+			j := node.Join
+			var left fileEst
+			if len(node.Inputs) == 2 {
+				left = e.files[node.Inputs[0]]
+			} else {
+				left = e.starFile(j.Left.Star, eager)
+			}
+			right := e.starFile(j.Right.Star, eager)
+			shuffle = e.tgSideShuffle(left, j.Left, node) + e.tgSideShuffle(right, j.Right, node)
+			out = e.joinOut(left, right, j)
+
+		case KindRelJoin:
+			j := node.Join
+			left := e.files[node.Inputs[0]]
+			right := e.files[node.Inputs[1]]
+			shuffle = left.bytes + left.records*keyOverhead +
+				right.bytes + right.records*keyOverhead
+			out = e.joinOut(left, right, j)
+
+		case KindEdgeJoin:
+			j := node.Join
+			left := e.edgePattern(j.Left)
+			right := e.edgePattern(j.Right)
+			shuffle = left.bytes + left.records*keyOverhead +
+				right.bytes + right.records*keyOverhead
+			out = e.joinOut(left, right, j)
+
+		case KindCompletion:
+			se := e.stars[node.Star]
+			tuples := e.files[node.Inputs[1]]
+			shuffle = se.triples*(tb+keyOverhead) + tuples.bytes + tuples.records*keyOverhead
+			joinSel := se.subjects / clampMin(float64(cat.Subjects), 1)
+			recs := tuples.records * se.expand * joinSel
+			out = fileEst{records: recs, bytes: recs * (tuples.perRecord() + se.tupleBytes)}
+
+		case KindCountFold:
+			in := e.files[node.Inputs[0]]
+			shuffle = in.records * keyOverhead
+			out = fileEst{records: 1, bytes: 8}
+		}
+		e.files[node.Output] = out
+		total += shuffle
+		nodes = append(nodes, NodeCost{
+			Name: node.Name, Kind: node.Kind,
+			EstShuffleBytes: f2i(shuffle), EstOutRecords: f2i(out.records),
+		})
+	}
+	return Cost{Cycles: p.Cycles(), Scans: p.ScanCount(), ShuffleBytes: f2i(total)}, nodes
+}
+
+// tgSideShuffle prices one side of a triplegroup-join cycle, applying the
+// paper's redundancy accounting when the join runs through an unbound slot:
+//
+//   - lazy full β-unnest (TG_UnbJoin) replicates the rest of the group once
+//     per slot candidate — redundancy factor = |candidates|;
+//   - partial β-unnest (TG_OptUnbJoin) replicates the rest of the group
+//     once per *bucket hit* (≤ min(|candidates|, φ_m)) while each candidate
+//     triple crosses the shuffle exactly once.
+func (e *Estimator) tgSideShuffle(side fileEst, pos query.Pos, node *Node) float64 {
+	tb := e.cat.AvgTripleBytes()
+	per := side.perRecord()
+	if pos.Role == query.RoleSlotObj && node.Unnest != UnnestNone {
+		cands := e.stars[pos.Star].slotCands[pos.Idx]
+		switch node.Unnest {
+		case UnnestPartial:
+			buckets := cands
+			if phi := float64(node.PhiM); phi > 0 && phi < buckets {
+				buckets = phi
+			}
+			rest := clampMin(per-cands*tb, 0)
+			return side.records * (buckets*(rest+bucketOverhead) + cands*tb)
+		default: // UnnestLazy (and eager-at-join fallbacks)
+			rest := clampMin(per-(cands-1)*tb, tb)
+			return side.records * cands * (rest + keyOverhead)
+		}
+	}
+	if pos.Role == query.RoleBoundObj {
+		mult := e.stars[pos.Star].boundMult[pos.Idx]
+		return side.records * clampMin(mult, 1) * (per + keyOverhead)
+	}
+	return side.records * (per + keyOverhead)
+}
+
+// edgePattern estimates the triples matching one bound pattern — the map
+// output of the Sel-SJ-first edge-join cycle for one side.
+func (e *Estimator) edgePattern(pos query.Pos) fileEst {
+	b := e.q.Stars[pos.Star].Bound[pos.Idx]
+	key, _ := e.propKey(b.PatIdx)
+	ps := e.cat.Props[key]
+	recs := float64(ps.Triples) * e.objSel(b.PatIdx, float64(ps.Objects))
+	return fileEst{records: recs, bytes: recs * (e.cat.AvgTripleBytes() + recOverhead)}
+}
+
+// JoinChainShuffle estimates the shuffle bytes of the inter-star join chain
+// for a candidate join sequence — the order-dependent part of every
+// engine's plan. Each cycle shuffles the accumulated partial result plus
+// the newly folded star; the accumulated result grows by the join's
+// estimated cardinality. The expanded (relational) representation is used
+// for both sides, making the metric engine-agnostic: the ordering decision
+// depends on the *relative* size of intermediate results, which nesting
+// scales but does not reorder.
+func JoinChainShuffle(cat *Catalog, q *query.Query, joins []query.Join) int64 {
+	if len(joins) == 0 {
+		return 0
+	}
+	e := NewEstimator(cat, q)
+	acc := e.starFile(joins[0].Left.Star, true)
+	total := 0.0
+	for i := range joins {
+		j := &joins[i]
+		right := e.starFile(j.Right.Star, true)
+		total += acc.bytes + acc.records*keyOverhead +
+			right.bytes + right.records*keyOverhead
+		acc = e.joinOut(acc, right, j)
+	}
+	return f2i(total)
+}

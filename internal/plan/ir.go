@@ -1,0 +1,257 @@
+// Package plan is the unified physical-plan layer between the query
+// compiler and the MapReduce engines. Every query engine in this repository
+// (the relational baselines in relmr and the NTGA engines in ntgamr)
+// *produces* a plan.Physical — a staged sequence of typed plan nodes, each
+// describing one MR cycle — and a single lowering pass (Physical.Lower)
+// turns it into the []mapreduce.Stage the executor runs.
+//
+// The point of the layer is that the paper's argument is a *cost* argument:
+// NTGA wins because grouping computes every star subpattern in one cycle
+// and lazy/partial β-unnest (μ^β, μ^β_φm) shrinks the shuffled intermediate
+// footprint. The typed nodes carry exactly the attributes that accounting
+// needs — which star a cycle computes, which join it performs, how the
+// joining slot is unnested (UnnestMode), the partition range φ_m — so a
+// catalog-driven cost model (cost.go) can price any plan without executing
+// it, and an optimizer (optimizer.go) can compare join orders and engines.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+)
+
+// Kind classifies a plan node (one MR cycle) by the physical operator it
+// executes.
+type Kind int
+
+// The plan-node kinds. Each node is one MR cycle; the paper's operators map
+// onto kinds plus the UnnestMode attribute:
+//
+//	Scan            — implicit: every node's Inputs that name the plan's
+//	                  base relation are full scans of T (ScanCount).
+//	KindSplit       — Pig's SPLIT/compress: map-only filter of T.
+//	KindStarJoin    — relational star-join of one star's VP relations.
+//	KindGroupFilter — NTGA Job1: TG_GroupByMap + TG_GroupByReduce +
+//	                  TG_UnbGrpFilter (β group-filter); with
+//	                  UnnestEager it also applies eager μ^β.
+//	KindTGJoin      — triplegroup join cycle: TG_Join (UnnestNone),
+//	                  TG_UnbJoin (UnnestLazy: map-side full μ^β), or
+//	                  TG_OptUnbJoin (UnnestPartial: μ^β_φm, bucketed).
+//	KindRelJoin     — relational reduce-side equi-join of tuple files.
+//	KindEdgeJoin    — Sel-SJ-first's selective edge join (cycle 1, O-O).
+//	KindCompletion  — Sel-SJ-first's combined star-join + join cycle.
+//	KindCountFold   — COUNT(*) aggregation over the implicit
+//	                  representation (sum of expansion counts).
+const (
+	KindSplit Kind = iota
+	KindStarJoin
+	KindGroupFilter
+	KindTGJoin
+	KindRelJoin
+	KindEdgeJoin
+	KindCompletion
+	KindCountFold
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSplit:
+		return "Split"
+	case KindStarJoin:
+		return "StarJoin"
+	case KindGroupFilter:
+		return "GroupFilter"
+	case KindTGJoin:
+		return "TGJoin"
+	case KindRelJoin:
+		return "RelJoin"
+	case KindEdgeJoin:
+		return "EdgeJoin"
+	case KindCompletion:
+		return "Completion"
+	case KindCountFold:
+		return "CountFold"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// UnnestMode says when (and how) a node β-unnests unbound-property slots.
+type UnnestMode int
+
+// The unnesting modes of §4 of the paper.
+const (
+	// UnnestNone: nothing is unnested (bound joins, lazy grouping).
+	UnnestNone UnnestMode = iota
+	// UnnestEager: μ^β during the grouping reduce (EagerUnnest).
+	UnnestEager
+	// UnnestLazy: map-side full μ^β of the joining slot (TG_UnbJoin).
+	UnnestLazy
+	// UnnestPartial: partial μ^β_φm keyed by bucket (TG_OptUnbJoin).
+	UnnestPartial
+)
+
+func (m UnnestMode) String() string {
+	switch m {
+	case UnnestNone:
+		return "none"
+	case UnnestEager:
+		return "eager"
+	case UnnestLazy:
+		return "lazy-full"
+	case UnnestPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("UnnestMode(%d)", int(m))
+	}
+}
+
+// Node is one typed physical-plan node — one MR cycle. The descriptive
+// fields drive cost estimation and EXPLAIN rendering; Job is the lowered
+// MapReduce job the executor runs (bound by the engine that produced the
+// plan, nil in stats-only plans built without a dataset).
+type Node struct {
+	// Kind is the physical operator.
+	Kind Kind
+	// Name is the MR job name (matches Job.Name when Job is set).
+	Name string
+	// Inputs and Output are DFS file names; Inputs naming the plan's Input
+	// are full scans of the triple relation.
+	Inputs []string
+	Output string
+
+	// Star is the star index a StarJoin/Completion node computes, or -1.
+	Star int
+	// Join is the inter-star join a TGJoin/RelJoin/EdgeJoin node performs.
+	Join *query.Join
+	// Unnest says how the node treats unbound slots (see UnnestMode).
+	Unnest UnnestMode
+	// PhiM is the μ^β_φm partition range (UnnestPartial nodes).
+	PhiM int
+	// DoubleCopy marks a Split that materializes the relation twice (the
+	// Pig unbound-query pattern the paper calls out).
+	DoubleCopy bool
+
+	// Job is the lowered MapReduce job. Plans produced by an engine always
+	// carry one; plans built only for cost inspection may not.
+	Job *mapreduce.Job
+}
+
+// Stage is a set of nodes that may execute concurrently (Pig-style
+// independent jobs); stages run in sequence.
+type Stage []*Node
+
+// Physical is a complete physical plan: the staged node DAG from the base
+// triple relation to the final output file.
+type Physical struct {
+	// Engine names the engine that produced the plan.
+	Engine string
+	// Input is the DFS name of the base triple relation T.
+	Input string
+	// Stages is the plan body, in execution order.
+	Stages []Stage
+	// Final is the DFS file holding the plan's result.
+	Final string
+}
+
+// Nodes returns every node in execution order (stage by stage).
+func (p *Physical) Nodes() []*Node {
+	var out []*Node
+	for _, st := range p.Stages {
+		out = append(out, st...)
+	}
+	return out
+}
+
+// Cycles counts the MR cycles (jobs) in the plan — the paper's
+// workflow-length metric.
+func (p *Physical) Cycles() int {
+	n := 0
+	for _, st := range p.Stages {
+		n += len(st)
+	}
+	return n
+}
+
+// ScanCount counts how many jobs scan the base triple relation — the
+// Figure 3 "full scans of T" metric.
+func (p *Physical) ScanCount() int {
+	n := 0
+	for _, node := range p.Nodes() {
+		for _, in := range node.Inputs {
+			if in == p.Input {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Lower turns the plan into executable MapReduce stages. It fails if any
+// node lacks a bound Job (a stats-only plan cannot execute).
+func (p *Physical) Lower() ([]mapreduce.Stage, error) {
+	stages := make([]mapreduce.Stage, 0, len(p.Stages))
+	for si, st := range p.Stages {
+		stage := make(mapreduce.Stage, 0, len(st))
+		for _, node := range st {
+			if node.Job == nil {
+				return nil, fmt.Errorf("plan: node %s (%v, stage %d) has no lowered job", node.Name, node.Kind, si)
+			}
+			stage = append(stage, node.Job)
+		}
+		stages = append(stages, stage)
+	}
+	return stages, nil
+}
+
+// Summary renders a compact one-node-per-line description of the plan with
+// intermediate file names normalized ($1, $2, ... in order of appearance),
+// so the output is deterministic across processes — the form the EXPLAIN
+// goldens pin down.
+func (p *Physical) Summary() string {
+	names := map[string]string{p.Input: "T"}
+	norm := func(f string) string {
+		if n, ok := names[f]; ok {
+			return n
+		}
+		n := fmt.Sprintf("$%d", len(names))
+		names[f] = n
+		return n
+	}
+	var sb strings.Builder
+	for si, st := range p.Stages {
+		for _, node := range st {
+			attrs := []string{}
+			if node.Star >= 0 {
+				attrs = append(attrs, fmt.Sprintf("star=%d", node.Star))
+			}
+			if node.Join != nil {
+				attrs = append(attrs, fmt.Sprintf("join=?%s", node.Join.Var))
+			}
+			if node.Unnest != UnnestNone {
+				attrs = append(attrs, "unnest="+node.Unnest.String())
+			}
+			if node.Unnest == UnnestPartial && node.PhiM > 0 {
+				attrs = append(attrs, fmt.Sprintf("phi=%d", node.PhiM))
+			}
+			if node.DoubleCopy {
+				attrs = append(attrs, "copies=2")
+			}
+			ins := make([]string, len(node.Inputs))
+			for i, in := range node.Inputs {
+				ins[i] = norm(in)
+			}
+			a := ""
+			if len(attrs) > 0 {
+				a = " [" + strings.Join(attrs, " ") + "]"
+			}
+			fmt.Fprintf(&sb, "stage %d: %-12s %s <- %s%s\n",
+				si+1, node.Kind.String(), norm(node.Output), strings.Join(ins, "+"), a)
+		}
+	}
+	return sb.String()
+}

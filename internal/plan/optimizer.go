@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+
+	"ntga/internal/query"
+)
+
+// maxSearchStars caps the exhaustive join-order search; beyond it the
+// optimizer keeps the compile-time order (n! orders — 8 stars is already
+// 40320 candidate orders, far past the paper's query shapes).
+const maxSearchStars = 8
+
+// Reorder is the outcome of a join-order search.
+type Reorder struct {
+	// Order is the chosen star visit order; Joins the matching sequence.
+	Order []int
+	Joins []query.Join
+	// Est and LegacyEst are the estimated join-chain shuffle bytes of the
+	// chosen and the compile-time order.
+	Est       int64
+	LegacyEst int64
+	// Changed reports whether the chosen order differs from the legacy one
+	// (strictly cheaper — ties keep the legacy order).
+	Changed bool
+}
+
+// ReorderJoins searches all valid star visit orders for the one minimizing
+// the estimated inter-star join-chain shuffle (JoinChainShuffle). It never
+// mutates q. The legacy (compile-time) order wins ties, so a catalog with
+// no discriminating statistics reproduces the legacy plan exactly.
+func ReorderJoins(cat *Catalog, q *query.Query) (*Reorder, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("plan: ReorderJoins needs a catalog")
+	}
+	legacy := query.JoinOrder(q.Joins, len(q.Stars))
+	r := &Reorder{
+		Order:     legacy,
+		Joins:     q.Joins,
+		LegacyEst: JoinChainShuffle(cat, q, q.Joins),
+	}
+	r.Est = r.LegacyEst
+	if len(q.Stars) <= 2 || len(q.Stars) > maxSearchStars {
+		// One join (or none): every order shuffles the same two stars.
+		return r, nil
+	}
+	base := make([]int, len(q.Stars))
+	for i := range base {
+		base[i] = i
+	}
+	permute(base, 0, func(order []int) {
+		joins, err := q.JoinsForOrder(order)
+		if err != nil {
+			return // disconnected prefix or cyclic — not a valid order
+		}
+		est := JoinChainShuffle(cat, q, joins)
+		if est < r.Est {
+			r.Est = est
+			r.Order = append([]int(nil), order...)
+			r.Joins = joins
+			r.Changed = true
+		}
+	})
+	return r, nil
+}
+
+// Optimize runs the join-order search and, when a strictly cheaper order
+// exists, rewrites q.Joins in place. Both ntgamr and relmr route join sides
+// through Join.Left/Right positions, so the rewritten sequence flows
+// through every engine unchanged.
+func Optimize(cat *Catalog, q *query.Query) (*Reorder, error) {
+	r, err := ReorderJoins(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	if r.Changed {
+		q.Joins = r.Joins
+	}
+	return r, nil
+}
+
+// permute calls f with every permutation of a[k:] (Heap's-style recursive
+// swap; a is reused across calls — f must copy to retain).
+func permute(a []int, k int, f func([]int)) {
+	if k == len(a) {
+		f(a)
+		return
+	}
+	for i := k; i < len(a); i++ {
+		a[k], a[i] = a[i], a[k]
+		permute(a, k+1, f)
+		a[k], a[i] = a[i], a[k]
+	}
+}

@@ -1,0 +1,205 @@
+package plan_test
+
+import (
+	"testing"
+
+	"ntga/internal/bench"
+	"ntga/internal/enginetest"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+// threeStarChain is offer → product ← review, with the review star made
+// tiny by a selective rating filter: joining product⋈review first beats the
+// compile-time offer⋈product-first order.
+const threeStarChain = `PREFIX bsbm: <http://bsbm.example.org/>
+SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v . ?o bsbm:price ?price .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+  ?r bsbm:reviewFor ?prod . ?r bsbm:rating ?rt .
+  FILTER(?rt = "10")
+}`
+
+func compileOn(t *testing.T, g *rdf.Graph, src string) *query.Query {
+	t.Helper()
+	return enginetest.Compile(t, g, src)
+}
+
+func bsbmGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g, err := bench.Dataset("bsbm", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestJoinsForOrderRoundTrip(t *testing.T) {
+	g := bsbmGraph(t)
+	q := compileOn(t, g, threeStarChain)
+	if len(q.Stars) != 3 || len(q.Joins) != 2 {
+		t.Fatalf("compiled to %d stars / %d joins, want 3 / 2", len(q.Stars), len(q.Joins))
+	}
+
+	legacy := query.JoinOrder(q.Joins, len(q.Stars))
+	joins, err := q.JoinsForOrder(legacy)
+	if err != nil {
+		t.Fatalf("legacy order %v rejected: %v", legacy, err)
+	}
+	for i, j := range joins {
+		if j.Var != q.Joins[i].Var || j.Left != q.Joins[i].Left || j.Right != q.Joins[i].Right {
+			t.Errorf("join %d differs after legacy-order round trip: %+v vs %+v", i, j, q.Joins[i])
+		}
+	}
+
+	// Invalid permutations are rejected, not misplanned.
+	for _, bad := range [][]int{{0, 1}, {0, 1, 1}, {0, 1, 3}} {
+		if _, err := q.JoinsForOrder(bad); err == nil {
+			t.Errorf("order %v: want error, got none", bad)
+		}
+	}
+}
+
+func TestJoinsForOrderRejectsDisconnectedPrefix(t *testing.T) {
+	// A genuine chain a–b–c on distinct variables: visiting a then c leaves
+	// a disconnected prefix.
+	g := bsbmGraph(t)
+	q := compileOn(t, g, `PREFIX bsbm: <http://bsbm.example.org/>
+SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v .
+  ?prod bsbm:label ?l . ?prod bsbm:producer ?pr .
+  ?pr bsbm:country ?c . ?pr bsbm:label ?prl .
+}`)
+	if len(q.Stars) != 3 {
+		t.Fatalf("compiled to %d stars, want 3", len(q.Stars))
+	}
+	if _, err := q.JoinsForOrder([]int{0, 2, 1}); err == nil {
+		t.Error("disconnected order [0 2 1] accepted")
+	}
+	if _, err := q.JoinsForOrder([]int{1, 0, 2}); err != nil {
+		t.Errorf("connected order [1 0 2] rejected: %v", err)
+	}
+}
+
+func TestReorderJoinsKeepsTwoStarOrder(t *testing.T) {
+	g := bsbmGraph(t)
+	q := compileOn(t, g, `PREFIX bsbm: <http://bsbm.example.org/>
+SELECT * WHERE {
+  ?o bsbm:product ?prod . ?o bsbm:vendor ?v .
+  ?prod bsbm:label ?l . ?prod bsbm:productFeature ?f .
+}`)
+	r, err := plan.ReorderJoins(plan.FromGraph(g), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed {
+		t.Errorf("two-star query reordered: %+v", r)
+	}
+	if r.Est != r.LegacyEst {
+		t.Errorf("Est %d != LegacyEst %d on unchanged plan", r.Est, r.LegacyEst)
+	}
+}
+
+func TestReorderJoinsPicksCheaperChain(t *testing.T) {
+	g := bsbmGraph(t)
+	cat := plan.FromGraph(g)
+	q := compileOn(t, g, threeStarChain)
+
+	r, err := plan.ReorderJoins(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Changed {
+		t.Fatalf("optimizer kept legacy order %v (est %d)", r.Order, r.LegacyEst)
+	}
+	if r.Est >= r.LegacyEst {
+		t.Errorf("chosen est %d not cheaper than legacy %d", r.Est, r.LegacyEst)
+	}
+	// The win comes from joining the filtered review star (2) earlier than
+	// the compile-time order does (it visits reviews last).
+	if pos(r.Order, 2) >= pos(query.JoinOrder(q.Joins, len(q.Stars)), 2) {
+		t.Errorf("chosen order %v does not pull the filtered review star forward", r.Order)
+	}
+	// ReorderJoins never mutates; Optimize rewrites in place.
+	legacy := query.JoinOrder(q.Joins, len(q.Stars))
+	if legacy[0] != 0 {
+		t.Fatalf("q.Joins mutated by ReorderJoins: order now %v", legacy)
+	}
+	if _, err := plan.Optimize(cat, q); err != nil {
+		t.Fatal(err)
+	}
+	got := query.JoinOrder(q.Joins, len(q.Stars))
+	for i := range got {
+		if got[i] != r.Order[i] {
+			t.Fatalf("Optimize applied order %v, want %v", got, r.Order)
+		}
+	}
+}
+
+// TestReorderNeverWorseAcrossCatalog is the optimizer's safety property:
+// over every benchmark query on seeded generator datasets, the chosen
+// order's estimated join-chain shuffle never exceeds the compile-time
+// order's, and any changed order is strictly cheaper.
+func TestReorderNeverWorseAcrossCatalog(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		graphs := map[string]*rdf.Graph{}
+		for _, cq := range bench.Catalog() {
+			g, ok := graphs[cq.Dataset]
+			if !ok {
+				var err error
+				g, err = bench.Dataset(cq.Dataset, 1, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphs[cq.Dataset] = g
+			}
+			cat := plan.FromGraph(g)
+			pq, err := sparql.Parse(cq.Src)
+			if err != nil {
+				t.Fatalf("%s: %v", cq.ID, err)
+			}
+			q, err := query.Compile(pq, g.Dict)
+			if err != nil {
+				t.Fatalf("%s: %v", cq.ID, err)
+			}
+			r, err := plan.ReorderJoins(cat, q)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cq.ID, seed, err)
+			}
+			if r.Est > r.LegacyEst {
+				t.Errorf("%s seed %d: chosen est %d exceeds legacy %d",
+					cq.ID, seed, r.Est, r.LegacyEst)
+			}
+			if r.Changed && r.Est >= r.LegacyEst {
+				t.Errorf("%s seed %d: reorder without strict gain (%d vs %d)",
+					cq.ID, seed, r.Est, r.LegacyEst)
+			}
+			if !r.Changed && r.Est != r.LegacyEst {
+				t.Errorf("%s seed %d: unchanged order with diverging estimate (%d vs %d)",
+					cq.ID, seed, r.Est, r.LegacyEst)
+			}
+			// The reported order and joins must agree with each other.
+			if len(q.Stars) > 1 {
+				joins, err := q.JoinsForOrder(r.Order)
+				if err != nil {
+					t.Fatalf("%s seed %d: chosen order %v invalid: %v", cq.ID, seed, r.Order, err)
+				}
+				if got := plan.JoinChainShuffle(cat, q, joins); got != r.Est {
+					t.Errorf("%s seed %d: order %v re-prices to %d, reported %d",
+						cq.ID, seed, r.Order, got, r.Est)
+				}
+			}
+		}
+	}
+}
+
+func pos(order []int, star int) int {
+	for i, s := range order {
+		if s == star {
+			return i
+		}
+	}
+	return -1
+}

@@ -178,12 +178,9 @@ func positionsOf(u *varUse) []Pos {
 	return out
 }
 
-func (q *Query) buildJoins() error {
-	if len(q.Stars) == 1 {
-		return nil
-	}
-	uses := q.varUses()
-	// sharedVars[a][b] lists variables connecting stars a and b.
+// sharedJoinVars maps star pairs {a,b} (a<b) to the variables connecting
+// them (property variables excluded — they never join).
+func sharedJoinVars(uses map[string]*varUse) map[[2]int][]string {
 	shared := make(map[[2]int][]string)
 	addShared := func(a, b int, v string) {
 		if a == b {
@@ -211,6 +208,54 @@ func (q *Query) buildJoins() error {
 			}
 		}
 	}
+	return shared
+}
+
+// foldJoin derives the join that folds star next into the visited set, or
+// ok=false when they share no variable. It errors on multi-variable
+// connections (cyclic join graphs).
+func foldJoin(uses map[string]*varUse, shared map[[2]int][]string, visited map[int]bool, next int) (Join, bool, error) {
+	var connVars []string
+	leftStarFor := make(map[string]int)
+	for vs := range visited {
+		a, b := vs, next
+		if a > b {
+			a, b = b, a
+		}
+		for _, v := range shared[[2]int{a, b}] {
+			if _, seen := leftStarFor[v]; !seen {
+				connVars = append(connVars, v)
+				leftStarFor[v] = vs
+			} else if leftStarFor[v] > vs {
+				leftStarFor[v] = vs
+			}
+		}
+	}
+	if len(connVars) == 0 {
+		return Join{}, false, nil
+	}
+	if len(connVars) > 1 {
+		return Join{}, false, fmt.Errorf("query: star %d connects to the plan via %d variables (cyclic join graphs unsupported)",
+			next, len(connVars))
+	}
+	v := connVars[0]
+	left, err := findPos(uses[v], leftStarFor[v], visited)
+	if err != nil {
+		return Join{}, false, err
+	}
+	right, err := findPosInStar(uses[v], next)
+	if err != nil {
+		return Join{}, false, err
+	}
+	return Join{Var: v, Left: left, Right: right}, true, nil
+}
+
+func (q *Query) buildJoins() error {
+	if len(q.Stars) == 1 {
+		return nil
+	}
+	uses := q.varUses()
+	shared := sharedJoinVars(uses)
 
 	visited := map[int]bool{0: true}
 	joinedOn := make(map[int]string) // star -> var it was folded in on
@@ -220,42 +265,16 @@ func (q *Query) buildJoins() error {
 			if visited[next] {
 				continue
 			}
-			// Find connections between next and the visited set.
-			var connVars []string
-			var leftStarFor = make(map[string]int)
-			for vs := range visited {
-				a, b := vs, next
-				if a > b {
-					a, b = b, a
-				}
-				for _, v := range shared[[2]int{a, b}] {
-					if _, seen := leftStarFor[v]; !seen {
-						connVars = append(connVars, v)
-						leftStarFor[v] = vs
-					} else if leftStarFor[v] > vs {
-						leftStarFor[v] = vs
-					}
-				}
+			j, ok, err := foldJoin(uses, shared, visited, next)
+			if err != nil {
+				return err
 			}
-			if len(connVars) == 0 {
+			if !ok {
 				continue
 			}
-			if len(connVars) > 1 {
-				return fmt.Errorf("query: star %d connects to the plan via %d variables (cyclic join graphs unsupported)",
-					next, len(connVars))
-			}
-			v := connVars[0]
-			left, err := findPos(uses[v], leftStarFor[v], visited)
-			if err != nil {
-				return err
-			}
-			right, err := findPosInStar(uses[v], next)
-			if err != nil {
-				return err
-			}
-			q.Joins = append(q.Joins, Join{Var: v, Left: left, Right: right})
+			q.Joins = append(q.Joins, j)
 			visited[next] = true
-			joinedOn[next] = v
+			joinedOn[next] = j.Var
 			progressed = true
 		}
 		if !progressed {

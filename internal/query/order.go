@@ -1,0 +1,59 @@
+package query
+
+import "fmt"
+
+// JoinOrder returns the star visit order behind a join sequence: the first
+// join's left star, then each join's right star. For a query with a single
+// star it is [0].
+func JoinOrder(joins []Join, nStars int) []int {
+	if nStars <= 1 {
+		return []int{0}
+	}
+	order := make([]int, 0, nStars)
+	if len(joins) > 0 {
+		order = append(order, joins[0].Left.Star)
+	}
+	for _, j := range joins {
+		order = append(order, j.Right.Star)
+	}
+	return order
+}
+
+// JoinsForOrder derives the inter-star join sequence that folds the query's
+// stars in the given visit order. order must be a permutation of the star
+// indices; order[0] seeds the plan, and every later star must connect to
+// the already-visited set through exactly one shared variable (the same
+// acyclicity constraint the default compile-time order enforces). The
+// returned joins are independent of q.Joins — assign them to reorder the
+// query's execution plan.
+func (q *Query) JoinsForOrder(order []int) ([]Join, error) {
+	if len(order) != len(q.Stars) {
+		return nil, fmt.Errorf("query: order names %d stars, query has %d", len(order), len(q.Stars))
+	}
+	seen := make(map[int]bool, len(order))
+	for _, s := range order {
+		if s < 0 || s >= len(q.Stars) || seen[s] {
+			return nil, fmt.Errorf("query: order %v is not a permutation of the star indices", order)
+		}
+		seen[s] = true
+	}
+	if len(q.Stars) <= 1 {
+		return nil, nil
+	}
+	uses := q.varUses()
+	shared := sharedJoinVars(uses)
+	visited := map[int]bool{order[0]: true}
+	joins := make([]Join, 0, len(order)-1)
+	for _, next := range order[1:] {
+		j, ok, err := foldJoin(uses, shared, visited, next)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("query: order %v folds star %d before any star it shares a variable with", order, next)
+		}
+		joins = append(joins, j)
+		visited[next] = true
+	}
+	return joins, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 )
 
@@ -59,66 +60,101 @@ func NewSJPerCycle() *Relational { return &Relational{style: StyleHive, name: "S
 // Name implements engine.QueryEngine.
 func (r *Relational) Name() string { return r.name }
 
-// Plan builds the workflow stages without executing them; the final output
-// file name is returned alongside. Exposed for plan inspection
-// (cmd/ntga-explain) and the Figure 3 cycle/scan accounting.
-func (r *Relational) Plan(q *query.Query, input string, cl *engine.Cleaner) ([]mapreduce.Stage, string, error) {
+// Plan implements engine.QueryEngine: it builds the physical plan without
+// executing anything. Exposed for plan inspection (cmd/ntga-explain) and
+// the Figure 3 cycle/scan accounting. The counters argument is unused —
+// the relational engines keep no run counters.
+func (r *Relational) Plan(q *query.Query, input string, cl *engine.Cleaner,
+	_ *mapreduce.Counters) (*plan.Physical, error) {
 	if len(q.Stars) == 0 {
-		return nil, "", fmt.Errorf("relmr: query has no stars")
+		return nil, fmt.Errorf("relmr: query has no stars")
 	}
-	var stages []mapreduce.Stage
+	p := &plan.Physical{Engine: r.name, Input: input}
 
 	scanInput := input
 	if r.style == StylePig {
 		vp := cl.Track(engine.TempName(r.name, "split"))
-		stages = append(stages, mapreduce.Stage{splitJob(q, input, vp)})
+		job := splitJob(q, input, vp)
+		p.Stages = append(p.Stages, plan.Stage{{
+			Kind: plan.KindSplit, Name: job.Name, Star: -1,
+			Inputs: []string{input}, Output: vp,
+			DoubleCopy: splitDoubleCopies(q), Job: job,
+		}})
 		scanInput = vp
 	}
 
 	starFiles := make([]string, len(q.Stars))
-	var starStage mapreduce.Stage
+	var starStage plan.Stage
 	for i, st := range q.Stars {
 		starFiles[i] = cl.Track(engine.TempName(r.name, fmt.Sprintf("star%d", i)))
-		job := starJoinJob(fmt.Sprintf("%s-star%d", r.name, i), q, st, r.w, scanInput, starFiles[i])
+		name := fmt.Sprintf("%s-star%d", r.name, i)
+		node := &plan.Node{
+			Kind: plan.KindStarJoin, Name: name, Star: i,
+			Inputs: []string{scanInput}, Output: starFiles[i],
+			Job: starJoinJob(name, q, st, r.w, scanInput, starFiles[i]),
+		}
 		if r.style == StylePig {
-			starStage = append(starStage, job)
+			starStage = append(starStage, node)
 		} else {
-			stages = append(stages, mapreduce.Stage{job})
+			p.Stages = append(p.Stages, plan.Stage{node})
 		}
 	}
 	if r.style == StylePig {
-		stages = append(stages, starStage)
+		p.Stages = append(p.Stages, starStage)
 	}
 
-	acc := starFiles[0]
-	for ji, j := range q.Joins {
+	first := 0
+	if len(q.Joins) > 0 {
+		first = q.Joins[0].Left.Star
+	}
+	acc := starFiles[first]
+	for ji := range q.Joins {
+		j := q.Joins[ji]
 		out := cl.Track(engine.TempName(r.name, fmt.Sprintf("join%d", ji)))
-		stages = append(stages, mapreduce.Stage{
-			joinJob(q, fmt.Sprintf("%s-join%d", r.name, ji), j, r.w, acc, starFiles[j.Right.Star], out),
-		})
+		name := fmt.Sprintf("%s-join%d", r.name, ji)
+		right := starFiles[j.Right.Star]
+		p.Stages = append(p.Stages, plan.Stage{{
+			Kind: plan.KindRelJoin, Name: name, Star: -1,
+			Inputs: []string{acc, right}, Output: out, Join: &q.Joins[ji],
+			Job: joinJob(q, name, j, r.w, acc, right, out),
+		}})
 		acc = out
 	}
-	return stages, acc, nil
+	p.Final = acc
+	return p, nil
+}
+
+// splitDoubleCopies reports whether the SPLIT job materializes the relation
+// twice (the Pig unbound-query pattern the paper calls out: one copy for
+// the bound patterns, one for the unbound slots).
+func splitDoubleCopies(q *query.Query) bool {
+	for _, st := range q.Stars {
+		if st.HasUnbound() {
+			return true
+		}
+	}
+	return false
 }
 
 // Run implements engine.QueryEngine.
 func (r *Relational) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
 	var cl engine.Cleaner
-	stages, final, err := r.Plan(q, input, &cl)
+	p, err := r.Plan(q, input, &cl, nil)
 	if err != nil {
+		cl.Clean(mr)
 		return &engine.Result{Engine: r.name}, err
 	}
-	return execute(mr, r.name, q, r.w, stages, final, &cl)
+	return execute(mr, r.name, q, r.w, p, &cl)
 }
 
 // execute dispatches between row decoding and COUNT(*) aggregation (the
 // relational representation is fully expanded, so the count is simply the
 // final record count).
 func execute(mr *mapreduce.Engine, name string, q *query.Query, w wire,
-	stages []mapreduce.Stage, final string, cl *engine.Cleaner) (*engine.Result, error) {
+	p *plan.Physical, cl *engine.Cleaner) (*engine.Result, error) {
 	if q.IsCount() {
 		var count int64
-		res, err := engine.Execute(mr, name, stages, final, cl, nil,
+		res, err := engine.ExecutePlan(mr, name, p, cl, nil,
 			func(record []byte) ([]query.Row, error) {
 				count++
 				return nil, nil
@@ -127,5 +163,5 @@ func execute(mr *mapreduce.Engine, name string, q *query.Query, w wire,
 		res.Count = count
 		return res, err
 	}
-	return engine.Execute(mr, name, stages, final, cl, nil, decodeRowsWire(q, w))
+	return engine.ExecutePlan(mr, name, p, cl, nil, decodeRowsWire(q, w))
 }

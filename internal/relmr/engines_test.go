@@ -135,18 +135,18 @@ SELECT * WHERE {
 	}
 	// Plan-level scan accounting (Figure 3): Hive scans input per star.
 	var cl engine.Cleaner
-	stages, _, err := NewHive().Plan(enginetest.Compile(t, g, twoStar), "in", &cl)
+	p, err := NewHive().Plan(enginetest.Compile(t, g, twoStar), "in", &cl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scans := mapreduce.CountScansOf(stages, "in"); scans != 2 {
+	if scans := p.ScanCount(); scans != 2 {
 		t.Errorf("Hive full scans = %d, want 2", scans)
 	}
-	stages, _, err = NewPig().Plan(enginetest.Compile(t, g, twoStar), "in", &cl)
+	p, err = NewPig().Plan(enginetest.Compile(t, g, twoStar), "in", &cl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scans := mapreduce.CountScansOf(stages, "in"); scans != 1 {
+	if scans := p.ScanCount(); scans != 1 {
 		t.Errorf("Pig full scans = %d, want 1 (split job only)", scans)
 	}
 }
@@ -164,11 +164,11 @@ SELECT * WHERE {
 		t.Errorf("Sel-SJ-first O-S cycles = %d, want 2", res.Workflow.Cycles)
 	}
 	var cl engine.Cleaner
-	stages, _, err := NewSelSJFirst().Plan(enginetest.Compile(t, g, src), "in", &cl)
+	p, err := NewSelSJFirst().Plan(enginetest.Compile(t, g, src), "in", &cl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scans := mapreduce.CountScansOf(stages, "in"); scans != 2 {
+	if scans := p.ScanCount(); scans != 2 {
 		t.Errorf("Sel-SJ-first O-S full scans = %d, want 2", scans)
 	}
 }
@@ -186,11 +186,11 @@ SELECT * WHERE {
 		t.Errorf("Sel-SJ-first O-O cycles = %d, want 3", res.Workflow.Cycles)
 	}
 	var cl engine.Cleaner
-	stages, _, err := NewSelSJFirst().Plan(enginetest.Compile(t, g, src), "in", &cl)
+	p, err := NewSelSJFirst().Plan(enginetest.Compile(t, g, src), "in", &cl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scans := mapreduce.CountScansOf(stages, "in"); scans != 3 {
+	if scans := p.ScanCount(); scans != 3 {
 		t.Errorf("Sel-SJ-first O-O full scans = %d, want 3 (the case study's point)", scans)
 	}
 }
@@ -208,7 +208,7 @@ SELECT * WHERE { ?g ex:label ?l . }`,
 	for _, src := range cases {
 		q := enginetest.Compile(t, g, src)
 		var cl engine.Cleaner
-		if _, _, err := NewSelSJFirst().Plan(q, "in", &cl); err == nil {
+		if _, err := NewSelSJFirst().Plan(q, "in", &cl, nil); err == nil {
 			t.Errorf("Plan(%q) succeeded, want error", src)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"ntga/internal/core"
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 )
@@ -36,15 +37,17 @@ func NewSelSJFirst() *SelSJFirst { return &SelSJFirst{name: "Sel-SJ-first"} }
 // Name implements engine.QueryEngine.
 func (s *SelSJFirst) Name() string { return s.name }
 
-// Plan builds the workflow; see the type comment for the shapes produced.
-func (s *SelSJFirst) Plan(q *query.Query, input string, cl *engine.Cleaner) ([]mapreduce.Stage, string, error) {
+// Plan implements engine.QueryEngine; see the type comment for the shapes
+// produced. The counters argument is unused.
+func (s *SelSJFirst) Plan(q *query.Query, input string, cl *engine.Cleaner,
+	_ *mapreduce.Counters) (*plan.Physical, error) {
 	if len(q.Stars) != 2 || len(q.Joins) != 1 {
-		return nil, "", fmt.Errorf("relmr: Sel-SJ-first supports exactly two stars, got %d stars / %d joins",
+		return nil, fmt.Errorf("relmr: Sel-SJ-first supports exactly two stars, got %d stars / %d joins",
 			len(q.Stars), len(q.Joins))
 	}
 	for _, st := range q.Stars {
 		if st.HasUnbound() {
-			return nil, "", fmt.Errorf("relmr: Sel-SJ-first supports bound-only stars (Figure 3 case study)")
+			return nil, fmt.Errorf("relmr: Sel-SJ-first supports bound-only stars (Figure 3 case study)")
 		}
 	}
 	j := q.Joins[0]
@@ -58,49 +61,66 @@ func (s *SelSJFirst) Plan(q *query.Query, input string, cl *engine.Cleaner) ([]m
 	case j.Left.Role == query.RoleBoundObj && j.Right.Role == query.RoleBoundObj:
 		return s.planOO(q, j, input, cl)
 	default:
-		return nil, "", fmt.Errorf("relmr: Sel-SJ-first cannot plan join %v", j)
+		return nil, fmt.Errorf("relmr: Sel-SJ-first cannot plan join %v", j)
 	}
 }
 
 // planOS: cycle 1 star-joins the object-side star; cycle 2 scans the triple
 // relation again and computes the subject-side star AND the inter-star join
 // in one grouping (both keyed on the subject-side star's subject).
-func (s *SelSJFirst) planOS(q *query.Query, j query.Join, input string, cl *engine.Cleaner) ([]mapreduce.Stage, string, error) {
+func (s *SelSJFirst) planOS(q *query.Query, j query.Join, input string, cl *engine.Cleaner) (*plan.Physical, error) {
 	objStar := q.Stars[j.Left.Star]
 	subjStar := q.Stars[j.Right.Star]
 	f1 := cl.Track(engine.TempName("selsj", "star"))
 	out := cl.Track(engine.TempName("selsj", "final"))
-	stages := []mapreduce.Stage{
-		{starJoinJob("selsj-star", q, objStar, s.w, input, f1)},
-		{completionJob(q, "selsj-complete", subjStar, s.w, input, f1, j.Left, out)},
-	}
-	return stages, out, nil
+	jc := j
+	return &plan.Physical{
+		Engine: s.name, Input: input, Final: out,
+		Stages: []plan.Stage{
+			{{Kind: plan.KindStarJoin, Name: "selsj-star", Star: objStar.Index,
+				Inputs: []string{input}, Output: f1,
+				Job: starJoinJob("selsj-star", q, objStar, s.w, input, f1)}},
+			{{Kind: plan.KindCompletion, Name: "selsj-complete", Star: subjStar.Index,
+				Inputs: []string{input, f1}, Output: out, Join: &jc,
+				Job: completionJob(q, "selsj-complete", subjStar, s.w, input, f1, j.Left, out)}},
+		},
+	}, nil
 }
 
 // planOO: cycle 1 joins the two edge patterns carrying the join variable
 // (the most selective join); cycles 2 and 3 fold in the remaining patterns
 // of each star, re-scanning the triple relation each time.
-func (s *SelSJFirst) planOO(q *query.Query, j query.Join, input string, cl *engine.Cleaner) ([]mapreduce.Stage, string, error) {
+func (s *SelSJFirst) planOO(q *query.Query, j query.Join, input string, cl *engine.Cleaner) (*plan.Physical, error) {
 	a, b := q.Stars[j.Left.Star], q.Stars[j.Right.Star]
 	f1 := cl.Track(engine.TempName("selsj", "edge"))
 	f2 := cl.Track(engine.TempName("selsj", "compA"))
 	out := cl.Track(engine.TempName("selsj", "final"))
-	stages := []mapreduce.Stage{
-		{edgeJoinJob(q, "selsj-edge", j, s.w, input, f1)},
-		{completionJob(q, "selsj-completeA", a, s.w, input, f1, query.Pos{}, f2)},
-		{completionJob(q, "selsj-completeB", b, s.w, input, f2, query.Pos{}, out)},
-	}
-	return stages, out, nil
+	jc := j
+	return &plan.Physical{
+		Engine: s.name, Input: input, Final: out,
+		Stages: []plan.Stage{
+			{{Kind: plan.KindEdgeJoin, Name: "selsj-edge", Star: -1,
+				Inputs: []string{input}, Output: f1, Join: &jc,
+				Job: edgeJoinJob(q, "selsj-edge", j, s.w, input, f1)}},
+			{{Kind: plan.KindCompletion, Name: "selsj-completeA", Star: a.Index,
+				Inputs: []string{input, f1}, Output: f2,
+				Job: completionJob(q, "selsj-completeA", a, s.w, input, f1, query.Pos{}, f2)}},
+			{{Kind: plan.KindCompletion, Name: "selsj-completeB", Star: b.Index,
+				Inputs: []string{input, f2}, Output: out,
+				Job: completionJob(q, "selsj-completeB", b, s.w, input, f2, query.Pos{}, out)}},
+		},
+	}, nil
 }
 
 // Run implements engine.QueryEngine.
 func (s *SelSJFirst) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
 	var cl engine.Cleaner
-	stages, final, err := s.Plan(q, input, &cl)
+	p, err := s.Plan(q, input, &cl, nil)
 	if err != nil {
+		cl.Clean(mr)
 		return &engine.Result{Engine: s.Name()}, err
 	}
-	return execute(mr, s.Name(), q, s.w, stages, final, &cl)
+	return execute(mr, s.Name(), q, s.w, p, &cl)
 }
 
 // ---- edge join (cycle 1 of the O-O plan) ----
