@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke
 
 all: build check test
 
@@ -12,7 +12,7 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go vet ./...
-	go test -race ./internal/mapreduce/ ./internal/hdfs/
+	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/
 	go test ./internal/plan/ ./internal/explain/
 
 build:
@@ -42,6 +42,12 @@ bench:
 # Regenerate every figure of the paper's evaluation as text tables.
 figures:
 	go run ./cmd/ntga-bench -fig all
+
+# End-to-end daemon smoke test: boot ntga-serve, query it over HTTP twice
+# (the repeat must be a result-cache hit with zero MR cycles), exercise the
+# ntga-run client mode, and check /healthz and /metrics.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Regenerate the EXPLAIN golden files (internal/explain/testdata) after
 # intentional planner or cost-model changes. CI fails if they are stale.

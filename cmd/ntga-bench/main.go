@@ -43,15 +43,27 @@ type queryJSON struct {
 	Runs  []runJSON `json:"runs"`
 }
 
+// tableJSON mirrors a report's rendered comparison table, so figure output
+// that is not per-query (e.g. the serving sweep) survives -json too.
+type tableJSON struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
 type figureJSON struct {
 	ID      string      `json:"id"`
 	Title   string      `json:"title"`
 	Notes   []string    `json:"notes,omitempty"`
-	Queries []queryJSON `json:"queries"`
+	Tables  []tableJSON `json:"tables,omitempty"`
+	Queries []queryJSON `json:"queries,omitempty"`
 }
 
 func toJSON(rep *bench.Report) figureJSON {
 	fj := figureJSON{ID: rep.ID, Title: rep.Title, Notes: rep.Notes}
+	for _, t := range rep.Tables {
+		fj.Tables = append(fj.Tables, tableJSON{Title: t.Title, Header: t.Header, Rows: t.Rows})
+	}
 	for _, qr := range rep.Queries {
 		qj := queryJSON{Query: qr.Query.ID}
 		for _, r := range qr.Runs {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 	"ntga/internal/refengine"
+	"ntga/internal/server"
 	"ntga/internal/sparql"
 	"ntga/internal/stats"
 	"ntga/internal/trace"
@@ -48,8 +50,21 @@ func main() {
 		optimize  = flag.Bool("optimize", false, "reorder inter-star joins by catalog-estimated selectivity before running")
 		statsOut  = flag.String("stats-out", "", "build the statistics catalog (map-only MR job) and write it to this file")
 		limit     = flag.Int("limit", 0, "print at most N rows (0 = all)")
+		serverURL = flag.String("server", "", "client mode: send the query to a running ntga-serve daemon at this address instead of evaluating locally")
+		health    = flag.String("health", "", "check a running ntga-serve daemon's /healthz and exit")
+		tenant    = flag.String("tenant", "", "client mode: slot-pool scheduling class for this query")
+		noCache   = flag.Bool("no-cache", false, "client mode: bypass the server's result cache")
 	)
 	flag.Parse()
+
+	if *health != "" {
+		checkHealth(*health)
+		return
+	}
+	if *serverURL != "" {
+		runRemote(*serverURL, *inline, *queryFile, *engName, *phiM, *tenant, *noCache, *metrics, *timeline, *limit)
+		return
+	}
 
 	if *dataFile == "" {
 		fatal(fmt.Errorf("-data is required"))
@@ -324,6 +339,75 @@ func writeTrace(path string, tr *trace.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// checkHealth probes a running daemon's /healthz and exits non-zero if it
+// is unreachable or unhealthy (the serve-smoke harness's readiness gate).
+func checkHealth(addr string) {
+	h, err := server.NewClient(addr).Health(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ok triples=%d dataset=%s uptime=%dms\n", h.Triples, h.DatasetVersion, h.UptimeMS)
+}
+
+// runRemote is client mode: ship the query to an ntga-serve daemon and
+// print the response in the same shape as a local run (rows on stdout,
+// run facts on stderr), so outputs are directly comparable.
+func runRemote(addr, inline, queryFile, engName string, phiM int, tenant string, noCache, metrics, timeline bool, limit int) {
+	src := inline
+	if src == "" {
+		if queryFile == "" {
+			fatal(fmt.Errorf("one of -query or -e is required"))
+		}
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+	req := server.Request{
+		Query:    src,
+		PhiM:     phiM,
+		Tenant:   tenant,
+		NoCache:  noCache,
+		Limit:    limit,
+		Metrics:  metrics,
+		Timeline: timeline,
+	}
+	// The local default is baked into the flag; let the server apply its
+	// own default unless the user explicitly picked an engine.
+	if engName != "ntga-lazy" {
+		req.Engine = engName
+	}
+	resp, err := server.NewClient(addr).Query(context.Background(), req)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.IsCount {
+		fmt.Printf("%s\n%d\n", strings.Join(resp.Header, "\t"), resp.Count)
+	} else {
+		fmt.Println(strings.Join(resp.Header, "\t"))
+		for _, r := range resp.Rows {
+			fmt.Println(r)
+		}
+		if resp.TotalRows > len(resp.Rows) {
+			fmt.Printf("... (%d more rows)\n", resp.TotalRows-len(resp.Rows))
+		}
+	}
+	if resp.Timeline != "" {
+		fmt.Fprint(os.Stderr, resp.Timeline)
+	}
+	if metrics {
+		for _, j := range resp.Jobs {
+			fmt.Fprintf(os.Stderr, "job %s: %dms mapIn=%s shuffle=%s reduceOut=%s spilled=%s retries=%d\n",
+				j.Job, j.DurationMS, stats.FormatBytes(j.MapInputBytes), stats.FormatBytes(j.ShuffleBytes),
+				stats.FormatBytes(j.ReduceOutputBytes), stats.FormatBytes(j.SpilledBytes), j.TaskRetries)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "server: engine=%s cache=%s plan_cache=%s cycles=%d rows=%d shuffle=%s duration=%dms\n",
+		resp.Engine, resp.Cache, resp.PlanCache, resp.Cycles, resp.TotalRows,
+		stats.FormatBytes(resp.ShuffleBytes), resp.DurationMS)
 }
 
 func fatal(err error) {

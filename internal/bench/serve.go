@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntga/internal/server"
+	"ntga/internal/stats"
+)
+
+// serveWorkload is the catalog slice the serving experiment multiplexes: a
+// mix of bound-only stars, unbound-property joins, and the 3-star optimizer
+// query, all on the BSBM-flavoured dataset.
+var serveWorkload = []string{"Q1a", "Q2a", "Q3a", "B0", "B1", "B2", "B5", "B7"}
+
+// newServeHarness builds the resident service the serving experiment and the
+// BenchmarkServe_* benchmarks share: one server over the scaled BSBM graph
+// with an admission window wide enough that the sweep measures execution,
+// not shedding.
+func newServeHarness(opt Options) (*server.Server, []CatalogQuery, error) {
+	opt = opt.withDefaults()
+	g, err := Dataset("bsbm", opt.Scale, opt.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs, err := Series(serveWorkload...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := server.New(server.Config{
+		MaxInflight: 16,
+		MaxQueue:    1024,
+	}, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, qs, nil
+}
+
+// driveServe issues total requests from `clients` concurrent workers
+// round-robin over the workload and returns every request's latency plus the
+// sweep's wall clock. noCache forces real MapReduce execution per request;
+// with caching on the workload should be pre-warmed so the sweep measures
+// the hit path.
+func driveServe(s *server.Server, qs []CatalogQuery, clients, total int, noCache bool) ([]time.Duration, time.Duration, error) {
+	lats := make([]time.Duration, total)
+	errs := make([]error, clients)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				cq := qs[i%len(qs)]
+				t0 := time.Now()
+				_, err := s.Evaluate(context.Background(), server.Request{Query: cq.Src, NoCache: noCache})
+				lats[i] = time.Since(t0)
+				if err != nil {
+					errs[c] = fmt.Errorf("%s: %w", cq.ID, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return lats, wall, nil
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of the sorted-copy
+// latencies (nearest-rank).
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// ServeFigure measures the resident query service: queries-per-second and
+// p50/p95 latency across a 1/4/16-client sweep, once forcing every request
+// through MapReduce (cache off) and once serving a warmed workload from the
+// result cache.
+func ServeFigure(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	s, qs, err := newServeHarness(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	const passes = 4 // each client walks the workload this many times
+	t := &stats.Table{Title: "Serving sweep — clients × result cache (workload: " + fmt.Sprint(serveWorkload) + ")",
+		Header: []string{"clients", "cache", "requests", "qps", "p50", "p95"}}
+	for _, cache := range []bool{false, true} {
+		if cache {
+			// Pre-warm so the cached sweep measures pure hits.
+			if _, _, err := driveServe(s, qs, 1, len(qs), false); err != nil {
+				return nil, err
+			}
+		}
+		for _, clients := range []int{1, 4, 16} {
+			total := clients * passes * len(qs)
+			lats, wall, err := driveServe(s, qs, clients, total, !cache)
+			if err != nil {
+				return nil, err
+			}
+			label := "off"
+			if cache {
+				label = "on"
+			}
+			qps := float64(total) / wall.Seconds()
+			t.AddRow(clients, label, total, fmt.Sprintf("%.0f", qps),
+				ms(percentile(lats, 50)), ms(percentile(lats, 95)))
+		}
+	}
+	m := s.Snapshot()
+	return &Report{ID: "serve",
+		Title:  "Resident query service: concurrent throughput and latency",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"expected shape: cached rows serve orders of magnitude more qps than executing sweeps; qps grows with clients until the slot pool saturates",
+			fmt.Sprintf("service totals: %d queries, %d MR cycles, result cache %d/%d hits/misses",
+				m.Queries, m.MRCycles, m.ResultCache.Hits, m.ResultCache.Misses),
+		},
+	}, nil
+}

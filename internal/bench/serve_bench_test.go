@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchmarkServe drives b.N requests from `clients` concurrent workers over
+// the serving workload, reporting throughput (qps) and p50/p95 latency in
+// milliseconds alongside the standard ns/op.
+func benchmarkServe(b *testing.B, clients int, noCache bool) {
+	s, qs, err := newServeHarness(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if !noCache {
+		// Warm the result cache so the sweep measures the hit path.
+		if _, _, err := driveServe(s, qs, 1, len(qs), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	lats, wall, err := driveServe(s, qs, clients, b.N, noCache)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/wall.Seconds(), "qps")
+	b.ReportMetric(float64(percentile(lats, 50))/float64(time.Millisecond), "p50-ms")
+	b.ReportMetric(float64(percentile(lats, 95))/float64(time.Millisecond), "p95-ms")
+}
+
+func BenchmarkServe_NoCache(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			benchmarkServe(b, clients, true)
+		})
+	}
+}
+
+func BenchmarkServe_Cached(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			benchmarkServe(b, clients, false)
+		})
+	}
+}

@@ -295,6 +295,30 @@ func (d *DFS) DeleteIfExists(name string) {
 	}
 }
 
+// DeletePrefix removes every file whose name starts with prefix in one
+// NameNode operation, returning how many files and logical bytes were
+// reclaimed. The MR engine uses it to retire a whole workflow's temp
+// namespace ("_tmp/<workflow-id>/") after a failure or cancellation.
+func (d *DFS) DeletePrefix(prefix string) (files int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for name, f := range d.files {
+		if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		for _, b := range f.blocks {
+			for _, n := range b.nodes {
+				d.used[n] -= b.size
+			}
+		}
+		delete(d.files, name)
+		d.metrics.FilesDeleted++
+		files++
+		bytes += f.size
+	}
+	return files, bytes
+}
+
 // NodeAlive reports whether data node n is still up.
 func (d *DFS) NodeAlive(n int) bool {
 	d.mu.Lock()

@@ -360,3 +360,44 @@ func TestAccountingInvariantsQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeletePrefix(t *testing.T) {
+	d := New(Config{Nodes: 2, BlockSize: 8, Replication: 2})
+	write := func(name, data string) {
+		t.Helper()
+		if err := d.WriteFile(name, [][]byte{[]byte(data)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("_tmp/wf-1/job/map-00000/0/spill", "aaaaaaaaaaaa")
+	write("_tmp/wf-1/job/red-00001/2/part", "bbbb")
+	write("_tmp/wf-2/job/map-00000/0/spill", "cccc")
+	write("out/final", "dddd")
+	before := d.Used()
+
+	files, bytes := d.DeletePrefix("_tmp/wf-1/")
+	if files != 2 {
+		t.Errorf("DeletePrefix files = %d, want 2", files)
+	}
+	if bytes <= 0 {
+		t.Errorf("DeletePrefix bytes = %d, want > 0", bytes)
+	}
+	for _, gone := range []string{"_tmp/wf-1/job/map-00000/0/spill", "_tmp/wf-1/job/red-00001/2/part"} {
+		if d.Exists(gone) {
+			t.Errorf("%s survived DeletePrefix", gone)
+		}
+	}
+	for _, kept := range []string{"_tmp/wf-2/job/map-00000/0/spill", "out/final"} {
+		if !d.Exists(kept) {
+			t.Errorf("%s deleted by DeletePrefix of unrelated prefix", kept)
+		}
+	}
+	// Replicated capacity must be returned to the nodes: with replication 2
+	// the used-bytes drop is at least the logical bytes freed.
+	if freed := before - d.Used(); freed < bytes {
+		t.Errorf("node capacity freed = %d, want >= logical bytes %d", freed, bytes)
+	}
+	if files, bytes := d.DeletePrefix("_tmp/wf-1/"); files != 0 || bytes != 0 {
+		t.Errorf("second DeletePrefix = (%d, %d), want (0, 0)", files, bytes)
+	}
+}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -74,13 +75,31 @@ type EngineConfig struct {
 	// A nil Tracer is a zero-overhead no-op — the engine skips all
 	// fine-grained timing.
 	Tracer *trace.Tracer
+	// Slots, when non-nil, supersedes MapParallelism/ReduceParallelism:
+	// instead of fixed per-run worker pools, every task attempt leases one
+	// slot of its kind ("map" or "reduce") from this shared pool for the
+	// task's whole lifetime, so concurrent workflows over one DFS divide
+	// cluster capacity under the pool's policy. See SlotPool.
+	Slots SlotPool
 }
 
 // validate rejects configurations that would silently misbehave: an
-// external merge needs at least two-way fan-in to make progress, and a
-// negative sort budget would spill on every emitted pair. Called (on the
-// defaults-applied config) at Run time so the error carries context.
+// external merge needs at least two-way fan-in to make progress, a
+// negative sort budget would spill on every emitted pair, and negative
+// parallelism or attempt budgets would deadlock the worker pools or make
+// every task fail before its first attempt. Called (on the
+// defaults-applied config) at Run time so the error carries context —
+// zeros select defaults, so only genuinely negative values reach here.
 func (c EngineConfig) validate() error {
+	if c.MapParallelism < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.MapParallelism must be >= 0 (got %d); 0 selects the default", c.MapParallelism)
+	}
+	if c.ReduceParallelism < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.ReduceParallelism must be >= 0 (got %d); 0 selects the default", c.ReduceParallelism)
+	}
+	if c.TaskMaxAttempts < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.TaskMaxAttempts must be >= 0 (got %d); 0 selects the default", c.TaskMaxAttempts)
+	}
 	if c.MergeFactor < 2 {
 		return fmt.Errorf("mapreduce: EngineConfig.MergeFactor must be >= 2 (got %d); 0 selects the default", c.MergeFactor)
 	}
@@ -122,15 +141,53 @@ func (c EngineConfig) withDefaults() EngineConfig {
 type Engine struct {
 	dfs *hdfs.DFS
 	cfg EngineConfig
+	ctx context.Context
 }
 
 // NewEngine returns an engine over the given DFS.
 func NewEngine(dfs *hdfs.DFS, cfg EngineConfig) *Engine {
-	return &Engine{dfs: dfs, cfg: cfg.withDefaults()}
+	return &Engine{dfs: dfs, cfg: cfg.withDefaults(), ctx: context.Background()}
 }
 
 // DFS returns the engine's file system.
 func (e *Engine) DFS() *hdfs.DFS { return e.dfs }
+
+// WithContext returns a shallow copy of the engine whose runs observe ctx:
+// when ctx is cancelled or its deadline passes, every in-flight task attempt
+// stops at its next checkpoint, no further attempts or stages launch, slot
+// leases are released, and the failing run sweeps its attempt-scoped
+// temporaries exactly as any other failed job would — a cancelled query
+// leaks zero bytes. The original engine is unchanged, so one resident
+// engine can serve many queries each under its own deadline.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e2 := *e
+	e2.ctx = ctx
+	return &e2
+}
+
+// ctxErr reports the engine context's cancellation cause, or nil while the
+// context is live. Engines constructed without WithContext never cancel.
+func (e *Engine) ctxErr() error {
+	select {
+	case <-e.ctx.Done():
+		return context.Cause(e.ctx)
+	default:
+		return nil
+	}
+}
+
+// wfSeq numbers workflows process-wide so every run — even two runs of the
+// same engine over the same DFS — gets a private temp namespace.
+var wfSeq atomic.Int64
+
+// newWorkflowID mints the temp-namespace token for one workflow (or one
+// standalone job run).
+func newWorkflowID() string {
+	return fmt.Sprintf("wf-%06d", wfSeq.Add(1))
+}
 
 // partName is the per-task part file a reduce (or map-only) task's winning
 // attempt promotes its output to; parts are spliced into the job output
@@ -139,10 +196,20 @@ func partName(base string, i int) string {
 	return fmt.Sprintf("%s._part-%05d", base, i)
 }
 
-// tmpRoot is the attempt-scoped temporary namespace of one job; a failed
-// job sweeps the whole prefix so no attempt can leak partial output.
-func tmpRoot(job string) string {
-	return fmt.Sprintf("_tmp/%s/", job)
+// wfTmpRoot is the temp namespace of one whole workflow; a failed or
+// cancelled workflow may sweep the entire prefix.
+func wfTmpRoot(wf string) string {
+	return "_tmp/" + wf + "/"
+}
+
+// tmpRoot is the attempt-scoped temporary namespace of one job within one
+// workflow; a failed job sweeps the whole prefix so no attempt can leak
+// partial output. Scoping by workflow ID (not just job name) is what lets
+// concurrent workflows share a DFS: engines reuse fixed job names
+// ("ntga-group", "hive-join0", ...), so two in-flight queries would
+// otherwise race on the same attempt paths.
+func tmpRoot(wf, job string) string {
+	return fmt.Sprintf("_tmp/%s/%s/", wf, job)
 }
 
 // tmpPartName is the attempt-private name a task attempt streams its
@@ -150,8 +217,8 @@ func tmpRoot(job string) string {
 // turns at-least-once execution into exactly-once output: rival attempts
 // never touch each other's files, the winner's are promoted atomically by
 // rename, and losers' are deleted wholesale.
-func tmpPartName(job, kind string, task, attempt int, base string, part int) string {
-	return fmt.Sprintf("%s%s-%05d/%d/%s._part-%05d", tmpRoot(job), kind, task, attempt, base, part)
+func tmpPartName(wf, job, kind string, task, attempt int, base string, part int) string {
+	return fmt.Sprintf("%s%s-%05d/%d/%s._part-%05d", tmpRoot(wf, job), kind, task, attempt, base, part)
 }
 
 // partOut is one output base's attempt-temp part file with the final name
@@ -183,7 +250,7 @@ type streamCollector struct {
 func (e *Engine) openParts(job *Job, ac *attemptCtx, i int) (*streamCollector, error) {
 	col := &streamCollector{}
 	for _, base := range append([]string{job.Output}, job.ExtraOutputs...) {
-		tmp := tmpPartName(job.Name, ac.kind, ac.task, ac.attempt, base, i)
+		tmp := tmpPartName(ac.js.wf, job.Name, ac.kind, ac.task, ac.attempt, base, i)
 		w, err := e.dfs.Create(tmp)
 		if err != nil {
 			col.abort(ac.js)
@@ -333,15 +400,17 @@ func (e *Engine) taskNode(task, attempt int) int {
 func (e *Engine) Run(job *Job) (JobMetrics, error) {
 	jsp := e.cfg.Tracer.Start(trace.KindJob, job.Name)
 	defer jsp.Finish()
-	return e.run(job, jsp)
+	return e.run(job, jsp, newWorkflowID())
 }
 
-// run is the body of Run with an explicit (possibly nil) parent job span.
-func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
+// run is the body of Run with an explicit (possibly nil) parent job span
+// and the workflow ID scoping this job's temp namespace.
+func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 	start := time.Now()
 	m := JobMetrics{Job: job.Name, MapOnly: job.MapOnly != nil}
-	js := newJobRunState(e, job.Name)
-	nParts := 0 // part files per output base once tasks are planned
+	js := newJobRunState(e, wf, job.Name)
+	nParts := 0                 // part files per output base once tasks are planned
+	var emitters []*taskEmitter // committed map winners (set once the map phase plans)
 	fail := func(err error) (JobMetrics, error) {
 		m.Failed = true
 		m.Err = err.Error()
@@ -351,7 +420,16 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 				e.dfs.DeleteIfExists(partName(base, i))
 			}
 		}
-		e.sweepTemps(job.Name, js)
+		// A dead job's committed map outputs are garbage too: the spill runs
+		// its winning map attempts parked on local disk will never be merged,
+		// so tearing them down is reclamation (failed attempts already
+		// accounted their own spills; emitters holds only claim winners).
+		for _, te := range emitters {
+			if te != nil {
+				js.reclaim(te.spilledBytes)
+			}
+		}
+		e.sweepTemps(wf, job.Name, js)
 		js.fold(&m)
 		m.Duration = time.Since(start)
 		return m, fmt.Errorf("job %s: %w", job.Name, err)
@@ -360,6 +438,9 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 		return fail(err)
 	}
 	if err := job.validate(); err != nil {
+		return fail(err)
+	}
+	if err := e.ctxErr(); err != nil {
 		return fail(err)
 	}
 
@@ -407,7 +488,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 	// Each task streams its split through a spilling emitter; sealed
 	// emitters hold the sorted in-memory segments and spill runs the
 	// reduce phase merges. All spill runs are released when Run returns.
-	emitters := make([]*taskEmitter, len(splits))
+	emitters = make([]*taskEmitter, len(splits))
 	defer func() {
 		for _, te := range emitters {
 			if te != nil {
@@ -416,7 +497,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 		}
 	}()
 	mapDurs := make([]time.Duration, len(splits))
-	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
+	if err := e.parallel("map", e.cfg.MapParallelism, len(splits), func(i int) error {
 		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
 			te, err := e.mapAttempt(job, jsp, splits[i], partitioner, nReducers, ac)
 			if err != nil {
@@ -510,7 +591,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span) (JobMetrics, error) {
 		return nil
 	}
 
-	if err := e.parallel(e.cfg.ReduceParallelism, nReducers, func(p int) error {
+	if err := e.parallel("reduce", e.cfg.ReduceParallelism, nReducers, func(p int) error {
 		return e.runTask(js, "reduce", p, reduceDurs, recoverMaps, func(ac *attemptCtx) error {
 			tsp := jsp.ChildTask("reduce", len(splits)+p, p, ac.node, ac.attempt)
 			defer tsp.Finish()
@@ -761,10 +842,10 @@ func (e *Engine) mapAttempt(job *Job, jsp *trace.Span, sp split, partitioner Par
 }
 
 // sweepTemps deletes every attempt-scoped temporary of a failed job (the
-// whole "_tmp/<job>/" prefix), accounting the reclaimed bytes. Absent files
-// are benign — a rival cleanup may have raced us here (hdfs.ErrNotExist).
-func (e *Engine) sweepTemps(job string, js *jobRunState) {
-	for _, name := range e.dfs.ListPrefix(tmpRoot(job)) {
+// whole "_tmp/<wf>/<job>/" prefix), accounting the reclaimed bytes. Absent
+// files are benign — a rival cleanup may have raced us here (hdfs.ErrNotExist).
+func (e *Engine) sweepTemps(wf, job string, js *jobRunState) {
+	for _, name := range e.dfs.ListPrefix(tmpRoot(wf, job)) {
 		size, err := e.dfs.FileSize(name)
 		if err != nil {
 			continue // already gone
@@ -813,7 +894,7 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	*nParts = len(splits)
 	var outRecords, outBytes int64
 	mapDurs := make([]time.Duration, len(splits))
-	if err := e.parallel(e.cfg.MapParallelism, len(splits), func(i int) error {
+	if err := e.parallel("map", e.cfg.MapParallelism, len(splits), func(i int) error {
 		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
 			tsp := jsp.ChildTask("map", i, i, ac.node, ac.attempt)
 			defer tsp.Finish()
@@ -918,9 +999,16 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	return m, nil
 }
 
-// parallel runs fn(0..n-1) on at most width goroutines, returning the first
-// error encountered (all started tasks run to completion).
-func (e *Engine) parallel(width, n int, fn func(int) error) error {
+// parallel runs the tasks fn(0..n-1) of the given kind ("map" or "reduce"),
+// returning the first error encountered (all started tasks run to
+// completion). Without a SlotPool the concurrency is a fixed per-run
+// worker pool of the given width; with one, every task instead leases a
+// slot from the shared pool, so cluster-wide concurrency is governed by the
+// pool rather than this run.
+func (e *Engine) parallel(kind string, width, n int, fn func(int) error) error {
+	if e.cfg.Slots != nil {
+		return e.parallelSlots(kind, n, fn)
+	}
 	if width > n {
 		width = n
 	}
@@ -962,6 +1050,50 @@ func (e *Engine) parallel(width, n int, fn func(int) error) error {
 	return first
 }
 
+// parallelSlots runs every task under a lease from the shared slot pool:
+// each task blocks until the pool grants a slot of its kind, runs to
+// completion (retries and speculative backups included — runTask owns the
+// whole task), and releases the slot. A task that cannot obtain a slot
+// because the engine context died reports the cancellation as its error;
+// once one task has failed, still-queued tasks skip their work (mirroring
+// the fixed-pool path, which stops dispatching after the first error).
+func (e *Engine) parallelSlots(kind string, n int, fn func(int) error) error {
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return first != nil
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := e.cfg.Slots.Acquire(e.ctx, kind)
+			if err == nil {
+				if failed() {
+					release()
+					return
+				}
+				err = fn(i)
+				release()
+			}
+			if err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return first
+}
+
 // Stage is a set of jobs with no mutual dependencies; the workflow runner
 // executes a stage's jobs concurrently (Pig submits independent MR jobs in
 // parallel; Hive runs them serially — engines model that by using
@@ -985,13 +1117,37 @@ func (e *Engine) RunWorkflow(stages []Stage) (WorkflowMetrics, error) {
 func (e *Engine) RunWorkflowNamed(name string, stages []Stage) (WorkflowMetrics, error) {
 	wsp := e.cfg.Tracer.Start(trace.KindWorkflow, name)
 	defer wsp.Finish()
+	wfid := newWorkflowID()
 	start := time.Now()
 	var wf WorkflowMetrics
 	for _, st := range stages {
 		wf.Cycles += len(st)
 	}
 	var done []*Job // successfully completed jobs, for failure cleanup
+	// abort deletes the outputs of every completed job and sweeps any
+	// temporary still under the workflow's namespace (belt-and-braces: job
+	// failure paths sweep their own prefix, so this is normally a no-op).
+	abort := func(failedJob string, err error) (WorkflowMetrics, error) {
+		wf.Failed = true
+		wf.FailedJob = failedJob
+		wf.Err = err.Error()
+		wf.Duration = time.Since(start)
+		for _, job := range done {
+			e.dfs.DeleteIfExists(job.Output)
+			for _, eo := range job.ExtraOutputs {
+				e.dfs.DeleteIfExists(eo)
+			}
+		}
+		e.dfs.DeletePrefix(wfTmpRoot(wfid))
+		return wf, err
+	}
 	for _, st := range stages {
+		// A cancelled workflow stops between stages too — without this, a
+		// deadline that fires while no task is at a checkpoint would still
+		// launch the next stage's jobs.
+		if err := e.ctxErr(); err != nil {
+			return abort("", err)
+		}
 		jms := make([]JobMetrics, len(st))
 		errs := make([]error, len(st))
 		order := len(wf.Jobs) // submission-order base for this stage's job spans
@@ -1002,7 +1158,7 @@ func (e *Engine) RunWorkflowNamed(name string, stages []Stage) (WorkflowMetrics,
 				defer wg.Done()
 				jsp := wsp.Child(trace.KindJob, job.Name, order+i)
 				defer jsp.Finish()
-				jms[i], errs[i] = e.run(job, jsp)
+				jms[i], errs[i] = e.run(job, jsp, wfid)
 			}(i, job)
 		}
 		wg.Wait()
@@ -1014,17 +1170,7 @@ func (e *Engine) RunWorkflowNamed(name string, stages []Stage) (WorkflowMetrics,
 		}
 		for i, err := range errs {
 			if err != nil {
-				wf.Failed = true
-				wf.FailedJob = st[i].Name
-				wf.Err = err.Error()
-				wf.Duration = time.Since(start)
-				for _, job := range done {
-					e.dfs.DeleteIfExists(job.Output)
-					for _, eo := range job.ExtraOutputs {
-						e.dfs.DeleteIfExists(eo)
-					}
-				}
-				return wf, err
+				return abort(st[i].Name, err)
 			}
 		}
 	}

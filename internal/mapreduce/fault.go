@@ -148,6 +148,7 @@ func (c *taskCtl) winnerAttempt() int {
 // recovery counters folded into JobMetrics when the run finishes.
 type jobRunState struct {
 	e    *Engine
+	wf   string // workflow ID scoping this run's temp namespace
 	job  string
 	plan *FaultPlan
 
@@ -168,8 +169,8 @@ type jobRunState struct {
 	tempBytesReclaimed int64
 }
 
-func newJobRunState(e *Engine, job string) *jobRunState {
-	js := &jobRunState{e: e, job: job, plan: e.cfg.Faults, specDone: make(map[string][]time.Duration)}
+func newJobRunState(e *Engine, wf, job string) *jobRunState {
+	js := &jobRunState{e: e, wf: wf, job: job, plan: e.cfg.Faults, specDone: make(map[string][]time.Duration)}
 	if js.plan != nil {
 		js.nodeKillsLeft = int64(js.plan.MaxNodeKills)
 	}
@@ -236,6 +237,12 @@ type attemptCtx struct {
 // the fault plan kills it right now), or errInjectedFailure for a plain
 // mid-phase fault.
 func (a *attemptCtx) checkpoint(phase string) error {
+	// Cancellation outranks everything: a dead engine context stops the
+	// attempt at the next phase boundary (or every 64 records inside the
+	// loops), and runTask treats the error as non-retryable.
+	if err := a.e.ctxErr(); err != nil {
+		return fmt.Errorf("%s task %d attempt %d in %s: %w", a.kind, a.task, a.attempt, phase, err)
+	}
 	select {
 	case <-a.killed:
 		return fmt.Errorf("%w (%s task %d attempt %d in %s)", errAttemptKilled, a.kind, a.task, a.attempt, phase)
@@ -389,6 +396,17 @@ func (e *Engine) runTask(js *jobRunState, kind string, task int, durs []time.Dur
 				atomic.AddInt64(&js.killedAttempts, 1)
 			default:
 				lastErr = r.err
+				// A dead engine context makes the failure non-retryable:
+				// relaunching an attempt that will cancel at its first
+				// checkpoint only burns the budget. Drain any rival still
+				// running (it owns temp state to clean up) and report.
+				if e.ctxErr() != nil {
+					for running > 0 {
+						<-resCh
+						running--
+					}
+					return fmt.Errorf("%s task %d: %w", kind, task, r.err)
+				}
 				if errors.Is(r.err, hdfs.ErrNodeLost) && recover != nil {
 					if rerr := recover(); rerr != nil {
 						for running > 0 {

@@ -1,0 +1,20 @@
+package mapreduce
+
+import "context"
+
+// SlotPool arbitrates cluster-wide task slots among concurrent workflows.
+// When EngineConfig.Slots is set, the engine stops sizing its own worker
+// pools from MapParallelism/ReduceParallelism: every task attempt instead
+// acquires one slot of its kind ("map" or "reduce") before it runs and
+// releases the slot when it finishes, so the total number of in-flight
+// tasks across every engine sharing the pool never exceeds the pool's
+// capacity. Speculative backup attempts run under their task's slot — a
+// task holds exactly one slot from first launch to final commit.
+//
+// Acquire blocks until a slot is granted or ctx is done; the returned
+// release function is idempotent. internal/server provides the
+// weighted-fair implementation used by the query service; tests may supply
+// simple channel-based pools.
+type SlotPool interface {
+	Acquire(ctx context.Context, kind string) (release func(), err error)
+}

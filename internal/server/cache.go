@@ -1,0 +1,172 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"ntga/internal/query"
+)
+
+// fingerprint hashes an ordered list of identity parts to a short stable
+// token (fnv64a — the same generator the chaos machinery uses). Cache keys
+// are built from these, never from pointer identity.
+func fingerprint(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s|", len(p), p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// queryFingerprint canonicalizes a compiled query: the deterministic
+// Explain rendering covers the stars, slots, and compile-order joins (all
+// in dictionary-ID space, so it is only meaningful against one loaded
+// dataset), and the projection/DISTINCT/COUNT clauses are appended since
+// Explain omits them. Computed before the optimizer touches the join
+// order, so the same source query always maps to the same plan-cache key.
+func queryFingerprint(q *query.Query) string {
+	return fingerprint(
+		q.Explain(),
+		strings.Join(q.Select, ","),
+		fmt.Sprintf("distinct=%v count=%v countvar=%s", q.Distinct, q.IsCount(), q.Src.CountVar),
+	)
+}
+
+// planEntry is the cached optimizer output for one (query, catalog)
+// pairing: the concrete engine choice and the catalog-chosen join order —
+// everything needed to rebuild the physical plan without re-running the
+// cost model. The executable plan itself is NOT cached: prebuilt plans
+// embed unique temp file names, so sharing one across concurrent requests
+// would collide; replaying the join order onto a freshly compiled query is
+// cheap and safe.
+type planEntry struct {
+	EngineName string // resolved engine (never "auto")
+	PhiM       int
+	Order      []int // star visit order chosen by the optimizer
+	Changed    bool  // whether Order differs from compile order
+	EstShuffle int64 // optimizer's estimated join-chain shuffle bytes
+}
+
+// planCache maps (query fingerprint, requested engine, catalog version) to
+// optimizer decisions. Entries are only valid for one catalog version, so
+// the version lives in the key: reloading data invalidates by key miss,
+// and stale entries are harmlessly unreachable.
+type planCache struct {
+	mu           sync.Mutex
+	entries      map[string]planEntry
+	hits, misses int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]planEntry)}
+}
+
+func (c *planCache) get(key string) (planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+func (c *planCache) put(key string, e planEntry) {
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+func (c *planCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// resultEntry is one cached query answer: the full binding rows (indexed
+// by AllVars, pre-projection — projection and formatting are per-request)
+// plus the scalar COUNT(*) answer and the output-shape stats the response
+// reports. Engine identity rides along so a hit can say who computed it.
+type resultEntry struct {
+	engine     string
+	rows       []query.Row
+	isCount    bool
+	count      int64
+	outRecords int64
+	outBytes   int64
+}
+
+// resultCache is a plain LRU over plan-fingerprint × dataset-version keys.
+// The dataset version is part of the key, so loading different data can
+// never serve stale rows; capacity bounds memory, with eviction from the
+// cold end.
+type resultCache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recent
+	byKey        map[string]*list.Element
+	hits, misses int64
+}
+
+type resultNode struct {
+	key   string
+	entry resultEntry
+}
+
+// newResultCache returns nil for capacity <= 0 (cache disabled); a nil
+// *resultCache is safe to call.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{capacity: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (resultEntry, bool) {
+	if c == nil {
+		return resultEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return resultEntry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*resultNode).entry, true
+}
+
+func (c *resultCache) put(key string, e resultEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*resultNode).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&resultNode{key: key, entry: e})
+	for c.ll.Len() > c.capacity {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.byKey, cold.Value.(*resultNode).key)
+	}
+}
+
+func (c *resultCache) stats() (hits, misses int64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

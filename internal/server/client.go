@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the HTTP client for a running ntga-serve daemon; ntga-run's
+// -server mode and the smoke tests go through it.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7457".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient normalizes addr ("host:port" or a full URL) into a client.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Query evaluates a request synchronously on the server.
+func (c *Client) Query(ctx context.Context, req Request) (*Response, error) {
+	var resp Response
+	if err := c.post(ctx, "/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit starts an async query and returns its job ID.
+func (c *Client) Submit(ctx context.Context, req Request) (string, error) {
+	var out struct {
+		JobID string `json:"job_id"`
+	}
+	if err := c.post(ctx, "/query?async=1", req, &out); err != nil {
+		return "", err
+	}
+	return out.JobID, nil
+}
+
+// Job polls an async job.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.get(ctx, "/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the service metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.get(ctx, "/metrics", &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.get(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	if h.Status != "ok" {
+		return &h, fmt.Errorf("server unhealthy: status=%q", h.Status)
+	}
+	return &h, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /query        — evaluate a Request; sync by default, async with
+//	                     ?async=1 (returns {"job_id": ...} immediately)
+//	GET  /jobs/<id>    — poll an async job
+//	GET  /metrics      — service metrics snapshot (JSON)
+//	GET  /healthz      — liveness + dataset identity
+//
+// Errors are JSON {"error": ...} with ErrOverloaded → 429, ErrBadQuery →
+// 400, deadline exceeded → 504, everything else → 500.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: invalid request body: %v", ErrBadQuery, err))
+		return
+	}
+	if r.URL.Query().Get("async") == "1" {
+		id, err := s.Submit(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"job_id": id})
+		return
+	}
+	resp, err := s.Evaluate(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.JobStatus(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status         string `json:"status"`
+	Triples        int64  `json:"triples"`
+	DatasetVersion string `json:"dataset_version"`
+	UptimeMS       int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:         "ok",
+		Triples:        s.triples,
+		DatasetVersion: s.datasetVersion,
+		UptimeMS:       s.Snapshot().UptimeMS,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrBadQuery):
+		code = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = 499 // client closed request (nginx convention)
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

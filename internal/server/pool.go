@@ -1,0 +1,229 @@
+// Package server is the resident query service: it keeps one simulated
+// DFS, statistics catalog, and engine set loaded and evaluates many
+// queries concurrently against them. The pieces are a cluster-wide
+// weighted-fair slot pool (this file) that replaces per-run map/reduce
+// parallelism, admission control with load shedding, a plan cache over the
+// catalog-driven optimizer, an LRU result cache, and an HTTP front end
+// (http.go) with sync and async query endpoints.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is the cluster-wide task-slot scheduler. It holds a fixed number of
+// map and reduce slots (the simulated cluster's task-tracker capacity) and
+// leases them to in-flight workflows with weighted fair sharing: when a
+// slot frees up, it goes to the scheduling class (tenant) whose
+// slots-in-use-to-weight ratio is lowest, and within a class waiters are
+// served strictly FIFO. A workflow plugs into the pool through a Lease,
+// which implements mapreduce.SlotPool.
+type Pool struct {
+	mu      sync.Mutex
+	cap     map[string]int // slots per kind ("map", "reduce")
+	used    map[string]int
+	peak    map[string]int
+	waiting map[string]int
+	classes map[string]*classState
+	granted int64 // total grants, for metrics
+	seq     int64 // arrival stamps for FIFO ordering
+}
+
+// classState is one scheduling class: a (tenant, weight) pair with its
+// per-kind FIFO queues and its current slot usage across all kinds.
+type classState struct {
+	name   string
+	weight int
+	inUse  int
+	queues map[string][]*waiter
+}
+
+type waiter struct {
+	ch  chan func() // receives the release function when granted
+	seq int64
+}
+
+// NewPool builds a pool with the given map and reduce slot counts. Both
+// must be positive: a zero-capacity kind would deadlock every workflow
+// that schedules a task of that kind.
+func NewPool(mapSlots, reduceSlots int) (*Pool, error) {
+	if mapSlots <= 0 || reduceSlots <= 0 {
+		return nil, fmt.Errorf("server: slot pool needs positive capacities (got map=%d reduce=%d)", mapSlots, reduceSlots)
+	}
+	return &Pool{
+		cap:     map[string]int{"map": mapSlots, "reduce": reduceSlots},
+		used:    map[string]int{},
+		peak:    map[string]int{},
+		waiting: map[string]int{},
+		classes: map[string]*classState{},
+	}, nil
+}
+
+// Lease returns the pool handle one workflow (or one tenant's workflows)
+// acquires slots through. Leases of the same tenant share a scheduling
+// class; weight scales the class's fair share (weight 2 is entitled to
+// twice the slots of weight 1 under contention). Non-positive weights are
+// treated as 1. The first Lease for a tenant fixes its weight.
+func (p *Pool) Lease(tenant string, weight int) *Lease {
+	if weight <= 0 {
+		weight = 1
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.classes[tenant]
+	if !ok {
+		c = &classState{name: tenant, weight: weight, queues: map[string][]*waiter{}}
+		p.classes[tenant] = c
+	}
+	return &Lease{p: p, c: c}
+}
+
+// Lease is a workflow's handle on the pool; it implements
+// mapreduce.SlotPool.
+type Lease struct {
+	p *Pool
+	c *classState
+}
+
+// Acquire blocks until the pool grants a slot of the given kind to this
+// lease's class, or ctx dies. The returned release function is idempotent.
+func (l *Lease) Acquire(ctx context.Context, kind string) (func(), error) {
+	p, c := l.p, l.c
+	p.mu.Lock()
+	capn, ok := p.cap[kind]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("server: unknown slot kind %q", kind)
+	}
+	// Fast path: free capacity and nobody queued ahead of us.
+	if p.used[kind] < capn && p.waiting[kind] == 0 {
+		p.grantLocked(kind, c)
+		p.mu.Unlock()
+		return p.releaseFn(kind, c), nil
+	}
+	w := &waiter{ch: make(chan func(), 1), seq: p.seq}
+	p.seq++
+	c.queues[kind] = append(c.queues[kind], w)
+	p.waiting[kind]++
+	p.mu.Unlock()
+
+	select {
+	case release := <-w.ch:
+		return release, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if p.removeWaiterLocked(kind, c, w) {
+			p.mu.Unlock()
+			return nil, context.Cause(ctx)
+		}
+		p.mu.Unlock()
+		// A grant raced the cancellation: the slot is already ours, so
+		// take it and hand it straight back before failing.
+		release := <-w.ch
+		release()
+		return nil, context.Cause(ctx)
+	}
+}
+
+// grantLocked charges one slot of kind to class c.
+func (p *Pool) grantLocked(kind string, c *classState) {
+	p.used[kind]++
+	c.inUse++
+	p.granted++
+	if p.used[kind] > p.peak[kind] {
+		p.peak[kind] = p.used[kind]
+	}
+}
+
+// releaseFn builds the idempotent release closure for one granted slot.
+func (p *Pool) releaseFn(kind string, c *classState) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.used[kind]--
+			c.inUse--
+			p.dispatchLocked(kind)
+			p.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked hands freed capacity of one kind to queued waiters:
+// repeatedly pick the class with the lowest used/weight ratio among those
+// with waiters (ties broken by earliest queued waiter, so no class is
+// starved), pop its FIFO head, and grant.
+func (p *Pool) dispatchLocked(kind string) {
+	for p.used[kind] < p.cap[kind] {
+		var best *classState
+		for _, c := range p.classes {
+			if len(c.queues[kind]) == 0 {
+				continue
+			}
+			if best == nil || classLess(c, best, kind) {
+				best = c
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queues[kind][0]
+		best.queues[kind] = best.queues[kind][1:]
+		p.waiting[kind]--
+		p.grantLocked(kind, best)
+		w.ch <- p.releaseFn(kind, best)
+	}
+}
+
+// classLess orders scheduling classes for the next grant: lower
+// used/weight ratio first (cross-multiplied to stay in integers), FIFO
+// arrival order as the tie-break.
+func classLess(a, b *classState, kind string) bool {
+	ra, rb := a.inUse*b.weight, b.inUse*a.weight
+	if ra != rb {
+		return ra < rb
+	}
+	return a.queues[kind][0].seq < b.queues[kind][0].seq
+}
+
+// removeWaiterLocked unqueues w; false means it was already granted.
+func (p *Pool) removeWaiterLocked(kind string, c *classState, w *waiter) bool {
+	q := c.queues[kind]
+	for i, x := range q {
+		if x == w {
+			c.queues[kind] = append(q[:i:i], q[i+1:]...)
+			p.waiting[kind]--
+			return true
+		}
+	}
+	return false
+}
+
+// SlotStats is a point-in-time view of one slot kind, for /metrics.
+type SlotStats struct {
+	Capacity int `json:"capacity"`
+	InUse    int `json:"in_use"`
+	Peak     int `json:"peak"`
+	Waiting  int `json:"waiting"`
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() (byKind map[string]SlotStats, granted int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byKind = make(map[string]SlotStats, len(p.cap))
+	for kind, capn := range p.cap {
+		byKind[kind] = SlotStats{
+			Capacity: capn,
+			InUse:    p.used[kind],
+			Peak:     p.peak[kind],
+			Waiting:  p.waiting[kind],
+		}
+	}
+	return byKind, p.granted
+}

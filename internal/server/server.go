@@ -1,0 +1,747 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntga/internal/engine"
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+	"ntga/internal/ntgamr"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/relmr"
+	"ntga/internal/sparql"
+	"ntga/internal/trace"
+)
+
+// ErrOverloaded is the load-shedding error: the request was refused at
+// admission because MaxInflight queries are already running and the
+// waiting line is at MaxQueue. Clients should back off and retry; the HTTP
+// layer maps it to 429.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// ErrBadQuery wraps parse/compile failures so the HTTP layer can map them
+// to 400 instead of 500.
+var ErrBadQuery = errors.New("server: bad query")
+
+// Config sizes the resident service.
+type Config struct {
+	// Nodes / Replication size the simulated cluster (defaults 8 / 1).
+	Nodes       int
+	Replication int
+	// MapSlots / ReduceSlots size the shared slot pool every in-flight
+	// workflow leases tasks from (defaults 8 / 8). These replace the
+	// per-run MapParallelism/ReduceParallelism knobs.
+	MapSlots    int
+	ReduceSlots int
+	// MaxInflight bounds concurrently executing queries; MaxQueue bounds
+	// how many more may wait for an execution token. Beyond both, requests
+	// are shed with ErrOverloaded (defaults 4 / 16).
+	MaxInflight int
+	MaxQueue    int
+	// DefaultTimeout is the per-query deadline when a request does not set
+	// its own (default 60s).
+	DefaultTimeout time.Duration
+	// ResultCacheEntries sizes the LRU result cache (default 256; negative
+	// disables caching).
+	ResultCacheEntries int
+	// DefaultEngine answers requests that name no engine (default
+	// "ntga-lazy"; "auto" asks the catalog-driven advisor per query).
+	DefaultEngine string
+	// Reducers / SplitRecords / SortBufferBytes are the per-query
+	// EngineConfig knobs (defaults 8 / 8192 / 0).
+	Reducers        int
+	SplitRecords    int
+	SortBufferBytes int64
+	// TaskMaxAttempts / TaskFailureRate / TaskFailureSeed pass through to
+	// every query's engine config, so fault tolerance can be exercised
+	// under concurrent serving (chaos testing).
+	TaskMaxAttempts int
+	TaskFailureRate float64
+	TaskFailureSeed int64
+	// Faults arms the full mid-phase chaos plan on every served workflow
+	// (shared across queries — the plan's draws are checkpoint-scoped), so
+	// serving can be soaked with attempts that die holding partial state.
+	Faults *mapreduce.FaultPlan
+	// Tracer, when set, records every served workflow's span tree
+	// (requests that ask for a Timeline still get a private tracer). The
+	// concurrency acceptance tests use it to prove from task spans that
+	// in-flight tasks never exceed the slot pool.
+	Tracer *trace.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.MapSlots == 0 {
+		c.MapSlots = 8
+	}
+	if c.ReduceSlots == 0 {
+		c.ReduceSlots = 8
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 256
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "ntga-lazy"
+	}
+	if c.Reducers == 0 {
+		c.Reducers = 8
+	}
+	return c
+}
+
+// Server is the resident query service: one DFS with the triple relation
+// loaded, one statistics catalog, a shared slot pool, the plan and result
+// caches, and the admission machinery. Safe for concurrent use.
+type Server struct {
+	cfg  Config
+	dfs  *hdfs.DFS
+	dict *rdf.Dict
+	// input is the DFS name of the triple relation every query scans.
+	input   string
+	catalog *plan.Catalog
+	// catalogVersion keys the plan cache; datasetVersion keys the result
+	// cache. Both are content hashes, so any future data reload that
+	// changes the triples invalidates by key miss.
+	catalogVersion string
+	datasetVersion string
+	triples        int64
+
+	pool    *Pool
+	plans   *planCache
+	results *resultCache
+
+	// admitted counts requests inside the admission window (running or
+	// queued); sem is the MaxInflight execution token pool.
+	admitted atomic.Int64
+	sem      chan struct{}
+
+	jobs *jobRegistry
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	started time.Time
+
+	// Rolled-up service counters (atomics).
+	mQueries   atomic.Int64
+	mSucceeded atomic.Int64
+	mFailed    atomic.Int64
+	mShed      atomic.Int64
+	mCycles    atomic.Int64
+	mReclaimed atomic.Int64
+}
+
+// New builds a server over the given graph: loads the triple relation into
+// a fresh DFS, computes the exact statistics catalog and the content
+// versions, and stands up the pool, caches, and admission state.
+func New(cfg Config, g *rdf.Graph) (*Server, error) {
+	cfg = cfg.withDefaults()
+	pool, err := NewPool(cfg.MapSlots, cfg.ReduceSlots)
+	if err != nil {
+		return nil, err
+	}
+	dfs := hdfs.New(hdfs.Config{Nodes: cfg.Nodes, Replication: cfg.Replication})
+	const input = "data/triples"
+	if err := engine.LoadGraph(dfs, input, g); err != nil {
+		return nil, fmt.Errorf("server: loading graph: %w", err)
+	}
+	cat := plan.FromGraph(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:            cfg,
+		dfs:            dfs,
+		dict:           g.Dict,
+		input:          input,
+		catalog:        cat,
+		catalogVersion: catalogVersion(cat),
+		datasetVersion: datasetVersion(g),
+		triples:        int64(len(g.Triples)),
+		pool:           pool,
+		plans:          newPlanCache(),
+		results:        newResultCache(cfg.ResultCacheEntries),
+		sem:            make(chan struct{}, cfg.MaxInflight),
+		jobs:           newJobRegistry(),
+		baseCtx:        ctx,
+		stop:           cancel,
+		started:        time.Now(),
+	}
+	return s, nil
+}
+
+// Close cancels every in-flight query's base context.
+func (s *Server) Close() { s.stop() }
+
+// datasetVersion content-hashes the loaded triples (IDs are stable for one
+// dictionary, which lives exactly as long as the loaded dataset).
+func datasetVersion(g *rdf.Graph) string {
+	h := fnv.New64a()
+	for _, t := range g.Triples {
+		fmt.Fprintf(h, "%d,%d,%d;", t.S, t.P, t.O)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// catalogVersion content-hashes the statistics catalog's JSON rendering.
+func catalogVersion(cat *plan.Catalog) string {
+	var sb strings.Builder
+	if err := cat.Write(&sb); err != nil {
+		return "unversioned"
+	}
+	return fingerprint(sb.String())
+}
+
+// Request is one query submission (the POST /query body).
+type Request struct {
+	// Query is the SPARQL text (required).
+	Query string `json:"query"`
+	// Engine overrides the server's default engine for this request
+	// ("auto" asks the catalog advisor).
+	Engine string `json:"engine,omitempty"`
+	// PhiM overrides the partial β-unnest partition range.
+	PhiM int `json:"phim,omitempty"`
+	// Tenant and Weight select the slot pool scheduling class; empty
+	// tenant means "default", weight <= 0 means 1.
+	Tenant string `json:"tenant,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+	// TimeoutMS caps the query's wall clock (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (it still
+	// populates it), for benchmarking and freshness-paranoid callers.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Limit truncates the returned rows (0 = all); TotalRows always
+	// reports the full count.
+	Limit int `json:"limit,omitempty"`
+	// Metrics includes per-job workflow metrics in the response.
+	Metrics bool `json:"metrics,omitempty"`
+	// Timeline includes a plain-text per-job task timeline (implies
+	// tracing the run).
+	Timeline bool `json:"timeline,omitempty"`
+}
+
+// JobSummary is the per-job slice of mapreduce.JobMetrics a response
+// carries when Request.Metrics is set.
+type JobSummary struct {
+	Job                string `json:"job"`
+	DurationMS         int64  `json:"duration_ms"`
+	MapInputBytes      int64  `json:"map_input_bytes"`
+	ShuffleBytes       int64  `json:"shuffle_bytes"`
+	ReduceOutputBytes  int64  `json:"reduce_output_bytes"`
+	SpilledBytes       int64  `json:"spilled_bytes"`
+	TaskRetries        int64  `json:"task_retries"`
+	TempBytesReclaimed int64  `json:"temp_bytes_reclaimed"`
+}
+
+// Response is one query's answer (the POST /query reply body).
+type Response struct {
+	Engine string `json:"engine"`
+	// Cache is the result-cache disposition: "hit" (served without any MR
+	// cycle), "miss", "bypass" (NoCache), or "off" (cache disabled).
+	Cache string `json:"cache"`
+	// PlanCache is "hit" or "miss" for the optimizer-output cache.
+	PlanCache string `json:"plan_cache"`
+
+	IsCount bool     `json:"is_count"`
+	Count   int64    `json:"count"`
+	Header  []string `json:"header,omitempty"`
+	// Rows are the projected, decoded result rows (tab-separated terms),
+	// possibly truncated by Request.Limit.
+	Rows      []string `json:"rows,omitempty"`
+	TotalRows int      `json:"total_rows"`
+
+	// Cycles is the number of MR jobs this request actually executed —
+	// zero when served from the result cache.
+	Cycles             int    `json:"cycles"`
+	ShuffleBytes       int64  `json:"shuffle_bytes"`
+	EstShuffleBytes    int64  `json:"est_shuffle_bytes"`
+	OutputRecords      int64  `json:"output_records"`
+	OutputBytes        int64  `json:"output_bytes"`
+	TaskRetries        int64  `json:"task_retries"`
+	TempBytesReclaimed int64  `json:"temp_bytes_reclaimed"`
+	DurationMS         int64  `json:"duration_ms"`
+	JoinOrder          []int  `json:"join_order,omitempty"`
+	Tenant             string `json:"tenant,omitempty"`
+
+	Jobs     []JobSummary `json:"jobs,omitempty"`
+	Timeline string       `json:"timeline,omitempty"`
+}
+
+// admit charges one request against the admission window, shedding with
+// ErrOverloaded when the window (MaxInflight running + MaxQueue waiting)
+// is full. The returned release must be called when the request finishes.
+func (s *Server) admit() (func(), error) {
+	limit := int64(s.cfg.MaxInflight + s.cfg.MaxQueue)
+	if s.admitted.Add(1) > limit {
+		s.admitted.Add(-1)
+		s.mShed.Add(1)
+		return nil, ErrOverloaded
+	}
+	return func() { s.admitted.Add(-1) }, nil
+}
+
+// Evaluate runs one query synchronously: admission, parse/compile, plan
+// cache, result cache, and — on a miss — a slot-pool-scheduled MR
+// execution under the request deadline.
+func (s *Server) Evaluate(ctx context.Context, req Request) (*Response, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.evaluate(ctx, req)
+}
+
+// evaluate is the admission-charged evaluation body.
+func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	s.mQueries.Add(1)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	q, err := s.compile(req.Query)
+	if err != nil {
+		s.mFailed.Add(1)
+		return nil, err
+	}
+
+	// Plan cache: resolve the engine and join order once per (query,
+	// engine request, catalog version).
+	engName := req.Engine
+	if engName == "" {
+		engName = s.cfg.DefaultEngine
+	}
+	qfp := queryFingerprint(q)
+	planKey := fingerprint(qfp, engName, fmt.Sprint(req.PhiM), s.catalogVersion)
+	entry, planHit := s.plans.get(planKey)
+	if !planHit {
+		entry, err = s.planQuery(engName, req.PhiM, q)
+		if err != nil {
+			s.mFailed.Add(1)
+			return nil, err
+		}
+		s.plans.put(planKey, entry)
+	}
+	if entry.Changed {
+		joins, err := q.JoinsForOrder(entry.Order)
+		if err == nil {
+			q.Joins = joins
+		}
+	}
+	planDisposition := "miss"
+	if planHit {
+		planDisposition = "hit"
+	}
+
+	resp := &Response{
+		Engine:          entry.EngineName,
+		PlanCache:       planDisposition,
+		EstShuffleBytes: entry.EstShuffle,
+		JoinOrder:       entry.Order,
+		Tenant:          req.Tenant,
+		IsCount:         q.IsCount(),
+	}
+
+	// Result cache: a hit answers without touching the cluster at all —
+	// zero MR cycles, zero slot leases.
+	resultKey := fingerprint(planKey, s.datasetVersion)
+	switch {
+	case s.results == nil:
+		resp.Cache = "off"
+	case req.NoCache:
+		resp.Cache = "bypass"
+	default:
+		if cached, ok := s.results.get(resultKey); ok {
+			resp.Cache = "hit"
+			resp.Engine = cached.engine
+			s.renderRows(resp, q, cached, req.Limit)
+			resp.DurationMS = time.Since(start).Milliseconds()
+			s.mSucceeded.Add(1)
+			return resp, nil
+		}
+		resp.Cache = "miss"
+	}
+
+	// Execution token: at most MaxInflight queries drive the cluster at
+	// once; the rest wait here (bounded by admission) or die with their
+	// deadline.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.mFailed.Add(1)
+		return nil, context.Cause(ctx)
+	}
+	defer func() { <-s.sem }()
+
+	eng, err := engineByName(entry.EngineName, entry.PhiM)
+	if err != nil {
+		s.mFailed.Add(1)
+		return nil, err
+	}
+	tracer := s.cfg.Tracer
+	if req.Timeline {
+		tracer = trace.New()
+	}
+	mr := mapreduce.NewEngine(s.dfs, mapreduce.EngineConfig{
+		DefaultReducers: s.cfg.Reducers,
+		SplitRecords:    s.cfg.SplitRecords,
+		SortBufferBytes: s.cfg.SortBufferBytes,
+		TaskMaxAttempts: s.cfg.TaskMaxAttempts,
+		TaskFailureRate: s.cfg.TaskFailureRate,
+		TaskFailureSeed: s.cfg.TaskFailureSeed,
+		Faults:          s.cfg.Faults,
+		Slots:           s.pool.Lease(req.Tenant, req.Weight),
+		Tracer:          tracer,
+	}).WithContext(ctx)
+
+	res, err := eng.Run(mr, q, s.input)
+	if res != nil {
+		resp.Cycles = len(res.Workflow.Jobs)
+		resp.ShuffleBytes = res.Workflow.TotalMapOutputBytes()
+		resp.TaskRetries = res.Workflow.TotalTaskRetries()
+		resp.TempBytesReclaimed = res.Workflow.TotalTempBytesReclaimed()
+		s.mCycles.Add(int64(resp.Cycles))
+		s.mReclaimed.Add(resp.TempBytesReclaimed)
+		if req.Metrics {
+			for _, j := range res.Workflow.Jobs {
+				resp.Jobs = append(resp.Jobs, JobSummary{
+					Job:                j.Job,
+					DurationMS:         j.Duration.Milliseconds(),
+					MapInputBytes:      j.MapInputBytes,
+					ShuffleBytes:       j.MapOutputBytes,
+					ReduceOutputBytes:  j.ReduceOutputBytes,
+					SpilledBytes:       j.SpilledBytes,
+					TaskRetries:        j.TaskRetries,
+					TempBytesReclaimed: j.TempBytesReclaimed,
+				})
+			}
+		}
+	}
+	// Only the request-private tracer is rendered: snapshotting a shared
+	// config tracer here would race with other queries' spans finishing.
+	if req.Timeline {
+		resp.Timeline = trace.Timeline(tracer.Roots())
+	}
+	if err != nil {
+		s.mFailed.Add(1)
+		return resp, err
+	}
+
+	cached := resultEntry{
+		engine:     res.Engine,
+		rows:       res.Rows,
+		isCount:    res.IsCount,
+		count:      res.Count,
+		outRecords: res.OutputRecords,
+		outBytes:   res.OutputBytes,
+	}
+	s.results.put(resultKey, cached)
+	resp.Engine = res.Engine
+	s.renderRows(resp, q, cached, req.Limit)
+	resp.DurationMS = time.Since(start).Milliseconds()
+	s.mSucceeded.Add(1)
+	return resp, nil
+}
+
+// compile parses and compiles the SPARQL text against the resident
+// dictionary, wrapping failures in ErrBadQuery.
+func (s *Server) compile(src string) (*query.Query, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	q, err := query.Compile(pq, s.dict)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return q, nil
+}
+
+// planQuery resolves "auto" through the catalog advisor, runs the
+// join-order optimizer, and packages the decisions as a cacheable entry.
+func (s *Server) planQuery(engName string, phiM int, q *query.Query) (planEntry, error) {
+	resolved := engName
+	if engName == "auto" {
+		ua, err := plan.AdviseUnnest(s.catalog.AvgTriplesPerSubject(), s.catalog.Objects, q, s.cfg.Reducers)
+		if err != nil {
+			return planEntry{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		if ua.Lazy {
+			resolved = "ntga-lazy"
+		} else {
+			resolved = "ntga-eager"
+		}
+		if phiM == 0 {
+			phiM = ua.PhiM
+		}
+	}
+	if _, err := engineByName(resolved, phiM); err != nil {
+		return planEntry{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	entry := planEntry{EngineName: resolved, PhiM: phiM}
+	r, err := plan.Optimize(s.catalog, q)
+	if err != nil {
+		return planEntry{}, err
+	}
+	entry.Order = r.Order
+	entry.Changed = r.Changed
+	entry.EstShuffle = r.Est
+	return entry, nil
+}
+
+// renderRows fills the response's row/count section from a result entry,
+// projecting and formatting per the request's compiled query.
+func (s *Server) renderRows(resp *Response, q *query.Query, e resultEntry, limit int) {
+	resp.IsCount = e.isCount
+	resp.Count = e.count
+	resp.OutputRecords = e.outRecords
+	resp.OutputBytes = e.outBytes
+	if e.isCount {
+		resp.Header = []string{"?" + q.Src.CountVar}
+		return
+	}
+	projected := q.ProjectAll(e.rows)
+	resp.TotalRows = len(projected)
+	header := make([]string, len(q.Select))
+	for i, v := range q.Select {
+		header[i] = "?" + v
+	}
+	resp.Header = header
+	n := len(projected)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	resp.Rows = make([]string, n)
+	for i := 0; i < n; i++ {
+		resp.Rows[i] = q.FormatRow(projected[i])
+	}
+}
+
+// engineByName maps a concrete engine name (never "auto" — planQuery
+// resolves that first) to a fresh engine instance. Engines are stateless
+// between runs, but each request gets its own instance anyway so nothing
+// is shared across goroutines.
+func engineByName(name string, phiM int) (engine.QueryEngine, error) {
+	switch name {
+	case "pig":
+		return relmr.NewPig(), nil
+	case "hive":
+		return relmr.NewHive(), nil
+	case "sj-per-cycle":
+		return relmr.NewSJPerCycle(), nil
+	case "sel-sj-first":
+		return relmr.NewSelSJFirst(), nil
+	case "ntga-eager":
+		return ntgamr.NewEager(), nil
+	case "ntga-lazy":
+		return ntgamr.New(ntgamr.LazyAuto, phiM), nil
+	case "ntga-lazy-full":
+		return ntgamr.New(ntgamr.LazyFull, phiM), nil
+	case "ntga-lazy-partial":
+		return ntgamr.New(ntgamr.LazyPartial, phiM), nil
+	default:
+		return nil, fmt.Errorf("server: unknown engine %q (want auto, pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial)", name)
+	}
+}
+
+// CacheStats is one cache's rollup for /metrics.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+}
+
+// Metrics is the GET /metrics snapshot.
+type Metrics struct {
+	UptimeMS           int64 `json:"uptime_ms"`
+	Queries            int64 `json:"queries"`
+	Succeeded          int64 `json:"succeeded"`
+	Failed             int64 `json:"failed"`
+	Shed               int64 `json:"shed"`
+	Admitted           int64 `json:"admitted"`
+	AsyncJobs          int   `json:"async_jobs"`
+	MRCycles           int64 `json:"mr_cycles"`
+	TempBytesReclaimed int64 `json:"temp_bytes_reclaimed"`
+	// TempFiles is the number of attempt-scoped temporaries currently on
+	// the DFS; outside the instant an attempt is streaming, it should be 0
+	// (the zero-leak invariant a monitor can alert on).
+	TempFiles      int                  `json:"temp_files"`
+	PlanCache      CacheStats           `json:"plan_cache"`
+	ResultCache    CacheStats           `json:"result_cache"`
+	Slots          map[string]SlotStats `json:"slots"`
+	SlotGrants     int64                `json:"slot_grants"`
+	Triples        int64                `json:"triples"`
+	DatasetVersion string               `json:"dataset_version"`
+	CatalogVersion string               `json:"catalog_version"`
+}
+
+// Snapshot assembles the current service metrics.
+func (s *Server) Snapshot() Metrics {
+	m := Metrics{
+		UptimeMS:           time.Since(s.started).Milliseconds(),
+		Queries:            s.mQueries.Load(),
+		Succeeded:          s.mSucceeded.Load(),
+		Failed:             s.mFailed.Load(),
+		Shed:               s.mShed.Load(),
+		Admitted:           s.admitted.Load(),
+		AsyncJobs:          s.jobs.size(),
+		MRCycles:           s.mCycles.Load(),
+		TempBytesReclaimed: s.mReclaimed.Load(),
+		TempFiles:          len(s.dfs.ListPrefix("_tmp/")),
+		Triples:            s.triples,
+		DatasetVersion:     s.datasetVersion,
+		CatalogVersion:     s.catalogVersion,
+	}
+	m.PlanCache.Hits, m.PlanCache.Misses, m.PlanCache.Size = s.plans.stats()
+	m.ResultCache.Hits, m.ResultCache.Misses, m.ResultCache.Size = s.results.stats()
+	m.Slots, m.SlotGrants = s.pool.Stats()
+	return m
+}
+
+// --- async jobs ---
+
+// JobState is the lifecycle of an async query job.
+type JobState string
+
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobStatus is the GET /jobs/<id> view of one async query.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	State    JobState  `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Response *Response `json:"response,omitempty"`
+}
+
+type asyncJob struct {
+	id   string
+	mu   sync.Mutex
+	st   JobState
+	resp *Response
+	err  string
+	done chan struct{}
+}
+
+type jobRegistry struct {
+	mu   sync.Mutex
+	jobs map[string]*asyncJob
+	seq  int64
+}
+
+func newJobRegistry() *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*asyncJob)}
+}
+
+func (r *jobRegistry) create() *asyncJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &asyncJob{id: fmt.Sprintf("job-%06d", r.seq), st: JobRunning, done: make(chan struct{})}
+	r.jobs[j.id] = j
+	return j
+}
+
+func (r *jobRegistry) get(id string) (*asyncJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *jobRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+func (j *asyncJob) finish(resp *Response, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.st = JobFailed
+		j.err = err.Error()
+		j.resp = resp // partial metrics may still be useful
+	} else {
+		j.st = JobDone
+		j.resp = resp
+	}
+	close(j.done)
+}
+
+func (j *asyncJob) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.id, State: j.st, Error: j.err, Response: j.resp}
+}
+
+// Submit starts a query asynchronously: admission is charged immediately
+// (so overload sheds at submit time with ErrOverloaded), then the query
+// runs under the server's base context and the usual deadline; the
+// returned job ID is pollable via JobStatus / GET /jobs/<id>.
+func (s *Server) Submit(req Request) (string, error) {
+	release, err := s.admit()
+	if err != nil {
+		return "", err
+	}
+	j := s.jobs.create()
+	go func() {
+		defer release()
+		resp, err := s.evaluate(s.baseCtx, req)
+		j.finish(resp, err)
+	}()
+	return j.id, nil
+}
+
+// JobStatus looks up an async job.
+func (s *Server) JobStatus(id string) (JobStatus, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// WaitJob blocks until the job finishes or ctx dies (for tests).
+func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("server: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return JobStatus{}, context.Cause(ctx)
+	}
+}

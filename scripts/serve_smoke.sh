@@ -1,0 +1,83 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the resident query daemon:
+# build the binaries, generate a small dataset, boot ntga-serve, wait for
+# /healthz, run the same query twice over HTTP (the second call must be a
+# result-cache hit with zero MR cycles), exercise the ntga-run client mode,
+# and shut the daemon down. Exits non-zero on any failed step.
+set -eu
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:7457}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$WORK/ntga-serve" ./cmd/ntga-serve
+go build -o "$WORK/ntga-run" ./cmd/ntga-run
+go build -o "$WORK/ntga-datagen" ./cmd/ntga-datagen
+
+echo "== dataset"
+"$WORK/ntga-datagen" -dataset lifesci -scale 1 -seed 42 -out "$WORK/bio.nt"
+
+echo "== boot daemon on $ADDR"
+"$WORK/ntga-serve" -data "$WORK/bio.nt" -addr "$ADDR" 2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+echo "== wait for /healthz"
+i=0
+until "$WORK/ntga-run" -health "$ADDR" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "daemon never became healthy; log:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "daemon died; log:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.2
+done
+"$WORK/ntga-run" -health "$ADDR"
+
+QUERY='{"query":"PREFIX bio: <http://bio2rdf.example.org/> SELECT * WHERE { ?g bio:label ?l . ?g ?p ?x . }"}'
+
+echo "== first query (expect cache miss, real MR cycles)"
+FIRST="$(curl -sf -X POST "http://$ADDR/query" -d "$QUERY")"
+echo "$FIRST" | grep -q '"cache": *"miss"' || {
+    echo "first call was not a cache miss: $FIRST" >&2
+    exit 1
+}
+echo "$FIRST" | grep -q '"cycles": *0,' && {
+    echo "first call ran zero MR cycles: $FIRST" >&2
+    exit 1
+}
+
+echo "== second query (expect cache hit, zero MR cycles)"
+SECOND="$(curl -sf -X POST "http://$ADDR/query" -d "$QUERY")"
+echo "$SECOND" | grep -q '"cache": *"hit"' || {
+    echo "second call was not a cache hit: $SECOND" >&2
+    exit 1
+}
+echo "$SECOND" | grep -q '"cycles": *0,' || {
+    echo "cache hit reported MR cycles: $SECOND" >&2
+    exit 1
+}
+
+echo "== client mode (ntga-run -server)"
+"$WORK/ntga-run" -server "$ADDR" -e 'PREFIX bio: <http://bio2rdf.example.org/>
+SELECT * WHERE { ?g bio:organism ?o . ?g ?p ?x . }' >/dev/null
+
+echo "== metrics sanity"
+METRICS="$(curl -sf "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '"queries": *[0-9]' || {
+    echo "metrics missing query counter: $METRICS" >&2
+    exit 1
+}
+
+echo "serve-smoke: OK"
