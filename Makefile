@@ -1,11 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke
 
 all: build check test
 
-# Fast gate for every change: formatting, vet, and a race pass over the two
-# packages with real concurrency (the MR engine and the simulated DFS).
+# Fast gate for every change: formatting, vet, and a race pass over the
+# packages with real concurrency (the MR engine, the simulated DFS, the
+# query daemon, and the RPC cluster — the latter in -short mode; the full
+# cross-transport parity sweep runs with the ordinary test suite).
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -13,6 +15,7 @@ check:
 	fi
 	go vet ./...
 	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/
+	go test -race -short ./internal/cluster/
 	go test ./internal/plan/ ./internal/explain/
 
 build:
@@ -48,6 +51,13 @@ figures:
 # ntga-run client mode, and check /healthz and /metrics.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end distributed smoke test: boot ntga-master + two ntga-worker
+# processes over RPC, run a query through ntga-run -cluster, kill -9 one
+# worker mid-run, and assert both runs print output byte-identical to a
+# local ntga-run over the same data.
+dist-smoke:
+	sh scripts/dist_smoke.sh
 
 # Regenerate the EXPLAIN golden files (internal/explain/testdata) after
 # intentional planner or cost-model changes. CI fails if they are stale.

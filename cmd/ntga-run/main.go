@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ntga/internal/bench"
+	"ntga/internal/cluster"
 	"ntga/internal/engine"
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
@@ -54,11 +55,23 @@ func main() {
 		health    = flag.String("health", "", "check a running ntga-serve daemon's /healthz and exit")
 		tenant    = flag.String("tenant", "", "client mode: slot-pool scheduling class for this query")
 		noCache   = flag.Bool("no-cache", false, "client mode: bypass the server's result cache")
+		clusterAd = flag.String("cluster", "", "distributed mode: submit the query to a running ntga-master at this RPC address instead of evaluating locally")
+		clStatus  = flag.Bool("cluster-status", false, "distributed mode: print the master's cluster status and exit")
+		reducers  = flag.Int("reducers", 0, "reduce partitions per job (0 = engine default)")
+		splitRecs = flag.Int("split-records", 0, "records per map split (0 = engine default)")
 	)
 	flag.Parse()
 
 	if *health != "" {
 		checkHealth(*health)
+		return
+	}
+	if *clusterAd != "" {
+		if *clStatus {
+			clusterStatus(*clusterAd)
+			return
+		}
+		runCluster(*clusterAd, *inline, *queryFile, *engName, *phiM, *reducers, *splitRecs, *metrics, *limit)
 		return
 	}
 	if *serverURL != "" {
@@ -143,7 +156,13 @@ func main() {
 		if *traceOut != "" || *timeline {
 			tracer = trace.New()
 		}
-		cfg := mapreduce.EngineConfig{SortBufferBytes: *sortBuf, Tracer: tracer, Speculation: *speculate}
+		cfg := mapreduce.EngineConfig{
+			DefaultReducers: *reducers,
+			SplitRecords:    *splitRecs,
+			SortBufferBytes: *sortBuf,
+			Tracer:          tracer,
+			Speculation:     *speculate,
+		}
 		if *faults != "" {
 			fp, attempts, err := parseFaults(*faults)
 			if err != nil {
@@ -315,6 +334,92 @@ func parseFaults(s string) (*mapreduce.FaultPlan, int, error) {
 		}
 	}
 	return plan, 8, nil
+}
+
+// runCluster submits the query to a running ntga-master and prints the
+// master-rendered rows exactly as a local run would print its own.
+func runCluster(addr, inline, queryFile, engName string, phiM, reducers, splitRecords int, metrics bool, limit int) {
+	src := inline
+	if src == "" {
+		if queryFile == "" {
+			fatal(fmt.Errorf("one of -query or -e is required"))
+		}
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+	c, err := cluster.Dial(nil, addr)
+	if err != nil {
+		fatal(fmt.Errorf("dialing master %s: %w", addr, err))
+	}
+	defer c.Close()
+	reply, err := c.Run(context.Background(), &cluster.RunArgs{
+		Query:        src,
+		Engine:       engName,
+		PhiM:         phiM,
+		Reducers:     reducers,
+		SplitRecords: splitRecords,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if metrics {
+		printMetrics(&engine.Result{
+			Engine:        reply.Engine,
+			Workflow:      reply.Workflow,
+			Counters:      reply.Counters,
+			OutputRecords: reply.OutputRecords,
+			OutputBytes:   reply.OutputBytes,
+			PeakDFSUsed:   reply.PeakDFSUsed,
+		})
+	}
+	if reply.IsCount {
+		fmt.Printf("%s\n%d\n", reply.Header[0], reply.Count)
+		return
+	}
+	fmt.Println(strings.Join(reply.Header, "\t"))
+	for i, r := range reply.RowsText {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... (%d more rows)\n", len(reply.RowsText)-i)
+			break
+		}
+		fmt.Println(r)
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", reply.TotalRows)
+}
+
+// clusterStatus prints the master's view of the cluster: dataset identity,
+// per-worker liveness and slot occupancy, and scheduler totals.
+func clusterStatus(addr string) {
+	c, err := cluster.Dial(nil, addr)
+	if err != nil {
+		fatal(fmt.Errorf("dialing master %s: %w", addr, err))
+	}
+	defer c.Close()
+	st, err := c.Status(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	alive := 0
+	for _, w := range st.Workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	fmt.Printf("master %s: %d triples, dataset %s\n", addr, st.Triples, st.DatasetVersion)
+	fmt.Printf("workers: %d alive / %d registered, workers_lost=%d, active_queries=%d, tasks_dispatched=%d\n",
+		alive, len(st.Workers), st.WorkersLost, st.ActiveQueries, st.TasksDispatched)
+	for _, w := range st.Workers {
+		state := "alive"
+		if !w.Alive {
+			state = "dead"
+		}
+		fmt.Printf("  worker %d %s %s map %d/%d reduce %d/%d done=%d failed=%d\n",
+			w.ID, w.Addr, state, w.MapBusy, w.MapSlots, w.ReduceBusy, w.ReduceSlots,
+			w.TasksDone, w.TasksFailed)
+	}
 }
 
 // printRecovery summarizes what the fault-tolerance machinery did during the

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"ntga/internal/cluster"
 	"ntga/internal/rdf"
 	"ntga/internal/server"
 )
@@ -40,6 +41,7 @@ func main() {
 		reducers  = flag.Int("reducers", 8, "default reduce partition count per job")
 		sortBuf   = flag.Int64("sortbuf", 0, "map sort-buffer budget in bytes (0 = unbounded)")
 		splitRecs = flag.Int("split-records", 0, "records per map split (0 = default 8192)")
+		clusterAd = flag.String("cluster", "", "distributed mode: execute queries on the ntga-master at this RPC address (must serve the same -data file)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		fatal(err)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Nodes:              *nodes,
 		Replication:        *rep,
 		MapSlots:           *mapSlots,
@@ -69,7 +71,16 @@ func main() {
 		Reducers:           *reducers,
 		SortBufferBytes:    *sortBuf,
 		SplitRecords:       *splitRecs,
-	}, g)
+	}
+	if *clusterAd != "" {
+		cc, err := cluster.Dial(nil, *clusterAd)
+		if err != nil {
+			fatal(fmt.Errorf("dialing master %s: %w", *clusterAd, err))
+		}
+		defer cc.Close()
+		cfg.Cluster = cc
+	}
+	srv, err := server.New(cfg, g)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,8 +90,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ntga-serve: %d triples loaded, listening on http://%s (slots map=%d reduce=%d, inflight=%d queue=%d)\n",
-		srv.Snapshot().Triples, ln.Addr(), *mapSlots, *redSlots, *inflight, *queue)
+	mode := "local"
+	if *clusterAd != "" {
+		mode = "distributed via " + *clusterAd
+	}
+	fmt.Fprintf(os.Stderr, "ntga-serve: %d triples loaded, listening on http://%s (%s, slots map=%d reduce=%d, inflight=%d queue=%d)\n",
+		srv.Snapshot().Triples, ln.Addr(), mode, *mapSlots, *redSlots, *inflight, *queue)
 	if err := http.Serve(ln, srv.Handler()); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,58 @@
+// Command ntga-worker runs one distributed-mode worker: it registers with
+// an ntga-master, rebuilds query plans from the specs the master leases to
+// it, executes map/reduce task attempts, and serves its committed map
+// output to peer workers over the same RPC transport.
+//
+// Usage:
+//
+//	ntga-worker -master 127.0.0.1:7455
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ntga/internal/cluster"
+)
+
+func main() {
+	var (
+		master    = flag.String("master", "", "master RPC address (required)")
+		addr      = flag.String("addr", "127.0.0.1:0", "this worker's shuffle-serving listen address")
+		mapSlots  = flag.Int("map-slots", 2, "concurrent map tasks")
+		redSlots  = flag.Int("reduce-slots", 2, "concurrent reduce tasks")
+		taskDelay = flag.Duration("task-delay", 0, "artificial per-task delay (smoke tests: stretch jobs so failures land mid-run)")
+	)
+	flag.Parse()
+
+	if *master == "" {
+		fatal(fmt.Errorf("-master is required"))
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Addr:        *addr,
+		MapSlots:    *mapSlots,
+		ReduceSlots: *redSlots,
+		TaskDelay:   *taskDelay,
+	}, nil, *master)
+	if err := w.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ntga-worker: registered as worker %d at %s (master %s, %d map + %d reduce slots)\n",
+		w.ID(), w.Addr(), *master, *mapSlots, *redSlots)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	w.Close()
+	// Give in-flight RPC teardown a beat before exiting.
+	time.Sleep(50 * time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ntga-worker:", err)
+	os.Exit(1)
+}

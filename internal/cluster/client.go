@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"net/rpc"
+)
+
+// Client is a front-end connection to a master: query submission and
+// cluster status, used by ntga-run -cluster and ntga-serve -cluster.
+type Client struct {
+	c    *rpc.Client
+	addr string
+}
+
+// Dial connects to the master at addr (nil transport defaults to TCP).
+func Dial(tr Transport, addr string) (*Client, error) {
+	if tr == nil {
+		tr = TCP()
+	}
+	c, err := dialRPC(tr, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, addr: addr}, nil
+}
+
+// Addr is the master address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// Run submits a query and waits for the result. A cancelled context
+// abandons the wait client-side; the master also enforces args.TimeoutMS
+// on its own clock, so pass the deadline there to stop the actual work.
+func (c *Client) Run(ctx context.Context, args *RunArgs) (*RunReply, error) {
+	reply := new(RunReply)
+	call := c.c.Go("Master.Run", args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case <-call.Done:
+	}
+	if call.Error != nil {
+		return nil, call.Error
+	}
+	return reply, nil
+}
+
+// Status fetches the master's cluster snapshot.
+func (c *Client) Status(ctx context.Context) (*StatusReply, error) {
+	reply := new(StatusReply)
+	call := c.c.Go("Master.Status", &StatusArgs{}, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case <-call.Done:
+	}
+	if call.Error != nil {
+		return nil, call.Error
+	}
+	return reply, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() { c.c.Close() }

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ntga/internal/engine"
+	"ntga/internal/ntgamr"
+	"ntga/internal/relmr"
+)
+
+// engineByName maps a concrete engine name to a fresh instance. The master
+// and every worker resolve through this same table, so a shipped engine
+// name rebuilds the identical physical plan everywhere. (bench and server
+// keep equivalent tables; cluster cannot import bench — bench drives the
+// server, which executes here.)
+func engineByName(name string, phiM int) (engine.QueryEngine, error) {
+	switch name {
+	case "pig":
+		return relmr.NewPig(), nil
+	case "hive":
+		return relmr.NewHive(), nil
+	case "sj-per-cycle":
+		return relmr.NewSJPerCycle(), nil
+	case "sel-sj-first":
+		return relmr.NewSelSJFirst(), nil
+	case "ntga-eager":
+		return ntgamr.NewEager(), nil
+	case "ntga-lazy":
+		return ntgamr.New(ntgamr.LazyAuto, phiM), nil
+	case "ntga-lazy-full":
+		return ntgamr.New(ntgamr.LazyFull, phiM), nil
+	case "ntga-lazy-partial":
+		return ntgamr.New(ntgamr.LazyPartial, phiM), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown engine %q (want pig, hive, sj-per-cycle, sel-sj-first, ntga-eager, ntga-lazy, ntga-lazy-full, ntga-lazy-partial)", name)
+	}
+}

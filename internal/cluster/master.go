@@ -1,0 +1,1081 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"ntga/internal/engine"
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+	"ntga/internal/trace"
+)
+
+// MasterConfig tunes the coordinator.
+type MasterConfig struct {
+	// Nodes/Replication shape the master-resident simulated DFS.
+	Nodes       int
+	Replication int
+	// Reducers and SplitRecords are the per-query defaults (a RunArgs can
+	// override both).
+	Reducers     int
+	SplitRecords int
+	// DefaultEngine answers RunArgs with an empty engine name.
+	DefaultEngine string
+	// LeaseTimeout bounds one task attempt: a lease not reported back in
+	// time is re-queued (the worker may still be alive but stuck).
+	LeaseTimeout time.Duration
+	// HeartbeatTimeout declares a silent worker dead; its leases and its
+	// committed map outputs for unfinished jobs are re-queued.
+	HeartbeatTimeout time.Duration
+	// SweepEvery is the liveness/deadline sweep interval.
+	SweepEvery time.Duration
+	// HeartbeatEvery/LeaseEvery are advertised to workers at registration:
+	// how often to ping, and how long to idle between empty lease polls.
+	HeartbeatEvery time.Duration
+	LeaseEvery     time.Duration
+	// MaxTaskAttempts is the per-task attempt budget; a task whose budget
+	// is spent fails its job.
+	MaxTaskAttempts int
+	// Tracer, when non-nil, records per-lease task spans under each job's
+	// span, with the worker ID in the node column.
+	Tracer *trace.Tracer
+	// Transport carries all cluster RPC; nil defaults to TCP.
+	Transport Transport
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.Reducers == 0 {
+		c.Reducers = 8
+	}
+	if c.SplitRecords == 0 {
+		c.SplitRecords = 8192
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "ntga-lazy"
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 10 * time.Second
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = 100 * time.Millisecond
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.LeaseEvery == 0 {
+		c.LeaseEvery = 25 * time.Millisecond
+	}
+	if c.MaxTaskAttempts == 0 {
+		c.MaxTaskAttempts = 4
+	}
+	if c.Transport == nil {
+		c.Transport = TCP()
+	}
+	return c
+}
+
+// workerState is the master's view of one registered worker.
+type workerState struct {
+	id          int
+	addr        string
+	mapSlots    int
+	reduceSlots int
+	mapBusy     int
+	reduceBusy  int
+	alive       bool
+	lastBeat    time.Time
+	tasksDone   int64
+	tasksFailed int64
+}
+
+// queryState tracks one in-flight query: its rebuild spec (shipped inside
+// every TaskSpec) and the latest engine-counter snapshot per worker.
+type queryState struct {
+	id       string
+	spec     QuerySpec
+	counters map[int]map[string]int64
+}
+
+// taskState is one task of one job instance.
+type taskState struct {
+	done     bool
+	leased   bool
+	worker   int // current lease holder (valid while leased)
+	holder   int // worker holding committed map output (-1 = none)
+	attempts int
+	deadline time.Time
+	span     *trace.Span
+	dur      time.Duration
+	inPairs  int64
+	inBytes  int64
+	groups   int64
+}
+
+// jobState is one job instance being scheduled across the workers. It is
+// the distributed counterpart of the local engine's per-job run state.
+type jobState struct {
+	qid    string
+	id     int64
+	job    *mapreduce.Job
+	jsp    *trace.Span
+	splits []SplitSpec
+	// mapKind is "map" or "maponly"; nReducers is 0 for map-only jobs.
+	mapKind   string
+	nReducers int
+	maps      []*taskState
+	reduces   []*taskState
+	mapsDone  int
+
+	finished bool
+	err      error
+	doneCh   chan struct{}
+
+	// written tracks the part files committed so far, for failure cleanup.
+	written map[string]bool
+
+	mapRecords, mapBytes int64
+	outRecords, outBytes int64
+	groups               int64
+	retries, recoveries  int64
+}
+
+// settleLocked finishes the job exactly once (m.mu held).
+func (js *jobState) settleLocked(err error) {
+	if js.finished || js.err != nil {
+		return
+	}
+	if err == nil {
+		js.finished = true
+	} else {
+		js.err = err
+	}
+	close(js.doneCh)
+}
+
+// Master is the coordinator: it owns the DFS and the dataset dictionary,
+// compiles and plans queries, and leases task attempts to workers.
+type Master struct {
+	cfg     MasterConfig
+	dfs     *hdfs.DFS
+	dict    *rdf.Dict
+	input   string
+	catalog *plan.Catalog
+	version string
+	triples int64
+
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu              sync.Mutex
+	workers         map[int]*workerState
+	queries         map[string]*queryState
+	jobs            []*jobState // registration order: earlier jobs lease first
+	workerSeq       int
+	querySeq        int64
+	jobSeq          int64
+	workersLost     int64
+	tasksDispatched int64
+}
+
+// NewMaster builds a coordinator over the given graph: the triples are
+// loaded into a fresh master-resident DFS and the statistics catalog is
+// built for the "auto" engine advisor.
+func NewMaster(cfg MasterConfig, g *rdf.Graph) (*Master, error) {
+	cfg = cfg.withDefaults()
+	dfs := hdfs.New(hdfs.Config{Nodes: cfg.Nodes, Replication: cfg.Replication})
+	const input = "data/triples"
+	if err := engine.LoadGraph(dfs, input, g); err != nil {
+		return nil, fmt.Errorf("cluster: loading graph: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Master{
+		cfg:     cfg,
+		dfs:     dfs,
+		dict:    g.Dict,
+		input:   input,
+		catalog: plan.FromGraph(g),
+		version: g.Version(),
+		triples: int64(g.Len()),
+		ctx:     ctx,
+		cancel:  cancel,
+		workers: make(map[int]*workerState),
+		queries: make(map[string]*queryState),
+	}, nil
+}
+
+// Serve starts the master's RPC endpoint and its liveness sweeper. It
+// returns once listening; Addr reports the bound address.
+func (m *Master) Serve(addr string) error {
+	ln, err := m.cfg.Transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	m.ln = ln
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", &masterRPC{m}); err != nil {
+		ln.Close()
+		return err
+	}
+	go serveRPC(srv, ln)
+	go m.sweeper()
+	return nil
+}
+
+// Addr is the bound RPC address (valid after Serve).
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the master: in-flight jobs fail, the sweeper exits, and the
+// listener closes.
+func (m *Master) Close() {
+	m.cancel()
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}
+
+// DFS exposes the master-resident file system (status/metrics surfaces).
+func (m *Master) DFS() *hdfs.DFS { return m.dfs }
+
+func (m *Master) sweeper() {
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.sweep(time.Now())
+		}
+	}
+}
+
+// sweep expires silent workers and overdue leases.
+func (m *Master) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		if w.alive && now.Sub(w.lastBeat) > m.cfg.HeartbeatTimeout {
+			w.alive = false
+			w.mapBusy, w.reduceBusy = 0, 0
+			m.workersLost++
+			m.requeueWorkerLocked(w.id)
+		}
+	}
+	for _, js := range m.jobs {
+		if js.finished || js.err != nil {
+			continue
+		}
+		for i, ts := range js.maps {
+			if ts.leased && now.After(ts.deadline) {
+				m.expireLeaseLocked(js, ts, js.mapKind, i)
+			}
+		}
+		for p, ts := range js.reduces {
+			if ts.leased && now.After(ts.deadline) {
+				m.expireLeaseLocked(js, ts, "reduce", p)
+			}
+		}
+	}
+}
+
+// expireLeaseLocked re-queues one overdue lease, failing the job when the
+// task's attempt budget is spent.
+func (m *Master) expireLeaseLocked(js *jobState, ts *taskState, kind string, idx int) {
+	ts.leased = false
+	ts.span.Finish()
+	ts.span = nil
+	if w := m.workers[ts.worker]; w != nil && w.alive {
+		decBusy(w, kind)
+	}
+	if ts.attempts >= m.cfg.MaxTaskAttempts {
+		js.settleLocked(fmt.Errorf("cluster: %s task %d: lease expired after %d attempts", kind, idx, ts.attempts))
+	}
+}
+
+// requeueWorkerLocked returns a dead worker's work to the queue: its
+// current leases, and — for unfinished shuffle jobs — the committed map
+// outputs only it can serve, which must be re-executed elsewhere before any
+// remaining reduce can run (Hadoop's map-output re-execution).
+func (m *Master) requeueWorkerLocked(id int) {
+	for _, js := range m.jobs {
+		if js.finished || js.err != nil {
+			continue
+		}
+		fail := func(ts *taskState, kind string, idx int) {
+			if ts.leased && ts.worker == id {
+				ts.leased = false
+				ts.span.Finish()
+				ts.span = nil
+				if ts.attempts >= m.cfg.MaxTaskAttempts {
+					js.settleLocked(fmt.Errorf("cluster: %s task %d: worker %d lost after %d attempts", kind, idx, id, ts.attempts))
+				}
+			}
+		}
+		for i, ts := range js.maps {
+			fail(ts, js.mapKind, i)
+			if js.mapKind == "map" && ts.done && ts.holder == id {
+				ts.done = false
+				ts.holder = -1
+				js.mapsDone--
+				js.recoveries++
+			}
+		}
+		for p, ts := range js.reduces {
+			fail(ts, "reduce", p)
+		}
+	}
+}
+
+func decBusy(w *workerState, kind string) {
+	switch kind {
+	case "reduce":
+		if w.reduceBusy > 0 {
+			w.reduceBusy--
+		}
+	default:
+		if w.mapBusy > 0 {
+			w.mapBusy--
+		}
+	}
+}
+
+// ---- RPC surface ----
+
+// masterRPC is the net/rpc receiver; it keeps the RPC method set separate
+// from the Master's own API.
+type masterRPC struct {
+	m *Master
+}
+
+func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
+	m := r.m
+	m.mu.Lock()
+	m.workerSeq++
+	w := &workerState{
+		id:          m.workerSeq,
+		addr:        args.Addr,
+		mapSlots:    args.MapSlots,
+		reduceSlots: args.ReduceSlots,
+		alive:       true,
+		lastBeat:    time.Now(),
+	}
+	m.workers[w.id] = w
+	m.mu.Unlock()
+
+	terms := make([]rdf.Term, 0, m.dict.Len())
+	m.dict.Range(func(_ rdf.ID, t rdf.Term) bool {
+		terms = append(terms, t)
+		return true
+	})
+	reply.Worker = w.id
+	reply.Terms = terms
+	reply.DatasetVersion = m.version
+	reply.Input = m.input
+	reply.HeartbeatEvery = m.cfg.HeartbeatEvery
+	reply.LeaseEvery = m.cfg.LeaseEvery
+	return nil
+}
+
+func (r *masterRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
+	m := r.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[args.Worker]
+	if w == nil {
+		return fmt.Errorf("cluster: unknown worker %d", args.Worker)
+	}
+	w.lastBeat = time.Now()
+	// A worker that was declared dead and then reappears stays lost: its
+	// map outputs were already re-queued, so resurrecting it as a lease
+	// target is fine — just mark it alive again.
+	if !w.alive {
+		w.alive = true
+	}
+	for qid := range m.queries {
+		reply.LiveQueries = append(reply.LiveQueries, qid)
+	}
+	return nil
+}
+
+func (r *masterRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
+	m := r.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[args.Worker]
+	if w == nil {
+		return fmt.Errorf("cluster: unknown worker %d", args.Worker)
+	}
+	if !w.alive {
+		// Leasing is as good as a heartbeat.
+		w.alive = true
+		w.lastBeat = time.Now()
+	}
+	reply.Task = m.leaseLocked(w, args.Kind)
+	return nil
+}
+
+// leaseLocked grants the first pending task of the kind, scanning jobs in
+// registration order. Map-kind slots run both "map" and "maponly" specs;
+// reduce tasks only unlock once every map output of their job is committed.
+func (m *Master) leaseLocked(w *workerState, kind string) *TaskSpec {
+	for _, js := range m.jobs {
+		if js.finished || js.err != nil {
+			continue
+		}
+		qs := m.queries[js.qid]
+		if qs == nil {
+			continue
+		}
+		switch kind {
+		case "map":
+			for i, ts := range js.maps {
+				if ts.done || ts.leased {
+					continue
+				}
+				spec := &TaskSpec{
+					QueryID:     js.qid,
+					Spec:        qs.spec,
+					JobID:       js.id,
+					JobName:     js.job.Name,
+					Kind:        js.mapKind,
+					Task:        i,
+					NumReducers: js.nReducers,
+					JobInputs:   js.job.Inputs,
+					Split:       js.splits[i],
+				}
+				m.grantLocked(js, ts, w, js.mapKind, spec, i, i)
+				return spec
+			}
+		case "reduce":
+			if js.mapKind != "map" || js.mapsDone != len(js.maps) {
+				continue
+			}
+			for p, ts := range js.reduces {
+				if ts.done || ts.leased {
+					continue
+				}
+				locs := make([]MapLoc, len(js.maps))
+				ok := true
+				for t, mt := range js.maps {
+					hw := m.workers[mt.holder]
+					if hw == nil {
+						ok = false
+						break
+					}
+					locs[t] = MapLoc{Task: t, Worker: mt.holder, Addr: hw.addr}
+				}
+				if !ok {
+					continue
+				}
+				spec := &TaskSpec{
+					QueryID:     js.qid,
+					Spec:        qs.spec,
+					JobID:       js.id,
+					JobName:     js.job.Name,
+					Kind:        "reduce",
+					Task:        p,
+					NumReducers: js.nReducers,
+					JobInputs:   js.job.Inputs,
+					Partition:   p,
+					Maps:        locs,
+				}
+				m.grantLocked(js, ts, w, "reduce", spec, p, len(js.splits)+p)
+				return spec
+			}
+		}
+	}
+	return nil
+}
+
+// grantLocked marks the lease: attempt numbers are drawn here (a re-queued
+// task's next grant counts as a retry), the deadline starts ticking, and a
+// task span opens with the worker ID as the node.
+func (m *Master) grantLocked(js *jobState, ts *taskState, w *workerState, kind string, spec *TaskSpec, task, group int) {
+	spec.Attempt = ts.attempts
+	if ts.attempts > 0 {
+		js.retries++
+	}
+	ts.attempts++
+	ts.leased = true
+	ts.worker = w.id
+	ts.deadline = time.Now().Add(m.cfg.LeaseTimeout)
+	spanKind := kind
+	if spanKind == "maponly" {
+		spanKind = "map"
+	}
+	ts.span = js.jsp.ChildTask(spanKind, group, task, w.id, spec.Attempt)
+	if kind == "reduce" {
+		w.reduceBusy++
+	} else {
+		w.mapBusy++
+	}
+	m.tasksDispatched++
+}
+
+func (r *masterRPC) Report(args *ReportArgs, reply *ReportReply) error {
+	r.m.report(args)
+	return nil
+}
+
+func (m *Master) report(args *ReportArgs) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w := m.workers[args.Worker]; w != nil && w.alive {
+		decBusy(w, args.Kind)
+		if args.OK {
+			w.tasksDone++
+		} else {
+			w.tasksFailed++
+		}
+	}
+	if qs := m.queries[args.QueryID]; qs != nil && args.Counters != nil {
+		// Snapshots from one worker are cumulative but can arrive out of
+		// order (two executors snapshot and report concurrently), so
+		// last-write-wins would lose counts. Counters only grow, so the
+		// element-wise max per worker is the latest true value.
+		wc := qs.counters[args.Worker]
+		if wc == nil {
+			wc = make(map[string]int64)
+			qs.counters[args.Worker] = wc
+		}
+		for k, v := range args.Counters {
+			if v > wc[k] {
+				wc[k] = v
+			}
+		}
+	}
+	var js *jobState
+	for _, j := range m.jobs {
+		if j.id == args.JobID {
+			js = j
+			break
+		}
+	}
+	if js == nil || js.finished || js.err != nil {
+		return // job settled or gone; late report
+	}
+	var ts *taskState
+	switch args.Kind {
+	case "reduce":
+		if args.Task >= len(js.reduces) {
+			return
+		}
+		ts = js.reduces[args.Task]
+	default:
+		if args.Task >= len(js.maps) {
+			return
+		}
+		ts = js.maps[args.Task]
+	}
+	if ts.leased && ts.worker == args.Worker {
+		ts.leased = false
+		ts.span.Finish()
+		ts.span = nil
+	}
+	if ts.done {
+		return // a rival attempt already committed; deterministic outputs make this report redundant
+	}
+	if !args.OK {
+		m.reportFailureLocked(js, ts, args)
+		return
+	}
+	ts.done = true
+	ts.holder = args.Worker
+	ts.dur = args.Duration
+	switch args.Kind {
+	case "map":
+		js.mapsDone++
+		js.mapRecords += args.Records
+		js.mapBytes += args.Bytes
+		if js.mapsDone == len(js.maps) && js.mapKind == "maponly" {
+			js.settleLocked(nil)
+		}
+	default: // reduce, maponly: commit the shipped output as part files
+		if err := m.commitTaskLocked(js, args); err != nil {
+			js.settleLocked(err)
+			return
+		}
+		ts.groups = args.Groups
+		ts.inPairs = args.InPairs
+		ts.inBytes = args.InBytes
+		js.groups += args.Groups
+		js.outRecords += args.Records
+		js.outBytes += args.Bytes
+		if args.Kind == "maponly" {
+			js.mapsDone++
+			js.mapRecords += args.Records
+			js.mapBytes += args.Bytes
+			if js.mapsDone == len(js.maps) {
+				js.settleLocked(nil)
+			}
+		} else {
+			done := 0
+			for _, rt := range js.reduces {
+				if rt.done {
+					done++
+				}
+			}
+			if done == len(js.reduces) {
+				js.settleLocked(nil)
+			}
+		}
+	}
+}
+
+// commitTaskLocked writes one task's shipped output records as the job's
+// part files (the distributed stand-in for the local attempt-commit rename;
+// every record is written here, so DFS capacity failures surface exactly
+// like a local mid-reduce disk-full).
+func (m *Master) commitTaskLocked(js *jobState, args *ReportArgs) error {
+	bases := js.job.OutputBases()
+	if len(args.Outputs) != len(bases) {
+		return fmt.Errorf("cluster: %s task %d shipped %d outputs, job %s has %d", args.Kind, args.Task, len(args.Outputs), js.job.Name, len(bases))
+	}
+	for b, base := range bases {
+		name := mapreduce.PartName(base, args.Task)
+		if err := m.dfs.WriteFile(name, args.Outputs[b]); err != nil {
+			return fmt.Errorf("committing %s: %w", name, err)
+		}
+		js.written[name] = true
+	}
+	return nil
+}
+
+// reportFailureLocked handles a failed attempt: fetch-failure LostMaps
+// re-queue the dead holder's map tasks (and implicitly this reduce), and a
+// task whose attempt budget is spent fails the job.
+func (m *Master) reportFailureLocked(js *jobState, ts *taskState, args *ReportArgs) {
+	for _, t := range args.LostMaps {
+		if t >= len(js.maps) {
+			continue
+		}
+		mt := js.maps[t]
+		if !mt.done {
+			continue
+		}
+		if hw := m.workers[mt.holder]; hw != nil && hw.alive {
+			continue // holder looks fine; treat the fetch failure as transient
+		}
+		mt.done = false
+		mt.holder = -1
+		js.mapsDone--
+		js.recoveries++
+	}
+	if ts.attempts >= m.cfg.MaxTaskAttempts {
+		js.settleLocked(fmt.Errorf("cluster: %s task %d failed after %d attempts: %s", args.Kind, args.Task, ts.attempts, args.Err))
+	}
+	// Otherwise the task is already back to pending (lease released above).
+}
+
+func (r *masterRPC) ReadRange(args *ReadRangeArgs, reply *ReadRangeReply) error {
+	recs, err := r.m.dfs.ReadRange(args.Name, args.Off, args.N)
+	if err != nil {
+		return err
+	}
+	reply.Records = recs
+	return nil
+}
+
+func (r *masterRPC) Run(args *RunArgs, reply *RunReply) error {
+	rep, err := r.m.RunQuery(r.m.ctx, args)
+	if err != nil {
+		return err
+	}
+	*reply = *rep
+	return nil
+}
+
+func (r *masterRPC) Status(args *StatusArgs, reply *StatusReply) error {
+	*reply = r.m.Status()
+	return nil
+}
+
+// Status snapshots the cluster.
+func (m *Master) Status() StatusReply {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := StatusReply{
+		Triples:         m.triples,
+		DatasetVersion:  m.version,
+		WorkersLost:     m.workersLost,
+		ActiveQueries:   len(m.queries),
+		TasksDispatched: m.tasksDispatched,
+	}
+	for _, w := range m.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:              w.id,
+			Addr:            w.addr,
+			Alive:           w.alive,
+			MapSlots:        w.mapSlots,
+			ReduceSlots:     w.reduceSlots,
+			MapBusy:         w.mapBusy,
+			ReduceBusy:      w.reduceBusy,
+			LastHeartbeatMS: time.Since(w.lastBeat).Milliseconds(),
+			TasksDone:       w.tasksDone,
+			TasksFailed:     w.tasksFailed,
+		})
+	}
+	for i := range st.Workers {
+		for j := i + 1; j < len(st.Workers); j++ {
+			if st.Workers[j].ID < st.Workers[i].ID {
+				st.Workers[i], st.Workers[j] = st.Workers[j], st.Workers[i]
+			}
+		}
+	}
+	return st
+}
+
+// ---- query execution ----
+
+// remoteCluster is the mapreduce.JobRunner the master plugs into its own
+// engine: the engine does all planning and workflow orchestration, and
+// every validated job lands in runJob to be scheduled across the workers.
+type remoteCluster struct {
+	m   *Master
+	qid string
+}
+
+func (rc *remoteCluster) Name() string { return "distributed" }
+
+func (rc *remoteCluster) RunJob(ctx context.Context, jsp *trace.Span, job *mapreduce.Job, cfg mapreduce.EngineConfig) (mapreduce.JobMetrics, error) {
+	return rc.m.runJob(ctx, rc.qid, jsp, job, cfg)
+}
+
+// runJob schedules one job: plan splits from DFS metadata, enqueue the
+// job's tasks for the lease loop, wait for the reports to finish it, then
+// splice the committed part files into the job outputs. On failure every
+// written part and output base is removed — the JobRunner cleanup contract.
+func (m *Master) runJob(ctx context.Context, qid string, jsp *trace.Span, job *mapreduce.Job, cfg mapreduce.EngineConfig) (mapreduce.JobMetrics, error) {
+	var jm mapreduce.JobMetrics
+	var splits []SplitSpec
+	for _, in := range job.Inputs {
+		n, err := m.dfs.RecordCount(in)
+		if err != nil {
+			return jm, fmt.Errorf("reading input: %w", err)
+		}
+		size, err := m.dfs.FileSize(in)
+		if err != nil {
+			return jm, fmt.Errorf("sizing input: %w", err)
+		}
+		jm.MapInputBytes += size
+		jm.MapInputRecords += int64(n)
+		for off := 0; off < n; off += cfg.SplitRecords {
+			cnt := cfg.SplitRecords
+			if off+cnt > n {
+				cnt = n - off
+			}
+			splits = append(splits, SplitSpec{Input: in, Off: off, N: cnt})
+		}
+		if n == 0 {
+			splits = append(splits, SplitSpec{Input: in}) // keep empty inputs visible
+		}
+	}
+	jm.MapTasks = len(splits)
+
+	js := &jobState{
+		qid:     qid,
+		job:     job,
+		jsp:     jsp,
+		splits:  splits,
+		mapKind: "map",
+		doneCh:  make(chan struct{}),
+		written: make(map[string]bool),
+	}
+	if job.MapOnly != nil {
+		js.mapKind = "maponly"
+	} else {
+		js.nReducers = job.NumReducers
+		if js.nReducers == 0 {
+			js.nReducers = cfg.DefaultReducers
+		}
+		js.reduces = make([]*taskState, js.nReducers)
+		for p := range js.reduces {
+			js.reduces[p] = &taskState{holder: -1}
+		}
+	}
+	js.maps = make([]*taskState, len(splits))
+	for i := range js.maps {
+		js.maps[i] = &taskState{holder: -1}
+	}
+
+	m.mu.Lock()
+	m.jobSeq++
+	js.id = m.jobSeq
+	m.jobs = append(m.jobs, js)
+	m.mu.Unlock()
+	defer m.dropJob(js)
+
+	select {
+	case <-js.doneCh:
+	case <-ctx.Done():
+		m.mu.Lock()
+		js.settleLocked(context.Cause(ctx))
+		m.mu.Unlock()
+	case <-m.ctx.Done():
+		m.mu.Lock()
+		js.settleLocked(fmt.Errorf("cluster: master shutting down"))
+		m.mu.Unlock()
+	}
+
+	m.mu.Lock()
+	err := js.err
+	nParts := js.nReducers
+	if js.mapKind == "maponly" {
+		nParts = len(splits)
+	}
+	jm.MapOutputRecords = js.mapRecords
+	jm.MapOutputBytes = js.mapBytes
+	jm.TaskRetries = js.retries
+	jm.MapOutputRecoveries = js.recoveries
+	if js.mapKind == "maponly" {
+		jm.MapOutputRecords, jm.MapOutputBytes = 0, 0
+	} else {
+		jm.ReduceTasks = js.nReducers
+	}
+	jm.ReduceInputGroups = js.groups
+	jm.ReduceOutputRecords = js.outRecords
+	jm.ReduceOutputBytes = js.outBytes
+	var mapDurs, reduceDurs []time.Duration
+	for _, ts := range js.maps {
+		if ts.done {
+			mapDurs = append(mapDurs, ts.dur)
+		}
+	}
+	perGroups := make([]int64, len(js.reduces))
+	perBytes := make([]int64, len(js.reduces))
+	for p, ts := range js.reduces {
+		if ts.done {
+			reduceDurs = append(reduceDurs, ts.dur)
+			perGroups[p] = ts.groups
+			perBytes[p] = ts.inBytes
+			if ts.inPairs > jm.MaxReducePartitionRecords {
+				jm.MaxReducePartitionRecords = ts.inPairs
+			}
+		}
+	}
+	m.mu.Unlock()
+	jm.MapTaskStats = mapreduce.SummarizeTaskDurations(mapDurs)
+	jm.ReduceTaskStats = mapreduce.SummarizeTaskDurations(reduceDurs)
+	jm.ReduceKeySkew = mapreduce.SkewOf(perGroups)
+	jm.ReduceByteSkew = mapreduce.SkewOf(perBytes)
+	if jm.MapOutputRecords > 0 && js.nReducers > 0 {
+		jm.ReduceSkew = float64(jm.MaxReducePartitionRecords) * float64(js.nReducers) / float64(jm.MapOutputRecords)
+	}
+
+	cleanup := func() {
+		m.mu.Lock()
+		parts := make([]string, 0, len(js.written))
+		for p := range js.written {
+			parts = append(parts, p)
+		}
+		m.mu.Unlock()
+		for _, p := range parts {
+			m.dfs.DeleteIfExists(p)
+		}
+		for _, base := range job.OutputBases() {
+			m.dfs.DeleteIfExists(base)
+		}
+	}
+	if err != nil {
+		cleanup()
+		return jm, err
+	}
+	for _, base := range job.OutputBases() {
+		names := make([]string, nParts)
+		for i := range names {
+			names[i] = mapreduce.PartName(base, i)
+		}
+		if err := m.dfs.Concat(base, names); err != nil {
+			cleanup()
+			return jm, fmt.Errorf("committing output %s: %w", base, err)
+		}
+	}
+	return jm, nil
+}
+
+// dropJob unlists a settled job and finishes any dangling lease spans.
+// Workers still running its tasks will report into the void (ignored) and
+// prune their caches at the next heartbeat after the query ends.
+func (m *Master) dropJob(js *jobState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, j := range m.jobs {
+		if j == js {
+			m.jobs = append(m.jobs[:i], m.jobs[i+1:]...)
+			break
+		}
+	}
+	for _, ts := range js.maps {
+		ts.span.Finish()
+		ts.span = nil
+	}
+	for _, ts := range js.reduces {
+		ts.span.Finish()
+		ts.span = nil
+	}
+}
+
+// RunQuery compiles, plans, and executes one query across the cluster: the
+// master's own MR engine runs the full workflow with the remoteCluster
+// JobRunner plugged into the seam, so planning, plan-IR lowering, output
+// decoding, and metrics work exactly as a local run — only task execution
+// moves to the workers.
+func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error) {
+	if args.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(args.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	pq, err := sparql.Parse(args.Query)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Compile(pq, m.dict)
+	if err != nil {
+		return nil, err
+	}
+	if args.HasOrder {
+		joins, err := q.JoinsForOrder(args.Order)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: applying join order: %w", err)
+		}
+		q.Joins = joins
+	}
+	engName := args.Engine
+	phiM := args.PhiM
+	if engName == "" {
+		engName = m.cfg.DefaultEngine
+	}
+	if engName == "auto" {
+		ua, err := plan.AdviseUnnest(m.catalog.AvgTriplesPerSubject(), m.catalog.Objects, q, m.cfg.Reducers)
+		if err != nil {
+			return nil, err
+		}
+		if ua.Lazy {
+			engName = "ntga-lazy"
+		} else {
+			engName = "ntga-eager"
+		}
+		if phiM == 0 {
+			phiM = ua.PhiM
+		}
+	}
+	eng, err := engineByName(engName, phiM)
+	if err != nil {
+		return nil, err
+	}
+
+	qs := m.registerQuery(QuerySpec{
+		Query:    args.Query,
+		Engine:   engName,
+		PhiM:     phiM,
+		Order:    args.Order,
+		HasOrder: args.HasOrder,
+		Input:    m.input,
+	})
+	defer m.releaseQuery(qs.id)
+
+	reducers := args.Reducers
+	if reducers == 0 {
+		reducers = m.cfg.Reducers
+	}
+	splitRecords := args.SplitRecords
+	if splitRecords == 0 {
+		splitRecords = m.cfg.SplitRecords
+	}
+	mr := mapreduce.NewEngine(m.dfs, mapreduce.EngineConfig{
+		DefaultReducers: reducers,
+		SplitRecords:    splitRecords,
+		Cluster:         &remoteCluster{m: m, qid: qs.id},
+		Tracer:          m.cfg.Tracer,
+	}).WithContext(ctx)
+
+	res, err := eng.Run(mr, q, m.input)
+	if err != nil {
+		return nil, err
+	}
+
+	// The master's mapper/reducer closures never ran, so its counters are
+	// empty; the real counts live in the workers' snapshots. Sum them.
+	m.mu.Lock()
+	sum := make(map[string]int64)
+	for _, wc := range qs.counters {
+		for k, v := range wc {
+			sum[k] += v
+		}
+	}
+	m.mu.Unlock()
+	if res.Counters == nil {
+		res.Counters = sum
+	} else {
+		for k, v := range sum {
+			res.Counters[k] += v
+		}
+	}
+
+	reply := &RunReply{
+		Engine:        res.Engine,
+		IsCount:       res.IsCount,
+		Count:         res.Count,
+		Rows:          res.Rows,
+		Counters:      res.Counters,
+		OutputRecords: res.OutputRecords,
+		OutputBytes:   res.OutputBytes,
+		PeakDFSUsed:   res.PeakDFSUsed,
+		Workflow:      res.Workflow,
+	}
+	// Render header and text rows master-side for dictionary-less callers,
+	// exactly as a local ntga-run would print them.
+	if res.IsCount {
+		reply.Header = []string{"?" + q.Src.CountVar}
+	} else {
+		projected := q.ProjectAll(res.Rows)
+		reply.TotalRows = len(projected)
+		reply.Header = make([]string, len(q.Select))
+		for i, v := range q.Select {
+			reply.Header[i] = "?" + v
+		}
+		reply.RowsText = make([]string, len(projected))
+		for i, r := range projected {
+			reply.RowsText[i] = q.FormatRow(r)
+		}
+	}
+	return reply, nil
+}
+
+func (m *Master) registerQuery(spec QuerySpec) *queryState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.querySeq++
+	qs := &queryState{
+		id:       fmt.Sprintf("q-%06d", m.querySeq),
+		spec:     spec,
+		counters: make(map[int]map[string]int64),
+	}
+	m.queries[qs.id] = qs
+	return qs
+}
+
+func (m *Master) releaseQuery(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.queries, id)
+}

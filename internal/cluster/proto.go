@@ -1,0 +1,250 @@
+// Package cluster is the distributed execution substrate behind the
+// mapreduce Cluster seam: a coordinator (Master) that owns the DFS and
+// leases map/reduce task attempts to network-registered Workers over
+// net/rpc + gob, with heartbeat-based liveness, lease deadlines, and
+// re-execution of work (including committed map output) lost to dead
+// workers.
+//
+// Jobs cross the wire as (query, engine, join order) specs, not closures:
+// every worker deterministically rebuilds the same physical plan from the
+// query text and the master-shipped dictionary, so a TaskSpec only needs to
+// say *which* job of the plan and *which* slice of the input to run.
+// Intermediate file names differ between processes (they come from a
+// process-global counter), so specs carry the master's input names and
+// workers translate them positionally into their own rebuilt plan.
+package cluster
+
+import (
+	"time"
+
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// QuerySpec is everything a worker needs to rebuild one query's physical
+// plan bit-for-bit: the SPARQL text, the resolved (never "auto") engine
+// name, the partial-unnest range, the optimizer's join order when one was
+// applied, and the DFS name of the base triple relation.
+type QuerySpec struct {
+	Query    string
+	Engine   string
+	PhiM     int
+	Order    []int
+	HasOrder bool
+	Input    string
+}
+
+// SplitSpec is one map task's input assignment: a record range of one
+// master-side DFS file (N < 0 means "through the end"; a zero-record file
+// still yields one empty split, mirroring the local planner).
+type SplitSpec struct {
+	Input string
+	Off   int
+	N     int
+}
+
+// MapLoc tells a reduce task where one map task's committed output lives.
+type MapLoc struct {
+	Task   int
+	Worker int
+	Addr   string
+}
+
+// TaskSpec is one leased task attempt.
+type TaskSpec struct {
+	QueryID string
+	Spec    QuerySpec
+	// JobID is the master's execution-scoped job instance ID; JobName is
+	// the plan job's deterministic name the worker resolves against its
+	// rebuilt plan.
+	JobID   int64
+	JobName string
+	// Kind is "map", "maponly", or "reduce". Map-kind worker slots run
+	// both "map" and "maponly" specs.
+	Kind    string
+	Task    int
+	Attempt int
+	// NumReducers is the resolved reduce partition count (map tasks
+	// partition their output by it).
+	NumReducers int
+	// JobInputs are the master-side job input names, positionally aligned
+	// with the worker's rebuilt job.Inputs — the name-translation table.
+	JobInputs []string
+	// Split is the map input range (map/maponly kinds).
+	Split SplitSpec
+	// Partition is the reduce partition index (reduce kind).
+	Partition int
+	// Maps locates every map task's committed output (reduce kind).
+	Maps []MapLoc
+}
+
+// RegisterArgs announces a worker: the address its Fetch service listens on
+// and how many concurrent tasks of each kind it runs.
+type RegisterArgs struct {
+	Addr        string
+	MapSlots    int
+	ReduceSlots int
+}
+
+// RegisterReply assigns the worker its ID and ships the dataset dictionary
+// in ID order, so re-encoding the terms in order reproduces the master's
+// IDs exactly.
+type RegisterReply struct {
+	Worker         int
+	Terms          []rdf.Term
+	DatasetVersion string
+	Input          string
+	HeartbeatEvery time.Duration
+	LeaseEvery     time.Duration
+}
+
+// HeartbeatArgs is a worker liveness ping.
+type HeartbeatArgs struct {
+	Worker int
+}
+
+// HeartbeatReply carries the IDs of queries still in flight, so workers can
+// drop cached plans and map outputs of settled queries.
+type HeartbeatReply struct {
+	LiveQueries []string
+}
+
+// LeaseArgs asks for one task of the given kind ("map" or "reduce").
+type LeaseArgs struct {
+	Worker int
+	Kind   string
+}
+
+// LeaseReply holds the granted task, or nil when nothing is pending.
+type LeaseReply struct {
+	Task *TaskSpec
+}
+
+// ReportArgs is a task attempt's outcome. Map results stay on the worker
+// (only counts travel); reduce and map-only results ship their collected
+// output records for the master to commit. Counters is the full snapshot of
+// the worker's per-query engine counters — the master keeps the latest per
+// worker and sums them at query end.
+type ReportArgs struct {
+	Worker  int
+	QueryID string
+	JobID   int64
+	Kind    string
+	Task    int
+	Attempt int
+
+	OK  bool
+	Err string
+	// LostMaps lists map tasks whose output could not be fetched; the
+	// master re-queues them (and this reduce) — the "map output lost,
+	// re-running map task" path.
+	LostMaps []int
+
+	// Outputs are the task's collected records per output base (reduce and
+	// maponly kinds), ordered like Job.OutputBases.
+	Outputs [][][]byte
+	Groups  int64
+	Records int64
+	Bytes   int64
+	// InPairs/InBytes count a reduce task's merged shuffle input (skew
+	// accounting).
+	InPairs int64
+	InBytes int64
+
+	Duration time.Duration
+	Counters map[string]int64
+}
+
+// ReportReply is empty; acknowledgement is the RPC return itself.
+type ReportReply struct{}
+
+// ReadRangeArgs asks the master for a record range of a DFS file (a map
+// task reading its split through the coordinator's DFS).
+type ReadRangeArgs struct {
+	Name string
+	Off  int
+	N    int
+}
+
+// ReadRangeReply carries the records.
+type ReadRangeReply struct {
+	Records [][]byte
+}
+
+// FetchArgs asks a worker for one map task's committed output segment for
+// one reduce partition.
+type FetchArgs struct {
+	QueryID   string
+	JobID     int64
+	Task      int
+	Partition int
+}
+
+// FetchReply carries the (key, value)-sorted, combiner-folded segment.
+type FetchReply struct {
+	KVs []mapreduce.KV
+}
+
+// RunArgs submits a query to the master. Engine "" selects the master's
+// default; "auto" asks the master's catalog advisor. Order/HasOrder inject
+// a join order decided by the caller (ntga-serve runs its own optimizer);
+// without one the compiled order runs unchanged, matching a plain local
+// run. Reducers/SplitRecords of 0 select the master's defaults.
+type RunArgs struct {
+	Query        string
+	Engine       string
+	PhiM         int
+	Order        []int
+	HasOrder     bool
+	Reducers     int
+	SplitRecords int
+	TimeoutMS    int64
+}
+
+// RunReply is a completed query: the raw binding rows (for callers with a
+// dictionary-equivalent view, e.g. ntga-serve's result cache) and the
+// master-rendered header/text rows (for dictionary-less callers like
+// ntga-run -cluster), plus the workflow metrics a local run would report.
+type RunReply struct {
+	Engine    string
+	IsCount   bool
+	Count     int64
+	Rows      []query.Row
+	Header    []string
+	RowsText  []string
+	TotalRows int
+
+	Counters      map[string]int64
+	OutputRecords int64
+	OutputBytes   int64
+	PeakDFSUsed   int64
+	Workflow      mapreduce.WorkflowMetrics
+}
+
+// StatusArgs is empty.
+type StatusArgs struct{}
+
+// WorkerStatus is one worker's row in the master's status report.
+type WorkerStatus struct {
+	ID              int    `json:"id"`
+	Addr            string `json:"addr"`
+	Alive           bool   `json:"alive"`
+	MapSlots        int    `json:"map_slots"`
+	ReduceSlots     int    `json:"reduce_slots"`
+	MapBusy         int    `json:"map_busy"`
+	ReduceBusy      int    `json:"reduce_busy"`
+	LastHeartbeatMS int64  `json:"last_heartbeat_ms"`
+	TasksDone       int64  `json:"tasks_done"`
+	TasksFailed     int64  `json:"tasks_failed"`
+}
+
+// StatusReply is the master's cluster snapshot.
+type StatusReply struct {
+	Triples         int64
+	DatasetVersion  string
+	Workers         []WorkerStatus
+	WorkersLost     int64
+	ActiveQueries   int
+	TasksDispatched int64
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"net"
+	"net/rpc"
+	"time"
+)
+
+// Transport abstracts how cluster processes reach each other, so tests can
+// host a whole master/worker topology over loopback (or, in principle, an
+// in-memory pipe network) while production uses TCP. All RPC traffic —
+// registration, leases, reports, split reads, and shuffle fetches — flows
+// through connections made here.
+type Transport interface {
+	// Listen opens a server endpoint. addr may carry port 0; the
+	// listener's Addr() reports the bound address peers should dial.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a peer endpoint.
+	Dial(addr string) (net.Conn, error)
+}
+
+// tcpTransport is the production transport: plain TCP.
+type tcpTransport struct {
+	dialTimeout time.Duration
+}
+
+// TCP returns the TCP transport.
+func TCP() Transport {
+	return &tcpTransport{dialTimeout: 5 * time.Second}
+}
+
+func (t *tcpTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func (t *tcpTransport) Dial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, t.dialTimeout)
+}
+
+// serveRPC accepts connections until the listener closes, serving each on
+// its own goroutine. net/rpc itself runs every request in a fresh
+// goroutine, so one client connection can keep a long Master.Run call in
+// flight while issuing Status or Lease calls concurrently.
+func serveRPC(srv *rpc.Server, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// dialRPC opens an RPC client over the transport.
+func dialRPC(tr Transport, addr string) (*rpc.Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
+}

@@ -1,0 +1,557 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+	"ntga/internal/sparql"
+)
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Addr is the address the worker's shuffle/Fetch endpoint binds;
+	// port 0 picks a free port. Workers behind one master must be
+	// mutually reachable at these addresses.
+	Addr string
+	// MapSlots/ReduceSlots are the concurrent task executors per kind.
+	MapSlots    int
+	ReduceSlots int
+	// TaskDelay stretches every task by a fixed sleep — a throttle for
+	// fault-injection tests that need time to kill a worker mid-job.
+	TaskDelay time.Duration
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MapSlots == 0 {
+		c.MapSlots = 2
+	}
+	if c.ReduceSlots == 0 {
+		c.ReduceSlots = 2
+	}
+	return c
+}
+
+// outKey addresses one map task's committed output in the worker's store.
+type outKey struct {
+	qid   string
+	jobID int64
+	task  int
+}
+
+// queryPlan is a worker's rebuilt execution state for one query: the plan's
+// jobs by name and the engine counters shared by every task of the query.
+type queryPlan struct {
+	jobs     map[string]*mapreduce.Job
+	counters *mapreduce.Counters
+}
+
+// Worker executes leased task attempts against the master's DFS and serves
+// its committed map output to peer workers.
+type Worker struct {
+	cfg        WorkerConfig
+	tr         Transport
+	masterAddr string
+	master     *rpc.Client
+	id         int
+	dict       *rdf.Dict
+	input      string
+	hbEvery    time.Duration
+	leaseEvery time.Duration
+
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	plans map[string]*queryPlan
+	outs  map[outKey][][]mapreduce.KV
+	peers map[string]*rpc.Client
+}
+
+// NewWorker prepares a worker that will register with the master at
+// masterAddr over the transport (nil defaults to TCP).
+func NewWorker(cfg WorkerConfig, tr Transport, masterAddr string) *Worker {
+	if tr == nil {
+		tr = TCP()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		cfg:        cfg.withDefaults(),
+		tr:         tr,
+		masterAddr: masterAddr,
+		ctx:        ctx,
+		cancel:     cancel,
+		plans:      make(map[string]*queryPlan),
+		outs:       make(map[outKey][][]mapreduce.KV),
+		peers:      make(map[string]*rpc.Client),
+	}
+}
+
+// Start registers with the master, rebuilds the dataset dictionary from the
+// shipped terms, opens the Fetch endpoint, and launches the heartbeat and
+// executor loops. It returns once the worker is serving.
+func (w *Worker) Start() error {
+	ln, err := w.tr.Listen(w.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	w.ln = ln
+	mc, err := dialRPC(w.tr, w.masterAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("cluster: dialing master %s: %w", w.masterAddr, err)
+	}
+	w.master = mc
+	var reply RegisterReply
+	err = mc.Call("Master.Register", &RegisterArgs{
+		Addr:        ln.Addr().String(),
+		MapSlots:    w.cfg.MapSlots,
+		ReduceSlots: w.cfg.ReduceSlots,
+	}, &reply)
+	if err != nil {
+		mc.Close()
+		ln.Close()
+		return fmt.Errorf("cluster: registering with master: %w", err)
+	}
+	w.id = reply.Worker
+	w.input = reply.Input
+	w.hbEvery = reply.HeartbeatEvery
+	w.leaseEvery = reply.LeaseEvery
+	// Re-encoding the terms in shipped (ID) order reproduces the master's
+	// IDs exactly; freezing catches any accidental divergence loudly.
+	dict := rdf.NewDict()
+	for _, t := range reply.Terms {
+		dict.Encode(t)
+	}
+	dict.Freeze()
+	w.dict = dict
+
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &workerRPC{w}); err != nil {
+		mc.Close()
+		ln.Close()
+		return err
+	}
+	go serveRPC(srv, ln)
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	for i := 0; i < w.cfg.MapSlots; i++ {
+		w.wg.Add(1)
+		go w.executor("map")
+	}
+	for i := 0; i < w.cfg.ReduceSlots; i++ {
+		w.wg.Add(1)
+		go w.executor("reduce")
+	}
+	return nil
+}
+
+// ID is the master-assigned worker ID (valid after Start).
+func (w *Worker) ID() int { return w.id }
+
+// Addr is the worker's bound Fetch address (valid after Start).
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close tears the worker down abruptly — the "kill -9" of the simulated
+// cluster: loops stop, the Fetch listener closes, and every open RPC client
+// fails its in-flight calls. No goodbye is sent; the master notices via
+// missed heartbeats.
+func (w *Worker) Close() {
+	w.cancel()
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	if w.master != nil {
+		w.master.Close()
+	}
+	w.mu.Lock()
+	peers := w.peers
+	w.peers = make(map[string]*rpc.Client)
+	w.mu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// Wait blocks until the worker's loops have exited (after Close, or after
+// the master became permanently unreachable).
+func (w *Worker) Wait() { w.wg.Wait() }
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+			var reply HeartbeatReply
+			if err := w.master.Call("Master.Heartbeat", &HeartbeatArgs{Worker: w.id}, &reply); err != nil {
+				continue // master unreachable; keep trying until closed
+			}
+			w.prune(reply.LiveQueries)
+		}
+	}
+}
+
+// prune drops cached plans and map outputs of queries the master no longer
+// tracks, bounding worker memory to the in-flight working set.
+func (w *Worker) prune(live []string) {
+	alive := make(map[string]bool, len(live))
+	for _, q := range live {
+		alive[q] = true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for qid := range w.plans {
+		if !alive[qid] {
+			delete(w.plans, qid)
+		}
+	}
+	for k := range w.outs {
+		if !alive[k.qid] {
+			delete(w.outs, k)
+		}
+	}
+}
+
+// executor is one task slot: lease, run, report, repeat. Map slots execute
+// both "map" and "maponly" specs; the kind only selects the lease queue.
+func (w *Worker) executor(kind string) {
+	defer w.wg.Done()
+	for {
+		if w.ctx.Err() != nil {
+			return
+		}
+		var reply LeaseReply
+		err := w.master.Call("Master.Lease", &LeaseArgs{Worker: w.id, Kind: kind}, &reply)
+		if err != nil || reply.Task == nil {
+			select {
+			case <-w.ctx.Done():
+				return
+			case <-time.After(w.leaseEvery):
+			}
+			continue
+		}
+		w.execute(reply.Task)
+	}
+}
+
+// fetchError carries the map tasks whose output a reduce attempt could not
+// retrieve, so the report triggers map re-execution rather than a blind
+// retry against the same dead holder.
+type fetchError struct {
+	lost []int
+}
+
+func (e *fetchError) Error() string {
+	return fmt.Sprintf("cluster: map output unavailable for tasks %v", e.lost)
+}
+
+// execute runs one leased attempt and reports the outcome with the query's
+// current counter snapshot attached.
+func (w *Worker) execute(ts *TaskSpec) {
+	if w.cfg.TaskDelay > 0 {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-time.After(w.cfg.TaskDelay):
+		}
+	}
+	start := time.Now()
+	rep := &ReportArgs{
+		Worker:  w.id,
+		QueryID: ts.QueryID,
+		JobID:   ts.JobID,
+		Kind:    ts.Kind,
+		Task:    ts.Task,
+		Attempt: ts.Attempt,
+	}
+	err := w.runTask(ts, rep)
+	rep.Duration = time.Since(start)
+	if err != nil {
+		rep.OK = false
+		rep.Err = err.Error()
+		if fe, ok := err.(*fetchError); ok {
+			rep.LostMaps = fe.lost
+		}
+		rep.Outputs = nil
+	} else {
+		rep.OK = true
+	}
+	if qp := w.planCached(ts.QueryID); qp != nil {
+		rep.Counters = qp.counters.Snapshot()
+	}
+	var ack ReportReply
+	w.master.Call("Master.Report", rep, &ack) // a lost report re-queues via lease expiry
+}
+
+func (w *Worker) planCached(qid string) *queryPlan {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.plans[qid]
+}
+
+// planFor returns (building if needed) the worker's rebuilt plan for the
+// query. The rebuild is deterministic given the query spec and the shipped
+// dictionary, so every worker (and the master) agrees on each job's mapper,
+// reducer, combiner, and partitioner semantics.
+func (w *Worker) planFor(qid string, spec *QuerySpec) (*queryPlan, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if qp, ok := w.plans[qid]; ok {
+		return qp, nil
+	}
+	q, err := compileSpec(spec, w.dict)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engineByName(spec.Engine, spec.PhiM)
+	if err != nil {
+		return nil, err
+	}
+	counters := mapreduce.NewCounters()
+	var cl engine.Cleaner
+	p, err := eng.Plan(q, spec.Input, &cl, counters)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebuilding plan: %w", err)
+	}
+	stages, err := p.Lower()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: lowering rebuilt plan: %w", err)
+	}
+	qp := &queryPlan{jobs: make(map[string]*mapreduce.Job), counters: counters}
+	for _, st := range stages {
+		for _, job := range st {
+			if _, dup := qp.jobs[job.Name]; dup {
+				return nil, fmt.Errorf("cluster: rebuilt plan has duplicate job name %q; cannot address tasks by name", job.Name)
+			}
+			qp.jobs[job.Name] = job
+		}
+	}
+	w.plans[qid] = qp
+	return qp, nil
+}
+
+// compileSpec rebuilds the compiled query from a spec against a dictionary.
+func compileSpec(spec *QuerySpec, dict *rdf.Dict) (*query.Query, error) {
+	pq, err := sparql.Parse(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Compile(pq, dict)
+	if err != nil {
+		return nil, err
+	}
+	if spec.HasOrder {
+		joins, err := q.JoinsForOrder(spec.Order)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: applying join order: %w", err)
+		}
+		q.Joins = joins
+	}
+	return q, nil
+}
+
+// localInput translates a master-side input name into the worker's rebuilt
+// job via position: intermediate file names differ per process (they come
+// from a process-global counter), but each job's input list order is part
+// of the deterministic plan.
+func localInput(job *mapreduce.Job, ts *TaskSpec) (string, error) {
+	for i, in := range ts.JobInputs {
+		if in == ts.Split.Input {
+			if i >= len(job.Inputs) {
+				break
+			}
+			return job.Inputs[i], nil
+		}
+	}
+	return "", fmt.Errorf("cluster: split input %q not in job %s's inputs %v (rebuilt %v)", ts.Split.Input, ts.JobName, ts.JobInputs, job.Inputs)
+}
+
+// runTask executes one attempt, filling the report's result fields.
+func (w *Worker) runTask(ts *TaskSpec, rep *ReportArgs) error {
+	qp, err := w.planFor(ts.QueryID, &ts.Spec)
+	if err != nil {
+		return err
+	}
+	job := qp.jobs[ts.JobName]
+	if job == nil {
+		return fmt.Errorf("cluster: rebuilt plan has no job %q", ts.JobName)
+	}
+	switch ts.Kind {
+	case "map":
+		input, err := localInput(job, ts)
+		if err != nil {
+			return err
+		}
+		recs, err := w.readSplit(ts.Split)
+		if err != nil {
+			return err
+		}
+		res, err := mapreduce.ExecMapTask(job, input, ts.NumReducers, mapreduce.SliceRecords(recs))
+		if err != nil {
+			return err
+		}
+		w.mu.Lock()
+		w.outs[outKey{ts.QueryID, ts.JobID, ts.Task}] = res.Parts
+		w.mu.Unlock()
+		rep.Records = res.Records
+		rep.Bytes = res.Bytes
+		return nil
+	case "maponly":
+		input, err := localInput(job, ts)
+		if err != nil {
+			return err
+		}
+		recs, err := w.readSplit(ts.Split)
+		if err != nil {
+			return err
+		}
+		out, err := mapreduce.ExecMapOnlyTask(job, input, mapreduce.SliceRecords(recs))
+		if err != nil {
+			return err
+		}
+		rep.Outputs = out.Outputs
+		rep.Records = out.Records
+		rep.Bytes = out.Bytes
+		return nil
+	case "reduce":
+		parts := make([][]mapreduce.KV, len(ts.Maps))
+		var lost []int
+		for i, ml := range ts.Maps {
+			kvs, err := w.fetchMap(ts, ml)
+			if err != nil {
+				lost = append(lost, ml.Task)
+				continue
+			}
+			parts[i] = kvs
+		}
+		if len(lost) > 0 {
+			return &fetchError{lost: lost}
+		}
+		out, err := mapreduce.ExecReduceTask(job, parts)
+		if err != nil {
+			return err
+		}
+		rep.Outputs = out.Outputs
+		rep.Groups = out.Groups
+		rep.Records = out.Records
+		rep.Bytes = out.Bytes
+		rep.InPairs = out.InPairs
+		rep.InBytes = out.InBytes
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown task kind %q", ts.Kind)
+	}
+}
+
+// readSplit pulls a map split's records through the master's DFS, charging
+// the master-side read counters exactly as a local streamed scan would
+// (a retried task re-charges its re-read).
+func (w *Worker) readSplit(sp SplitSpec) ([][]byte, error) {
+	var reply ReadRangeReply
+	if err := w.master.Call("Master.ReadRange", &ReadRangeArgs{Name: sp.Input, Off: sp.Off, N: sp.N}, &reply); err != nil {
+		return nil, fmt.Errorf("cluster: reading split %s[%d:+%d]: %w", sp.Input, sp.Off, sp.N, err)
+	}
+	return reply.Records, nil
+}
+
+// fetchMap retrieves one map task's segment for this reduce partition —
+// from the local store when this worker ran the map, otherwise over the
+// transport from the holder.
+func (w *Worker) fetchMap(ts *TaskSpec, ml MapLoc) ([]mapreduce.KV, error) {
+	key := outKey{ts.QueryID, ts.JobID, ml.Task}
+	if ml.Worker == w.id {
+		w.mu.Lock()
+		parts := w.outs[key]
+		w.mu.Unlock()
+		if parts != nil {
+			return parts[ts.Partition], nil
+		}
+		return nil, fmt.Errorf("cluster: own map output for task %d missing", ml.Task)
+	}
+	peer, err := w.peer(ml.Addr)
+	if err != nil {
+		return nil, err
+	}
+	var reply FetchReply
+	err = peer.Call("Worker.Fetch", &FetchArgs{
+		QueryID:   ts.QueryID,
+		JobID:     ts.JobID,
+		Task:      ml.Task,
+		Partition: ts.Partition,
+	}, &reply)
+	if err != nil {
+		w.dropPeer(ml.Addr, peer)
+		return nil, err
+	}
+	return reply.KVs, nil
+}
+
+func (w *Worker) peer(addr string) (*rpc.Client, error) {
+	w.mu.Lock()
+	c := w.peers[addr]
+	w.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := dialRPC(w.tr, addr)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if old := w.peers[addr]; old != nil {
+		w.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	w.peers[addr] = c
+	w.mu.Unlock()
+	return c, nil
+}
+
+// dropPeer forgets a cached connection after a failed call, so the next
+// fetch against the same address redials instead of reusing a dead pipe.
+func (w *Worker) dropPeer(addr string, c *rpc.Client) {
+	w.mu.Lock()
+	if w.peers[addr] == c {
+		delete(w.peers, addr)
+	}
+	w.mu.Unlock()
+	c.Close()
+}
+
+// workerRPC is the worker's shuffle service.
+type workerRPC struct {
+	w *Worker
+}
+
+// Fetch serves one committed map task's sorted segment for one partition.
+func (r *workerRPC) Fetch(args *FetchArgs, reply *FetchReply) error {
+	w := r.w
+	w.mu.Lock()
+	parts := w.outs[outKey{args.QueryID, args.JobID, args.Task}]
+	w.mu.Unlock()
+	if parts == nil {
+		return fmt.Errorf("cluster: worker %d has no output for job %d task %d", w.id, args.JobID, args.Task)
+	}
+	if args.Partition < 0 || args.Partition >= len(parts) {
+		return fmt.Errorf("cluster: partition %d out of range (%d)", args.Partition, len(parts))
+	}
+	reply.KVs = parts[args.Partition]
+	return nil
+}

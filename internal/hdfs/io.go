@@ -188,6 +188,37 @@ func (r *FileReader) Next() ([]byte, error) {
 // Remaining reports how many records of the range are left to read.
 func (r *FileReader) Remaining() int { return r.end - r.i }
 
+// ReadRange returns n records of a file starting at record off (n < 0 means
+// "through the end"), charging exactly the delivered bytes to the read
+// counters. It is the bulk remote-read surface the distributed coordinator
+// serves map-task splits over: a worker's split scan becomes one call here
+// instead of a streaming FileReader, with identical read accounting. The
+// returned slices alias DFS-owned storage and must not be mutated.
+func (d *DFS) ReadRange(name string, off, n int) ([][]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > len(f.records) {
+		off = len(f.records)
+	}
+	end := len(f.records)
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	recs := f.records[off:end]
+	for _, rec := range recs {
+		d.metrics.BytesRead += int64(len(rec))
+	}
+	d.metrics.RecordsRead += int64(len(recs))
+	return recs, nil
+}
+
 // Concat assembles dst from the given source files in order, transferring
 // their records and already-placed blocks without charging any new write
 // bytes — modelling HDFS concat, which splices block lists in the NameNode.

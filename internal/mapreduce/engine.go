@@ -81,6 +81,12 @@ type EngineConfig struct {
 	// task's whole lifetime, so concurrent workflows over one DFS divide
 	// cluster capacity under the pool's policy. See SlotPool.
 	Slots SlotPool
+	// Cluster selects the execution substrate. Nil defaults to the
+	// in-process LocalCluster (goroutine pools over the engine's DFS,
+	// honoring MapParallelism/ReduceParallelism/Slots). A JobRunner cluster
+	// takes over whole jobs instead — see internal/cluster for the
+	// master/worker RPC implementation.
+	Cluster Cluster
 }
 
 // validate rejects configurations that would silently misbehave: an
@@ -139,14 +145,20 @@ func (c EngineConfig) withDefaults() EngineConfig {
 
 // Engine executes jobs and workflows against a simulated DFS.
 type Engine struct {
-	dfs *hdfs.DFS
-	cfg EngineConfig
-	ctx context.Context
+	dfs     *hdfs.DFS
+	cfg     EngineConfig
+	ctx     context.Context
+	cluster Cluster
 }
 
 // NewEngine returns an engine over the given DFS.
 func NewEngine(dfs *hdfs.DFS, cfg EngineConfig) *Engine {
-	return &Engine{dfs: dfs, cfg: cfg.withDefaults(), ctx: context.Background()}
+	cfg = cfg.withDefaults()
+	cl := cfg.Cluster
+	if cl == nil {
+		cl = NewLocalCluster(dfs, cfg.MapParallelism, cfg.ReduceParallelism, cfg.Slots)
+	}
+	return &Engine{dfs: dfs, cfg: cfg, ctx: context.Background(), cluster: cl}
 }
 
 // DFS returns the engine's file system.
@@ -376,22 +388,6 @@ func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int)
 	return float64(h.Sum64()%10000) < e.cfg.TaskFailureRate*10000
 }
 
-// taskNode assigns a task attempt to a simulated data node: round-robin
-// over (task + attempt) so a retried attempt lands on a different node
-// than the one that just failed it, skipping dead nodes. The engine has no
-// locality model, but spills are pinned to the attempt's node and traces
-// want a stable attribution.
-func (e *Engine) taskNode(task, attempt int) int {
-	n := e.dfs.Config().Nodes
-	start := (task + attempt) % n
-	for k := 0; k < n; k++ {
-		if cand := (start + k) % n; e.dfs.NodeAlive(cand) {
-			return cand
-		}
-	}
-	return start
-}
-
 // Run executes one job to completion. On failure the job's output files
 // (including any committed part files) are removed and the returned
 // metrics carry the error. With a Tracer configured the job becomes a root
@@ -442,6 +438,23 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 	}
 	if err := e.ctxErr(); err != nil {
 		return fail(err)
+	}
+
+	// A JobRunner cluster takes the validated job whole: split planning,
+	// task scheduling, shuffle movement, and part commits happen on the
+	// other side of the seam, which also owns output cleanup on failure.
+	if jr, ok := e.cluster.(JobRunner); ok {
+		rm, err := jr.RunJob(e.ctx, jsp, job, e.cfg)
+		rm.Job = job.Name
+		rm.MapOnly = job.MapOnly != nil
+		rm.Duration = time.Since(start)
+		if err != nil {
+			rm.Failed = true
+			rm.Err = err.Error()
+			return rm, fmt.Errorf("job %s: %w", job.Name, err)
+		}
+		jsp.SetIO(rm.ReduceOutputRecords, rm.ReduceOutputBytes)
+		return rm, nil
 	}
 
 	// Plan map splits from file metadata; the records themselves are
@@ -497,7 +510,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 		}
 	}()
 	mapDurs := make([]time.Duration, len(splits))
-	if err := e.parallel("map", e.cfg.MapParallelism, len(splits), func(i int) error {
+	if err := e.dispatch("map", len(splits), func(i int) error {
 		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
 			te, err := e.mapAttempt(job, jsp, splits[i], partitioner, nReducers, ac)
 			if err != nil {
@@ -591,7 +604,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 		return nil
 	}
 
-	if err := e.parallel("reduce", e.cfg.ReduceParallelism, nReducers, func(p int) error {
+	if err := e.dispatch("reduce", nReducers, func(p int) error {
 		return e.runTask(js, "reduce", p, reduceDurs, recoverMaps, func(ac *attemptCtx) error {
 			tsp := jsp.ChildTask("reduce", len(splits)+p, p, ac.node, ac.attempt)
 			defer tsp.Finish()
@@ -894,7 +907,7 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	*nParts = len(splits)
 	var outRecords, outBytes int64
 	mapDurs := make([]time.Duration, len(splits))
-	if err := e.parallel("map", e.cfg.MapParallelism, len(splits), func(i int) error {
+	if err := e.dispatch("map", len(splits), func(i int) error {
 		return e.runTask(js, "map", i, mapDurs, nil, func(ac *attemptCtx) error {
 			tsp := jsp.ChildTask("map", i, i, ac.node, ac.attempt)
 			defer tsp.Finish()
@@ -997,101 +1010,6 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 	jsp.SetIO(outRecords, outBytes)
 	m.Duration = time.Since(start)
 	return m, nil
-}
-
-// parallel runs the tasks fn(0..n-1) of the given kind ("map" or "reduce"),
-// returning the first error encountered (all started tasks run to
-// completion). Without a SlotPool the concurrency is a fixed per-run
-// worker pool of the given width; with one, every task instead leases a
-// slot from the shared pool, so cluster-wide concurrency is governed by the
-// pool rather than this run.
-func (e *Engine) parallel(kind string, width, n int, fn func(int) error) error {
-	if e.cfg.Slots != nil {
-		return e.parallelSlots(kind, n, fn)
-	}
-	if width > n {
-		width = n
-	}
-	if width <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg    sync.WaitGroup
-		next  int64 = -1
-		errMu sync.Mutex
-		first error
-	)
-	for w := 0; w < width; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
-}
-
-// parallelSlots runs every task under a lease from the shared slot pool:
-// each task blocks until the pool grants a slot of its kind, runs to
-// completion (retries and speculative backups included — runTask owns the
-// whole task), and releases the slot. A task that cannot obtain a slot
-// because the engine context died reports the cancellation as its error;
-// once one task has failed, still-queued tasks skip their work (mirroring
-// the fixed-pool path, which stops dispatching after the first error).
-func (e *Engine) parallelSlots(kind string, n int, fn func(int) error) error {
-	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
-	)
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return first != nil
-	}
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			release, err := e.cfg.Slots.Acquire(e.ctx, kind)
-			if err == nil {
-				if failed() {
-					release()
-					return
-				}
-				err = fn(i)
-				release()
-			}
-			if err != nil {
-				errMu.Lock()
-				if first == nil {
-					first = err
-				}
-				errMu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
-	return first
 }
 
 // Stage is a set of jobs with no mutual dependencies; the workflow runner

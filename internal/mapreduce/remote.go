@@ -1,0 +1,237 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the worker-side half of the Cluster seam: exported,
+// DFS-free task execution built from the same sorting, combining, merging,
+// and grouping internals the in-process engine uses, so a task executed on
+// a remote worker produces byte-identical output to the same task executed
+// locally. Workers always run the in-memory (no-spill) map path — the
+// merge comparator orders pairs by (key, value), so any correct merge of
+// the per-task sorted segments feeds reducers the exact same stream
+// regardless of where (or how often) the maps ran.
+
+// KV is one intermediate key/value pair in wire form: committed map output
+// crosses the transport as ordered []KV segments, one per reduce partition.
+type KV struct {
+	Key, Value []byte
+}
+
+// RecordIter feeds input records to a remote task one at a time; ok=false
+// ends the stream.
+type RecordIter func() (record []byte, ok bool, err error)
+
+// SliceRecords adapts an in-memory record slice (e.g. an RPC-fetched split)
+// to a RecordIter.
+func SliceRecords(recs [][]byte) RecordIter {
+	i := 0
+	return func() ([]byte, bool, error) {
+		if i >= len(recs) {
+			return nil, false, nil
+		}
+		r := recs[i]
+		i++
+		return r, true, nil
+	}
+}
+
+// MapTaskResult is one executed map task's committed output: per-partition
+// (key, value)-sorted, combiner-folded segments, plus the pre-combine
+// map-output counters (Hadoop's "Map output records").
+type MapTaskResult struct {
+	Parts   [][]KV
+	Records int64
+	Bytes   int64
+}
+
+// ExecMapTask runs the map side of one task exactly as the local engine's
+// in-memory path does: every record of the split goes through job.Mapper
+// under the given input name, output pairs are partitioned, and each
+// partition is sorted by (key, value) and folded through the job's
+// combiner. The input name must be the name the job's Mapper expects —
+// for a rebuilt plan, the worker-local input name in the split's position.
+func ExecMapTask(job *Job, input string, nReducers int, next RecordIter) (*MapTaskResult, error) {
+	partitioner := job.Partitioner
+	if partitioner == nil {
+		partitioner = HashPartitioner
+	}
+	// Budget 0 disables spilling, so the nil DFS is never touched.
+	te := newTaskEmitter(nil, partitioner, nReducers, job.Combiner, 0, 0, nil)
+	for {
+		rec, ok, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("map task (%s): %w", input, err)
+		}
+		if !ok {
+			break
+		}
+		if err := job.Mapper.Map(input, rec, te); err != nil {
+			return nil, fmt.Errorf("map task (%s): %w", input, err)
+		}
+	}
+	if err := te.seal(); err != nil {
+		return nil, fmt.Errorf("map task (%s): %w", input, err)
+	}
+	res := &MapTaskResult{Parts: make([][]KV, nReducers), Records: te.records, Bytes: te.bytes}
+	for p, part := range te.parts {
+		if len(part) == 0 {
+			continue
+		}
+		out := make([]KV, len(part))
+		for i, pair := range part {
+			out[i] = KV{Key: pair.key, Value: pair.value}
+		}
+		res.Parts[p] = out
+	}
+	return res, nil
+}
+
+// TaskOutput is one reduce (or map-only) task's collected output records,
+// ordered [job.Output, job.ExtraOutputs...] by output base. For reduce
+// tasks, InPairs/InBytes count the merged shuffle input the task consumed —
+// the per-partition load the skew metrics are computed from.
+type TaskOutput struct {
+	Outputs [][][]byte
+	Groups  int64
+	Records int64
+	Bytes   int64
+	InPairs int64
+	InBytes int64
+}
+
+// memCollector buffers a task's output records per output base, keyed by
+// the job's own (worker-local) output names. Records are copied — mappers
+// and reducers may reuse their buffers, exactly as the DFS writers copy on
+// Append in the local path.
+type memCollector struct {
+	out     *TaskOutput
+	slots   map[string]int
+	records int64
+	bytes   int64
+}
+
+func newMemCollector(job *Job) *memCollector {
+	c := &memCollector{
+		out:   &TaskOutput{Outputs: make([][][]byte, 1+len(job.ExtraOutputs))},
+		slots: make(map[string]int, len(job.ExtraOutputs)),
+	}
+	for i, eo := range job.ExtraOutputs {
+		c.slots[eo] = i + 1
+	}
+	return c
+}
+
+func (c *memCollector) add(slot int, record []byte) {
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	c.out.Outputs[slot] = append(c.out.Outputs[slot], cp)
+	c.records++
+	c.bytes += int64(len(cp))
+}
+
+func (c *memCollector) Collect(record []byte) error {
+	c.add(0, record)
+	return nil
+}
+
+func (c *memCollector) CollectTo(output string, record []byte) error {
+	slot, ok := c.slots[output]
+	if !ok {
+		return fmt.Errorf("mapreduce: CollectTo(%q): not a declared extra output", output)
+	}
+	c.add(slot, record)
+	return nil
+}
+
+// ExecReduceTask runs the reduce side of one partition over the fetched map
+// outputs: parts[t] is map task t's sorted segment for this partition (nil
+// or empty when the map emitted nothing here). The merge, grouping, and
+// reducer feed replicate the local engine's reduce loop, so the collected
+// records match a local run byte for byte and in order.
+func ExecReduceTask(job *Job, parts [][]KV) (*TaskOutput, error) {
+	var sources []kvSource
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		kvs := make([]kv, len(part))
+		for i, p := range part {
+			kvs[i] = kv{key: p.Key, value: p.Value}
+		}
+		sources = append(sources, &memSource{kvs: kvs})
+	}
+	reducer := job.StreamReducer
+	if reducer == nil {
+		reducer = adaptedReducer{job.Reducer}
+	}
+	mi, err := newMergeIter(sources)
+	if err != nil {
+		return nil, err
+	}
+	col := newMemCollector(job)
+	g, err := newGroupIter(mi)
+	if err != nil {
+		return nil, err
+	}
+	for g.ok {
+		vals := &groupValues{g: g, key: g.cur.key, head: true}
+		col.out.Groups++
+		if err := reducer.Reduce(g.cur.key, vals, col); err != nil {
+			return nil, err
+		}
+		if err := vals.drain(); err != nil {
+			return nil, err
+		}
+	}
+	col.out.Records = col.records
+	col.out.Bytes = col.bytes
+	col.out.InPairs = g.pairs
+	col.out.InBytes = g.bytes
+	return col.out, nil
+}
+
+// ExecMapOnlyTask runs one map-only task: every record goes through
+// job.MapOnly under the given (worker-local) input name, collecting
+// straight into the task's output slots — the shuffle-free path.
+func ExecMapOnlyTask(job *Job, input string, next RecordIter) (*TaskOutput, error) {
+	col := newMemCollector(job)
+	for {
+		rec, ok, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("map task (%s): %w", input, err)
+		}
+		if !ok {
+			break
+		}
+		if err := job.MapOnly.MapRecord(input, rec, col); err != nil {
+			return nil, fmt.Errorf("map task (%s): %w", input, err)
+		}
+	}
+	col.out.Records = col.records
+	col.out.Bytes = col.bytes
+	return col.out, nil
+}
+
+// OutputBases lists the job's output files in part order — the main output
+// followed by the declared extra outputs — matching the Outputs slots of
+// TaskOutput and the part files commitParts splices.
+func (j *Job) OutputBases() []string {
+	return append([]string{j.Output}, j.ExtraOutputs...)
+}
+
+// SummarizeTaskDurations condenses per-task wall-clock durations into a
+// TaskSummary — exported so JobRunner implementations report the same
+// phase-timing shape the local engine does.
+func SummarizeTaskDurations(durs []time.Duration) TaskSummary {
+	return summarizeTasks(durs)
+}
+
+// SkewOf reports max/mean over a per-partition load vector (0 when the
+// total is 0) — exported so JobRunner implementations fill the same
+// ReduceKeySkew/ReduceByteSkew metrics the local engine does.
+func SkewOf(per []int64) float64 {
+	return skewOf(per)
+}

@@ -1,6 +1,8 @@
 package rdf
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -26,6 +28,19 @@ func (g *Graph) Add(s, p, o Term) Triple {
 
 // AddID appends an already-encoded triple.
 func (g *Graph) AddID(t Triple) { g.Triples = append(g.Triples, t) }
+
+// Version content-hashes the graph's triples. IDs are stable for one
+// dictionary, which lives exactly as long as the loaded dataset, so two
+// processes that built their graphs the same way (or shipped the dictionary
+// over the wire in ID order) agree on the version — the handshake the
+// distributed cluster uses to refuse mixed datasets.
+func (g *Graph) Version() string {
+	h := fnv.New64a()
+	for _, t := range g.Triples {
+		fmt.Fprintf(h, "%d,%d,%d;", t.S, t.P, t.O)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // Len reports the number of triples.
 func (g *Graph) Len() int { return len(g.Triples) }

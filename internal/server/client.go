@@ -120,7 +120,9 @@ func (c *Client) do(req *http.Request, out any) error {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+			// Rebuild the typed error the status stands for, so errors.Is
+			// round-trips through the wire (ErrOverloaded, ErrBadQuery, …).
+			return errorForStatus(resp.StatusCode, e.Error)
 		}
 		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"ntga/internal/cluster"
+	"ntga/internal/enginetest"
+	"ntga/internal/rdf"
+)
+
+// startServerCluster stands up an in-test master + two loopback workers
+// over the same graph a test server compiles from.
+func startServerCluster(t *testing.T, g *rdf.Graph) (*cluster.Master, []*cluster.Worker, *cluster.Client) {
+	t.Helper()
+	m, err := cluster.NewMaster(cluster.MasterConfig{
+		Reducers:         4,
+		HeartbeatTimeout: 400 * time.Millisecond,
+		SweepEvery:       25 * time.Millisecond,
+		HeartbeatEvery:   50 * time.Millisecond,
+		LeaseEvery:       2 * time.Millisecond,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	var workers []*cluster.Worker
+	for i := 0; i < 2; i++ {
+		w := cluster.NewWorker(cluster.WorkerConfig{MapSlots: 2, ReduceSlots: 2}, nil, m.Addr())
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		workers = append(workers, w)
+	}
+	c, err := cluster.Dial(nil, m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return m, workers, c
+}
+
+func TestDistributedServeParity(t *testing.T) {
+	g := enginetest.BioGraph()
+	_, workers, cc := startServerCluster(t, g)
+
+	local := newTestServer(t, Config{Reducers: 4})
+	dist := newTestServer(t, Config{Reducers: 4, Cluster: cc})
+
+	ctx := context.Background()
+	req := Request{Query: twoStarQuery, Engine: "ntga-lazy", Metrics: true}
+	lresp, err := local.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := dist.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatalf("distributed evaluate: %v", err)
+	}
+	if dresp.Cache != "miss" {
+		t.Errorf("first distributed evaluate cache = %q, want miss", dresp.Cache)
+	}
+	if !reflect.DeepEqual(lresp.Header, dresp.Header) || !reflect.DeepEqual(lresp.Rows, dresp.Rows) {
+		t.Errorf("distributed rows diverge from local:\nlocal  %v %v\ndist   %v %v",
+			lresp.Header, lresp.Rows, dresp.Header, dresp.Rows)
+	}
+	if lresp.TotalRows != dresp.TotalRows || lresp.Cycles != dresp.Cycles {
+		t.Errorf("totals: local rows=%d cycles=%d, dist rows=%d cycles=%d",
+			lresp.TotalRows, lresp.Cycles, dresp.TotalRows, dresp.Cycles)
+	}
+	if len(dresp.Jobs) != dresp.Cycles {
+		t.Errorf("distributed metrics jobs = %d, want one per cycle (%d)", len(dresp.Jobs), dresp.Cycles)
+	}
+
+	// The reply populated the result cache: the second hit must not touch
+	// the cluster at all.
+	before := dist.Snapshot().Cluster.TasksDispatched
+	again, err := dist.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache != "hit" {
+		t.Errorf("second distributed evaluate cache = %q, want hit", again.Cache)
+	}
+	if after := dist.Snapshot().Cluster.TasksDispatched; after != before {
+		t.Errorf("result-cache hit dispatched tasks (%d -> %d)", before, after)
+	}
+
+	// Timeline rendering needs the in-process tracer; distributed mode must
+	// refuse it as a bad request, not silently drop it.
+	if _, err := dist.Evaluate(ctx, Request{Query: twoStarQuery, Timeline: true, NoCache: true}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("timeline in distributed mode: err = %v, want ErrBadQuery", err)
+	}
+
+	// Metrics must expose the worker fleet.
+	cm := dist.Snapshot().Cluster
+	if cm.Mode != "distributed" || cm.WorkersRegistered != 2 || cm.WorkersAlive != 2 || len(cm.Workers) != 2 {
+		t.Errorf("cluster metrics = %+v", cm)
+	}
+	if lm := local.Snapshot().Cluster; lm.Mode != "local" || lm.NodesTotal == 0 {
+		t.Errorf("local cluster metrics = %+v", lm)
+	}
+
+	// Healthz: ok with a full fleet, degraded once a worker dies.
+	ts := httptest.NewServer(dist.Handler())
+	defer ts.Close()
+	hc := NewClient(ts.URL)
+	h, err := hc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Mode != "distributed" || h.WorkersAlive != 2 || h.WorkersRegistered != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+	workers[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, _ = hc.Health(ctx)
+		if h != nil && h.Status == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never degraded after worker kill: %+v", h)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if h.WorkersAlive != 1 || h.WorkersRegistered != 2 {
+		t.Errorf("degraded health = %+v", h)
+	}
+	// The surviving worker must still answer queries.
+	fresh, err := dist.Evaluate(ctx, Request{Query: twoStarQuery, Engine: "ntga-lazy", NoCache: true})
+	if err != nil {
+		t.Fatalf("evaluate after worker loss: %v", err)
+	}
+	if !reflect.DeepEqual(lresp.Rows, fresh.Rows) {
+		t.Error("post-loss rows diverge from local")
+	}
+}
+
+// A master serving a different dataset must be refused at startup — row IDs
+// would otherwise silently mean different terms.
+func TestDistributedServeHandshakeMismatch(t *testing.T) {
+	other := rdf.NewGraph()
+	other.Add(enginetest.Ex("a"), enginetest.Ex("p"), enginetest.Ex("b"))
+	_, _, cc := startServerCluster(t, other)
+	if _, err := New(Config{Cluster: cc}, enginetest.BioGraph()); err == nil {
+		t.Fatal("New accepted a master serving a different dataset")
+	}
+}
+
+// The health body must say what mode the service runs in even in local
+// mode (no cluster fields).
+func TestLocalHealthzMode(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Mode != "local" || h.WorkersRegistered != 0 {
+		t.Errorf("local health = %+v", h)
+	}
+}

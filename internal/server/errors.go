@@ -1,0 +1,48 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// StatusClientClosedRequest is the nginx convention for "the client went
+// away before the response": context.Canceled maps here.
+const StatusClientClosedRequest = 499
+
+// errorStatuses is the single typed-error ↔ HTTP status table both sides of
+// the wire share: the handler walks it to pick a status code, and the
+// client walks it backwards to rebuild a typed error, so errors.Is works
+// identically against a local Server and a remote one. Order matters only
+// for errors that wrap each other; first match wins.
+var errorStatuses = []struct {
+	err  error
+	code int
+}{
+	{ErrOverloaded, http.StatusTooManyRequests},
+	{ErrBadQuery, http.StatusBadRequest},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout},
+	{context.Canceled, StatusClientClosedRequest},
+}
+
+// statusForError maps an Evaluate/Submit error to its HTTP status.
+func statusForError(err error) int {
+	for _, e := range errorStatuses {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// errorForStatus rebuilds the typed error a status code stands for, keeping
+// the server's message. Unmapped codes yield a plain error.
+func errorForStatus(code int, msg string) error {
+	for _, e := range errorStatuses {
+		if e.code == code {
+			return fmt.Errorf("%w: %s (HTTP %d)", e.err, msg, code)
+		}
+	}
+	return fmt.Errorf("server: %s (HTTP %d)", msg, code)
+}

@@ -1,9 +1,7 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 )
@@ -63,21 +61,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
-// Health is the GET /healthz body.
+// Health is the GET /healthz body. Status is "ok", or "degraded" when the
+// service answers but its distributed substrate is impaired (no workers
+// registered, some workers dead, or the master unreachable).
 type Health struct {
 	Status         string `json:"status"`
+	Mode           string `json:"mode"`
 	Triples        int64  `json:"triples"`
 	DatasetVersion string `json:"dataset_version"`
 	UptimeMS       int64  `json:"uptime_ms"`
+	// Worker liveness (distributed mode only).
+	WorkersAlive      int `json:"workers_alive,omitempty"`
+	WorkersRegistered int `json:"workers_registered,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, Health{
-		Status:         "ok",
-		Triples:        s.triples,
-		DatasetVersion: s.datasetVersion,
-		UptimeMS:       s.Snapshot().UptimeMS,
-	})
+	cm := s.clusterMetrics()
+	h := Health{
+		Status:            "ok",
+		Mode:              cm.Mode,
+		Triples:           s.triples,
+		DatasetVersion:    s.datasetVersion,
+		UptimeMS:          s.Snapshot().UptimeMS,
+		WorkersAlive:      cm.WorkersAlive,
+		WorkersRegistered: cm.WorkersRegistered,
+	}
+	if cm.Mode == "distributed" && (cm.Error != "" || cm.WorkersAlive == 0 || cm.WorkersAlive < cm.WorkersRegistered) {
+		h.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -89,16 +101,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrBadQuery):
-		code = http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		code = 499 // client closed request (nginx convention)
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, statusForError(err), map[string]string{"error": err.Error()})
 }

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ntga/internal/cluster"
 	"ntga/internal/engine"
 	"ntga/internal/hdfs"
 	"ntga/internal/mapreduce"
@@ -76,6 +76,13 @@ type Config struct {
 	// concurrency acceptance tests use it to prove from task spans that
 	// in-flight tasks never exceed the slot pool.
 	Tracer *trace.Tracer
+	// Cluster switches execution to distributed mode: queries are shipped
+	// to this ntga-master (which owns the authoritative DFS and the worker
+	// fleet) instead of running on the in-process engine. The server still
+	// compiles, plans, caches, and renders locally — New verifies at
+	// startup that the master serves the same dataset (content-hash
+	// handshake), so row IDs and caches stay valid.
+	Cluster *cluster.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +175,21 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 		return nil, fmt.Errorf("server: loading graph: %w", err)
 	}
 	cat := plan.FromGraph(g)
+	if cfg.Cluster != nil {
+		// Distributed mode: the master must be serving the exact dataset
+		// this server compiled its dictionary from, or every shipped plan
+		// and returned row would silently mean different terms.
+		hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		st, err := cfg.Cluster.Status(hctx)
+		hcancel()
+		if err != nil {
+			return nil, fmt.Errorf("server: cluster handshake with %s: %w", cfg.Cluster.Addr(), err)
+		}
+		if st.DatasetVersion != datasetVersion(g) {
+			return nil, fmt.Errorf("server: cluster master %s serves dataset %s but -data hashes to %s; point both at the same file",
+				cfg.Cluster.Addr(), st.DatasetVersion, datasetVersion(g))
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:            cfg,
@@ -194,14 +216,10 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 func (s *Server) Close() { s.stop() }
 
 // datasetVersion content-hashes the loaded triples (IDs are stable for one
-// dictionary, which lives exactly as long as the loaded dataset).
-func datasetVersion(g *rdf.Graph) string {
-	h := fnv.New64a()
-	for _, t := range g.Triples {
-		fmt.Fprintf(h, "%d,%d,%d;", t.S, t.P, t.O)
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// dictionary, which lives exactly as long as the loaded dataset). It is the
+// same hash a cluster master advertises, so ntga-serve -cluster can verify
+// the handshake.
+func datasetVersion(g *rdf.Graph) string { return g.Version() }
 
 // catalogVersion content-hashes the statistics catalog's JSON rendering.
 func catalogVersion(cat *plan.Catalog) string {
@@ -397,6 +415,16 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 	}
 	defer func() { <-s.sem }()
 
+	if s.cfg.Cluster != nil {
+		resp2, err := s.evaluateCluster(ctx, req, q, entry, resp, resultKey, start)
+		if err != nil {
+			s.mFailed.Add(1)
+			return resp2, err
+		}
+		s.mSucceeded.Add(1)
+		return resp2, nil
+	}
+
 	eng, err := engineByName(entry.EngineName, entry.PhiM)
 	if err != nil {
 		s.mFailed.Add(1)
@@ -464,6 +492,72 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 	s.renderRows(resp, q, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
 	s.mSucceeded.Add(1)
+	return resp, nil
+}
+
+// evaluateCluster ships the planned query to the distributed master and
+// folds the reply into the response/result-cache machinery exactly where a
+// local engine run would. The server's planning decisions travel with the
+// query (resolved engine, φ_m, optimizer join order), so the master
+// executes the same physical plan the local path would have.
+func (s *Server) evaluateCluster(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, resultKey string, start time.Time) (*Response, error) {
+	if req.Timeline {
+		return nil, fmt.Errorf("%w: timeline rendering is not available in distributed (-cluster) mode", ErrBadQuery)
+	}
+	args := &cluster.RunArgs{
+		Query:        req.Query,
+		Engine:       entry.EngineName,
+		PhiM:         entry.PhiM,
+		Order:        entry.Order,
+		HasOrder:     entry.Changed,
+		Reducers:     s.cfg.Reducers,
+		SplitRecords: s.cfg.SplitRecords,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Hand the master the remaining budget so it stops the actual work,
+		// not just our wait.
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			args.TimeoutMS = ms
+		}
+	}
+	reply, err := s.cfg.Cluster.Run(ctx, args)
+	if err != nil {
+		return resp, err
+	}
+	resp.Cycles = len(reply.Workflow.Jobs)
+	resp.ShuffleBytes = reply.Workflow.TotalMapOutputBytes()
+	resp.TaskRetries = reply.Workflow.TotalTaskRetries()
+	resp.TempBytesReclaimed = reply.Workflow.TotalTempBytesReclaimed()
+	s.mCycles.Add(int64(resp.Cycles))
+	s.mReclaimed.Add(resp.TempBytesReclaimed)
+	if req.Metrics {
+		for _, j := range reply.Workflow.Jobs {
+			resp.Jobs = append(resp.Jobs, JobSummary{
+				Job:                j.Job,
+				DurationMS:         j.Duration.Milliseconds(),
+				MapInputBytes:      j.MapInputBytes,
+				ShuffleBytes:       j.MapOutputBytes,
+				ReduceOutputBytes:  j.ReduceOutputBytes,
+				SpilledBytes:       j.SpilledBytes,
+				TaskRetries:        j.TaskRetries,
+				TempBytesReclaimed: j.TempBytesReclaimed,
+			})
+		}
+	}
+	// The handshake pinned both processes to one dataset, so the master's
+	// row IDs are this dictionary's IDs: cache and render as if local.
+	cached := resultEntry{
+		engine:     reply.Engine,
+		rows:       reply.Rows,
+		isCount:    reply.IsCount,
+		count:      reply.Count,
+		outRecords: reply.OutputRecords,
+		outBytes:   reply.OutputBytes,
+	}
+	s.results.put(resultKey, cached)
+	resp.Engine = reply.Engine
+	s.renderRows(resp, q, cached, req.Limit)
+	resp.DurationMS = time.Since(start).Milliseconds()
 	return resp, nil
 }
 
@@ -600,6 +694,30 @@ type Metrics struct {
 	Triples        int64                `json:"triples"`
 	DatasetVersion string               `json:"dataset_version"`
 	CatalogVersion string               `json:"catalog_version"`
+	// Cluster is the execution substrate's health: simulated-DFS node
+	// liveness in local mode, per-worker liveness and slot occupancy in
+	// distributed mode.
+	Cluster ClusterMetrics `json:"cluster"`
+}
+
+// ClusterMetrics is the /metrics view of where queries actually execute.
+type ClusterMetrics struct {
+	// Mode is "local" (in-process engine over the simulated DFS) or
+	// "distributed" (shipped to an ntga-master's worker fleet).
+	Mode string `json:"mode"`
+	// Local mode: simulated DFS data nodes.
+	NodesAlive int `json:"nodes_alive,omitempty"`
+	NodesTotal int `json:"nodes_total,omitempty"`
+	// Distributed mode: the master and its registered workers.
+	MasterAddr        string                 `json:"master_addr,omitempty"`
+	WorkersAlive      int                    `json:"workers_alive,omitempty"`
+	WorkersRegistered int                    `json:"workers_registered,omitempty"`
+	WorkersLost       int64                  `json:"workers_lost,omitempty"`
+	ActiveQueries     int                    `json:"active_queries,omitempty"`
+	TasksDispatched   int64                  `json:"tasks_dispatched,omitempty"`
+	Workers           []cluster.WorkerStatus `json:"workers,omitempty"`
+	// Error reports a failed status scrape (master unreachable).
+	Error string `json:"error,omitempty"`
 }
 
 // Snapshot assembles the current service metrics.
@@ -622,7 +740,39 @@ func (s *Server) Snapshot() Metrics {
 	m.PlanCache.Hits, m.PlanCache.Misses, m.PlanCache.Size = s.plans.stats()
 	m.ResultCache.Hits, m.ResultCache.Misses, m.ResultCache.Size = s.results.stats()
 	m.Slots, m.SlotGrants = s.pool.Stats()
+	m.Cluster = s.clusterMetrics()
 	return m
+}
+
+// clusterMetrics scrapes the execution substrate: DFS node liveness in
+// local mode, the master's worker table in distributed mode.
+func (s *Server) clusterMetrics() ClusterMetrics {
+	if s.cfg.Cluster == nil {
+		return ClusterMetrics{
+			Mode:       "local",
+			NodesAlive: s.dfs.AliveNodes(),
+			NodesTotal: s.dfs.Config().Nodes,
+		}
+	}
+	cm := ClusterMetrics{Mode: "distributed", MasterAddr: s.cfg.Cluster.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := s.cfg.Cluster.Status(ctx)
+	if err != nil {
+		cm.Error = err.Error()
+		return cm
+	}
+	cm.WorkersRegistered = len(st.Workers)
+	for _, w := range st.Workers {
+		if w.Alive {
+			cm.WorkersAlive++
+		}
+	}
+	cm.WorkersLost = st.WorkersLost
+	cm.ActiveQueries = st.ActiveQueries
+	cm.TasksDispatched = st.TasksDispatched
+	cm.Workers = st.Workers
+	return cm
 }
 
 // --- async jobs ---
