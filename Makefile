@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke bench-trace
 
 all: build check test
 
@@ -14,7 +14,7 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go vet ./...
-	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/
+	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/ ./internal/workload/
 	go test -race -short ./internal/cluster/
 	go test ./internal/plan/ ./internal/explain/
 
@@ -58,6 +58,19 @@ serve-smoke:
 # local ntga-run over the same data.
 dist-smoke:
 	sh scripts/dist_smoke.sh
+
+# End-to-end load-harness smoke test: replay a short seeded Zipf trace
+# in-process and over HTTP (against a daemon running adaptive admission),
+# asserting non-zero throughput and zero byte-level diffs vs the serial
+# reference (scripts/loadgen_smoke.sh).
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
+# Regenerate BENCH_serve_trace.json (the persisted serve-latency
+# trajectory) at the current commit; fails if any sweep cell's p95
+# regressed more than 20% against the previously checked-in document.
+bench-trace:
+	sh scripts/bench_trace.sh
 
 # Regenerate the EXPLAIN golden files (internal/explain/testdata) after
 # intentional planner or cost-model changes. CI fails if they are stale.

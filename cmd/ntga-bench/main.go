@@ -85,13 +85,46 @@ func toJSON(rep *bench.Report) figureJSON {
 	return fj
 }
 
+// handleTraceDoc persists and/or baseline-gates the serve-latency
+// trajectory: -trace-baseline fails on a >20% p95 regression in any sweep
+// cell, -trace-out writes the fresh document (after the gate, so a failed
+// run still leaves the new numbers on disk for inspection).
+func handleTraceDoc(doc *bench.TraceDoc, outPath, baselinePath string) error {
+	var gateErr error
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		var baseline bench.TraceDoc
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+		gateErr = bench.CompareTraceBaseline(&baseline, doc, 0.20)
+	}
+	if outPath != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ntga-bench: wrote trace trajectory to %s\n", outPath)
+	}
+	return gateErr
+}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment id (see -list) or 'all'")
-		scale  = flag.Int("scale", 1, "dataset size multiplier")
-		seed   = flag.Int64("seed", 42, "dataset seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		asJSON = flag.Bool("json", false, "emit per-figure JSON with estimated vs actual cycles and shuffle bytes")
+		fig           = flag.String("fig", "all", "experiment id (see -list) or 'all'")
+		scale         = flag.Int("scale", 1, "dataset size multiplier")
+		seed          = flag.Int64("seed", 42, "dataset seed")
+		list          = flag.Bool("list", false, "list experiment ids and exit")
+		asJSON        = flag.Bool("json", false, "emit per-figure JSON with estimated vs actual cycles and shuffle bytes")
+		traceOut      = flag.String("trace-out", "", "with -fig trace: write the serve-latency trajectory document to this file")
+		traceBaseline = flag.String("trace-baseline", "", "with -fig trace: compare the fresh trajectory against this baseline document and fail on a >20% p95 regression")
+		commit        = flag.String("commit", "", "commit id stamped into -trace-out (e.g. $(git rev-parse --short HEAD))")
 	)
 	flag.Parse()
 
@@ -111,7 +144,22 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	for _, id := range ids {
-		rep, err := bench.RunFigure(id, opt)
+		var rep *bench.Report
+		var err error
+		if id == "trace" && (*traceOut != "" || *traceBaseline != "") {
+			// The trajectory variant: run once, persist/compare the document.
+			var doc *bench.TraceDoc
+			rep, doc, err = bench.TraceResult(opt)
+			if err == nil {
+				doc.Commit = *commit
+				if derr := handleTraceDoc(doc, *traceOut, *traceBaseline); derr != nil {
+					fmt.Fprintf(os.Stderr, "ntga-bench: trace: %v\n", derr)
+					failed = true
+				}
+			}
+		} else {
+			rep, err = bench.RunFigure(id, opt)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntga-bench: %s: %v\n", id, err)
 			failed = true

@@ -42,6 +42,7 @@ func main() {
 		sortBuf   = flag.Int64("sortbuf", 0, "map sort-buffer budget in bytes (0 = unbounded)")
 		splitRecs = flag.Int("split-records", 0, "records per map split (0 = default 8192)")
 		clusterAd = flag.String("cluster", "", "distributed mode: execute queries on the ntga-master at this RPC address (must serve the same -data file)")
+		adaptive  = flag.Duration("adaptive-target", 0, "enable p95-adaptive admission steering the queue-wait p95 to this target (0 = fixed max-inflight+max-queue window)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,9 @@ func main() {
 		Reducers:           *reducers,
 		SortBufferBytes:    *sortBuf,
 		SplitRecords:       *splitRecs,
+	}
+	if *adaptive > 0 {
+		cfg.Admission = &server.AdmissionConfig{TargetQueueWait: *adaptive}
 	}
 	if *clusterAd != "" {
 		cc, err := cluster.Dial(nil, *clusterAd)

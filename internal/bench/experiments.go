@@ -79,6 +79,7 @@ var figureRunners = map[string]func(Options) (*Report, error){
 	"abl-share":  AblationScanSharing,
 	"abl-sort":   AblationSortBuffer,
 	"serve":      ServeFigure,
+	"trace":      TraceFigure,
 }
 
 // RunFigure runs one experiment by id.

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ntga/internal/server"
+	"ntga/internal/stats"
+	"ntga/internal/workload"
+)
+
+// TraceRow is one cell of the serve-latency trajectory: a closed-loop
+// replay of a seeded Zipf multi-tenant trace at one client count and cache
+// mix. These rows are what BENCH_serve_trace.json persists across commits.
+type TraceRow struct {
+	Clients  int     `json:"clients"`
+	Mix      string  `json:"mix"` // "cached" (warm result cache) or "uncached" (every request executes MR)
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P999MS   float64 `json:"p999_ms"`
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// OverloadRow is one admission policy's rollup from the open-loop overload
+// segment: the same over-capacity Poisson trace replayed against a fixed
+// window and the p95-adaptive controller.
+type OverloadRow struct {
+	Policy     string  `json:"policy"` // "fixed" or "adaptive"
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Deadline   int     `json:"deadline"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	P95MS      float64 `json:"p95_ms"`
+	P999MS     float64 `json:"p999_ms"`
+}
+
+// TraceDoc is the persisted serve-latency trajectory (BENCH_serve_trace.json):
+// enough identity (commit, dataset, engine) to compare across history, plus
+// the sweep rows and the overload segment.
+type TraceDoc struct {
+	Commit   string        `json:"commit"`
+	Dataset  string        `json:"dataset"`
+	Engine   string        `json:"engine"`
+	Scale    int           `json:"scale"`
+	Seed     int64         `json:"seed"`
+	Rows     []TraceRow    `json:"rows"`
+	Overload []OverloadRow `json:"overload,omitempty"`
+}
+
+// CompareTraceBaseline fails if any sweep cell's p95 regressed more than
+// tolerance (e.g. 0.20 = +20%) against the matching baseline cell. Cells
+// are matched by (clients, mix); cells missing from either side are
+// ignored, so adding sweep points never breaks the gate.
+func CompareTraceBaseline(baseline, current *TraceDoc, tolerance float64) error {
+	base := make(map[string]TraceRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[fmt.Sprintf("%d/%s", r.Clients, r.Mix)] = r
+	}
+	for _, r := range current.Rows {
+		b, ok := base[fmt.Sprintf("%d/%s", r.Clients, r.Mix)]
+		if !ok || b.P95MS <= 0 {
+			continue
+		}
+		if r.P95MS > b.P95MS*(1+tolerance) {
+			return fmt.Errorf("trace p95 regression at %d clients/%s: %.3fms vs baseline %.3fms (>%.0f%% worse; baseline commit %s)",
+				r.Clients, r.Mix, r.P95MS, b.P95MS, tolerance*100, baseline.Commit)
+		}
+	}
+	return nil
+}
+
+// traceParams sizes the experiment; tests shrink it, TraceResult uses the
+// defaults.
+type traceParams struct {
+	clients           []int
+	cachedPerClient   int // cached-mix requests per client (floor cachedMin)
+	cachedMin         int
+	uncachedPerClient int
+	uncachedMin       int
+	overloadRequests  int
+	overloadRateQPS   float64
+	overloadDeadline  int64 // ms
+}
+
+func defaultTraceParams() traceParams {
+	return traceParams{
+		clients:           []int{1, 16, 256},
+		cachedPerClient:   16,
+		cachedMin:         512,
+		uncachedPerClient: 4,
+		uncachedMin:       128,
+		overloadRequests:  500,
+		overloadRateQPS:   2000,
+		overloadDeadline:  250,
+	}
+}
+
+// traceTenants is the client mix every trace cell replays: three weighted
+// scheduling classes, so the sweep exercises the slot pool's fair-share
+// path, not just a single queue.
+var traceTenants = []workload.TenantSpec{
+	{Name: "gold", Weight: 3, Share: 0.5},
+	{Name: "silver", Weight: 2, Share: 0.3},
+	{Name: "bronze", Weight: 1, Share: 0.2},
+}
+
+// traceQueries adapts the serving workload's catalog slice to the
+// generator's query list (slice order = Zipf popularity rank).
+func traceQueries(qs []CatalogQuery) []workload.Query {
+	out := make([]workload.Query, len(qs))
+	for i, cq := range qs {
+		out[i] = workload.Query{ID: cq.ID, Src: cq.Src}
+	}
+	return out
+}
+
+func mf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// traceRun is the experiment body behind TraceFigure/TraceResult.
+func traceRun(opt Options, p traceParams) (*Report, *TraceDoc, error) {
+	opt = opt.withDefaults()
+	g, err := Dataset("bsbm", opt.Scale, opt.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs, err := Series(serveWorkload...)
+	if err != nil {
+		return nil, nil, err
+	}
+	wqs := traceQueries(qs)
+	ctx := context.Background()
+
+	doc := &TraceDoc{Dataset: "bsbm", Engine: "ntga-lazy", Scale: opt.Scale, Seed: opt.Seed}
+	sweep := &stats.Table{
+		Title:  "Trace replay sweep — closed loop, Zipf(1.1) over " + fmt.Sprint(serveWorkload) + ", tenants gold/silver/bronze",
+		Header: []string{"clients", "mix", "requests", "qps", "p50", "p95", "p99.9", "shed"},
+	}
+
+	// Closed-loop capacity sweep: one resident server per mix (the cached
+	// mix must not inherit the uncached mix's cold LRU churn, and vice
+	// versa), clients × {cached, uncached}.
+	for _, mix := range []string{"cached", "uncached"} {
+		s, err := server.New(server.Config{MaxInflight: 16, MaxQueue: 4096}, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mix == "cached" {
+			// Pre-warm every workload query so the sweep measures pure hits.
+			for _, q := range wqs {
+				if _, err := s.Evaluate(ctx, server.Request{Query: q.Src}); err != nil {
+					s.Close()
+					return nil, nil, fmt.Errorf("trace warmup %s: %w", q.ID, err)
+				}
+			}
+		}
+		for _, clients := range p.clients {
+			requests := clients * p.cachedPerClient
+			cold := 0.0
+			if mix == "uncached" {
+				requests = clients * p.uncachedPerClient
+				cold = 1.0
+			}
+			if min := p.cachedMin; mix == "cached" && requests < min {
+				requests = min
+			}
+			if min := p.uncachedMin; mix == "uncached" && requests < min {
+				requests = min
+			}
+			tr, err := workload.Generate(workload.Config{
+				Seed:         opt.Seed + int64(clients),
+				Requests:     requests,
+				ZipfS:        1.1,
+				Tenants:      traceTenants,
+				ColdFraction: cold,
+			}, wqs)
+			if err != nil {
+				s.Close()
+				return nil, nil, err
+			}
+			res, err := workload.Replay(ctx, tr, workload.ServerTarget{S: s}, workload.Options{Closed: true, Clients: clients})
+			if err != nil {
+				s.Close()
+				return nil, nil, err
+			}
+			if n := len(res.Errs); n > 0 {
+				s.Close()
+				return nil, nil, fmt.Errorf("trace sweep %d clients/%s: %d hard errors, first: %s", clients, mix, n, res.Errs[0])
+			}
+			q := res.Hist.Summary()
+			row := TraceRow{
+				Clients: clients, Mix: mix, Requests: res.Requests,
+				QPS: res.QPS(), P50MS: mf(q.P50), P95MS: mf(q.P95), P999MS: mf(q.P999),
+				ShedRate: res.ShedRate(),
+			}
+			doc.Rows = append(doc.Rows, row)
+			sweep.AddRow(clients, mix, res.Requests, fmt.Sprintf("%.0f", row.QPS),
+				ms(q.P50), ms(q.P95), ms(q.P999), fmt.Sprintf("%.1f%%", row.ShedRate*100))
+		}
+		s.Close()
+	}
+
+	// Open-loop overload segment: the same over-capacity Poisson trace
+	// against a deliberately narrow service (2 executors), once with the
+	// fixed MaxInflight+MaxQueue window and once with the p95-adaptive
+	// controller. The fixed window queues admitted requests deep enough to
+	// blow their deadlines; the controller sheds at admission instead, so
+	// the requests it does answer keep a short tail.
+	overTrace, err := workload.Generate(workload.Config{
+		Seed:         opt.Seed,
+		Requests:     p.overloadRequests,
+		RateQPS:      p.overloadRateQPS,
+		ZipfS:        1.1,
+		Tenants:      traceTenants,
+		ColdFraction: 1, // every request executes: overload must be real work
+		DeadlineMS:   p.overloadDeadline,
+	}, wqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	over := &stats.Table{
+		Title: fmt.Sprintf("Open-loop overload — %d req at %.0f qps, deadline %dms, 2 executors: fixed vs p95-adaptive admission",
+			p.overloadRequests, p.overloadRateQPS, p.overloadDeadline),
+		Header: []string{"policy", "requests", "ok", "shed", "deadline", "goodput qps", "p95", "p99.9"},
+	}
+	warmTrace, err := workload.Generate(workload.Config{
+		Seed:         opt.Seed + 1,
+		Requests:     p.overloadRequests,
+		RateQPS:      p.overloadRateQPS,
+		ZipfS:        1.1,
+		Tenants:      traceTenants,
+		ColdFraction: 1,
+		DeadlineMS:   p.overloadDeadline,
+	}, wqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, policy := range []string{"fixed", "adaptive"} {
+		cfg := server.Config{MaxInflight: 2, MaxQueue: 64}
+		if policy == "adaptive" {
+			cfg.Admission = &server.AdmissionConfig{
+				TargetQueueWait: 15 * time.Millisecond,
+				SampleWindow:    8,
+				Gain:            0.5,
+			}
+		}
+		s, err := server.New(cfg, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Steady-state measurement: one unmeasured warm segment drives the
+		// adaptive controller to its converged window (and, for the fixed
+		// policy, fills the queue to its standing depth) before the measured
+		// replay of the identical overload trace.
+		if _, err := workload.Replay(ctx, warmTrace, workload.ServerTarget{S: s}, workload.Options{}); err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		res, err := workload.Replay(ctx, overTrace, workload.ServerTarget{S: s}, workload.Options{})
+		s.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		q := res.Hist.Summary()
+		row := OverloadRow{
+			Policy:     policy,
+			Requests:   res.Requests,
+			OK:         res.Outcomes[workload.OutcomeOK],
+			Shed:       res.Outcomes[workload.OutcomeShed],
+			Deadline:   res.Outcomes[workload.OutcomeDeadline],
+			GoodputQPS: res.QPS(),
+			P95MS:      mf(q.P95),
+			P999MS:     mf(q.P999),
+		}
+		doc.Overload = append(doc.Overload, row)
+		over.AddRow(policy, row.Requests, row.OK, row.Shed, row.Deadline,
+			fmt.Sprintf("%.0f", row.GoodputQPS), ms(q.P95), ms(q.P999))
+	}
+
+	rep := &Report{ID: "trace",
+		Title:  "Trace-replay serving trajectory: Zipf multi-tenant load, cache mixes, and admission policies",
+		Tables: []*stats.Table{sweep, over},
+		Notes: []string{
+			"expected shape: cached rows serve orders of magnitude more qps than uncached; qps grows with clients until the executors saturate",
+			"expected shape: under open-loop overload the adaptive policy sheds earlier, so answered requests keep a far shorter tail (p99.9) than the fixed deep queue",
+		},
+	}
+	return rep, doc, nil
+}
+
+// TraceResult runs the trace experiment and returns both the rendered
+// report and the persistable trajectory document (ntga-bench -trace-out).
+func TraceResult(opt Options) (*Report, *TraceDoc, error) {
+	return traceRun(opt, defaultTraceParams())
+}
+
+// TraceFigure is the figureRunners entry for -fig trace.
+func TraceFigure(opt Options) (*Report, error) {
+	rep, _, err := TraceResult(opt)
+	return rep, err
+}

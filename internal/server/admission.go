@@ -1,0 +1,231 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig enables the p95-adaptive admission controller. Instead
+// of the fixed MaxInflight+MaxQueue window, the server sheds against a
+// moving window steered by the measured queue wait (admission → execution
+// token acquire): when the p95 queue wait of the last SampleWindow
+// executed requests exceeds the target, the window shrinks (shedding
+// earlier keeps the admitted requests' tails short); when it runs below
+// target, the window grows back toward the ceiling. A nil AdmissionConfig
+// in Config keeps the fixed window byte-identical to previous behavior.
+type AdmissionConfig struct {
+	// TargetQueueWait is the queue-wait p95 the controller steers to
+	// (required, > 0).
+	TargetQueueWait time.Duration
+	// MinWindow clamps the window's floor (default 1 — at least one
+	// request is always admitted; the controller can never wedge the
+	// service shut).
+	MinWindow int
+	// MaxWindow clamps the ceiling (default MaxInflight+MaxQueue).
+	MaxWindow int
+	// SampleWindow is how many queue-wait samples feed one gradient step
+	// (default 32).
+	SampleWindow int
+	// Gain scales each multiplicative step (default 0.25; clamped steps
+	// keep a wild p95 sample from collapsing or exploding the window).
+	Gain float64
+}
+
+// admissionController is the runtime state: a clamped multiplicative
+// gradient on the window size, driven by the p95 of a sliding queue-wait
+// sample buffer. Limit() is lock-free on the admission fast path.
+type admissionController struct {
+	target float64 // seconds
+	floor  float64
+	ceil   float64
+	gain   float64
+	sample int
+
+	limit atomic.Int64 // rounded window admit() checks
+
+	mu      sync.Mutex
+	flimit  float64 // fractional window the gradient walks
+	waits   []float64
+	n       int
+	adjusts int64
+	lastP95 float64
+}
+
+// newAdmissionController validates the config and seeds the window at the
+// ceiling (full admission until measurements say otherwise).
+func newAdmissionController(cfg AdmissionConfig, defaultCeil int) (*admissionController, error) {
+	if cfg.TargetQueueWait <= 0 {
+		return nil, fmt.Errorf("server: admission TargetQueueWait must be positive (got %v)", cfg.TargetQueueWait)
+	}
+	floor := cfg.MinWindow
+	if floor <= 0 {
+		floor = 1
+	}
+	ceil := cfg.MaxWindow
+	if ceil <= 0 {
+		ceil = defaultCeil
+	}
+	if ceil < floor {
+		return nil, fmt.Errorf("server: admission MaxWindow %d below MinWindow %d", ceil, floor)
+	}
+	sample := cfg.SampleWindow
+	if sample <= 0 {
+		sample = 32
+	}
+	gain := cfg.Gain
+	if gain <= 0 {
+		gain = 0.25
+	}
+	c := &admissionController{
+		target: cfg.TargetQueueWait.Seconds(),
+		floor:  float64(floor),
+		ceil:   float64(ceil),
+		gain:   gain,
+		sample: sample,
+		flimit: float64(ceil),
+		waits:  make([]float64, 0, sample),
+	}
+	c.limit.Store(int64(ceil))
+	return c, nil
+}
+
+// Limit is the current admission window (always >= 1).
+func (c *admissionController) Limit() int64 { return c.limit.Load() }
+
+// Observe feeds one measured queue wait; every SampleWindow samples the
+// controller takes a gradient step on the window.
+func (c *admissionController) Observe(wait time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.waits = append(c.waits, wait.Seconds())
+	c.n++
+	if len(c.waits) < c.sample {
+		return
+	}
+	p95 := p95Of(c.waits)
+	c.waits = c.waits[:0]
+	c.lastP95 = p95
+
+	// Relative error of the measured p95 vs the target, clamped to one
+	// gain-step in either direction so a single pathological window of
+	// samples cannot slam the limit to an extreme.
+	errFrac := (c.target - p95) / c.target
+	if errFrac > 1 {
+		errFrac = 1
+	}
+	if errFrac < -1 {
+		errFrac = -1
+	}
+	c.flimit *= 1 + c.gain*errFrac
+	if c.flimit < c.floor {
+		c.flimit = c.floor
+	}
+	if c.flimit > c.ceil {
+		c.flimit = c.ceil
+	}
+	c.adjusts++
+	c.limit.Store(int64(c.flimit + 0.5))
+}
+
+// stats snapshots the controller for /metrics.
+func (c *admissionController) stats() (limit int64, adjusts int64, lastP95 time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit.Load(), c.adjusts, time.Duration(c.lastP95 * float64(time.Second))
+}
+
+// p95Of is the nearest-rank 95th percentile of an unsorted sample buffer
+// (the buffer is consumed afterwards, so sorting in place is fine).
+func p95Of(xs []float64) float64 {
+	sort.Float64s(xs)
+	rank := int(float64(len(xs))*0.95+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(xs) {
+		rank = len(xs) - 1
+	}
+	return xs[rank]
+}
+
+// --- per-tenant queue-wait accounting (/metrics) ---
+
+// queueWaitRing keeps the most recent queue waits per tenant so /metrics
+// can report a p95 without unbounded memory.
+const queueWaitRing = 256
+
+// tenantWait accumulates one tenant's queue-wait measurements.
+type tenantWait struct {
+	count   int64
+	totalNS int64
+	maxNS   int64
+	ring    []float64 // ns, most recent queueWaitRing samples
+	next    int
+}
+
+// queueWaits tracks admission→token queue waits per tenant.
+type queueWaits struct {
+	mu sync.Mutex
+	by map[string]*tenantWait
+}
+
+func newQueueWaits() *queueWaits { return &queueWaits{by: make(map[string]*tenantWait)} }
+
+func (q *queueWaits) observe(tenant string, wait time.Duration) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	ns := wait.Nanoseconds()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.by[tenant]
+	if t == nil {
+		t = &tenantWait{}
+		q.by[tenant] = t
+	}
+	t.count++
+	t.totalNS += ns
+	if ns > t.maxNS {
+		t.maxNS = ns
+	}
+	if len(t.ring) < queueWaitRing {
+		t.ring = append(t.ring, float64(ns))
+	} else {
+		t.ring[t.next] = float64(ns)
+		t.next = (t.next + 1) % queueWaitRing
+	}
+}
+
+// QueueWaitStats is one tenant's /metrics view of the time its requests
+// spent between admission and acquiring an execution token.
+type QueueWaitStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// P95MS is computed over the most recent 256 samples.
+	P95MS float64 `json:"p95_ms"`
+}
+
+func (q *queueWaits) snapshot() map[string]QueueWaitStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]QueueWaitStats, len(q.by))
+	for tenant, t := range q.by {
+		s := QueueWaitStats{
+			Count: t.count,
+			MaxMS: float64(t.maxNS) / 1e6,
+		}
+		if t.count > 0 {
+			s.MeanMS = float64(t.totalNS) / float64(t.count) / 1e6
+		}
+		if len(t.ring) > 0 {
+			buf := append([]float64(nil), t.ring...)
+			s.P95MS = p95Of(buf) / 1e6
+		}
+		out[tenant] = s
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ntga/internal/enginetest"
+)
+
+// synthetic feedback model: the queue wait a request sees is proportional
+// to the admission window — more admitted requests, longer line. Feeding
+// this back into the controller must find the equilibrium window where
+// the p95 wait equals the target.
+func driveFeedback(c *admissionController, perSlot time.Duration, rounds int) {
+	for i := 0; i < rounds; i++ {
+		wait := time.Duration(c.Limit()) * perSlot
+		c.Observe(wait)
+	}
+}
+
+func TestAdmissionConvergesToTarget(t *testing.T) {
+	const target = 100 * time.Millisecond
+	c, err := newAdmissionController(AdmissionConfig{
+		TargetQueueWait: target,
+		MaxWindow:       64,
+		SampleWindow:    16,
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait = 10ms per admitted slot ⇒ equilibrium window = 100ms/10ms = 10.
+	driveFeedback(c, 10*time.Millisecond, 16*200)
+	got := c.Limit()
+	if got < 8 || got > 12 {
+		t.Fatalf("window converged to %d, want ≈ 10 (target %v at 10ms/slot)", got, target)
+	}
+	_, adjusts, lastP95 := c.stats()
+	if adjusts == 0 {
+		t.Error("controller took no gradient steps")
+	}
+	// At equilibrium the measured p95 tracks the target.
+	if lastP95 < target/2 || lastP95 > target*2 {
+		t.Errorf("last p95 = %v, want near target %v", lastP95, target)
+	}
+}
+
+// TestAdmissionFloor: no latency series, however pathological, may close
+// the window below the floor of 1 — the service can always admit one
+// request, so it can never wedge itself shut.
+func TestAdmissionFloor(t *testing.T) {
+	c, err := newAdmissionController(AdmissionConfig{
+		TargetQueueWait: time.Millisecond,
+		SampleWindow:    8,
+	}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8*1000; i++ {
+		c.Observe(time.Hour) // absurd overload forever
+	}
+	if got := c.Limit(); got != 1 {
+		t.Fatalf("window under sustained overload = %d, want floor 1", got)
+	}
+}
+
+// TestAdmissionRecovers: after the overload subsides (queue waits drop
+// below target), the window must grow back to the ceiling so shedding
+// stops.
+func TestAdmissionRecovers(t *testing.T) {
+	c, err := newAdmissionController(AdmissionConfig{
+		TargetQueueWait: 10 * time.Millisecond,
+		SampleWindow:    8,
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8*100; i++ {
+		c.Observe(time.Second)
+	}
+	if got := c.Limit(); got != 1 {
+		t.Fatalf("window under overload = %d, want 1", got)
+	}
+	for i := 0; i < 8*100; i++ {
+		c.Observe(time.Microsecond)
+	}
+	if got := c.Limit(); got != 16 {
+		t.Fatalf("window after load subsided = %d, want ceiling 16", got)
+	}
+}
+
+// TestAdmissionShedRateFalls is the server-level recovery check: with the
+// window gradient-driven to the floor, a burst sheds almost everything;
+// once measured waits fall and the window reopens, the same burst is
+// admitted in full.
+func TestAdmissionShedRateFalls(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInflight: 2, MaxQueue: 6,
+		Admission: &AdmissionConfig{TargetQueueWait: 5 * time.Millisecond, SampleWindow: 8},
+	})
+	// Overload: drive the controller to the floor.
+	for i := 0; i < 8*50; i++ {
+		s.admission.Observe(time.Second)
+	}
+	if got := s.admission.Limit(); got != 1 {
+		t.Fatalf("window = %d, want 1", got)
+	}
+	hold, err := s.admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedBefore := 0
+	for i := 0; i < 8; i++ {
+		if _, err := s.admit(); errors.Is(err, ErrOverloaded) {
+			shedBefore++
+		} else {
+			t.Fatal("admit succeeded past a window of 1")
+		}
+	}
+	hold()
+
+	// Load subsides: waits collapse, window reopens to the ceiling.
+	for i := 0; i < 8*50; i++ {
+		s.admission.Observe(time.Microsecond)
+	}
+	if got := s.admission.Limit(); got != 8 {
+		t.Fatalf("recovered window = %d, want 8", got)
+	}
+	var releases []func()
+	shedAfter := 0
+	for i := 0; i < 8; i++ {
+		release, err := s.admit()
+		if errors.Is(err, ErrOverloaded) {
+			shedAfter++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if shedAfter != 0 {
+		t.Errorf("shed %d/8 after recovery, want 0 (shed %d/8 before)", shedAfter, shedBefore)
+	}
+	if m := s.Snapshot().Admission; m.Policy != "adaptive" || m.Window != 8 || m.Adjusts == 0 {
+		t.Errorf("admission metrics = %+v, want adaptive policy, window 8, adjusts > 0", m)
+	}
+}
+
+// TestAdmissionNilPathFixedWindow regression-pins the nil-controller path:
+// without AdmissionConfig the shed boundary is exactly MaxInflight+MaxQueue
+// — same count, same error — and /metrics reports the fixed policy.
+func TestAdmissionNilPathFixedWindow(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2, MaxQueue: 3})
+	var releases []func()
+	for i := 0; i < 5; i++ {
+		release, err := s.admit()
+		if err != nil {
+			t.Fatalf("admit %d inside fixed window: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	if _, err := s.admit(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit past fixed window = %v, want ErrOverloaded", err)
+	}
+	for _, r := range releases {
+		r()
+	}
+	m := s.Snapshot().Admission
+	if m.Policy != "fixed" || m.Window != 5 || m.Adjusts != 0 {
+		t.Errorf("fixed-window metrics = %+v, want policy=fixed window=5 adjusts=0", m)
+	}
+}
+
+func TestAdmissionConfigRejected(t *testing.T) {
+	for name, cfg := range map[string]AdmissionConfig{
+		"zero target":         {},
+		"negative target":     {TargetQueueWait: -time.Second},
+		"ceiling below floor": {TargetQueueWait: time.Second, MinWindow: 8, MaxWindow: 4},
+	} {
+		if _, err := newAdmissionController(cfg, 16); err == nil {
+			t.Errorf("%s: controller accepted, want error", name)
+		}
+		cfgCopy := cfg
+		if _, err := New(Config{Admission: &cfgCopy}, enginetest.BioGraph()); err == nil {
+			t.Errorf("%s: New accepted bad admission config", name)
+		}
+	}
+}
+
+// TestQueueWaitMetricsUnderContention: with a single execution token and
+// concurrent cache-bypassing queries from two tenants, /metrics must
+// report per-tenant admission→token queue waits, and the queued tenants'
+// samples must show real waiting.
+func TestQueueWaitMetricsUnderContention(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 16})
+	const perTenant = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perTenant)
+	for _, tenant := range []string{"alpha", "beta"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				if _, err := s.Evaluate(context.Background(), Request{
+					Query: twoStarQuery, Tenant: tenant, NoCache: true,
+				}); err != nil {
+					errs <- fmt.Errorf("tenant %s: %w", tenant, err)
+				}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	qw := s.Snapshot().QueueWait
+	var totalMax float64
+	for _, tenant := range []string{"alpha", "beta"} {
+		st, ok := qw[tenant]
+		if !ok {
+			t.Fatalf("QueueWait missing tenant %q (have %v)", tenant, qw)
+		}
+		if st.Count != perTenant {
+			t.Errorf("tenant %s queue-wait count = %d, want %d", tenant, st.Count, perTenant)
+		}
+		if st.MaxMS < st.MeanMS {
+			t.Errorf("tenant %s max %.3fms < mean %.3fms", tenant, st.MaxMS, st.MeanMS)
+		}
+		totalMax += st.MaxMS
+	}
+	// With one execution token and six serialized queries, somebody waited.
+	if totalMax == 0 {
+		t.Error("no tenant recorded any queue wait despite MaxInflight=1 contention")
+	}
+}

@@ -88,17 +88,49 @@ func (c *planCache) stats() (hits, misses int64, size int) {
 	return c.hits, c.misses, len(c.entries)
 }
 
-// resultEntry is one cached query answer: the full binding rows (indexed
-// by AllVars, pre-projection — projection and formatting are per-request)
-// plus the scalar COUNT(*) answer and the output-shape stats the response
-// reports. Engine identity rides along so a hit can say who computed it.
+// resultEntry is one cached query answer, stored fully rendered: the
+// projected, formatted row strings and header are computed exactly once
+// when the entry is built (newResultEntry), so a cache hit is zero-copy —
+// the response slices the stored strings without re-projecting or
+// re-formatting anything. The scalar COUNT(*) answer and the output-shape
+// stats ride along; engine identity says who computed it. Entries are
+// immutable after construction — hit responses alias their slices.
 type resultEntry struct {
 	engine     string
-	rows       []query.Row
 	isCount    bool
 	count      int64
 	outRecords int64
 	outBytes   int64
+	header     []string
+	rendered   []string // all projected rows, formatted; nil for counts
+	totalRows  int
+}
+
+// newResultEntry renders an execution result into its immutable cached
+// form. Rendering happens here — once per result — never on the hit path.
+func newResultEntry(q *query.Query, engine string, rows []query.Row, isCount bool, count, outRecords, outBytes int64) resultEntry {
+	e := resultEntry{
+		engine:     engine,
+		isCount:    isCount,
+		count:      count,
+		outRecords: outRecords,
+		outBytes:   outBytes,
+	}
+	if isCount {
+		e.header = []string{"?" + q.Src.CountVar}
+		return e
+	}
+	projected := q.ProjectAll(rows)
+	e.totalRows = len(projected)
+	e.header = make([]string, len(q.Select))
+	for i, v := range q.Select {
+		e.header[i] = "?" + v
+	}
+	e.rendered = make([]string, len(projected))
+	for i, r := range projected {
+		e.rendered[i] = q.FormatRow(r)
+	}
+	return e
 }
 
 // resultCache is a plain LRU over plan-fingerprint × dataset-version keys.

@@ -47,6 +47,11 @@ type Config struct {
 	// are shed with ErrOverloaded (defaults 4 / 16).
 	MaxInflight int
 	MaxQueue    int
+	// Admission, when set, replaces the fixed MaxInflight+MaxQueue
+	// admission window with the p95-adaptive controller (admission.go):
+	// the shed threshold follows the measured queue wait instead of a
+	// static count. nil keeps the fixed window exactly as before.
+	Admission *AdmissionConfig
 	// DefaultTimeout is the per-query deadline when a request does not set
 	// its own (default 60s).
 	DefaultTimeout time.Duration
@@ -141,9 +146,13 @@ type Server struct {
 	results *resultCache
 
 	// admitted counts requests inside the admission window (running or
-	// queued); sem is the MaxInflight execution token pool.
-	admitted atomic.Int64
-	sem      chan struct{}
+	// queued); sem is the MaxInflight execution token pool. admission is
+	// the optional adaptive window controller (nil = fixed window);
+	// queueWaits tracks the admission→token wait per tenant for /metrics.
+	admitted   atomic.Int64
+	sem        chan struct{}
+	admission  *admissionController
+	queueWaits *queueWaits
 
 	jobs *jobRegistry
 
@@ -190,6 +199,13 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 				cfg.Cluster.Addr(), st.DatasetVersion, datasetVersion(g))
 		}
 	}
+	var ctrl *admissionController
+	if cfg.Admission != nil {
+		ctrl, err = newAdmissionController(*cfg.Admission, cfg.MaxInflight+cfg.MaxQueue)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:            cfg,
@@ -204,6 +220,8 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 		plans:          newPlanCache(),
 		results:        newResultCache(cfg.ResultCacheEntries),
 		sem:            make(chan struct{}, cfg.MaxInflight),
+		admission:      ctrl,
+		queueWaits:     newQueueWaits(),
 		jobs:           newJobRegistry(),
 		baseCtx:        ctx,
 		stop:           cancel,
@@ -306,10 +324,15 @@ type Response struct {
 }
 
 // admit charges one request against the admission window, shedding with
-// ErrOverloaded when the window (MaxInflight running + MaxQueue waiting)
-// is full. The returned release must be called when the request finishes.
+// ErrOverloaded when the window is full. The window is the fixed
+// MaxInflight+MaxQueue, or — with the adaptive controller armed — the
+// current p95-steered limit. The returned release must be called when the
+// request finishes.
 func (s *Server) admit() (func(), error) {
 	limit := int64(s.cfg.MaxInflight + s.cfg.MaxQueue)
+	if s.admission != nil {
+		limit = s.admission.Limit()
+	}
 	if s.admitted.Add(1) > limit {
 		s.admitted.Add(-1)
 		s.mShed.Add(1)
@@ -396,7 +419,7 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		if cached, ok := s.results.get(resultKey); ok {
 			resp.Cache = "hit"
 			resp.Engine = cached.engine
-			s.renderRows(resp, q, cached, req.Limit)
+			s.renderRows(resp, cached, req.Limit)
 			resp.DurationMS = time.Since(start).Milliseconds()
 			s.mSucceeded.Add(1)
 			return resp, nil
@@ -406,10 +429,16 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 
 	// Execution token: at most MaxInflight queries drive the cluster at
 	// once; the rest wait here (bounded by admission) or die with their
-	// deadline.
+	// deadline. The wait is the queue-wait signal: it feeds the per-tenant
+	// /metrics rollup and — when armed — the adaptive admission
+	// controller, including waits that ended in a deadline (those are the
+	// strongest over-admission evidence there is).
+	queued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.observeQueueWait(req.Tenant, time.Since(queued))
 	case <-ctx.Done():
+		s.observeQueueWait(req.Tenant, time.Since(queued))
 		s.mFailed.Add(1)
 		return nil, context.Cause(ctx)
 	}
@@ -479,17 +508,10 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		return resp, err
 	}
 
-	cached := resultEntry{
-		engine:     res.Engine,
-		rows:       res.Rows,
-		isCount:    res.IsCount,
-		count:      res.Count,
-		outRecords: res.OutputRecords,
-		outBytes:   res.OutputBytes,
-	}
+	cached := newResultEntry(q, res.Engine, res.Rows, res.IsCount, res.Count, res.OutputRecords, res.OutputBytes)
 	s.results.put(resultKey, cached)
 	resp.Engine = res.Engine
-	s.renderRows(resp, q, cached, req.Limit)
+	s.renderRows(resp, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
 	s.mSucceeded.Add(1)
 	return resp, nil
@@ -546,19 +568,21 @@ func (s *Server) evaluateCluster(ctx context.Context, req Request, q *query.Quer
 	}
 	// The handshake pinned both processes to one dataset, so the master's
 	// row IDs are this dictionary's IDs: cache and render as if local.
-	cached := resultEntry{
-		engine:     reply.Engine,
-		rows:       reply.Rows,
-		isCount:    reply.IsCount,
-		count:      reply.Count,
-		outRecords: reply.OutputRecords,
-		outBytes:   reply.OutputBytes,
-	}
+	cached := newResultEntry(q, reply.Engine, reply.Rows, reply.IsCount, reply.Count, reply.OutputRecords, reply.OutputBytes)
 	s.results.put(resultKey, cached)
 	resp.Engine = reply.Engine
-	s.renderRows(resp, q, cached, req.Limit)
+	s.renderRows(resp, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
 	return resp, nil
+}
+
+// observeQueueWait records one admission→execution-token wait against the
+// tenant's /metrics rollup and the adaptive admission controller.
+func (s *Server) observeQueueWait(tenant string, wait time.Duration) {
+	s.queueWaits.observe(tenant, wait)
+	if s.admission != nil {
+		s.admission.Observe(wait)
+	}
 }
 
 // compile parses and compiles the SPARQL text against the resident
@@ -610,32 +634,26 @@ func (s *Server) planQuery(engName string, phiM int, q *query.Query) (planEntry,
 	return entry, nil
 }
 
-// renderRows fills the response's row/count section from a result entry,
-// projecting and formatting per the request's compiled query.
-func (s *Server) renderRows(resp *Response, q *query.Query, e resultEntry, limit int) {
+// renderRows fills the response's row/count section from a result entry.
+// The entry already holds the projected, formatted strings
+// (newResultEntry), so this is zero-copy: the response aliases the stored
+// header and row slices — no re-projection, no re-formatting, no
+// per-request allocation beyond the three-word subslice.
+func (s *Server) renderRows(resp *Response, e resultEntry, limit int) {
 	resp.IsCount = e.isCount
 	resp.Count = e.count
 	resp.OutputRecords = e.outRecords
 	resp.OutputBytes = e.outBytes
+	resp.Header = e.header
 	if e.isCount {
-		resp.Header = []string{"?" + q.Src.CountVar}
 		return
 	}
-	projected := q.ProjectAll(e.rows)
-	resp.TotalRows = len(projected)
-	header := make([]string, len(q.Select))
-	for i, v := range q.Select {
-		header[i] = "?" + v
-	}
-	resp.Header = header
-	n := len(projected)
+	resp.TotalRows = e.totalRows
+	n := e.totalRows
 	if limit > 0 && limit < n {
 		n = limit
 	}
-	resp.Rows = make([]string, n)
-	for i := 0; i < n; i++ {
-		resp.Rows[i] = q.FormatRow(projected[i])
-	}
+	resp.Rows = e.rendered[:n:n]
 }
 
 // engineByName maps a concrete engine name (never "auto" — planQuery
@@ -686,18 +704,38 @@ type Metrics struct {
 	// TempFiles is the number of attempt-scoped temporaries currently on
 	// the DFS; outside the instant an attempt is streaming, it should be 0
 	// (the zero-leak invariant a monitor can alert on).
-	TempFiles      int                  `json:"temp_files"`
-	PlanCache      CacheStats           `json:"plan_cache"`
-	ResultCache    CacheStats           `json:"result_cache"`
-	Slots          map[string]SlotStats `json:"slots"`
-	SlotGrants     int64                `json:"slot_grants"`
-	Triples        int64                `json:"triples"`
-	DatasetVersion string               `json:"dataset_version"`
-	CatalogVersion string               `json:"catalog_version"`
+	TempFiles   int        `json:"temp_files"`
+	PlanCache   CacheStats `json:"plan_cache"`
+	ResultCache CacheStats `json:"result_cache"`
+	// Admission is the shed policy's live state: the fixed window, or the
+	// adaptive controller's current p95-steered limit.
+	Admission AdmissionMetrics `json:"admission"`
+	// QueueWait is the per-tenant admission→execution-token wait rollup —
+	// the signal the adaptive controller steers on, observable even when
+	// only slot peaks used to be visible.
+	QueueWait      map[string]QueueWaitStats `json:"queue_wait"`
+	Slots          map[string]SlotStats      `json:"slots"`
+	SlotGrants     int64                     `json:"slot_grants"`
+	Triples        int64                     `json:"triples"`
+	DatasetVersion string                    `json:"dataset_version"`
+	CatalogVersion string                    `json:"catalog_version"`
 	// Cluster is the execution substrate's health: simulated-DFS node
 	// liveness in local mode, per-worker liveness and slot occupancy in
 	// distributed mode.
 	Cluster ClusterMetrics `json:"cluster"`
+}
+
+// AdmissionMetrics is the /metrics view of the shed policy.
+type AdmissionMetrics struct {
+	// Policy is "fixed" (MaxInflight+MaxQueue window) or "adaptive".
+	Policy string `json:"policy"`
+	// Window is the current admission limit (running + queued requests).
+	Window int64 `json:"window"`
+	// Adaptive-only: gradient steps taken, last measured queue-wait p95,
+	// and the target it steers to.
+	Adjusts   int64   `json:"adjusts,omitempty"`
+	LastP95MS float64 `json:"last_p95_ms,omitempty"`
+	TargetMS  float64 `json:"target_ms,omitempty"`
 }
 
 // ClusterMetrics is the /metrics view of where queries actually execute.
@@ -739,6 +777,19 @@ func (s *Server) Snapshot() Metrics {
 	}
 	m.PlanCache.Hits, m.PlanCache.Misses, m.PlanCache.Size = s.plans.stats()
 	m.ResultCache.Hits, m.ResultCache.Misses, m.ResultCache.Size = s.results.stats()
+	if s.admission != nil {
+		limit, adjusts, lastP95 := s.admission.stats()
+		m.Admission = AdmissionMetrics{
+			Policy:    "adaptive",
+			Window:    limit,
+			Adjusts:   adjusts,
+			LastP95MS: float64(lastP95.Nanoseconds()) / 1e6,
+			TargetMS:  float64(s.cfg.Admission.TargetQueueWait.Nanoseconds()) / 1e6,
+		}
+	} else {
+		m.Admission = AdmissionMetrics{Policy: "fixed", Window: int64(s.cfg.MaxInflight + s.cfg.MaxQueue)}
+	}
+	m.QueueWait = s.queueWaits.snapshot()
 	m.Slots, m.SlotGrants = s.pool.Stats()
 	m.Cluster = s.clusterMetrics()
 	return m

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// histSubBuckets is the sub-bucket count per power-of-two octave. 32
+// sub-buckets bound the relative quantization error of any recorded value
+// by 1/32 ≈ 3%, which is far below run-to-run latency noise while keeping
+// the whole histogram a few KB.
+const histSubBuckets = 32
+
+// histOctaves covers durations up to 2^63-1 ns; values are nanoseconds.
+const histOctaves = 64
+
+// Histogram is a log-bucketed latency histogram: O(1) lock-striped
+// inserts, exact rank-based percentile extraction over the buckets (each
+// reported percentile is the representative value of the bucket holding
+// that rank, so the error is bounded by the 3% bucket width, never by
+// sampling). Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histOctaves * histSubBuckets]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: -1} }
+
+// bucketIndex maps a nanosecond value to its bucket: the octave is the
+// position of the highest set bit, subdivided linearly into
+// histSubBuckets slices.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < histSubBuckets {
+		// The first octaves are exact: one bucket per nanosecond.
+		return int(v)
+	}
+	octave := bits.Len64(v) - 1 // highest set bit
+	shift := octave - 5         // 2^5 = histSubBuckets
+	sub := int((v >> uint(shift)) & (histSubBuckets - 1))
+	return octave*histSubBuckets + sub
+}
+
+// bucketValue is the representative (midpoint) value of a bucket.
+func bucketValue(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	octave := idx / histSubBuckets
+	sub := idx % histSubBuckets
+	shift := octave - 5
+	lo := (uint64(1) << uint(octave)) | (uint64(sub) << uint(shift))
+	width := uint64(1) << uint(shift)
+	return int64(lo + width/2)
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketIndex(ns)]++
+	h.total++
+	h.sum += ns
+	if h.min < 0 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the exact arithmetic mean of the recorded values.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Min and Max are exact (tracked outside the buckets).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.min < 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank
+// over the buckets. The true rank-holding value lies inside the returned
+// bucket, so the result is exact to the bucket's ≤3% width; min and max
+// are returned exactly.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(float64(h.total)*p/100 + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			// Clamp to the exact extremes so p≈0/p≈100 report them.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Quantiles extracts the standard latency summary in one pass.
+type Quantiles struct {
+	Count               uint64
+	Mean                time.Duration
+	P50, P95, P99, P999 time.Duration
+	Min, Max            time.Duration
+}
+
+// Summary returns the histogram's quantile rollup.
+func (h *Histogram) Summary() Quantiles {
+	return Quantiles{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}

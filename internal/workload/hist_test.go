@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentilesBounded(t *testing.T) {
+	h := NewHistogram()
+	// 1..10000 µs uniformly: percentiles are known exactly.
+	for i := 1; i <= 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("count = %d, want 10000", got)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 5000 * time.Microsecond},
+		{95, 9500 * time.Microsecond},
+		{99, 9900 * time.Microsecond},
+		{99.9, 9990 * time.Microsecond},
+	} {
+		got := h.Percentile(tc.p)
+		relErr := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if relErr > 1.0/histSubBuckets+0.001 {
+			t.Errorf("p%g = %v, want %v within %.1f%% bucket width (err %.2f%%)",
+				tc.p, got, tc.want, 100.0/histSubBuckets, 100*relErr)
+		}
+	}
+	if got := h.Min(); got != 1*time.Microsecond {
+		t.Errorf("min = %v, want 1µs (exact)", got)
+	}
+	if got := h.Max(); got != 10000*time.Microsecond {
+		t.Errorf("max = %v, want 10ms (exact)", got)
+	}
+	wantMean := time.Duration(5000500) * time.Nanosecond // exact: (1+10000)/2 µs
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v (exact)", got, wantMean)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	// Values below one sub-bucket octave land in exact 1ns buckets.
+	for _, ns := range []int64{0, 1, 5, 17, 31} {
+		h.Observe(time.Duration(ns))
+	}
+	if got := h.Percentile(50); got != 5 {
+		t.Errorf("p50 of {0,1,5,17,31}ns = %v, want 5ns exactly", got)
+	}
+	if got := h.Percentile(100); got != 31 {
+		t.Errorf("p100 = %v, want 31ns", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(95) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for ns := int64(0); ns < 1<<22; ns += 97 {
+		idx := bucketIndex(ns)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d — not monotonic", ns, idx, prev)
+		}
+		prev = idx
+		// The representative value must stay within one bucket width.
+		v := bucketValue(idx)
+		if ns >= histSubBuckets {
+			rel := math.Abs(float64(v-ns)) / float64(ns)
+			if rel > 1.0/histSubBuckets {
+				t.Fatalf("bucketValue(%d)=%d for ns=%d: rel err %.3f", idx, v, ns, rel)
+			}
+		} else if v != ns {
+			t.Fatalf("small value %d not exact (got %d)", ns, v)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", got)
+	}
+	s := h.Summary()
+	if s.P50 <= 0 || s.P999 < s.P50 || s.Max < s.P999 {
+		t.Errorf("summary out of order: %+v", s)
+	}
+}

@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ntga/internal/server"
+)
+
+// Outcome classifies one replayed request.
+type Outcome string
+
+const (
+	OutcomeOK       Outcome = "ok"       // answered with rows/count
+	OutcomeShed     Outcome = "shed"     // refused at admission (ErrOverloaded)
+	OutcomeDeadline Outcome = "deadline" // per-query deadline fired
+	OutcomeError    Outcome = "error"    // anything else
+)
+
+// Target evaluates one trace event and returns the canonical rendering of
+// its answer (RenderResponse) for correctness diffs.
+type Target interface {
+	Do(ctx context.Context, ev Event) (rendered string, err error)
+}
+
+// ServerTarget replays in-process against a server.Server — the whole
+// serving stack (admission, caches, slot pool, engines) minus HTTP.
+type ServerTarget struct{ S *server.Server }
+
+func (t ServerTarget) Do(ctx context.Context, ev Event) (string, error) {
+	resp, err := t.S.Evaluate(ctx, requestFor(ev))
+	if err != nil {
+		return "", err
+	}
+	return RenderResponse(resp), nil
+}
+
+// ClientTarget replays over HTTP against a running ntga-serve daemon.
+type ClientTarget struct{ C *server.Client }
+
+func (t ClientTarget) Do(ctx context.Context, ev Event) (string, error) {
+	resp, err := t.C.Query(ctx, requestFor(ev))
+	if err != nil {
+		return "", err
+	}
+	return RenderResponse(resp), nil
+}
+
+// requestFor maps a trace event onto the serving API.
+func requestFor(ev Event) server.Request {
+	return server.Request{
+		Query:     ev.Src,
+		Tenant:    ev.Tenant,
+		Weight:    ev.Weight,
+		NoCache:   ev.NoCache,
+		TimeoutMS: ev.DeadlineMS,
+	}
+}
+
+// RenderResponse flattens a response to one comparable string: the byte
+// identity the correctness-under-load suite asserts between concurrent
+// replays and a serial reference run.
+func RenderResponse(r *server.Response) string {
+	if r.IsCount {
+		return fmt.Sprintf("count:%d", r.Count)
+	}
+	return strings.Join(r.Header, "\t") + "\n" + strings.Join(r.Rows, "\n")
+}
+
+// Options shapes one replay run.
+type Options struct {
+	// Closed ignores the trace's arrival timestamps: Clients workers
+	// consume events in arrival order as fast as the service answers
+	// (throughput-capacity measurement). Open (default) dispatches every
+	// event at its Poisson timestamp regardless of outstanding requests —
+	// the production shape, where a slow server faces a growing backlog.
+	Closed bool
+	// Clients is the closed-loop worker count (default 1). Open-loop
+	// replay spawns per event and ignores it.
+	Clients int
+	// Timescale multiplies open-loop arrival offsets (0 = 1.0). 0.5 plays
+	// the trace at double speed.
+	Timescale float64
+	// Verify, when non-nil, compares every OK response against the
+	// reference rendering keyed by query ID and counts mismatches.
+	Verify map[string]string
+	// MaxDiffDetails bounds the retained mismatch descriptions (default 8).
+	MaxDiffDetails int
+}
+
+// TenantResult is one tenant's slice of the replay.
+type TenantResult struct {
+	Outcomes map[Outcome]int
+	Hist     *Histogram // OK-request service latencies
+}
+
+// Result is the replay rollup.
+type Result struct {
+	Requests int
+	Wall     time.Duration
+	Outcomes map[Outcome]int
+	// Hist holds OK-request latencies; ShedHist would be all-zero noise,
+	// so refused requests only count.
+	Hist      *Histogram
+	PerTenant map[string]*TenantResult
+	// Diffs counts OK responses that did not match Options.Verify.
+	Diffs       int
+	DiffDetails []string
+	// Errs retains the first few non-shed, non-deadline error strings.
+	Errs []string
+}
+
+// QPS is successfully-answered requests per wall-clock second (goodput).
+func (r *Result) QPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Outcomes[OutcomeOK]) / r.Wall.Seconds()
+}
+
+// ShedRate is the fraction of requests refused at admission.
+func (r *Result) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Outcomes[OutcomeShed]) / float64(r.Requests)
+}
+
+// classify maps a Target error to its outcome bucket.
+func classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, server.ErrOverloaded):
+		return OutcomeShed
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeDeadline
+	default:
+		return OutcomeError
+	}
+}
+
+// Replay runs the trace against the target and aggregates outcomes.
+// Open-loop mode fires each event at its arrival offset (scaled by
+// Timescale) in its own goroutine; closed-loop mode drains events in
+// arrival order through Options.Clients workers. ctx cancellation stops
+// dispatching new events (in-flight ones finish with their own deadlines).
+func Replay(ctx context.Context, tr *Trace, tgt Target, opts Options) (*Result, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Timescale <= 0 {
+		opts.Timescale = 1
+	}
+	if opts.MaxDiffDetails <= 0 {
+		opts.MaxDiffDetails = 8
+	}
+
+	res := &Result{
+		Requests:  len(tr.Events),
+		Outcomes:  map[Outcome]int{},
+		Hist:      NewHistogram(),
+		PerTenant: map[string]*TenantResult{},
+	}
+	var mu sync.Mutex
+	record := func(ev Event, lat time.Duration, rendered string, err error) {
+		oc := classify(err)
+		mu.Lock()
+		defer mu.Unlock()
+		res.Outcomes[oc]++
+		t := res.PerTenant[ev.Tenant]
+		if t == nil {
+			t = &TenantResult{Outcomes: map[Outcome]int{}, Hist: NewHistogram()}
+			res.PerTenant[ev.Tenant] = t
+		}
+		t.Outcomes[oc]++
+		switch oc {
+		case OutcomeOK:
+			res.Hist.Observe(lat)
+			t.Hist.Observe(lat)
+			if opts.Verify != nil {
+				if want, ok := opts.Verify[ev.QueryID]; ok && rendered != want {
+					res.Diffs++
+					if len(res.DiffDetails) < opts.MaxDiffDetails {
+						res.DiffDetails = append(res.DiffDetails,
+							fmt.Sprintf("event %d (%s): response differs from serial reference", ev.Seq, ev.QueryID))
+					}
+				}
+			}
+		case OutcomeError:
+			if len(res.Errs) < opts.MaxDiffDetails {
+				res.Errs = append(res.Errs, fmt.Sprintf("event %d (%s): %v", ev.Seq, ev.QueryID, err))
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if opts.Closed {
+		feed := make(chan Event)
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ev := range feed {
+					t0 := time.Now()
+					rendered, err := tgt.Do(ctx, ev)
+					record(ev, time.Since(t0), rendered, err)
+				}
+			}()
+		}
+	dispatch:
+		for _, ev := range tr.Events {
+			select {
+			case feed <- ev:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(feed)
+	} else {
+		timer := time.NewTimer(0)
+		if !timer.Stop() {
+			<-timer.C
+		}
+	open:
+		for _, ev := range tr.Events {
+			due := time.Duration(float64(ev.At) * opts.Timescale)
+			if wait := due - time.Since(start); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					break open
+				}
+			} else if ctx.Err() != nil {
+				break open
+			}
+			wg.Add(1)
+			go func(ev Event) {
+				defer wg.Done()
+				t0 := time.Now()
+				rendered, err := tgt.Do(ctx, ev)
+				record(ev, time.Since(t0), rendered, err)
+			}(ev)
+		}
+		timer.Stop()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	var dispatched int
+	for _, n := range res.Outcomes {
+		dispatched += n
+	}
+	res.Requests = dispatched
+	return res, nil
+}
+
+// SerialReference evaluates every distinct query in the trace once,
+// serially and cache-bypassing, and returns the rendering keyed by query
+// ID — the byte-identity baseline Options.Verify consumes. The target
+// should be an otherwise idle service over the same dataset.
+func SerialReference(ctx context.Context, tr *Trace, tgt Target) (map[string]string, error) {
+	out := make(map[string]string, len(tr.Queries))
+	for _, q := range tr.Queries {
+		rendered, err := tgt.Do(ctx, Event{QueryID: q.ID, Src: q.Src, NoCache: true})
+		if err != nil {
+			return nil, fmt.Errorf("workload: serial reference %s: %w", q.ID, err)
+		}
+		out[q.ID] = rendered
+	}
+	return out, nil
+}

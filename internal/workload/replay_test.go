@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntga/internal/server"
+)
+
+// scriptTarget is a fake service: per-query scripted answers, latencies,
+// and failures, so the driver's accounting is testable without a server.
+type scriptTarget struct {
+	answers map[string]string
+	delay   time.Duration
+	fail    map[string]error
+	calls   atomic.Int64
+}
+
+func (s *scriptTarget) Do(_ context.Context, ev Event) (string, error) {
+	s.calls.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if err, ok := s.fail[ev.QueryID]; ok {
+		return "", err
+	}
+	return s.answers[ev.QueryID], nil
+}
+
+func scriptFor(qs []Query) *scriptTarget {
+	answers := make(map[string]string, len(qs))
+	for _, q := range qs {
+		answers[q.ID] = "rows-of-" + q.ID
+	}
+	return &scriptTarget{answers: answers, fail: map[string]error{}}
+}
+
+func TestReplayClosedLoopOutcomes(t *testing.T) {
+	qs := testQueries(6)
+	tr, err := Generate(Config{Seed: 3, Requests: 400}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := scriptFor(qs)
+	tgt.fail["Q01"] = fmt.Errorf("refused: %w", server.ErrOverloaded)
+	tgt.fail["Q02"] = fmt.Errorf("slow: %w", context.DeadlineExceeded)
+	tgt.fail["Q03"] = errors.New("disk on fire")
+
+	res, err := Replay(context.Background(), tr, tgt, Options{Closed: true, Clients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 400 {
+		t.Fatalf("requests = %d, want 400", res.Requests)
+	}
+	freq := tr.Frequencies()
+	if got := res.Outcomes[OutcomeShed]; got != freq["Q01"] {
+		t.Errorf("shed = %d, want %d", got, freq["Q01"])
+	}
+	if got := res.Outcomes[OutcomeDeadline]; got != freq["Q02"] {
+		t.Errorf("deadline = %d, want %d", got, freq["Q02"])
+	}
+	if got := res.Outcomes[OutcomeError]; got != freq["Q03"] {
+		t.Errorf("error = %d, want %d", got, freq["Q03"])
+	}
+	wantOK := 400 - freq["Q01"] - freq["Q02"] - freq["Q03"]
+	if got := res.Outcomes[OutcomeOK]; got != wantOK {
+		t.Errorf("ok = %d, want %d", got, wantOK)
+	}
+	if got := res.Hist.Count(); got != uint64(wantOK) {
+		t.Errorf("histogram holds %d latencies, want %d (OK only)", got, wantOK)
+	}
+	if res.QPS() <= 0 {
+		t.Error("QPS = 0 on a successful replay")
+	}
+	if len(res.Errs) == 0 {
+		t.Error("no error details retained")
+	}
+	if res.PerTenant["default"] == nil || res.PerTenant["default"].Outcomes[OutcomeOK] != wantOK {
+		t.Errorf("per-tenant rollup missing or wrong: %+v", res.PerTenant)
+	}
+}
+
+func TestReplayVerifyCountsDiffs(t *testing.T) {
+	qs := testQueries(4)
+	tr, err := Generate(Config{Seed: 9, Requests: 100}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := scriptFor(qs)
+	want := map[string]string{}
+	for _, q := range qs {
+		want[q.ID] = tgt.answers[q.ID]
+	}
+	// Corrupt one query's reference: every OK reply for it must count as a diff.
+	want["Q02"] = "something-else"
+
+	res, err := Replay(context.Background(), tr, tgt, Options{Closed: true, Clients: 2, Verify: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantDiffs := tr.Frequencies()["Q02"]; res.Diffs != wantDiffs {
+		t.Errorf("diffs = %d, want %d", res.Diffs, wantDiffs)
+	}
+	if len(res.DiffDetails) == 0 {
+		t.Error("no diff details retained")
+	}
+}
+
+func TestReplayOpenLoopDispatchesAll(t *testing.T) {
+	qs := testQueries(3)
+	// 2000 qps for 200 events ≈ 100ms of trace; open loop must finish fast
+	// and dispatch everything.
+	tr, err := Generate(Config{Seed: 11, Requests: 200, RateQPS: 2000}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := scriptFor(qs)
+	res, err := Replay(context.Background(), tr, tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 || res.Outcomes[OutcomeOK] != 200 {
+		t.Fatalf("open-loop replay: %d requests, %d ok, want 200/200", res.Requests, res.Outcomes[OutcomeOK])
+	}
+	if tgt.calls.Load() != 200 {
+		t.Fatalf("target saw %d calls, want 200", tgt.calls.Load())
+	}
+	// The replay honours arrival pacing: wall clock at least the last offset.
+	if last := tr.Events[len(tr.Events)-1].At; res.Wall < last {
+		t.Errorf("wall %v shorter than trace span %v", res.Wall, last)
+	}
+}
+
+func TestReplayOpenLoopTimescale(t *testing.T) {
+	qs := testQueries(2)
+	tr, err := Generate(Config{Seed: 13, Requests: 50, RateQPS: 100}, qs) // ≈500ms span
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := scriptFor(qs)
+	start := time.Now()
+	if _, err := Replay(context.Background(), tr, tgt, Options{Timescale: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	span := tr.Events[len(tr.Events)-1].At
+	if took := time.Since(start); took > span {
+		t.Errorf("timescale 0.05 replay took %v, trace span %v — not sped up", took, span)
+	}
+}
+
+func TestReplayContextCancelStopsDispatch(t *testing.T) {
+	qs := testQueries(2)
+	tr, err := Generate(Config{Seed: 17, Requests: 100000, RateQPS: 10}, qs) // hours of trace
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, err := Replay(ctx, tr, scriptFor(qs), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests >= 100000 {
+		t.Errorf("cancelled replay still dispatched all %d events", res.Requests)
+	}
+}
+
+func TestSerialReference(t *testing.T) {
+	qs := testQueries(5)
+	tr, err := Generate(Config{Seed: 19, Requests: 10}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SerialReference(context.Background(), tr, scriptFor(qs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 5 || ref["Q03"] != "rows-of-Q03" {
+		t.Fatalf("reference = %v", ref)
+	}
+}

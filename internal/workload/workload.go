@@ -1,0 +1,247 @@
+// Package workload is the trace-replay load harness for the resident
+// query service: a deterministic, seeded generator of production-shaped
+// query traces (Zipf-distributed query popularity, a weighted multi-tenant
+// client mix, hot/cold cache-buster variants, Poisson open-loop arrivals,
+// per-query deadlines) plus a replay driver (replay.go) that runs the
+// trace against a server.Server in-process or over HTTP and records
+// latencies into log-bucketed histograms (hist.go) with per-outcome
+// counts. The same seed always yields the byte-identical trace, so a
+// replayed run is reproducible end to end and its answers can be diffed
+// against a serial reference execution.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Query is one replayable catalog entry. Rank in the slice passed to
+// Generate is popularity rank: index 0 is the hottest query under the
+// Zipf draw.
+type Query struct {
+	ID  string
+	Src string
+}
+
+// TenantSpec is one scheduling class in the client mix.
+type TenantSpec struct {
+	// Name is the tenant the request is attributed to (slot-pool class).
+	Name string
+	// Weight is the tenant's slot-pool fair-share weight (<=0 means 1).
+	Weight int
+	// Share is the tenant's fraction of the request stream; shares are
+	// normalized over all tenants, so absolute magnitudes don't matter.
+	Share float64
+}
+
+// Config shapes one generated trace.
+type Config struct {
+	// Seed drives every random draw. Same seed + same config + same query
+	// list => byte-identical trace.
+	Seed int64
+	// Requests is the number of events to generate (required, > 0).
+	Requests int
+	// RateQPS is the aggregate Poisson arrival rate in events/second for
+	// open-loop replay; inter-arrival gaps are exponential with mean
+	// 1/RateQPS. <= 0 defaults to 1000 qps worth of timestamps (closed-loop
+	// replay ignores them entirely).
+	RateQPS float64
+	// ZipfS is the Zipf exponent s: query popularity of rank k is
+	// proportional to 1/k^s. <= 0 defaults to 1.1 (a typical skewed
+	// production mix).
+	ZipfS float64
+	// Tenants is the client mix; empty defaults to one "default" tenant
+	// with weight 1.
+	Tenants []TenantSpec
+	// ColdFraction is the probability a request is a cache buster: it
+	// carries NoCache and must execute real MapReduce cycles no matter how
+	// hot its query is. 0 = all requests may hit the cache, 1 = none.
+	ColdFraction float64
+	// DeadlineMS attaches a per-query deadline to every event (0 = none;
+	// the server's default applies).
+	DeadlineMS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RateQPS <= 0 {
+		c.RateQPS = 1000
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []TenantSpec{{Name: "default", Weight: 1, Share: 1}}
+	}
+	return c
+}
+
+// Event is one request in the trace.
+type Event struct {
+	// Seq is the event's position in arrival order.
+	Seq int
+	// At is the arrival offset from trace start (Poisson open-loop).
+	At time.Duration
+	// Tenant/Weight select the slot-pool scheduling class.
+	Tenant string
+	Weight int
+	// QueryID / Src are the drawn catalog query.
+	QueryID string
+	Src     string
+	// NoCache marks a cold (cache-buster) request.
+	NoCache bool
+	// DeadlineMS is the per-query deadline (0 = server default).
+	DeadlineMS int64
+}
+
+// Trace is one generated workload.
+type Trace struct {
+	Cfg     Config
+	Queries []Query
+	Events  []Event
+}
+
+// Generate builds the trace for the given config over the query list
+// (popularity rank = slice order). It is fully deterministic in
+// (cfg, queries).
+func Generate(cfg Config, queries []Query) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("workload: Requests must be positive (got %d)", cfg.Requests)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("workload: no queries to draw from")
+	}
+	if cfg.ColdFraction < 0 || cfg.ColdFraction > 1 {
+		return nil, fmt.Errorf("workload: ColdFraction %v outside [0,1]", cfg.ColdFraction)
+	}
+	var shareSum float64
+	for _, t := range cfg.Tenants {
+		if t.Share < 0 {
+			return nil, fmt.Errorf("workload: tenant %q has negative share", t.Name)
+		}
+		shareSum += t.Share
+	}
+	if shareSum <= 0 {
+		return nil, fmt.Errorf("workload: tenant shares sum to zero")
+	}
+
+	zipf := zipfCDF(len(queries), cfg.ZipfS)
+	tenantCDF := make([]float64, len(cfg.Tenants))
+	acc := 0.0
+	for i, t := range cfg.Tenants {
+		acc += t.Share / shareSum
+		tenantCDF[i] = acc
+	}
+
+	r := newRNG(uint64(cfg.Seed))
+	tr := &Trace{Cfg: cfg, Queries: append([]Query(nil), queries...)}
+	tr.Events = make([]Event, cfg.Requests)
+	var at time.Duration
+	for i := 0; i < cfg.Requests; i++ {
+		// Poisson process: exponential inter-arrival gaps.
+		gap := -math.Log(1-r.float64()) / cfg.RateQPS
+		at += time.Duration(gap * float64(time.Second))
+		q := queries[searchCDF(zipf, r.float64())]
+		ti := searchCDF(tenantCDF, r.float64())
+		t := cfg.Tenants[ti]
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		tr.Events[i] = Event{
+			Seq:        i,
+			At:         at,
+			Tenant:     t.Name,
+			Weight:     w,
+			QueryID:    q.ID,
+			Src:        q.Src,
+			NoCache:    r.float64() < cfg.ColdFraction,
+			DeadlineMS: cfg.DeadlineMS,
+		}
+	}
+	return tr, nil
+}
+
+// zipfCDF precomputes the cumulative distribution of a Zipf(s) law over n
+// ranks: P(rank k) ∝ 1/k^s, k = 1..n.
+func zipfCDF(n int, s float64) []float64 {
+	weights := make([]float64, n)
+	var sum float64
+	for k := 1; k <= n; k++ {
+		weights[k-1] = 1 / math.Pow(float64(k), s)
+		sum += weights[k-1]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / sum
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1 // guard against float drift
+	return cdf
+}
+
+// Probabilities returns the exact Zipf(s) probability of each query rank —
+// the distribution Generate draws from, for frequency-sanity checks.
+func Probabilities(n int, s float64) []float64 {
+	if s <= 0 {
+		s = 1.1
+	}
+	cdf := zipfCDF(n, s)
+	probs := make([]float64, n)
+	prev := 0.0
+	for i, c := range cdf {
+		probs[i] = c - prev
+		prev = c
+	}
+	return probs
+}
+
+// searchCDF maps a uniform draw u in [0,1) to the first index whose
+// cumulative probability exceeds it.
+func searchCDF(cdf []float64, u float64) int {
+	return sort.SearchFloat64s(cdf, math.Nextafter(u, math.Inf(1)))
+}
+
+// Encode renders the trace as one canonical text blob (one line per
+// event), the determinism tests' byte-comparison format.
+func (t *Trace) Encode() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace seed=%d requests=%d rate=%g zipf=%g cold=%g deadline=%d queries=%d\n",
+		t.Cfg.Seed, t.Cfg.Requests, t.Cfg.RateQPS, t.Cfg.ZipfS, t.Cfg.ColdFraction, t.Cfg.DeadlineMS, len(t.Queries))
+	for _, e := range t.Events {
+		fmt.Fprintf(&sb, "%d\t%d\t%s\t%d\t%s\t%v\t%d\n",
+			e.Seq, e.At.Nanoseconds(), e.Tenant, e.Weight, e.QueryID, e.NoCache, e.DeadlineMS)
+	}
+	return sb.String()
+}
+
+// Frequencies counts how often each query rank was drawn.
+func (t *Trace) Frequencies() map[string]int {
+	out := make(map[string]int, len(t.Queries))
+	for _, e := range t.Events {
+		out[e.QueryID]++
+	}
+	return out
+}
+
+// rng is a splitmix64 generator: tiny, seedable, and stable across Go
+// releases (the trace format must never drift under a toolchain bump, so
+// math/rand is deliberately not used).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testQueries(n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{ID: fmt.Sprintf("Q%02d", i), Src: fmt.Sprintf("SELECT * WHERE { ?s <p%d> ?o . }", i)}
+	}
+	return qs
+}
+
+// TestGenerateDeterministic: the same seed and config must yield the
+// byte-identical trace — tenants, arrival times, query sequence, cold
+// flags — and a different seed must not.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:     7,
+		Requests: 2000,
+		RateQPS:  500,
+		ZipfS:    1.2,
+		Tenants: []TenantSpec{
+			{Name: "gold", Weight: 3, Share: 0.5},
+			{Name: "silver", Weight: 2, Share: 0.3},
+			{Name: "bronze", Weight: 1, Share: 0.2},
+		},
+		ColdFraction: 0.25,
+		DeadlineMS:   1500,
+	}
+	qs := testQueries(28)
+	a, err := Generate(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Encode() != b.Encode() {
+		t.Fatal("same seed produced different traces")
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Generate(cfg2, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Encode() == c.Encode() {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	// Shape checks on the deterministic trace.
+	if len(a.Events) != cfg.Requests {
+		t.Fatalf("got %d events, want %d", len(a.Events), cfg.Requests)
+	}
+	var last time.Duration
+	tenants := map[string]int{}
+	cold := 0
+	for _, e := range a.Events {
+		if e.At < last {
+			t.Fatalf("event %d arrives before its predecessor (%v < %v)", e.Seq, e.At, last)
+		}
+		last = e.At
+		tenants[e.Tenant]++
+		if e.NoCache {
+			cold++
+		}
+		if e.DeadlineMS != cfg.DeadlineMS {
+			t.Fatalf("event %d deadline=%d, want %d", e.Seq, e.DeadlineMS, cfg.DeadlineMS)
+		}
+	}
+	for _, spec := range cfg.Tenants {
+		got := float64(tenants[spec.Name]) / float64(cfg.Requests)
+		if got < spec.Share-0.05 || got > spec.Share+0.05 {
+			t.Errorf("tenant %s share = %.3f, want ≈ %.2f", spec.Name, got, spec.Share)
+		}
+	}
+	if frac := float64(cold) / float64(cfg.Requests); frac < 0.2 || frac > 0.3 {
+		t.Errorf("cold fraction = %.3f, want ≈ 0.25", frac)
+	}
+	// Mean Poisson inter-arrival must track 1/rate.
+	mean := last.Seconds() / float64(cfg.Requests)
+	if want := 1.0 / cfg.RateQPS; mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("mean inter-arrival = %.6fs, want ≈ %.6fs", mean, want)
+	}
+}
+
+// TestGenerateStableAcrossBuilds pins the trace bytes to a fingerprint:
+// the in-repo splitmix64 generator (not math/rand) guarantees the same
+// seed replays the same trace on any toolchain, so checked-in baselines
+// stay comparable.
+func TestGenerateStableAcrossBuilds(t *testing.T) {
+	tr, err := Generate(Config{Seed: 42, Requests: 256, RateQPS: 100, ZipfS: 1.1,
+		Tenants:      []TenantSpec{{Name: "a", Weight: 2, Share: 2}, {Name: "b", Weight: 1, Share: 1}},
+		ColdFraction: 0.5}, testQueries(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(tr.Encode()))
+	const want = "3ce7b594a7d4d1c2"
+	if got := fmt.Sprintf("%016x", h.Sum64()); got != want {
+		t.Fatalf("trace fingerprint = %s, want %s (generator output drifted — this breaks replayable baselines)", got, want)
+	}
+}
+
+// TestZipfFrequencies is the chi-squared sanity check: the empirical query
+// frequencies of a generated trace must match the configured Zipf(s)
+// probabilities within the df=27, α=0.001 critical value.
+func TestZipfFrequencies(t *testing.T) {
+	const n, requests = 28, 50000
+	const s = 1.1
+	tr, err := Generate(Config{Seed: 1234, Requests: requests, ZipfS: s}, testQueries(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := Probabilities(n, s)
+	freq := tr.Frequencies()
+	chi2 := 0.0
+	for i, q := range tr.Queries {
+		exp := probs[i] * requests
+		obs := float64(freq[q.ID])
+		chi2 += (obs - exp) * (obs - exp) / exp
+	}
+	// χ²(df=27) critical value at α=0.001 is 55.48.
+	if chi2 > 55.48 {
+		t.Fatalf("chi-squared = %.2f > 55.48: empirical frequencies do not match Zipf(%g)", chi2, s)
+	}
+	// The Zipf skew must actually be visible: rank 0 dominates the tail.
+	if freq[tr.Queries[0].ID] <= freq[tr.Queries[n-1].ID] {
+		t.Errorf("hottest query drawn %d times, coldest %d — no Zipf skew",
+			freq[tr.Queries[0].ID], freq[tr.Queries[n-1].ID])
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	qs := testQueries(4)
+	for name, tc := range map[string]struct {
+		cfg Config
+		qs  []Query
+	}{
+		"zero requests":  {Config{Requests: 0}, qs},
+		"no queries":     {Config{Requests: 10}, nil},
+		"cold > 1":       {Config{Requests: 10, ColdFraction: 1.5}, qs},
+		"negative share": {Config{Requests: 10, Tenants: []TenantSpec{{Name: "x", Share: -1}}}, qs},
+		"zero shares":    {Config{Requests: 10, Tenants: []TenantSpec{{Name: "x", Share: 0}}}, qs},
+	} {
+		if _, err := Generate(tc.cfg, tc.qs); err == nil {
+			t.Errorf("%s: Generate succeeded, want error", name)
+		}
+	}
+}
+
+func TestEncodeRoundTripShape(t *testing.T) {
+	tr, err := Generate(Config{Seed: 5, Requests: 10}, testQueries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := tr.Encode()
+	lines := strings.Split(strings.TrimRight(enc, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 events
+		t.Fatalf("encoded trace has %d lines, want 11", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "trace seed=5 ") {
+		t.Errorf("header line = %q", lines[0])
+	}
+}

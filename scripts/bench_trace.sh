@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench_trace.sh — regenerate BENCH_serve_trace.json, the persisted
+# serve-latency trajectory: the -fig trace experiment (closed-loop Zipf
+# sweep at 1/16/256 clients over cached and uncached mixes, plus the
+# fixed-vs-adaptive open-loop overload segment), stamped with the current
+# commit. If a previous BENCH_serve_trace.json exists it becomes the
+# baseline: the run FAILS if any sweep cell's p95 regressed more than 20%,
+# leaving the fresh numbers on disk for inspection either way.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve_trace.json"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+BASELINE_ARGS=""
+if [ -f "$OUT" ]; then
+    cp "$OUT" "$OUT.baseline"
+    trap 'rm -f "$OUT.baseline"' EXIT
+    BASELINE_ARGS="-trace-baseline $OUT.baseline"
+    echo "== baseline: $OUT ($(sed -n 's/.*"commit": "\([^"]*\)".*/\1/p' "$OUT" | head -1))"
+fi
+
+echo "== regenerating trace trajectory @ $COMMIT"
+# shellcheck disable=SC2086
+go run ./cmd/ntga-bench -fig trace -trace-out "$OUT" -commit "$COMMIT" $BASELINE_ARGS
+
+echo "bench-trace: OK ($OUT)"

@@ -1,0 +1,96 @@
+#!/bin/sh
+# loadgen_smoke.sh — end-to-end smoke test of the trace-replay load
+# harness: build ntga-loadgen, replay a short seeded trace in-process with
+# -verify (every OK response byte-checked against a serial reference),
+# assert non-zero throughput and zero diffs, then repeat over HTTP against
+# a live ntga-serve daemon running with adaptive admission. Exits non-zero
+# on any failed step.
+set -eu
+
+ADDR="${LOADGEN_SMOKE_ADDR:-127.0.0.1:7461}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$WORK/ntga-loadgen" ./cmd/ntga-loadgen
+go build -o "$WORK/ntga-serve" ./cmd/ntga-serve
+go build -o "$WORK/ntga-datagen" ./cmd/ntga-datagen
+go build -o "$WORK/ntga-run" ./cmd/ntga-run
+
+echo "== in-process replay: 400 requests, 16 clients, 20% cache busters, verify on"
+"$WORK/ntga-loadgen" -dataset bsbm -scale 1 -requests 400 -clients 16 \
+    -cold 0.2 -trace-seed 7 -verify -json >"$WORK/inproc.json"
+grep -q '"diffs":0' "$WORK/inproc.json" || {
+    echo "in-process replay reported diffs: $(cat "$WORK/inproc.json")" >&2
+    exit 1
+}
+grep -q '"ok":400' "$WORK/inproc.json" || {
+    echo "in-process replay did not answer all 400 requests: $(cat "$WORK/inproc.json")" >&2
+    exit 1
+}
+# qps must be a real (non-zero) number.
+grep -q '"qps":0,' "$WORK/inproc.json" && {
+    echo "in-process replay measured zero qps: $(cat "$WORK/inproc.json")" >&2
+    exit 1
+}
+
+echo "== determinism: same seed twice must yield identical outcome counts"
+"$WORK/ntga-loadgen" -dataset bsbm -scale 1 -requests 200 -clients 8 \
+    -cold 0.5 -trace-seed 11 -json | sed 's/.*"outcomes":\({[^}]*}\).*/\1/' >"$WORK/a.txt"
+"$WORK/ntga-loadgen" -dataset bsbm -scale 1 -requests 200 -clients 8 \
+    -cold 0.5 -trace-seed 11 -json | sed 's/.*"outcomes":\({[^}]*}\).*/\1/' >"$WORK/b.txt"
+cmp "$WORK/a.txt" "$WORK/b.txt" || {
+    echo "same trace seed produced different outcome counts" >&2
+    exit 1
+}
+
+echo "== boot daemon with adaptive admission on $ADDR"
+"$WORK/ntga-datagen" -dataset bsbm -scale 1 -seed 42 -out "$WORK/bsbm.nt"
+"$WORK/ntga-serve" -data "$WORK/bsbm.nt" -addr "$ADDR" \
+    -max-inflight 8 -max-queue 256 -adaptive-target 50ms 2>"$WORK/serve.log" &
+SERVE_PID=$!
+i=0
+until "$WORK/ntga-run" -health "$ADDR" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "daemon never became healthy; log:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "daemon died; log:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.2
+done
+
+echo "== HTTP replay against the daemon, verify on"
+"$WORK/ntga-loadgen" -server "$ADDR" -requests 200 -clients 8 \
+    -cold 0.2 -trace-seed 13 -verify -json >"$WORK/http.json"
+grep -q '"diffs":0' "$WORK/http.json" || {
+    echo "HTTP replay reported diffs: $(cat "$WORK/http.json")" >&2
+    exit 1
+}
+grep -q '"ok":200' "$WORK/http.json" || {
+    echo "HTTP replay did not answer all 200 requests: $(cat "$WORK/http.json")" >&2
+    exit 1
+}
+
+echo "== daemon metrics expose the adaptive admission policy and queue waits"
+METRICS="$(curl -sf "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '"policy": *"adaptive"' || {
+    echo "metrics missing adaptive admission policy: $METRICS" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '"queue_wait"' || {
+    echo "metrics missing queue_wait rollup: $METRICS" >&2
+    exit 1
+}
+
+echo "loadgen-smoke: OK"
