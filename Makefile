@@ -1,13 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke bench-trace
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke partition-smoke bench-trace
 
 all: build check test
 
 # Fast gate for every change: formatting, vet, and a race pass over the
 # packages with real concurrency (the MR engine, the simulated DFS, the
-# query daemon, and the RPC cluster — the latter in -short mode; the full
-# cross-transport parity sweep runs with the ordinary test suite).
+# query daemon, and the RPC cluster — the latter in -short mode, which
+# still includes the seeded network-chaos and partition-recovery tests;
+# the full cross-transport parity sweep runs with the ordinary test suite).
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -58,6 +59,14 @@ serve-smoke:
 # local ntga-run over the same data.
 dist-smoke:
 	sh scripts/dist_smoke.sh
+
+# End-to-end partition-tolerance smoke test: boot ntga-master + two
+# ntga-worker processes (one behind the seeded chaos transport), cut the
+# worker↔master edge mid-query and assert recovery with local-identical
+# output, then kill -9 the master, restart it, and assert both workers
+# re-register and answer queries again (scripts/partition_smoke.sh).
+partition-smoke:
+	sh scripts/partition_smoke.sh
 
 # End-to-end load-harness smoke test: replay a short seeded Zipf trace
 # in-process and over HTTP (against a daemon running adaptive admission),

@@ -411,6 +411,8 @@ func clusterStatus(addr string) {
 	fmt.Printf("master %s: %d triples, dataset %s\n", addr, st.Triples, st.DatasetVersion)
 	fmt.Printf("workers: %d alive / %d registered, workers_lost=%d, active_queries=%d, tasks_dispatched=%d\n",
 		alive, len(st.Workers), st.WorkersLost, st.ActiveQueries, st.TasksDispatched)
+	fmt.Printf("transport: rpc_retries=%d redials=%d fetch_transient_retries=%d worker_reregistrations=%d\n",
+		st.RPCRetries, st.Redials, st.FetchTransientRetries, st.WorkerReregistrations)
 	for _, w := range st.Workers {
 		state := "alive"
 		if !w.Alive {

@@ -43,6 +43,8 @@ func main() {
 		splitRecs = flag.Int("split-records", 0, "records per map split (0 = default 8192)")
 		clusterAd = flag.String("cluster", "", "distributed mode: execute queries on the ntga-master at this RPC address (must serve the same -data file)")
 		adaptive  = flag.Duration("adaptive-target", 0, "enable p95-adaptive admission steering the queue-wait p95 to this target (0 = fixed max-inflight+max-queue window)")
+		fallback  = flag.Bool("local-fallback", false, "distributed mode: when the master is unreachable, serve queries on the in-process engine (byte-identical rows) instead of answering 503")
+		probe     = flag.Duration("probe-every", 0, "distributed mode: probe the master's health on this interval so /healthz reflects a lost master between requests (0 = on-demand scrapes only)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,8 @@ func main() {
 		Reducers:           *reducers,
 		SortBufferBytes:    *sortBuf,
 		SplitRecords:       *splitRecs,
+		LocalFallback:      *fallback,
+		ProbeEvery:         *probe,
 	}
 	if *adaptive > 0 {
 		cfg.Admission = &server.AdmissionConfig{TargetQueueWait: *adaptive}
@@ -97,6 +101,9 @@ func main() {
 	mode := "local"
 	if *clusterAd != "" {
 		mode = "distributed via " + *clusterAd
+		if *fallback {
+			mode += ", local fallback armed"
+		}
 	}
 	fmt.Fprintf(os.Stderr, "ntga-serve: %d triples loaded, listening on http://%s (%s, slots map=%d reduce=%d, inflight=%d queue=%d)\n",
 		srv.Snapshot().Triples, ln.Addr(), mode, *mapSlots, *redSlots, *inflight, *queue)

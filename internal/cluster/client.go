@@ -2,62 +2,85 @@ package cluster
 
 import (
 	"context"
-	"net/rpc"
+	"fmt"
+
+	"ntga/internal/mapreduce"
 )
 
+// ErrMasterLost marks a front-end call that could not reach the master (or
+// lost it mid-call): the cluster substrate is unavailable, not the query
+// wrong. It wraps mapreduce.ErrClusterUnavailable so servers can match the
+// whole family with errors.Is and degrade — 503 the request, or fall back
+// to local execution — instead of reporting a query failure.
+var ErrMasterLost = fmt.Errorf("cluster: master lost: %w", mapreduce.ErrClusterUnavailable)
+
 // Client is a front-end connection to a master: query submission and
-// cluster status, used by ntga-run -cluster and ntga-serve -cluster.
+// cluster status, used by ntga-run -cluster and ntga-serve -cluster. The
+// underlying connection re-dials lazily, so a client outlives master
+// restarts and healed partitions.
 type Client struct {
-	c    *rpc.Client
+	rc   *rclient
 	addr string
 }
 
 // Dial connects to the master at addr (nil transport defaults to TCP).
+// Dialing is verified eagerly so a bad address fails here, but the returned
+// client re-dials on demand after any later connection loss.
 func Dial(tr Transport, addr string) (*Client, error) {
+	return DialRetry(tr, addr, RetryPolicy{})
+}
+
+// DialRetry is Dial with an explicit retry policy for Status (and the
+// re-dial backoff of all calls).
+func DialRetry(tr Transport, addr string, pol RetryPolicy) (*Client, error) {
 	if tr == nil {
 		tr = TCP()
 	}
-	c, err := dialRPC(tr, addr)
-	if err != nil {
+	rc := newRClient(tr, addr, pol, nil)
+	if _, err := rc.conn(); err != nil {
 		return nil, err
 	}
-	return &Client{c: c, addr: addr}, nil
+	return &Client{rc: rc, addr: addr}, nil
 }
 
 // Addr is the master address this client dialed.
 func (c *Client) Addr() string { return c.addr }
 
-// Run submits a query and waits for the result. A cancelled context
-// abandons the wait client-side; the master also enforces args.TimeoutMS
-// on its own clock, so pass the deadline there to stop the actual work.
+// Stats reports the transport-recovery counters this client has absorbed:
+// retried calls and re-dials after connection loss.
+func (c *Client) Stats() (retries, redials int64) { return c.rc.Stats() }
+
+// Run submits a query and waits for the result. Submission is never
+// replayed blindly — a query is not idempotent from out here (the master
+// would run it twice) — so a broken wire before or during the call maps to
+// ErrMasterLost and the caller decides (the serve layer turns it into 503 +
+// Retry-After, or a local fallback). A cancelled context abandons the wait
+// client-side; the master also enforces args.TimeoutMS on its own clock, so
+// pass the deadline there to stop the actual work.
 func (c *Client) Run(ctx context.Context, args *RunArgs) (*RunReply, error) {
 	reply := new(RunReply)
-	call := c.c.Go("Master.Run", args, reply, make(chan *rpc.Call, 1))
-	select {
-	case <-ctx.Done():
-		return nil, context.Cause(ctx)
-	case <-call.Done:
-	}
-	if call.Error != nil {
-		return nil, call.Error
+	if err := c.rc.CallNoRetry(ctx, "Master.Run", args, reply); err != nil {
+		if isTransportErr(err) {
+			return nil, fmt.Errorf("%w: %v", ErrMasterLost, err)
+		}
+		return nil, err
 	}
 	return reply, nil
 }
 
-// Status fetches the master's cluster snapshot.
+// Status fetches the master's cluster snapshot, retrying transient
+// transport failures (status is idempotent). Exhausted retries map to
+// ErrMasterLost — the health prober's "down" signal.
 func (c *Client) Status(ctx context.Context) (*StatusReply, error) {
 	reply := new(StatusReply)
-	call := c.c.Go("Master.Status", &StatusArgs{}, reply, make(chan *rpc.Call, 1))
-	select {
-	case <-ctx.Done():
-		return nil, context.Cause(ctx)
-	case <-call.Done:
-	}
-	if call.Error != nil {
-		return nil, call.Error
+	if err := c.rc.Call(ctx, "Master.Status", &StatusArgs{}, reply); err != nil {
+		if isTransportErr(err) {
+			return nil, fmt.Errorf("%w: %v", ErrMasterLost, err)
+		}
+		return nil, err
 	}
 	return reply, nil
 }
 
 // Close tears down the connection.
-func (c *Client) Close() { c.c.Close() }
+func (c *Client) Close() { c.rc.Close() }

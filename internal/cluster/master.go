@@ -103,6 +103,11 @@ type workerState struct {
 	lastBeat    time.Time
 	tasksDone   int64
 	tasksFailed int64
+	// Transport-recovery totals shipped in heartbeats. Cumulative on the
+	// worker and max-merged here (heartbeats can arrive out of order).
+	rpcRetries   int64
+	redials      int64
+	fetchRetries int64
 }
 
 // queryState tracks one in-flight query: its rebuild spec (shipped inside
@@ -181,6 +186,7 @@ type Master struct {
 	triples int64
 
 	ln     net.Listener
+	conns  *connSet
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -193,6 +199,7 @@ type Master struct {
 	jobSeq          int64
 	workersLost     int64
 	tasksDispatched int64
+	reregistrations int64
 }
 
 // NewMaster builds a coordinator over the given graph: the triples are
@@ -229,12 +236,13 @@ func (m *Master) Serve(addr string) error {
 		return err
 	}
 	m.ln = ln
+	m.conns = newConnSet()
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Master", &masterRPC{m}); err != nil {
 		ln.Close()
 		return err
 	}
-	go serveRPC(srv, ln)
+	go serveRPCTracked(srv, ln, m.conns)
 	go m.sweeper()
 	return nil
 }
@@ -242,12 +250,17 @@ func (m *Master) Serve(addr string) error {
 // Addr is the bound RPC address (valid after Serve).
 func (m *Master) Addr() string { return m.ln.Addr().String() }
 
-// Close stops the master: in-flight jobs fail, the sweeper exits, and the
-// listener closes.
+// Close stops the master like a process death: in-flight jobs fail, the
+// sweeper exits, the listener closes, and every accepted connection is
+// severed — workers and front-ends see transport errors immediately instead
+// of talking to a ghost over surviving pipes.
 func (m *Master) Close() {
 	m.cancel()
 	if m.ln != nil {
 		m.ln.Close()
+	}
+	if m.conns != nil {
+		m.conns.closeAll()
 	}
 }
 
@@ -368,16 +381,41 @@ type masterRPC struct {
 func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
 	m := r.m
 	m.mu.Lock()
-	m.workerSeq++
-	w := &workerState{
-		id:          m.workerSeq,
-		addr:        args.Addr,
-		mapSlots:    args.MapSlots,
-		reduceSlots: args.ReduceSlots,
-		alive:       true,
-		lastBeat:    time.Now(),
+	var w *workerState
+	if args.PrevWorker != 0 {
+		m.reregistrations++
+		// A returning worker after a healed partition: revive the existing
+		// record in place — same ID, so slots are not double-counted and its
+		// committed map outputs stay addressed. Busy counters were zeroed
+		// when the sweep declared it dead; if the sweep never fired (the
+		// partition healed fast), the leases it still holds settle normally.
+		// The address must match: a restarted master reassigns ids from 1,
+		// so another returning worker's stale id could otherwise collide
+		// with — and silently steal — a freshly created record.
+		if prev := m.workers[args.PrevWorker]; prev != nil && prev.addr == args.Addr {
+			w = prev
+		}
 	}
-	m.workers[w.id] = w
+	if w != nil {
+		w.addr = args.Addr
+		w.mapSlots = args.MapSlots
+		w.reduceSlots = args.ReduceSlots
+		w.alive = true
+		w.lastBeat = time.Now()
+	} else {
+		// First registration — or a PrevWorker this master does not know
+		// (it restarted and lost its fleet table): assign a fresh ID.
+		m.workerSeq++
+		w = &workerState{
+			id:          m.workerSeq,
+			addr:        args.Addr,
+			mapSlots:    args.MapSlots,
+			reduceSlots: args.ReduceSlots,
+			alive:       true,
+			lastBeat:    time.Now(),
+		}
+		m.workers[w.id] = w
+	}
 	m.mu.Unlock()
 
 	terms := make([]rdf.Term, 0, m.dict.Len())
@@ -408,6 +446,15 @@ func (r *masterRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error 
 	// target is fine — just mark it alive again.
 	if !w.alive {
 		w.alive = true
+	}
+	if args.RPCRetries > w.rpcRetries {
+		w.rpcRetries = args.RPCRetries
+	}
+	if args.Redials > w.redials {
+		w.redials = args.Redials
+	}
+	if args.FetchRetries > w.fetchRetries {
+		w.fetchRetries = args.FetchRetries
 	}
 	for qid := range m.queries {
 		reply.LiveQueries = append(reply.LiveQueries, qid)
@@ -713,13 +760,17 @@ func (m *Master) Status() StatusReply {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := StatusReply{
-		Triples:         m.triples,
-		DatasetVersion:  m.version,
-		WorkersLost:     m.workersLost,
-		ActiveQueries:   len(m.queries),
-		TasksDispatched: m.tasksDispatched,
+		Triples:               m.triples,
+		DatasetVersion:        m.version,
+		WorkersLost:           m.workersLost,
+		ActiveQueries:         len(m.queries),
+		TasksDispatched:       m.tasksDispatched,
+		WorkerReregistrations: m.reregistrations,
 	}
 	for _, w := range m.workers {
+		st.RPCRetries += w.rpcRetries
+		st.Redials += w.redials
+		st.FetchTransientRetries += w.fetchRetries
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID:              w.id,
 			Addr:            w.addr,

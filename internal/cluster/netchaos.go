@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file extends the PR-3 fault model to the wire: where
+// mapreduce.FaultPlan fires failures inside task phases, NetFaultPlan fires
+// them inside RPC connections — refused dials, injected latency, and
+// connections severed mid-message — plus *directed partitions* that cut
+// whole edges of the master/worker topology, exactly the failures a real
+// network serves a long-lived cluster. Like the task-level plan, every
+// injection is a seeded fnv64a draw over a per-edge checkpoint sequence, so
+// a given (plan, topology, call sequence) replays the same chaos.
+
+// NetFaultPlan is a deterministic network chaos schedule. Rates are
+// per-checkpoint probabilities: DropRate is drawn once per dial, SeverRate
+// and DelayRate once per message checkpoint (each Write on a chaos
+// connection). A zero plan injects nothing.
+type NetFaultPlan struct {
+	// Seed varies which checkpoints fire.
+	Seed int64
+	// DropRate refuses dials: the connection never establishes.
+	DropRate float64
+	// SeverRate closes an established connection mid-message, so the
+	// in-flight RPC (and everything else multiplexed on the pipe) fails
+	// with a transport error — the ErrShutdown path.
+	SeverRate float64
+	// MaxSevers bounds sever injections (0 = unlimited).
+	MaxSevers int
+	// DelayRate stalls a message by Delay before it is written — transient
+	// slowness a retrying caller must wait out rather than escalate.
+	DelayRate float64
+	Delay     time.Duration
+}
+
+func (p NetFaultPlan) active() bool {
+	return p.DropRate > 0 || p.SeverRate > 0 || (p.DelayRate > 0 && p.Delay > 0)
+}
+
+// netDraw maps a seeded edge checkpoint to [0,1) deterministically, with
+// the same fnv64a generator the task-level FaultPlan uses.
+func netDraw(from, to string, seq int, which string, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%s|%d", from, to, seq, which, seed)
+	return float64(h.Sum64()%100000) / 100000
+}
+
+// edge is one directed (dialer → listener) pair, identified by labels.
+type edge struct {
+	from, to string
+}
+
+// NetChaosStats is a snapshot of what a ChaosNetwork has injected so far.
+type NetChaosStats struct {
+	DroppedDials int64
+	Severed      int64
+	Delayed      int64
+}
+
+// ChaosNetwork is the shared fault surface of one simulated network: every
+// process of a test topology wraps its Transport through the same network,
+// which tracks listener addresses (so a dialed address resolves back to the
+// peer's label), draws the seeded faults per directed edge, and maintains
+// the manual partition set tests and the chaos binaries use to cut edges
+// mid-query. Severing a partitioned edge is immediate: open connections on
+// it are closed, not just future dials refused.
+type ChaosNetwork struct {
+	plan NetFaultPlan
+
+	mu         sync.Mutex
+	labels     map[string]string // listener addr → label
+	seq        map[edge]int      // per-edge checkpoint sequence
+	blocked    map[edge]bool     // manual directed partitions
+	conns      map[*chaosConn]struct{}
+	seversLeft int
+	unlimited  bool
+	stats      NetChaosStats
+}
+
+// NewChaosNetwork builds the shared fault surface for one topology.
+func NewChaosNetwork(plan NetFaultPlan) *ChaosNetwork {
+	return &ChaosNetwork{
+		plan:       plan,
+		labels:     make(map[string]string),
+		seq:        make(map[edge]int),
+		blocked:    make(map[edge]bool),
+		conns:      make(map[*chaosConn]struct{}),
+		seversLeft: plan.MaxSevers,
+		unlimited:  plan.MaxSevers == 0,
+	}
+}
+
+// Stats snapshots the injection counters.
+func (n *ChaosNetwork) Stats() NetChaosStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Transport wraps an inner transport (nil = TCP) for the process labeled
+// label. Listeners register their bound address so peers dialing it resolve
+// the label; dials from this transport draw faults on the (label → peer)
+// edge.
+func (n *ChaosNetwork) Transport(label string, inner Transport) Transport {
+	if inner == nil {
+		inner = TCP()
+	}
+	return &chaosTransport{net: n, label: label, inner: inner}
+}
+
+// Partition cuts the directed edge from → to: dials are refused and open
+// connections on the edge are severed immediately. Labels are the ones
+// given to Transport; an unregistered peer is addressed by its dial
+// address. PartitionBoth cuts both directions.
+func (n *ChaosNetwork) Partition(from, to string) {
+	n.mu.Lock()
+	n.blocked[edge{from, to}] = true
+	var victims []*chaosConn
+	for c := range n.conns {
+		if c.from == from && c.to == to {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Conn.Close()
+	}
+}
+
+// Heal reopens the directed edge from → to.
+func (n *ChaosNetwork) Heal(from, to string) {
+	n.mu.Lock()
+	delete(n.blocked, edge{from, to})
+	n.mu.Unlock()
+}
+
+// PartitionBoth cuts both directions of an edge.
+func (n *ChaosNetwork) PartitionBoth(a, b string) {
+	n.Partition(a, b)
+	n.Partition(b, a)
+}
+
+// HealBoth reopens both directions of an edge.
+func (n *ChaosNetwork) HealBoth(a, b string) {
+	n.Heal(a, b)
+	n.Heal(b, a)
+}
+
+// Isolate cuts every edge touching label, in both directions — the whole
+// process drops off the network.
+func (n *ChaosNetwork) Isolate(label string) {
+	n.mu.Lock()
+	peers := make(map[string]bool)
+	for _, l := range n.labels {
+		if l != label {
+			peers[l] = true
+		}
+	}
+	for c := range n.conns {
+		if c.from == label {
+			peers[c.to] = true
+		}
+		if c.to == label {
+			peers[c.from] = true
+		}
+	}
+	n.mu.Unlock()
+	for p := range peers {
+		n.PartitionBoth(label, p)
+	}
+}
+
+// Rejoin reopens every edge touching label.
+func (n *ChaosNetwork) Rejoin(label string) {
+	n.mu.Lock()
+	var edges []edge
+	for e := range n.blocked {
+		if e.from == label || e.to == label {
+			edges = append(edges, e)
+		}
+	}
+	n.mu.Unlock()
+	for _, e := range edges {
+		n.Heal(e.from, e.to)
+	}
+}
+
+// labelFor resolves a dialed address to the peer's label (the address
+// itself when the peer never registered a listener — chaos binaries use the
+// master's address as its label this way).
+func (n *ChaosNetwork) labelFor(addr string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.labels[addr]; ok {
+		return l
+	}
+	return addr
+}
+
+func (n *ChaosNetwork) register(addr, label string) {
+	n.mu.Lock()
+	n.labels[addr] = label
+	n.mu.Unlock()
+}
+
+// checkDial draws the dial checkpoint on an edge; a non-nil error means the
+// dial is refused (partitioned or dropped).
+func (n *ChaosNetwork) checkDial(e edge) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.blocked[e] {
+		return fmt.Errorf("cluster: chaos: edge %s -> %s partitioned", e.from, e.to)
+	}
+	if n.plan.DropRate <= 0 {
+		return nil
+	}
+	n.seq[e]++
+	if netDraw(e.from, e.to, n.seq[e], "drop", n.plan.Seed) < n.plan.DropRate {
+		n.stats.DroppedDials++
+		return fmt.Errorf("cluster: chaos: dial %s -> %s dropped", e.from, e.to)
+	}
+	return nil
+}
+
+// checkMessage draws the per-message checkpoint: it returns the delay to
+// impose (0 = none), whether the connection must be severed instead, or a
+// partition error when the edge was cut under the connection.
+func (n *ChaosNetwork) checkMessage(e edge) (delay time.Duration, sever bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.blocked[e] {
+		return 0, false, fmt.Errorf("cluster: chaos: edge %s -> %s partitioned", e.from, e.to)
+	}
+	if !n.plan.active() {
+		return 0, false, nil
+	}
+	n.seq[e]++
+	s := n.seq[e]
+	if n.plan.DelayRate > 0 && n.plan.Delay > 0 &&
+		netDraw(e.from, e.to, s, "delay", n.plan.Seed) < n.plan.DelayRate {
+		delay = n.plan.Delay
+		n.stats.Delayed++
+	}
+	if n.plan.SeverRate > 0 &&
+		netDraw(e.from, e.to, s, "sever", n.plan.Seed) < n.plan.SeverRate &&
+		(n.unlimited || n.seversLeft > 0) {
+		if !n.unlimited {
+			n.seversLeft--
+		}
+		n.stats.Severed++
+		return delay, true, nil
+	}
+	return delay, false, nil
+}
+
+func (n *ChaosNetwork) track(c *chaosConn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *ChaosNetwork) untrack(c *chaosConn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// chaosTransport is one process's view of the chaos network.
+type chaosTransport struct {
+	net   *ChaosNetwork
+	label string
+	inner Transport
+}
+
+func (t *chaosTransport) Listen(addr string) (net.Listener, error) {
+	ln, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.net.register(ln.Addr().String(), t.label)
+	return ln, nil
+}
+
+func (t *chaosTransport) Dial(addr string) (net.Conn, error) {
+	e := edge{from: t.label, to: t.net.labelFor(addr)}
+	if err := t.net.checkDial(e); err != nil {
+		return nil, err
+	}
+	conn, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &chaosConn{Conn: conn, net: t.net, from: e.from, to: e.to}
+	t.net.track(cc)
+	return cc, nil
+}
+
+// chaosConn draws a fault checkpoint per written message. Only writes are
+// checkpointed: every RPC round trip writes on the dialer's conn first, so
+// one side of the pipe drawing is enough to make any call fail, and leaving
+// reads untouched keeps response latency attribution simple.
+type chaosConn struct {
+	net.Conn
+	net      *ChaosNetwork
+	from, to string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	delay, sever, err := c.net.checkMessage(edge{c.from, c.to})
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if sever {
+		c.Close()
+		return 0, fmt.Errorf("cluster: chaos: connection %s -> %s severed", c.from, c.to)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *chaosConn) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if already {
+		return nil
+	}
+	c.net.untrack(c)
+	return c.Conn.Close()
+}

@@ -80,11 +80,17 @@ type TaskSpec struct {
 }
 
 // RegisterArgs announces a worker: the address its Fetch service listens on
-// and how many concurrent tasks of each kind it runs.
+// and how many concurrent tasks of each kind it runs. PrevWorker non-zero
+// marks a *re*-registration after sustained master loss: a master that
+// still remembers the ID revives the existing worker record (same ID, no
+// double-counted slots); a master that does not (it restarted) assigns a
+// fresh ID. Either way the worker keeps its committed map segments
+// servable.
 type RegisterArgs struct {
 	Addr        string
 	MapSlots    int
 	ReduceSlots int
+	PrevWorker  int
 }
 
 // RegisterReply assigns the worker its ID and ships the dataset dictionary
@@ -99,9 +105,16 @@ type RegisterReply struct {
 	LeaseEvery     time.Duration
 }
 
-// HeartbeatArgs is a worker liveness ping.
+// HeartbeatArgs is a worker liveness ping. The counter fields are the
+// worker's cumulative transport-recovery totals (master-link retries,
+// re-dials across master and peer links, and transient shuffle-fetch
+// retries); the master max-merges them per worker — they only grow, and
+// heartbeats can race reports — and sums them into StatusReply.
 type HeartbeatArgs struct {
-	Worker int
+	Worker       int
+	RPCRetries   int64
+	Redials      int64
+	FetchRetries int64
 }
 
 // HeartbeatReply carries the IDs of queries still in flight, so workers can
@@ -239,7 +252,12 @@ type WorkerStatus struct {
 	TasksFailed     int64  `json:"tasks_failed"`
 }
 
-// StatusReply is the master's cluster snapshot.
+// StatusReply is the master's cluster snapshot. The four transport-recovery
+// counters aggregate what the fleet's retrying RPC layer absorbed:
+// RPCRetries/Redials/FetchTransientRetries sum the workers' shipped
+// heartbeat totals, WorkerReregistrations counts re-registrations this
+// master has accepted (returning workers after a healed partition, or a
+// fleet re-joining a restarted master).
 type StatusReply struct {
 	Triples         int64
 	DatasetVersion  string
@@ -247,4 +265,9 @@ type StatusReply struct {
 	WorkersLost     int64
 	ActiveQueries   int
 	TasksDispatched int64
+
+	RPCRetries            int64
+	Redials               int64
+	FetchTransientRetries int64
+	WorkerReregistrations int64
 }

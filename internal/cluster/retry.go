@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The retrying RPC client: net/rpc's Client is fatal-on-break (a severed
+// connection poisons it with ErrShutdown forever), so every long-lived edge
+// of the cluster — worker→master, worker→peer shuffle fetches, and the
+// front-end client — calls through an rclient instead, which re-dials dead
+// connections and retries transport failures with exponential backoff and
+// full jitter under a per-call budget. Server-side method errors (the
+// remote ran the call and said no) are never retried: the wire worked.
+
+// RetryPolicy tunes one rclient's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per call (first attempt included).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential backoff between
+	// attempts; the actual sleep is drawn uniformly from (0, backoff] —
+	// full jitter, so a healed partition is not greeted by a thundering
+	// herd of synchronized retries.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Budget caps one call's total wall clock across attempts (0 = attempts
+	// bound only).
+	Budget time.Duration
+	// Seed makes the jitter reproducible.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
+
+// errClientClosed marks calls abandoned because the owner shut down.
+var errClientClosed = errors.New("cluster: rpc client closed")
+
+// isTransportErr separates wire failures (retryable: the remote may never
+// have seen the call) from everything the remote or the caller said
+// (permanent). net/rpc wraps remote method errors as rpc.ServerError.
+func isTransportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errClientClosed) {
+		return false
+	}
+	return true
+}
+
+// rclient is a re-dialing RPC client for one remote address. Safe for
+// concurrent use; all callers share one connection and any of them dropping
+// it (after a transport error) makes the next attempt re-dial.
+type rclient struct {
+	tr   Transport
+	addr string
+	pol  RetryPolicy
+	done <-chan struct{} // optional owner shutdown signal
+
+	mu     sync.Mutex
+	c      *rpc.Client
+	rng    *rand.Rand
+	dialed bool
+
+	retries atomic.Int64 // attempts beyond the first, across calls
+	redials atomic.Int64 // successful dials beyond the first
+}
+
+func newRClient(tr Transport, addr string, pol RetryPolicy, done <-chan struct{}) *rclient {
+	pol = pol.withDefaults()
+	seed := pol.Seed
+	if seed == 0 {
+		// Unseeded clients must NOT share a jitter stream: synchronized
+		// backoff across a fleet is the thundering herd jitter exists to
+		// break. Tests pin Seed for reproducibility.
+		seed = time.Now().UnixNano()
+	}
+	return &rclient{
+		tr:   tr,
+		addr: addr,
+		pol:  pol,
+		done: done,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats reports the retry/redial counters.
+func (rc *rclient) Stats() (retries, redials int64) {
+	return rc.retries.Load(), rc.redials.Load()
+}
+
+// conn returns the live connection, dialing when there is none.
+func (rc *rclient) conn() (*rpc.Client, error) {
+	rc.mu.Lock()
+	if rc.c != nil {
+		c := rc.c
+		rc.mu.Unlock()
+		return c, nil
+	}
+	rc.mu.Unlock()
+	c, err := dialRPC(rc.tr, rc.addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	if rc.c != nil { // raced with another caller's dial; keep theirs
+		old := rc.c
+		rc.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	rc.c = c
+	if rc.dialed {
+		rc.redials.Add(1)
+	}
+	rc.dialed = true
+	rc.mu.Unlock()
+	return c, nil
+}
+
+// drop forgets a connection after a transport error so the next attempt
+// re-dials instead of reusing a pipe stuck in ErrShutdown.
+func (rc *rclient) drop(c *rpc.Client) {
+	rc.mu.Lock()
+	if rc.c == c {
+		rc.c = nil
+	}
+	rc.mu.Unlock()
+	c.Close()
+}
+
+// Close tears down the current connection; in-flight calls fail.
+func (rc *rclient) Close() {
+	rc.mu.Lock()
+	c := rc.c
+	rc.c = nil
+	rc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// backoff draws the full-jitter sleep before retry number n (0-based).
+func (rc *rclient) backoff(n int) time.Duration {
+	d := rc.pol.BaseBackoff
+	for i := 0; i < n && d < rc.pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rc.pol.MaxBackoff || d <= 0 {
+		d = rc.pol.MaxBackoff
+	}
+	rc.mu.Lock()
+	j := time.Duration(rc.rng.Int63n(int64(d))) + 1
+	rc.mu.Unlock()
+	return j
+}
+
+func (rc *rclient) doneCh() <-chan struct{} {
+	return rc.done // nil channel blocks forever — exactly what "no owner" means
+}
+
+// sleep waits d, abandoning early when the context or the owner dies.
+func (rc *rclient) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-rc.doneCh():
+		return errClientClosed
+	case <-t.C:
+		return nil
+	}
+}
+
+// callOnce performs one attempt: (re)dial if needed, issue the call, wait.
+func (rc *rclient) callOnce(ctx context.Context, method string, args, reply any) error {
+	c, err := rc.conn()
+	if err != nil {
+		return err
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-rc.doneCh():
+		return errClientClosed
+	case <-call.Done:
+	}
+	if call.Error != nil {
+		if isTransportErr(call.Error) {
+			rc.drop(c)
+		}
+		return call.Error
+	}
+	return nil
+}
+
+// call runs the retry loop with an explicit attempt bound.
+func (rc *rclient) call(ctx context.Context, method string, args, reply any, maxAttempts int) error {
+	var deadline time.Time
+	if rc.pol.Budget > 0 {
+		deadline = time.Now().Add(rc.pol.Budget)
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Add(1)
+			if err := rc.sleep(ctx, rc.backoff(attempt-1)); err != nil {
+				return fmt.Errorf("cluster: %s to %s abandoned: %w (last transport error: %v)", method, rc.addr, err, lastErr)
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+		}
+		err := rc.callOnce(ctx, method, args, reply)
+		if err == nil {
+			return nil
+		}
+		if !isTransportErr(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("cluster: %s to %s failed after retries: %w", method, rc.addr, lastErr)
+}
+
+// Call issues method with the policy's full retry budget.
+func (rc *rclient) Call(ctx context.Context, method string, args, reply any) error {
+	return rc.call(ctx, method, args, reply, rc.pol.MaxAttempts)
+}
+
+// CallNoRetry issues method exactly once — for calls whose side effects
+// must not be replayed blindly (query submission: the caller decides what a
+// broken wire means).
+func (rc *rclient) CallNoRetry(ctx context.Context, method string, args, reply any) error {
+	return rc.call(ctx, method, args, reply, 1)
+}

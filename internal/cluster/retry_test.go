@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/rpc"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test retry loops snappy and reproducible.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 1}
+
+func TestRClientRedialsAcrossSeveredConnection(t *testing.T) {
+	n := NewChaosNetwork(NetFaultPlan{})
+	addr := serveEcho(t, n.Transport("srv", nil))
+	rc := newRClient(n.Transport("cli", nil), addr, fastRetry, nil)
+	defer rc.Close()
+
+	call := func(ctx context.Context) error {
+		in, out := "ping", ""
+		return rc.Call(ctx, "Echo.Echo", &in, &out)
+	}
+	if err := call(context.Background()); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+
+	// Cut the edge under the live connection: calls must fail with a
+	// transport error while partitioned (net/rpc would stay poisoned with
+	// ErrShutdown forever).
+	n.Partition("cli", "srv")
+	if err := call(context.Background()); err == nil {
+		t.Fatal("call succeeded across a partition")
+	}
+
+	// Heal: the same client must recover by re-dialing — the whole point
+	// of the retrying layer.
+	n.Heal("cli", "srv")
+	if err := call(context.Background()); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	retries, redials := rc.Stats()
+	if retries == 0 {
+		t.Error("no retries recorded though the partition forced failures")
+	}
+	if redials == 0 {
+		t.Error("no redials recorded though the connection was severed")
+	}
+}
+
+func TestRClientDoesNotRetryServerErrors(t *testing.T) {
+	addr := serveEcho(t, TCP())
+	rc := newRClient(TCP(), addr, fastRetry, nil)
+	defer rc.Close()
+	in, out := "nope", ""
+	err := rc.Call(context.Background(), "Echo.Fail", &in, &out)
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want rpc.ServerError", err)
+	}
+	if retries, _ := rc.Stats(); retries != 0 {
+		t.Errorf("server-side method error was retried %d times; the wire worked", retries)
+	}
+}
+
+func TestRClientContextCancelAborts(t *testing.T) {
+	// Dialing a partitioned edge fails every attempt; a cancelled context
+	// must cut the backoff sleeps short instead of serving the full budget.
+	n := NewChaosNetwork(NetFaultPlan{})
+	addr := serveEcho(t, n.Transport("srv", nil))
+	n.Partition("cli", "srv")
+	pol := fastRetry
+	pol.BaseBackoff = 50 * time.Millisecond
+	pol.MaxBackoff = time.Second
+	rc := newRClient(n.Transport("cli", nil), addr, pol, nil)
+	defer rc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	in, out := "ping", ""
+	err := rc.Call(ctx, "Echo.Echo", &in, &out)
+	if err == nil {
+		t.Fatal("call succeeded across a partition")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("cancelled call still took %v", e)
+	}
+}
+
+func TestRClientTransportErrClassification(t *testing.T) {
+	if isTransportErr(nil) {
+		t.Error("nil classified as transport error")
+	}
+	if isTransportErr(rpc.ServerError("cluster: unknown worker 3")) {
+		t.Error("rpc.ServerError classified as transport error")
+	}
+	if isTransportErr(context.Canceled) || isTransportErr(context.DeadlineExceeded) {
+		t.Error("context errors classified as transport errors")
+	}
+	if !isTransportErr(rpc.ErrShutdown) {
+		t.Error("rpc.ErrShutdown not classified as transport error")
+	}
+	if !isTransportErr(errors.New("read tcp: connection reset by peer")) {
+		t.Error("net error not classified as transport error")
+	}
+}

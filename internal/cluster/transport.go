@@ -3,6 +3,7 @@ package cluster
 import (
 	"net"
 	"net/rpc"
+	"sync"
 	"time"
 )
 
@@ -42,12 +43,75 @@ func (t *tcpTransport) Dial(addr string) (net.Conn, error) {
 // goroutine, so one client connection can keep a long Master.Run call in
 // flight while issuing Status or Lease calls concurrently.
 func serveRPC(srv *rpc.Server, ln net.Listener) {
+	serveRPCTracked(srv, ln, nil)
+}
+
+// connSet tracks a server's accepted connections so Close can sever live
+// pipes, not just refuse new dials: a process that "dies" must stop
+// answering peers whose connections were already established, or the fleet
+// never notices the death (heartbeats would keep succeeding over the old
+// pipe while new dials are refused).
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnSet() *connSet {
+	return &connSet{conns: make(map[net.Conn]struct{})}
+}
+
+// add registers an accepted connection; false means the set is already
+// closed and the connection must not be served.
+func (s *connSet) add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *connSet) remove(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// closeAll severs every tracked connection and refuses future ones.
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// serveRPCTracked is serveRPC with every accepted connection registered in
+// cs (nil cs serves untracked).
+func serveRPCTracked(srv *rpc.Server, ln net.Listener, cs *connSet) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go srv.ServeConn(conn)
+		if cs != nil && !cs.add(conn) {
+			conn.Close()
+			return
+		}
+		go func() {
+			srv.ServeConn(conn)
+			if cs != nil {
+				cs.remove(conn)
+			}
+		}()
 	}
 }
 

@@ -2,10 +2,14 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntga/internal/engine"
@@ -27,6 +31,26 @@ type WorkerConfig struct {
 	// TaskDelay stretches every task by a fixed sleep — a throttle for
 	// fault-injection tests that need time to kill a worker mid-job.
 	TaskDelay time.Duration
+	// Retry shapes every master and peer RPC: re-dial on connection loss,
+	// exponential backoff with full jitter between attempts (zero values
+	// take the rclient defaults).
+	Retry RetryPolicy
+	// FetchRetries is the per-holder attempt budget of one shuffle fetch:
+	// a delayed or flaky holder is retried this many times (with backoff)
+	// before its map output is declared lost and the master re-executes
+	// the map task — the transient-vs-dead-holder distinction (default 3).
+	FetchRetries int
+	// MasterLossThreshold is how many consecutive heartbeat failures
+	// (each already retried per Retry) declare the master lost and start
+	// re-registration (default 3).
+	MasterLossThreshold int
+	// MaxPeerConns bounds the pooled peer (shuffle) connections; beyond
+	// it the least-recently-used peer is evicted and closed (default 4).
+	MaxPeerConns int
+	// PeerIdleTimeout closes pooled peer connections that have not served
+	// a fetch recently, so long-lived workers do not hoard fds across a
+	// large fleet (default 45s).
+	PeerIdleTimeout time.Duration
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -38,6 +62,18 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.ReduceSlots == 0 {
 		c.ReduceSlots = 2
+	}
+	if c.FetchRetries == 0 {
+		c.FetchRetries = 3
+	}
+	if c.MasterLossThreshold == 0 {
+		c.MasterLossThreshold = 3
+	}
+	if c.MaxPeerConns == 0 {
+		c.MaxPeerConns = 4
+	}
+	if c.PeerIdleTimeout == 0 {
+		c.PeerIdleTimeout = 45 * time.Second
 	}
 	return c
 }
@@ -56,28 +92,55 @@ type queryPlan struct {
 	counters *mapreduce.Counters
 }
 
+// peerConn is one pooled shuffle connection with its LRU timestamp.
+type peerConn struct {
+	rc      *rclient
+	lastUse time.Time
+}
+
 // Worker executes leased task attempts against the master's DFS and serves
-// its committed map output to peer workers.
+// its committed map output to peer workers. Its master link is a retrying,
+// re-dialing client: a broken connection (or a partition) is retried with
+// backoff, and after sustained loss the worker re-registers — keeping its
+// committed map segments servable — instead of polling a poisoned pipe
+// forever.
 type Worker struct {
 	cfg        WorkerConfig
 	tr         Transport
 	masterAddr string
-	master     *rpc.Client
-	id         int
-	dict       *rdf.Dict
+	master     *rclient
+	ver        string
 	input      string
-	hbEvery    time.Duration
-	leaseEvery time.Duration
 
 	ln     net.Listener
+	conns  *connSet
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu    sync.Mutex
-	plans map[string]*queryPlan
-	outs  map[outKey][][]mapreduce.KV
-	peers map[string]*rpc.Client
+	mu         sync.Mutex
+	id         int
+	dict       *rdf.Dict
+	hbEvery    time.Duration
+	leaseEvery time.Duration
+	plans      map[string]*queryPlan
+	outs       map[outKey][][]mapreduce.KV
+	peers      map[string]*peerConn
+	// retiredPeerRetries/-Redials carry evicted peers' counters forward so
+	// the heartbeat totals never go backwards.
+	retiredPeerRetries int64
+	retiredPeerRedials int64
+	fatalErr           error
+
+	// regMu single-flights re-registration across the loops that notice
+	// master loss; lastRereg debounces the burst of executors that all hit
+	// "unknown worker" against one restarted master.
+	regMu     sync.Mutex
+	lastRereg time.Time
+	reregs    atomic.Int64
+
+	jmu sync.Mutex
+	rng *rand.Rand
 }
 
 // NewWorker prepares a worker that will register with the master at
@@ -87,6 +150,10 @@ func NewWorker(cfg WorkerConfig, tr Transport, masterAddr string) *Worker {
 		tr = TCP()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &Worker{
 		cfg:        cfg.withDefaults(),
 		tr:         tr,
@@ -95,7 +162,8 @@ func NewWorker(cfg WorkerConfig, tr Transport, masterAddr string) *Worker {
 		cancel:     cancel,
 		plans:      make(map[string]*queryPlan),
 		outs:       make(map[outKey][][]mapreduce.KV),
-		peers:      make(map[string]*rpc.Client),
+		peers:      make(map[string]*peerConn),
+		rng:        rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -108,27 +176,20 @@ func (w *Worker) Start() error {
 		return err
 	}
 	w.ln = ln
-	mc, err := dialRPC(w.tr, w.masterAddr)
-	if err != nil {
-		ln.Close()
-		return fmt.Errorf("cluster: dialing master %s: %w", w.masterAddr, err)
-	}
-	w.master = mc
+	w.master = newRClient(w.tr, w.masterAddr, w.cfg.Retry, w.ctx.Done())
 	var reply RegisterReply
-	err = mc.Call("Master.Register", &RegisterArgs{
+	err = w.master.Call(context.Background(), "Master.Register", &RegisterArgs{
 		Addr:        ln.Addr().String(),
 		MapSlots:    w.cfg.MapSlots,
 		ReduceSlots: w.cfg.ReduceSlots,
 	}, &reply)
 	if err != nil {
-		mc.Close()
+		w.master.Close()
 		ln.Close()
-		return fmt.Errorf("cluster: registering with master: %w", err)
+		return fmt.Errorf("cluster: registering with master %s: %w", w.masterAddr, err)
 	}
-	w.id = reply.Worker
+	w.ver = reply.DatasetVersion
 	w.input = reply.Input
-	w.hbEvery = reply.HeartbeatEvery
-	w.leaseEvery = reply.LeaseEvery
 	// Re-encoding the terms in shipped (ID) order reproduces the master's
 	// IDs exactly; freezing catches any accidental divergence loudly.
 	dict := rdf.NewDict()
@@ -136,15 +197,21 @@ func (w *Worker) Start() error {
 		dict.Encode(t)
 	}
 	dict.Freeze()
+	w.mu.Lock()
+	w.id = reply.Worker
 	w.dict = dict
+	w.hbEvery = reply.HeartbeatEvery
+	w.leaseEvery = reply.LeaseEvery
+	w.mu.Unlock()
 
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", &workerRPC{w}); err != nil {
-		mc.Close()
+		w.master.Close()
 		ln.Close()
 		return err
 	}
-	go serveRPC(srv, ln)
+	w.conns = newConnSet()
+	go serveRPCTracked(srv, ln, w.conns)
 	w.wg.Add(1)
 	go w.heartbeatLoop()
 	for i := 0; i < w.cfg.MapSlots; i++ {
@@ -158,11 +225,27 @@ func (w *Worker) Start() error {
 	return nil
 }
 
-// ID is the master-assigned worker ID (valid after Start).
-func (w *Worker) ID() int { return w.id }
+// ID is the master-assigned worker ID (valid after Start; it can change if
+// the worker re-registers with a restarted master).
+func (w *Worker) ID() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
 
 // Addr is the worker's bound Fetch address (valid after Start).
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Err reports why the worker gave up permanently (nil while healthy) —
+// e.g. a re-registration that found the master serving a different dataset.
+func (w *Worker) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fatalErr
+}
+
+// Reregistrations counts successful re-registrations after master loss.
+func (w *Worker) Reregistrations() int64 { return w.reregs.Load() }
 
 // Close tears the worker down abruptly — the "kill -9" of the simulated
 // cluster: loops stop, the Fetch listener closes, and every open RPC client
@@ -173,38 +256,172 @@ func (w *Worker) Close() {
 	if w.ln != nil {
 		w.ln.Close()
 	}
+	if w.conns != nil {
+		w.conns.closeAll()
+	}
 	if w.master != nil {
 		w.master.Close()
 	}
 	w.mu.Lock()
 	peers := w.peers
-	w.peers = make(map[string]*rpc.Client)
+	w.peers = make(map[string]*peerConn)
 	w.mu.Unlock()
-	for _, c := range peers {
-		c.Close()
+	for _, pc := range peers {
+		pc.rc.Close()
 	}
 }
 
 // Wait blocks until the worker's loops have exited (after Close, or after
-// the master became permanently unreachable).
+// the worker failed permanently).
 func (w *Worker) Wait() { w.wg.Wait() }
+
+func (w *Worker) fail(err error) {
+	w.mu.Lock()
+	if w.fatalErr == nil {
+		w.fatalErr = err
+	}
+	w.mu.Unlock()
+	w.cancel()
+}
+
+// jitter draws a wait uniformly from [d/2, 3d/2): the mean stays d, but a
+// fleet of workers that all lost (and regained) the master at the same
+// instant spreads its polls instead of thundering onto it in lockstep.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	w.jmu.Lock()
+	j := w.rng.Int63n(int64(d))
+	w.jmu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+func (w *Worker) wid() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) leaseWait() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.leaseEvery
+}
+
+func (w *Worker) hbWait() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hbEvery
+}
+
+// isUnknownWorker spots the master's "who are you?" — a master that
+// restarted (or swept this worker away) answers method calls but does not
+// recognize the ID; the only fix is re-registration, not retry.
+func isUnknownWorker(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), "unknown worker")
+}
+
+// heartbeatArgs snapshots the worker's transport-recovery counters for the
+// master's fleet-wide rollup.
+func (w *Worker) heartbeatArgs() *HeartbeatArgs {
+	mret, mred := w.master.Stats()
+	pret, pred := w.peerStats()
+	return &HeartbeatArgs{
+		Worker:       w.wid(),
+		RPCRetries:   mret + pret,
+		Redials:      mred + pred,
+		FetchRetries: pret,
+	}
+}
+
+// peerStats sums live and retired peer-link counters.
+func (w *Worker) peerStats() (retries, redials int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	retries, redials = w.retiredPeerRetries, w.retiredPeerRedials
+	for _, pc := range w.peers {
+		ret, red := pc.rc.Stats()
+		retries += ret
+		redials += red
+	}
+	return retries, redials
+}
 
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
-	t := time.NewTicker(w.hbEvery)
-	defer t.Stop()
+	misses := 0
 	for {
 		select {
 		case <-w.ctx.Done():
 			return
-		case <-t.C:
-			var reply HeartbeatReply
-			if err := w.master.Call("Master.Heartbeat", &HeartbeatArgs{Worker: w.id}, &reply); err != nil {
-				continue // master unreachable; keep trying until closed
-			}
-			w.prune(reply.LiveQueries)
+		case <-time.After(w.jitter(w.hbWait())):
 		}
+		var reply HeartbeatReply
+		err := w.master.Call(context.Background(), "Master.Heartbeat", w.heartbeatArgs(), &reply)
+		switch {
+		case err == nil:
+			misses = 0
+			w.prune(reply.LiveQueries)
+		case isUnknownWorker(err):
+			if w.reregister() {
+				misses = 0
+			}
+		default:
+			misses++
+			if misses >= w.cfg.MasterLossThreshold {
+				// Sustained loss: the connection-level retries inside each
+				// Call are exhausted too, so stop pinging a ghost and win
+				// the master back via registration.
+				if w.reregister() {
+					misses = 0
+				}
+			}
+		}
+		w.evictIdlePeers(time.Now())
 	}
+}
+
+// reregister re-dials the master and registers again, announcing the
+// previous ID so a surviving master revives the same worker record (no
+// double-counted slots) while a restarted one issues a fresh ID. Committed
+// map segments stay servable either way; a master serving a *different*
+// dataset is fatal — the worker's dictionary would silently mean different
+// terms. Returns true on success.
+func (w *Worker) reregister() bool {
+	w.regMu.Lock()
+	defer w.regMu.Unlock()
+	if w.ctx.Err() != nil {
+		return false
+	}
+	if time.Since(w.lastRereg) < w.hbWait() {
+		// Another loop just re-registered; the caller's failure predates it.
+		return true
+	}
+	var reply RegisterReply
+	err := w.master.Call(context.Background(), "Master.Register", &RegisterArgs{
+		Addr:        w.ln.Addr().String(),
+		MapSlots:    w.cfg.MapSlots,
+		ReduceSlots: w.cfg.ReduceSlots,
+		PrevWorker:  w.wid(),
+	}, &reply)
+	if err != nil {
+		return false
+	}
+	if reply.DatasetVersion != w.ver {
+		w.fail(fmt.Errorf("cluster: master %s now serves dataset %s, this worker registered against %s; shutting down",
+			w.masterAddr, reply.DatasetVersion, w.ver))
+		return false
+	}
+	w.mu.Lock()
+	w.id = reply.Worker
+	w.hbEvery = reply.HeartbeatEvery
+	w.leaseEvery = reply.LeaseEvery
+	w.mu.Unlock()
+	w.lastRereg = time.Now()
+	w.reregs.Add(1)
+	return true
 }
 
 // prune drops cached plans and map outputs of queries the master no longer
@@ -237,12 +454,15 @@ func (w *Worker) executor(kind string) {
 			return
 		}
 		var reply LeaseReply
-		err := w.master.Call("Master.Lease", &LeaseArgs{Worker: w.id, Kind: kind}, &reply)
+		err := w.master.Call(context.Background(), "Master.Lease", &LeaseArgs{Worker: w.wid(), Kind: kind}, &reply)
+		if err != nil && isUnknownWorker(err) {
+			w.reregister()
+		}
 		if err != nil || reply.Task == nil {
 			select {
 			case <-w.ctx.Done():
 				return
-			case <-time.After(w.leaseEvery):
+			case <-time.After(w.jitter(w.leaseWait())):
 			}
 			continue
 		}
@@ -251,8 +471,10 @@ func (w *Worker) executor(kind string) {
 }
 
 // fetchError carries the map tasks whose output a reduce attempt could not
-// retrieve, so the report triggers map re-execution rather than a blind
-// retry against the same dead holder.
+// retrieve — after the per-holder retry budget, so only sustained
+// unavailability (not one delayed packet) escalates — and the report
+// triggers map re-execution rather than a blind retry against the same
+// dead holder.
 type fetchError struct {
 	lost []int
 }
@@ -273,7 +495,7 @@ func (w *Worker) execute(ts *TaskSpec) {
 	}
 	start := time.Now()
 	rep := &ReportArgs{
-		Worker:  w.id,
+		Worker:  w.wid(),
 		QueryID: ts.QueryID,
 		JobID:   ts.JobID,
 		Kind:    ts.Kind,
@@ -296,7 +518,8 @@ func (w *Worker) execute(ts *TaskSpec) {
 		rep.Counters = qp.counters.Snapshot()
 	}
 	var ack ReportReply
-	w.master.Call("Master.Report", rep, &ack) // a lost report re-queues via lease expiry
+	// A lost report re-queues via lease expiry.
+	w.master.Call(context.Background(), "Master.Report", rep, &ack)
 }
 
 func (w *Worker) planCached(qid string) *queryPlan {
@@ -464,7 +687,7 @@ func (w *Worker) runTask(ts *TaskSpec, rep *ReportArgs) error {
 // (a retried task re-charges its re-read).
 func (w *Worker) readSplit(sp SplitSpec) ([][]byte, error) {
 	var reply ReadRangeReply
-	if err := w.master.Call("Master.ReadRange", &ReadRangeArgs{Name: sp.Input, Off: sp.Off, N: sp.N}, &reply); err != nil {
+	if err := w.master.Call(context.Background(), "Master.ReadRange", &ReadRangeArgs{Name: sp.Input, Off: sp.Off, N: sp.N}, &reply); err != nil {
 		return nil, fmt.Errorf("cluster: reading split %s[%d:+%d]: %w", sp.Input, sp.Off, sp.N, err)
 	}
 	return reply.Records, nil
@@ -472,10 +695,13 @@ func (w *Worker) readSplit(sp SplitSpec) ([][]byte, error) {
 
 // fetchMap retrieves one map task's segment for this reduce partition —
 // from the local store when this worker ran the map, otherwise over the
-// transport from the holder.
+// transport from the holder. Remote fetches retry transient transport
+// failures FetchRetries times (with backoff and re-dial) before giving up;
+// a holder that *answers* but has no output (it restarted, or pruned the
+// query) fails immediately — retrying cannot conjure the segment back.
 func (w *Worker) fetchMap(ts *TaskSpec, ml MapLoc) ([]mapreduce.KV, error) {
 	key := outKey{ts.QueryID, ts.JobID, ml.Task}
-	if ml.Worker == w.id {
+	if ml.Worker == w.wid() {
 		w.mu.Lock()
 		parts := w.outs[key]
 		w.mu.Unlock()
@@ -484,55 +710,96 @@ func (w *Worker) fetchMap(ts *TaskSpec, ml MapLoc) ([]mapreduce.KV, error) {
 		}
 		return nil, fmt.Errorf("cluster: own map output for task %d missing", ml.Task)
 	}
-	peer, err := w.peer(ml.Addr)
-	if err != nil {
-		return nil, err
-	}
+	peer := w.peer(ml.Addr)
 	var reply FetchReply
-	err = peer.Call("Worker.Fetch", &FetchArgs{
+	err := peer.Call(context.Background(), "Worker.Fetch", &FetchArgs{
 		QueryID:   ts.QueryID,
 		JobID:     ts.JobID,
 		Task:      ml.Task,
 		Partition: ts.Partition,
 	}, &reply)
 	if err != nil {
-		w.dropPeer(ml.Addr, peer)
 		return nil, err
 	}
 	return reply.KVs, nil
 }
 
-func (w *Worker) peer(addr string) (*rpc.Client, error) {
+// peer returns the pooled retrying client for a holder address, dialing
+// lazily and evicting the least-recently-used peer beyond MaxPeerConns.
+func (w *Worker) peer(addr string) *rclient {
+	now := time.Now()
 	w.mu.Lock()
-	c := w.peers[addr]
-	w.mu.Unlock()
-	if c != nil {
-		return c, nil
-	}
-	c, err := dialRPC(w.tr, addr)
-	if err != nil {
-		return nil, err
-	}
-	w.mu.Lock()
-	if old := w.peers[addr]; old != nil {
+	if pc, ok := w.peers[addr]; ok {
+		pc.lastUse = now
+		rc := pc.rc
 		w.mu.Unlock()
-		c.Close()
-		return old, nil
+		return rc
 	}
-	w.peers[addr] = c
+	pol := w.cfg.Retry
+	pol.MaxAttempts = w.cfg.FetchRetries
+	rc := newRClient(w.tr, addr, pol, w.ctx.Done())
+	w.peers[addr] = &peerConn{rc: rc, lastUse: now}
+	evicted := w.evictPeersLocked(addr)
 	w.mu.Unlock()
-	return c, nil
+	for _, pc := range evicted {
+		pc.rc.Close()
+	}
+	return rc
 }
 
-// dropPeer forgets a cached connection after a failed call, so the next
-// fetch against the same address redials instead of reusing a dead pipe.
-func (w *Worker) dropPeer(addr string, c *rpc.Client) {
+// evictPeersLocked trims the pool to MaxPeerConns, least-recently-used
+// first, never evicting keep. Callers close the returned peers outside the
+// lock; their counters are folded into the retired totals here.
+func (w *Worker) evictPeersLocked(keep string) []*peerConn {
+	var evicted []*peerConn
+	for len(w.peers) > w.cfg.MaxPeerConns {
+		oldest := ""
+		for a, pc := range w.peers {
+			if a == keep {
+				continue
+			}
+			if oldest == "" || pc.lastUse.Before(w.peers[oldest].lastUse) {
+				oldest = a
+			}
+		}
+		if oldest == "" {
+			break
+		}
+		pc := w.peers[oldest]
+		delete(w.peers, oldest)
+		ret, red := pc.rc.Stats()
+		w.retiredPeerRetries += ret
+		w.retiredPeerRedials += red
+		evicted = append(evicted, pc)
+	}
+	return evicted
+}
+
+// evictIdlePeers closes pooled peer connections idle past the timeout —
+// the fd-leak fix for long-lived workers that have fetched from many peers.
+func (w *Worker) evictIdlePeers(now time.Time) {
+	var idle []*peerConn
 	w.mu.Lock()
-	if w.peers[addr] == c {
-		delete(w.peers, addr)
+	for a, pc := range w.peers {
+		if now.Sub(pc.lastUse) > w.cfg.PeerIdleTimeout {
+			delete(w.peers, a)
+			ret, red := pc.rc.Stats()
+			w.retiredPeerRetries += ret
+			w.retiredPeerRedials += red
+			idle = append(idle, pc)
+		}
 	}
 	w.mu.Unlock()
-	c.Close()
+	for _, pc := range idle {
+		pc.rc.Close()
+	}
+}
+
+// PeerConns reports the pooled peer connections (tests assert the bound).
+func (w *Worker) PeerConns() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.peers)
 }
 
 // workerRPC is the worker's shuffle service.
@@ -545,9 +812,10 @@ func (r *workerRPC) Fetch(args *FetchArgs, reply *FetchReply) error {
 	w := r.w
 	w.mu.Lock()
 	parts := w.outs[outKey{args.QueryID, args.JobID, args.Task}]
+	id := w.id
 	w.mu.Unlock()
 	if parts == nil {
-		return fmt.Errorf("cluster: worker %d has no output for job %d task %d", w.id, args.JobID, args.Task)
+		return fmt.Errorf("cluster: worker %d has no output for job %d task %d", id, args.JobID, args.Task)
 	}
 	if args.Partition < 0 || args.Partition >= len(parts) {
 		return fmt.Errorf("cluster: partition %d out of range (%d)", args.Partition, len(parts))

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,15 @@ import (
 	"ntga/internal/hdfs"
 	"ntga/internal/trace"
 )
+
+// ErrClusterUnavailable marks execution failures where the substrate the
+// engine runs on — a remote coordinator, its worker fleet — is unreachable,
+// rather than the job itself being at fault. Remote Cluster implementations
+// wrap it (e.g. cluster.ErrMasterLost) so callers up the stack can
+// distinguish "the network ate my cluster" (retry later, degrade, fall back
+// to local execution) from a genuinely failed query. The in-process
+// LocalCluster never returns it.
+var ErrClusterUnavailable = errors.New("mapreduce: cluster unavailable")
 
 // Cluster is the execution substrate a mapreduce Engine runs on. The engine
 // itself owns job semantics — split planning, the attempt/commit protocol,

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ntga/internal/enginetest"
+)
+
+// A distributed server that loses its master must degrade in a typed,
+// observable way: Evaluate returns ErrUnavailable, HTTP serves 503 with a
+// Retry-After hint, the HTTP client rebuilds the typed error from the
+// status, and /healthz walks the ladder to "down".
+func TestMasterLossServes503AndHealthDown(t *testing.T) {
+	g := enginetest.BioGraph()
+	m, _, cc := startServerCluster(t, g)
+	dist := newTestServer(t, Config{Reducers: 4, Cluster: cc})
+
+	ctx := context.Background()
+	req := Request{Query: twoStarQuery, Engine: "ntga-lazy", NoCache: true}
+	if _, err := dist.Evaluate(ctx, req); err != nil {
+		t.Fatalf("evaluate with a live cluster: %v", err)
+	}
+
+	ts := httptest.NewServer(dist.Handler())
+	defer ts.Close()
+	hc := NewClient(ts.URL)
+	if h, err := hc.Health(ctx); err != nil || h.Status != HealthOK {
+		t.Fatalf("pre-loss health = %+v, %v", h, err)
+	}
+
+	// Kill the master. Close severs accepted connections too, so the loss is
+	// process-death realistic: no surviving pipe keeps answering.
+	m.Close()
+
+	// The in-process API must fail typed: the 503 family, not a generic 500.
+	_, err := dist.Evaluate(ctx, req)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("evaluate after master loss: err = %v, want ErrUnavailable", err)
+	}
+
+	// Over raw HTTP: 503 with the shared table's Retry-After hint.
+	body, _ := json.Marshal(req)
+	hresp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", hresp.StatusCode)
+	}
+	if ra := hresp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want %q", ra, "2")
+	}
+
+	// The HTTP client must rebuild the typed error from the status, so
+	// errors.Is works identically against local and remote servers.
+	if _, err := hc.Query(ctx, req); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("client query after master loss: err = %v, want ErrUnavailable", err)
+	}
+
+	// The failed evaluates and healthz's own scrape both feed the ladder:
+	// it must read "down" with at least one recorded transition.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Health returns both the body and a non-nil "unhealthy" error when
+		// the ladder is off ok; the body is what the probe asserts on.
+		h, herr := hc.Health(ctx)
+		if h != nil && h.Status == HealthDown {
+			if herr == nil {
+				t.Error("client Health returned nil error for a down service")
+			}
+			if h.HealthTransitions == 0 {
+				t.Error("health transitions = 0 after ok -> down")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reached down: %+v, %v", h, herr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// With LocalFallback armed, losing the master must not lose the query: the
+// in-process engine serves byte-identical rows, the response is marked, the
+// fallback counter moves, and the degraded path leaks neither temp files
+// nor goroutines.
+func TestLocalFallbackServesIdenticalRows(t *testing.T) {
+	g := enginetest.BioGraph()
+	m, _, cc := startServerCluster(t, g)
+	local := newTestServer(t, Config{Reducers: 4})
+	dist := newTestServer(t, Config{Reducers: 4, Cluster: cc, LocalFallback: true})
+
+	ctx := context.Background()
+	req := Request{Query: twoStarQuery, Engine: "ntga-lazy", NoCache: true}
+	lresp, err := local.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := dist.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatalf("distributed evaluate: %v", err)
+	}
+	if dresp.Fallback {
+		t.Error("healthy cluster evaluate marked Fallback")
+	}
+
+	m.Close()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	fresp, err := dist.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatalf("fallback evaluate: %v", err)
+	}
+	if !fresp.Fallback {
+		t.Error("fallback response not marked Fallback")
+	}
+	if !reflect.DeepEqual(lresp.Header, fresp.Header) || !reflect.DeepEqual(lresp.Rows, fresp.Rows) {
+		t.Errorf("fallback rows diverge from local:\nlocal    %v %v\nfallback %v %v",
+			lresp.Header, lresp.Rows, fresp.Header, fresp.Rows)
+	}
+	if lresp.TotalRows != fresp.TotalRows {
+		t.Errorf("fallback total rows = %d, want %d", fresp.TotalRows, lresp.TotalRows)
+	}
+	if fresp.Cycles == 0 {
+		t.Error("fallback ran zero MR cycles; it should have executed locally")
+	}
+
+	snap := dist.Snapshot()
+	if snap.Cluster.LocalFallbacks < 1 {
+		t.Errorf("LocalFallbacks = %d, want >= 1", snap.Cluster.LocalFallbacks)
+	}
+	if snap.Cluster.Health != HealthDown {
+		t.Errorf("cluster health = %q, want %q", snap.Cluster.Health, HealthDown)
+	}
+	if snap.TempFiles != 0 {
+		t.Errorf("%d temp files remain after fallback, want 0", snap.TempFiles)
+	}
+
+	// The degraded path must wind down cleanly: no stray task or retry
+	// goroutines survive the fallback run.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The result cache was populated by the fallback run: cached answers
+	// keep flowing without touching the dead cluster.
+	hit, err := dist.Evaluate(ctx, Request{Query: twoStarQuery, Engine: "ntga-lazy"})
+	if err != nil || hit.Cache != "hit" {
+		t.Fatalf("post-fallback cached evaluate = (%+v, %v), want hit", hit, err)
+	}
+}

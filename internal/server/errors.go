@@ -11,19 +11,32 @@ import (
 // away before the response": context.Canceled maps here.
 const StatusClientClosedRequest = 499
 
+// ErrUnavailable is the serve-path face of a lost distributed substrate:
+// the master (or its fleet) is unreachable, so the query could not run —
+// but the condition is environmental and retryable, not the query's fault.
+// The HTTP layer maps it to 503 with a Retry-After; it wraps
+// mapreduce.ErrClusterUnavailable's family (cluster.ErrMasterLost) at the
+// evaluate seam.
+var ErrUnavailable = errors.New("server: cluster unavailable")
+
 // errorStatuses is the single typed-error ↔ HTTP status table both sides of
-// the wire share: the handler walks it to pick a status code, and the
-// client walks it backwards to rebuild a typed error, so errors.Is works
-// identically against a local Server and a remote one. Order matters only
-// for errors that wrap each other; first match wins.
+// the wire share: the handler walks it to pick a status code (and a
+// Retry-After hint for the retryable ones), and the client walks it
+// backwards to rebuild a typed error, so errors.Is works identically
+// against a local Server and a remote one. Order matters only for errors
+// that wrap each other; first match wins.
 var errorStatuses = []struct {
 	err  error
 	code int
+	// retryAfter, in seconds, is sent as the Retry-After header when > 0 —
+	// the statuses that mean "the service is fine, just not right now".
+	retryAfter int
 }{
-	{ErrOverloaded, http.StatusTooManyRequests},
-	{ErrBadQuery, http.StatusBadRequest},
-	{context.DeadlineExceeded, http.StatusGatewayTimeout},
-	{context.Canceled, StatusClientClosedRequest},
+	{ErrOverloaded, http.StatusTooManyRequests, 1},
+	{ErrBadQuery, http.StatusBadRequest, 0},
+	{ErrUnavailable, http.StatusServiceUnavailable, 2},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout, 0},
+	{context.Canceled, StatusClientClosedRequest, 0},
 }
 
 // statusForError maps an Evaluate/Submit error to its HTTP status.
@@ -34,6 +47,16 @@ func statusForError(err error) int {
 		}
 	}
 	return http.StatusInternalServerError
+}
+
+// retryAfterSeconds reports the Retry-After hint for a status (0 = none).
+func retryAfterSeconds(code int) int {
+	for _, e := range errorStatuses {
+		if e.code == code {
+			return e.retryAfter
+		}
+	}
+	return 0
 }
 
 // errorForStatus rebuilds the typed error a status code stands for, keeping

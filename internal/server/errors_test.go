@@ -18,6 +18,8 @@ func TestErrorStatusRoundTrip(t *testing.T) {
 	}{
 		{"overloaded", ErrOverloaded, http.StatusTooManyRequests},
 		{"bad query", ErrBadQuery, http.StatusBadRequest},
+		{"unavailable", ErrUnavailable, http.StatusServiceUnavailable},
+		{"wrapped unavailable", fmt.Errorf("%w: master lost", ErrUnavailable), http.StatusServiceUnavailable},
 		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{"canceled", context.Canceled, StatusClientClosedRequest},
 		{"wrapped overloaded", fmt.Errorf("tenant x: %w", ErrOverloaded), http.StatusTooManyRequests},
@@ -42,5 +44,15 @@ func TestErrorStatusRoundTrip(t *testing.T) {
 	}
 	if err := errorForStatus(http.StatusTeapot, "odd"); err == nil || errors.Is(err, ErrBadQuery) {
 		t.Errorf("unmapped status must give an untyped error, got %v", err)
+	}
+	// Retry-After hints travel only on the "try again soon" statuses.
+	if retryAfterSeconds(http.StatusServiceUnavailable) != 2 {
+		t.Error("503 lost its Retry-After hint")
+	}
+	if retryAfterSeconds(http.StatusTooManyRequests) != 1 {
+		t.Error("429 lost its Retry-After hint")
+	}
+	if retryAfterSeconds(http.StatusBadRequest) != 0 {
+		t.Error("400 grew a Retry-After hint")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the service's HTTP API:
@@ -61,9 +62,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
-// Health is the GET /healthz body. Status is "ok", or "degraded" when the
-// service answers but its distributed substrate is impaired (no workers
-// registered, some workers dead, or the master unreachable).
+// Health is the GET /healthz body. Status is the health ladder: "ok",
+// "degraded" when the service answers but its worker fleet is impaired (no
+// workers registered, or some dead), or "down" when the distributed master
+// itself is unreachable — the state where queries 503 or run the local
+// fallback.
 type Health struct {
 	Status         string `json:"status"`
 	Mode           string `json:"mode"`
@@ -73,21 +76,25 @@ type Health struct {
 	// Worker liveness (distributed mode only).
 	WorkersAlive      int `json:"workers_alive,omitempty"`
 	WorkersRegistered int `json:"workers_registered,omitempty"`
+	// StatusHeldMS is how long the ladder has sat in Status;
+	// HealthTransitions counts ladder moves since startup.
+	StatusHeldMS      int64 `json:"status_held_ms,omitempty"`
+	HealthTransitions int64 `json:"health_transitions,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	cm := s.clusterMetrics()
+	cm := s.clusterMetrics() // doubles as a probe: feeds the ladder
+	state, held, transitions := s.health.snapshot()
 	h := Health{
-		Status:            "ok",
+		Status:            state,
 		Mode:              cm.Mode,
 		Triples:           s.triples,
 		DatasetVersion:    s.datasetVersion,
 		UptimeMS:          s.Snapshot().UptimeMS,
 		WorkersAlive:      cm.WorkersAlive,
 		WorkersRegistered: cm.WorkersRegistered,
-	}
-	if cm.Mode == "distributed" && (cm.Error != "" || cm.WorkersAlive == 0 || cm.WorkersAlive < cm.WorkersRegistered) {
-		h.Status = "degraded"
+		StatusHeldMS:      held.Milliseconds(),
+		HealthTransitions: transitions,
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -101,5 +108,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusForError(err), map[string]string{"error": err.Error()})
+	code := statusForError(err)
+	// Retry-After travels on the statuses that mean "try again soon"
+	// (503 cluster-unavailable, 429 shed) — headers must precede the body.
+	if ra := retryAfterSeconds(code); ra > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

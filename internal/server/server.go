@@ -88,6 +88,20 @@ type Config struct {
 	// startup that the master serves the same dataset (content-hash
 	// handshake), so row IDs and caches stay valid.
 	Cluster *cluster.Client
+	// LocalFallback arms the serve-path degradation endgame: a query that
+	// cannot reach the cluster (master lost at submit or mid-flight)
+	// transparently re-runs on the in-process engine over the server's own
+	// copy of the dataset — same plan, byte-identical rows — instead of
+	// failing with 503. The server always loads the dataset locally (the
+	// dictionary and catalog need it), so the fallback costs no extra
+	// memory; it only trades the fleet's parallelism for availability.
+	LocalFallback bool
+	// ProbeEvery, in distributed mode, starts a background prober that
+	// scrapes the master's status on this interval and walks the health
+	// ladder (ok → degraded → down) between requests; 0 relies on
+	// on-demand scrapes (each /healthz, /metrics, and failed cluster
+	// query also feeds the ladder).
+	ProbeEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +170,10 @@ type Server struct {
 
 	jobs *jobRegistry
 
+	// health is the server's position on the cluster health ladder
+	// (always "ok" in local mode).
+	health *healthTracker
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	started time.Time
@@ -167,6 +185,7 @@ type Server struct {
 	mShed      atomic.Int64
 	mCycles    atomic.Int64
 	mReclaimed atomic.Int64
+	mFallbacks atomic.Int64
 }
 
 // New builds a server over the given graph: loads the triple relation into
@@ -223,11 +242,30 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 		admission:      ctrl,
 		queueWaits:     newQueueWaits(),
 		jobs:           newJobRegistry(),
+		health:         newHealthTracker(),
 		baseCtx:        ctx,
 		stop:           cancel,
 		started:        time.Now(),
 	}
+	if cfg.Cluster != nil && cfg.ProbeEvery > 0 {
+		go s.prober(cfg.ProbeEvery)
+	}
 	return s, nil
+}
+
+// prober walks the health ladder on a clock, so /healthz reflects a lost
+// master even between requests. It dies with the server's base context.
+func (s *Server) prober(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.clusterMetrics()
+		}
+	}
 }
 
 // Close cancels every in-flight query's base context.
@@ -318,6 +356,10 @@ type Response struct {
 	DurationMS         int64  `json:"duration_ms"`
 	JoinOrder          []int  `json:"join_order,omitempty"`
 	Tenant             string `json:"tenant,omitempty"`
+
+	// Fallback marks a distributed request that lost the cluster and was
+	// served by the in-process engine instead (Config.LocalFallback).
+	Fallback bool `json:"fallback,omitempty"`
 
 	Jobs     []JobSummary `json:"jobs,omitempty"`
 	Timeline string       `json:"timeline,omitempty"`
@@ -446,17 +488,42 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 
 	if s.cfg.Cluster != nil {
 		resp2, err := s.evaluateCluster(ctx, req, q, entry, resp, resultKey, start)
-		if err != nil {
+		if err == nil {
+			s.mSucceeded.Add(1)
+			return resp2, nil
+		}
+		if !errors.Is(err, mapreduce.ErrClusterUnavailable) {
 			s.mFailed.Add(1)
 			return resp2, err
 		}
-		s.mSucceeded.Add(1)
-		return resp2, nil
+		// The substrate is gone, not the query: record the direct evidence
+		// on the health ladder, then degrade — 503 + Retry-After, or (with
+		// the fallback armed) run the exact same plan on the in-process
+		// engine over the server's own copy of the dataset.
+		s.health.observe(HealthDown)
+		if !s.cfg.LocalFallback {
+			s.mFailed.Add(1)
+			return resp2, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.mFallbacks.Add(1)
+		resp.Fallback = true
 	}
 
-	eng, err := engineByName(entry.EngineName, entry.PhiM)
+	resp2, err := s.evaluateLocal(ctx, req, q, entry, resp, resultKey, start)
 	if err != nil {
 		s.mFailed.Add(1)
+		return resp2, err
+	}
+	s.mSucceeded.Add(1)
+	return resp2, nil
+}
+
+// evaluateLocal runs the planned query on the in-process engine — the
+// local-mode execution path, and the byte-identical fallback a distributed
+// server degrades to when the fleet is unreachable.
+func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, resultKey string, start time.Time) (*Response, error) {
+	eng, err := engineByName(entry.EngineName, entry.PhiM)
+	if err != nil {
 		return nil, err
 	}
 	tracer := s.cfg.Tracer
@@ -504,7 +571,6 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		resp.Timeline = trace.Timeline(tracer.Roots())
 	}
 	if err != nil {
-		s.mFailed.Add(1)
 		return resp, err
 	}
 
@@ -513,7 +579,6 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 	resp.Engine = res.Engine
 	s.renderRows(resp, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
-	s.mSucceeded.Add(1)
 	return resp, nil
 }
 
@@ -743,6 +808,10 @@ type ClusterMetrics struct {
 	// Mode is "local" (in-process engine over the simulated DFS) or
 	// "distributed" (shipped to an ntga-master's worker fleet).
 	Mode string `json:"mode"`
+	// Health is the ladder state this scrape lands on: "ok", "degraded"
+	// (fleet impaired), or "down" (master unreachable). Local mode is
+	// always "ok".
+	Health string `json:"health"`
 	// Local mode: simulated DFS data nodes.
 	NodesAlive int `json:"nodes_alive,omitempty"`
 	NodesTotal int `json:"nodes_total,omitempty"`
@@ -754,6 +823,16 @@ type ClusterMetrics struct {
 	ActiveQueries     int                    `json:"active_queries,omitempty"`
 	TasksDispatched   int64                  `json:"tasks_dispatched,omitempty"`
 	Workers           []cluster.WorkerStatus `json:"workers,omitempty"`
+	// Transport-recovery rollup: retries and re-dials the retrying RPC
+	// layer absorbed (fleet totals from worker heartbeats plus this
+	// server's own master link), transient shuffle-fetch retries, worker
+	// re-registrations the master accepted, and queries this server served
+	// via the local fallback after losing the cluster.
+	RPCRetries            int64 `json:"rpc_retries,omitempty"`
+	Redials               int64 `json:"redials,omitempty"`
+	FetchTransientRetries int64 `json:"fetch_transient_retries,omitempty"`
+	WorkerReregistrations int64 `json:"worker_reregistrations,omitempty"`
+	LocalFallbacks        int64 `json:"local_fallbacks,omitempty"`
 	// Error reports a failed status scrape (master unreachable).
 	Error string `json:"error,omitempty"`
 }
@@ -796,21 +875,27 @@ func (s *Server) Snapshot() Metrics {
 }
 
 // clusterMetrics scrapes the execution substrate: DFS node liveness in
-// local mode, the master's worker table in distributed mode.
+// local mode, the master's worker table in distributed mode. Every scrape
+// feeds the health ladder, so /metrics and /healthz double as probes.
 func (s *Server) clusterMetrics() ClusterMetrics {
 	if s.cfg.Cluster == nil {
 		return ClusterMetrics{
 			Mode:       "local",
+			Health:     HealthOK,
 			NodesAlive: s.dfs.AliveNodes(),
 			NodesTotal: s.dfs.Config().Nodes,
 		}
 	}
 	cm := ClusterMetrics{Mode: "distributed", MasterAddr: s.cfg.Cluster.Addr()}
+	cm.LocalFallbacks = s.mFallbacks.Load()
+	cm.RPCRetries, cm.Redials = s.cfg.Cluster.Stats()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	st, err := s.cfg.Cluster.Status(ctx)
 	if err != nil {
 		cm.Error = err.Error()
+		cm.Health = healthOf(cm)
+		s.health.observe(cm.Health)
 		return cm
 	}
 	cm.WorkersRegistered = len(st.Workers)
@@ -823,6 +908,12 @@ func (s *Server) clusterMetrics() ClusterMetrics {
 	cm.ActiveQueries = st.ActiveQueries
 	cm.TasksDispatched = st.TasksDispatched
 	cm.Workers = st.Workers
+	cm.RPCRetries += st.RPCRetries
+	cm.Redials += st.Redials
+	cm.FetchTransientRetries = st.FetchTransientRetries
+	cm.WorkerReregistrations = st.WorkerReregistrations
+	cm.Health = healthOf(cm)
+	s.health.observe(cm.Health)
 	return cm
 }
 
