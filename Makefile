@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke partition-smoke bench-trace
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke partition-smoke partition-layout-smoke bench-trace bench-partition
 
 all: build check test
 
@@ -15,7 +15,7 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go vet ./...
-	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/ ./internal/workload/
+	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/ ./internal/workload/ ./internal/core/hash64/
 	go test -race -short ./internal/cluster/
 	go test ./internal/plan/ ./internal/explain/
 
@@ -67,6 +67,21 @@ dist-smoke:
 # re-register and answer queries again (scripts/partition_smoke.sh).
 partition-smoke:
 	sh scripts/partition_smoke.sh
+
+# End-to-end bucketed-layout smoke test: run a repeat-joined O-S chain
+# query flat and with -partition-buckets (loader builds the hash-of-subject
+# layout, the planner rewrites onto the map-only path), assert the
+# partitioned workflow shuffled zero bytes, and byte-diff the sorted rows
+# against the flat run (scripts/partition_layout_smoke.sh).
+partition-layout-smoke:
+	sh scripts/partition_layout_smoke.sh
+
+# Regenerate BENCH_partition.json (the persisted flat-vs-bucketed layout
+# comparison) at the current commit; fails if any cell lost its
+# zero-shuffle property or regressed its partitioned shuffle volume more
+# than 20% against the previously checked-in document.
+bench-partition:
+	sh scripts/bench_partition.sh
 
 # End-to-end load-harness smoke test: replay a short seeded Zipf trace
 # in-process and over HTTP (against a daemon running adaptive admission),

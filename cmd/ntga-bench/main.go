@@ -115,6 +115,36 @@ func handleTraceDoc(doc *bench.TraceDoc, outPath, baselinePath string) error {
 	return gateErr
 }
 
+// handlePartitionDoc persists and/or baseline-gates the layout comparison:
+// -partition-baseline fails when a cell lost its zero-shuffle property or
+// regressed its partitioned shuffle volume by >20%, -partition-out writes
+// the fresh document (after the gate, like the trace flow).
+func handlePartitionDoc(doc *bench.PartitionDoc, outPath, baselinePath string) error {
+	var gateErr error
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		var baseline bench.PartitionDoc
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+		gateErr = bench.ComparePartitionBaseline(&baseline, doc, 0.20)
+	}
+	if outPath != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ntga-bench: wrote partition layout comparison to %s\n", outPath)
+	}
+	return gateErr
+}
+
 func main() {
 	var (
 		fig           = flag.String("fig", "all", "experiment id (see -list) or 'all'")
@@ -124,7 +154,9 @@ func main() {
 		asJSON        = flag.Bool("json", false, "emit per-figure JSON with estimated vs actual cycles and shuffle bytes")
 		traceOut      = flag.String("trace-out", "", "with -fig trace: write the serve-latency trajectory document to this file")
 		traceBaseline = flag.String("trace-baseline", "", "with -fig trace: compare the fresh trajectory against this baseline document and fail on a >20% p95 regression")
-		commit        = flag.String("commit", "", "commit id stamped into -trace-out (e.g. $(git rev-parse --short HEAD))")
+		partOut       = flag.String("partition-out", "", "with -fig partition: write the layout comparison document to this file")
+		partBaseline  = flag.String("partition-baseline", "", "with -fig partition: compare against this baseline document and fail on lost zero-shuffle cells or a >20% shuffle regression")
+		commit        = flag.String("commit", "", "commit id stamped into -trace-out / -partition-out (e.g. $(git rev-parse --short HEAD))")
 	)
 	flag.Parse()
 
@@ -154,6 +186,16 @@ func main() {
 				doc.Commit = *commit
 				if derr := handleTraceDoc(doc, *traceOut, *traceBaseline); derr != nil {
 					fmt.Fprintf(os.Stderr, "ntga-bench: trace: %v\n", derr)
+					failed = true
+				}
+			}
+		} else if id == "partition" && (*partOut != "" || *partBaseline != "") {
+			var doc *bench.PartitionDoc
+			rep, doc, err = bench.PartitionResult(opt)
+			if err == nil {
+				doc.Commit = *commit
+				if derr := handlePartitionDoc(doc, *partOut, *partBaseline); derr != nil {
+					fmt.Fprintf(os.Stderr, "ntga-bench: partition: %v\n", derr)
 					failed = true
 				}
 			}

@@ -40,6 +40,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the plan and cost estimates as JSON")
 		optimize  = flag.Bool("optimize", false, "reorder inter-star joins by estimated selectivity before planning")
 		analyze   = flag.Bool("analyze", false, "also execute the query per engine and report estimated vs actual costs (needs -data)")
+		partBkts  = flag.Int("partition-buckets", 0, "plan (and with -analyze, run) over a hash-of-subject layout with this many buckets (0 = flat)")
 	)
 	flag.Parse()
 
@@ -106,8 +107,23 @@ func main() {
 		}
 	}
 
+	// The partitioned view: plans are priced as if the input were the
+	// hash-of-subject bucketed layout. With -stats there is no dataset
+	// version; the layout identity still determines the plan shape.
+	var part *plan.Partitioning
+	if *partBkts > 0 {
+		version := ""
+		if g != nil {
+			version = g.Version()
+		}
+		part, err = plan.NewPartitioning(plan.PartitionKeySubject, *partBkts, "part/T", version)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if *analyze {
-		runs, err := explain.Analyze(cat, g, q, explain.Engines())
+		runs, err := explain.AnalyzePartitioned(cat, g, q, *partBkts, explain.Engines())
 		if err != nil {
 			fatal(err)
 		}
@@ -124,7 +140,7 @@ func main() {
 		return
 	}
 
-	costs := explain.ForQuery(cat, q, explain.Engines())
+	costs := explain.ForQueryPartitioned(cat, q, part, explain.Engines())
 	if *jsonOut {
 		s, err := explain.RenderJSON(costs)
 		if err != nil {

@@ -28,6 +28,7 @@ func main() {
 		reducers = flag.Int("reducers", 0, "default reduce partitions per job (0 = engine default)")
 		split    = flag.Int("split-records", 0, "default records per map split (0 = engine default)")
 		engName  = flag.String("engine", "", "default engine for queries that do not name one")
+		partBkts = flag.Int("partition-buckets", 0, "build the hash-of-subject partitioned layout at boot and run queries over it (0 = flat)")
 	)
 	flag.Parse()
 
@@ -45,11 +46,12 @@ func main() {
 	}
 
 	m, err := cluster.NewMaster(cluster.MasterConfig{
-		Nodes:         *nodes,
-		Replication:   *rep,
-		Reducers:      *reducers,
-		SplitRecords:  *split,
-		DefaultEngine: *engName,
+		Nodes:            *nodes,
+		Replication:      *rep,
+		Reducers:         *reducers,
+		SplitRecords:     *split,
+		DefaultEngine:    *engName,
+		PartitionBuckets: *partBkts,
 	}, g)
 	if err != nil {
 		fatal(err)

@@ -59,6 +59,9 @@ func main() {
 		clStatus  = flag.Bool("cluster-status", false, "distributed mode: print the master's cluster status and exit")
 		reducers  = flag.Int("reducers", 0, "reduce partitions per job (0 = engine default)")
 		splitRecs = flag.Int("split-records", 0, "records per map split (0 = engine default)")
+		partBkts  = flag.Int("partition-buckets", 0, "build the hash-of-subject partitioned layout with this many buckets and run the query over it (0 = flat); in -cluster mode, 0 keeps the master's default")
+		partOut   = flag.String("partition-out", "part/T", "DFS directory for the partitioned layout (with -partition-buckets)")
+		noPart    = flag.Bool("no-partition", false, "cluster mode: force the flat plan even when the master holds a partitioned layout")
 	)
 	flag.Parse()
 
@@ -71,7 +74,7 @@ func main() {
 			clusterStatus(*clusterAd)
 			return
 		}
-		runCluster(*clusterAd, *inline, *queryFile, *engName, *phiM, *reducers, *splitRecs, *metrics, *limit)
+		runCluster(*clusterAd, *inline, *queryFile, *engName, *phiM, *reducers, *splitRecs, *metrics, *limit, *noPart)
 		return
 	}
 	if *serverURL != "" {
@@ -191,7 +194,24 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "stats: wrote %s (also persisted to DFS data/catalog)\n", *statsOut)
 		}
-		res, err := eng.Run(mr, q, "data/triples")
+		var part *plan.Partitioning
+		if *partBkts > 0 {
+			// Loader mode: one shuffle job writes the bucketed layout, then
+			// the query runs map-only over it. Reloading through the manifest
+			// exercises the production path — a stale or missing layout
+			// degrades to the flat plan with a warning instead of failing.
+			if _, err := plan.BuildPartitionLayout(mr, "data/triples", *partOut, *partBkts, g.Version()); err != nil {
+				fatal(err)
+			}
+			part, err = plan.LoadPartitioning(mr.DFS(), *partOut, g.Version())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "partition: layout %s unusable (%v); falling back to the shuffle path\n", *partOut, err)
+				part = nil
+			} else {
+				fmt.Fprintf(os.Stderr, "partition: built layout %s (%s)\n", *partOut, part)
+			}
+		}
+		res, err := engine.RunMaybePartitioned(eng, mr, q, "data/triples", part)
 		if tracer != nil {
 			// Export whatever spans were recorded even on failure — a trace
 			// of a failed workflow is exactly when you want the profile.
@@ -338,7 +358,7 @@ func parseFaults(s string) (*mapreduce.FaultPlan, int, error) {
 
 // runCluster submits the query to a running ntga-master and prints the
 // master-rendered rows exactly as a local run would print its own.
-func runCluster(addr, inline, queryFile, engName string, phiM, reducers, splitRecords int, metrics bool, limit int) {
+func runCluster(addr, inline, queryFile, engName string, phiM, reducers, splitRecords int, metrics bool, limit int, noPartition bool) {
 	src := inline
 	if src == "" {
 		if queryFile == "" {
@@ -361,6 +381,7 @@ func runCluster(addr, inline, queryFile, engName string, phiM, reducers, splitRe
 		PhiM:         phiM,
 		Reducers:     reducers,
 		SplitRecords: splitRecords,
+		NoPartition:  noPartition,
 	})
 	if err != nil {
 		fatal(err)
@@ -413,6 +434,7 @@ func clusterStatus(addr string) {
 		alive, len(st.Workers), st.WorkersLost, st.ActiveQueries, st.TasksDispatched)
 	fmt.Printf("transport: rpc_retries=%d redials=%d fetch_transient_retries=%d worker_reregistrations=%d\n",
 		st.RPCRetries, st.Redials, st.FetchTransientRetries, st.WorkerReregistrations)
+	fmt.Printf("scheduler: affine_leases=%d\n", st.AffineLeases)
 	for _, w := range st.Workers {
 		state := "alive"
 		if !w.Alive {

@@ -78,6 +78,7 @@ var figureRunners = map[string]func(Options) (*Report, error){
 	"abl-select": AblationSelectivity,
 	"abl-share":  AblationScanSharing,
 	"abl-sort":   AblationSortBuffer,
+	"partition":  PartitionFigure,
 	"serve":      ServeFigure,
 	"trace":      TraceFigure,
 }

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPartitionFigurePattern pins the layout experiment's headline claim:
+// on the repeat-joined subject-hash workload, the NTGA engine's partitioned
+// runs of the O-S chains move zero shuffle bytes while the flat runs of the
+// same queries do not, and Hive's star cycles go map-only without ever
+// shuffling more than its flat run.
+func TestPartitionFigurePattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rep, doc, err := PartitionResult(Options{Scale: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "partition" || len(doc.Rows) != len(partitionWorkload)*2 {
+		t.Fatalf("report %q with %d rows, want partition with %d", rep.ID, len(doc.Rows), len(partitionWorkload)*2)
+	}
+	zeroShuffle := map[string]bool{"Q1a": true, "B0": true, "B1": true, "B5": true}
+	for _, r := range doc.Rows {
+		if r.Rows == 0 {
+			t.Errorf("%s/%s returned no rows; cell is vacuous", r.Query, r.Engine)
+		}
+		if r.FlatShuffleBytes == 0 {
+			t.Errorf("%s/%s flat run moved no shuffle bytes; cell is vacuous", r.Query, r.Engine)
+		}
+		if r.MapOnlyJobs == 0 {
+			t.Errorf("%s/%s partitioned run has no map-only cycles", r.Query, r.Engine)
+		}
+		if r.PartShuffleBytes > r.FlatShuffleBytes {
+			t.Errorf("%s/%s partitioned shuffled MORE than flat (%d vs %d)",
+				r.Query, r.Engine, r.PartShuffleBytes, r.FlatShuffleBytes)
+		}
+		if strings.HasPrefix(r.Engine, "NTGA") && zeroShuffle[r.Query] && r.PartShuffleBytes != 0 {
+			t.Errorf("%s/%s partitioned shuffle = %d bytes, want 0", r.Query, r.Engine, r.PartShuffleBytes)
+		}
+	}
+}
+
+func TestComparePartitionBaseline(t *testing.T) {
+	base := &PartitionDoc{Commit: "aaa", Rows: []PartitionRow{
+		{Query: "Q1a", Engine: "NTGA-Lazy", PartShuffleBytes: 0},
+		{Query: "B7", Engine: "Hive", PartShuffleBytes: 1000},
+	}}
+	ok := &PartitionDoc{Rows: []PartitionRow{
+		{Query: "Q1a", Engine: "NTGA-Lazy", PartShuffleBytes: 0},
+		{Query: "B7", Engine: "Hive", PartShuffleBytes: 1100},
+		{Query: "new", Engine: "Hive", PartShuffleBytes: 99999}, // unmatched cells are ignored
+	}}
+	if err := ComparePartitionBaseline(base, ok, 0.20); err != nil {
+		t.Errorf("within-tolerance doc rejected: %v", err)
+	}
+	lostZero := &PartitionDoc{Rows: []PartitionRow{
+		{Query: "Q1a", Engine: "NTGA-Lazy", PartShuffleBytes: 5},
+	}}
+	if err := ComparePartitionBaseline(base, lostZero, 0.20); err == nil {
+		t.Error("lost zero-shuffle cell accepted")
+	}
+	regressed := &PartitionDoc{Rows: []PartitionRow{
+		{Query: "B7", Engine: "Hive", PartShuffleBytes: 1300},
+	}}
+	if err := ComparePartitionBaseline(base, regressed, 0.20); err == nil {
+		t.Error(">20% shuffle regression accepted")
+	}
+}

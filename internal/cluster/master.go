@@ -29,6 +29,10 @@ type MasterConfig struct {
 	SplitRecords int
 	// DefaultEngine answers RunArgs with an empty engine name.
 	DefaultEngine string
+	// PartitionBuckets, when > 0, makes the master build the partitioned
+	// triple layout at boot (a one-time load job over its own DFS) and run
+	// queries against it by default (RunArgs.NoPartition opts out per query).
+	PartitionBuckets int
 	// LeaseTimeout bounds one task attempt: a lease not reported back in
 	// time is re-queued (the worker may still be alive but stuck).
 	LeaseTimeout time.Duration
@@ -116,6 +120,10 @@ type queryState struct {
 	id       string
 	spec     QuerySpec
 	counters map[int]map[string]int64
+	// bucketHolder remembers, per layout bucket, the worker that last
+	// completed a whole-file task over it in this query — later bucket
+	// jobs of the same query lease those buckets back to it (affinity).
+	bucketHolder map[int]int
 }
 
 // taskState is one task of one job instance.
@@ -142,6 +150,8 @@ type jobState struct {
 	jsp    *trace.Span
 	splits []SplitSpec
 	// mapKind is "map" or "maponly"; nReducers is 0 for map-only jobs.
+	// wholeFile marks bucket-aligned jobs (task index == bucket index).
+	wholeFile bool
 	mapKind   string
 	nReducers int
 	maps      []*taskState
@@ -184,6 +194,7 @@ type Master struct {
 	catalog *plan.Catalog
 	version string
 	triples int64
+	part    *plan.Partitioning
 
 	ln     net.Listener
 	conns  *connSet
@@ -200,6 +211,7 @@ type Master struct {
 	workersLost     int64
 	tasksDispatched int64
 	reregistrations int64
+	affineLeases    int64
 }
 
 // NewMaster builds a coordinator over the given graph: the triples are
@@ -212,6 +224,17 @@ func NewMaster(cfg MasterConfig, g *rdf.Graph) (*Master, error) {
 	if err := engine.LoadGraph(dfs, input, g); err != nil {
 		return nil, fmt.Errorf("cluster: loading graph: %w", err)
 	}
+	var part *plan.Partitioning
+	if cfg.PartitionBuckets > 0 {
+		loadMR := mapreduce.NewEngine(dfs, mapreduce.EngineConfig{
+			DefaultReducers: cfg.Reducers, SplitRecords: cfg.SplitRecords,
+		})
+		var err error
+		part, err = plan.BuildPartitionLayout(loadMR, input, "part/T", cfg.PartitionBuckets, g.Version())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building partition layout: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Master{
 		cfg:     cfg,
@@ -221,6 +244,7 @@ func NewMaster(cfg MasterConfig, g *rdf.Graph) (*Master, error) {
 		catalog: plan.FromGraph(g),
 		version: g.Version(),
 		triples: int64(g.Len()),
+		part:    part,
 		ctx:     ctx,
 		cancel:  cancel,
 		workers: make(map[int]*workerState),
@@ -493,10 +517,7 @@ func (m *Master) leaseLocked(w *workerState, kind string) *TaskSpec {
 		}
 		switch kind {
 		case "map":
-			for i, ts := range js.maps {
-				if ts.done || ts.leased {
-					continue
-				}
+			grant := func(i int, affine bool) *TaskSpec {
 				spec := &TaskSpec{
 					QueryID:     js.qid,
 					Spec:        qs.spec,
@@ -508,8 +529,30 @@ func (m *Master) leaseLocked(w *workerState, kind string) *TaskSpec {
 					JobInputs:   js.job.Inputs,
 					Split:       js.splits[i],
 				}
-				m.grantLocked(js, ts, w, js.mapKind, spec, i, i)
+				if i < len(js.job.TaskSideInputs) {
+					spec.SideInput = js.job.TaskSideInputs[i]
+				}
+				m.grantLocked(js, js.maps[i], w, js.mapKind, spec, i, i)
+				if affine {
+					m.affineLeases++
+				}
 				return spec
+			}
+			// Bucket affinity: on bucket-aligned jobs, hand this worker the
+			// pending buckets it already processed earlier in the query
+			// before falling back to an arbitrary pending task.
+			if js.wholeFile {
+				for i, ts := range js.maps {
+					if !ts.done && !ts.leased && qs.bucketHolder[i] == w.id {
+						return grant(i, true)
+					}
+				}
+			}
+			for i, ts := range js.maps {
+				if ts.done || ts.leased {
+					continue
+				}
+				return grant(i, false)
 			}
 		case "reduce":
 			if js.mapKind != "map" || js.mapsDone != len(js.maps) {
@@ -670,6 +713,11 @@ func (m *Master) report(args *ReportArgs) {
 			js.mapsDone++
 			js.mapRecords += args.Records
 			js.mapBytes += args.Bytes
+			if js.wholeFile {
+				if qs := m.queries[js.qid]; qs != nil {
+					qs.bucketHolder[args.Task] = args.Worker
+				}
+			}
 			if js.mapsDone == len(js.maps) {
 				js.settleLocked(nil)
 			}
@@ -766,6 +814,7 @@ func (m *Master) Status() StatusReply {
 		ActiveQueries:         len(m.queries),
 		TasksDispatched:       m.tasksDispatched,
 		WorkerReregistrations: m.reregistrations,
+		AffineLeases:          m.affineLeases,
 	}
 	for _, w := range m.workers {
 		st.RPCRetries += w.rpcRetries
@@ -828,6 +877,12 @@ func (m *Master) runJob(ctx context.Context, qid string, jsp *trace.Span, job *m
 		}
 		jm.MapInputBytes += size
 		jm.MapInputRecords += int64(n)
+		if job.WholeFileSplits {
+			// Bucket-aligned: task i scans exactly Inputs[i] (empty buckets
+			// included), so task index == bucket index for affinity.
+			splits = append(splits, SplitSpec{Input: in, Off: 0, N: n})
+			continue
+		}
 		for off := 0; off < n; off += cfg.SplitRecords {
 			cnt := cfg.SplitRecords
 			if off+cnt > n {
@@ -842,15 +897,16 @@ func (m *Master) runJob(ctx context.Context, qid string, jsp *trace.Span, job *m
 	jm.MapTasks = len(splits)
 
 	js := &jobState{
-		qid:     qid,
-		job:     job,
-		jsp:     jsp,
-		splits:  splits,
-		mapKind: "map",
-		doneCh:  make(chan struct{}),
-		written: make(map[string]bool),
+		qid:       qid,
+		job:       job,
+		jsp:       jsp,
+		splits:    splits,
+		wholeFile: job.WholeFileSplits,
+		mapKind:   "map",
+		doneCh:    make(chan struct{}),
+		written:   make(map[string]bool),
 	}
-	if job.MapOnly != nil {
+	if job.MapOnly != nil || job.MapOnlyFactory != nil {
 		js.mapKind = "maponly"
 	} else {
 		js.nReducers = job.NumReducers
@@ -1034,14 +1090,23 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 		return nil, err
 	}
 
-	qs := m.registerQuery(QuerySpec{
+	var part *plan.Partitioning
+	if m.part != nil && !args.NoPartition {
+		part = m.part
+	}
+	spec := QuerySpec{
 		Query:    args.Query,
 		Engine:   engName,
 		PhiM:     phiM,
 		Order:    args.Order,
 		HasOrder: args.HasOrder,
 		Input:    m.input,
-	})
+	}
+	if part != nil {
+		spec.PartDir = part.Dir
+		spec.PartBuckets = part.Buckets
+	}
+	qs := m.registerQuery(spec)
 	defer m.releaseQuery(qs.id)
 
 	reducers := args.Reducers
@@ -1059,7 +1124,7 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 		Tracer:          m.cfg.Tracer,
 	}).WithContext(ctx)
 
-	res, err := eng.Run(mr, q, m.input)
+	res, err := engine.RunMaybePartitioned(eng, mr, q, m.input, part)
 	if err != nil {
 		return nil, err
 	}
@@ -1117,9 +1182,10 @@ func (m *Master) registerQuery(spec QuerySpec) *queryState {
 	defer m.mu.Unlock()
 	m.querySeq++
 	qs := &queryState{
-		id:       fmt.Sprintf("q-%06d", m.querySeq),
-		spec:     spec,
-		counters: make(map[int]map[string]int64),
+		id:           fmt.Sprintf("q-%06d", m.querySeq),
+		spec:         spec,
+		counters:     make(map[int]map[string]int64),
+		bucketHolder: make(map[int]int),
 	}
 	m.queries[qs.id] = qs
 	return qs

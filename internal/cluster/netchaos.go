@@ -2,10 +2,11 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net"
 	"sync"
 	"time"
+
+	"ntga/internal/core/hash64"
 )
 
 // This file extends the PR-3 fault model to the wire: where
@@ -43,11 +44,9 @@ func (p NetFaultPlan) active() bool {
 }
 
 // netDraw maps a seeded edge checkpoint to [0,1) deterministically, with
-// the same fnv64a generator the task-level FaultPlan uses.
+// the same fnv64a generator (hash64) the task-level FaultPlan uses.
 func netDraw(from, to string, seq int, which string, seed int64) float64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%s|%d", from, to, seq, which, seed)
-	return float64(h.Sum64()%100000) / 100000
+	return float64(hash64.Mod(100000, "%s|%s|%d|%s|%d", from, to, seq, which, seed)) / 100000
 }
 
 // edge is one directed (dialer → listener) pair, identified by labels.

@@ -33,6 +33,12 @@ type QuerySpec struct {
 	Order    []int
 	HasOrder bool
 	Input    string
+	// PartDir/PartBuckets describe the master's partitioned triple layout
+	// when this query runs against it (PartBuckets 0 = flat). Workers
+	// rebuild the same Partitioning — the bucket-file names are
+	// deterministic under the dir — so their plans rewrite identically.
+	PartDir     string
+	PartBuckets int
 }
 
 // SplitSpec is one map task's input assignment: a record range of one
@@ -73,6 +79,9 @@ type TaskSpec struct {
 	JobInputs []string
 	// Split is the map input range (map/maponly kinds).
 	Split SplitSpec
+	// SideInput is the master-side DFS file whose full contents the task
+	// loads before its scan (whole-file map-only kinds; "" = none).
+	SideInput string
 	// Partition is the reduce partition index (reduce kind).
 	Partition int
 	// Maps locates every map task's committed output (reduce kind).
@@ -213,6 +222,9 @@ type RunArgs struct {
 	Reducers     int
 	SplitRecords int
 	TimeoutMS    int64
+	// NoPartition forces the flat plan even when the master holds a
+	// partitioned layout (parity baselines, A/B measurement).
+	NoPartition bool
 }
 
 // RunReply is a completed query: the raw binding rows (for callers with a
@@ -270,4 +282,9 @@ type StatusReply struct {
 	Redials               int64
 	FetchTransientRetries int64
 	WorkerReregistrations int64
+
+	// AffineLeases counts bucket-affine task grants: whole-file map-only
+	// tasks leased to the worker that already processed the same bucket
+	// earlier in the query (warm-path scheduling over the layout).
+	AffineLeases int64
 }

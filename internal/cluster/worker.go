@@ -14,6 +14,7 @@ import (
 
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
 	"ntga/internal/sparql"
@@ -546,9 +547,16 @@ func (w *Worker) planFor(qid string, spec *QuerySpec) (*queryPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	var part *plan.Partitioning
+	if spec.PartBuckets > 0 {
+		part, err = plan.NewPartitioning(plan.PartitionKeySubject, spec.PartBuckets, spec.PartDir, w.ver)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rebuilding partitioning: %w", err)
+		}
+	}
 	counters := mapreduce.NewCounters()
 	var cl engine.Cleaner
-	p, err := eng.Plan(q, spec.Input, &cl, counters)
+	p, err := engine.PlanMaybePartitioned(eng, q, spec.Input, part, &cl, counters)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rebuilding plan: %w", err)
 	}
@@ -644,7 +652,14 @@ func (w *Worker) runTask(ts *TaskSpec, rep *ReportArgs) error {
 		if err != nil {
 			return err
 		}
-		out, err := mapreduce.ExecMapOnlyTask(job, input, mapreduce.SliceRecords(recs))
+		var side [][]byte
+		if ts.SideInput != "" {
+			side, err = w.readSplit(SplitSpec{Input: ts.SideInput, Off: 0, N: -1})
+			if err != nil {
+				return err
+			}
+		}
+		out, err := mapreduce.ExecMapOnlyTaskN(job, ts.Task, input, side, mapreduce.SliceRecords(recs))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,122 @@
+package hash64
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// The four legacy fnv64a helpers this package replaced, copied verbatim.
+// The pin tests prove the consolidated form reproduces every historical
+// draw byte-exact, so seeded chaos schedules and dataset versions recorded
+// before the consolidation stay valid after it.
+
+func legacyChaosDraw(job, kind string, task, attempt int, phase string, seq int, which string, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s|%d|%s|%d", job, kind, task, attempt, phase, seq, which, seed)
+	return float64(h.Sum64()%100000) / 100000
+}
+
+func legacyInjectDraw(job, kind string, task, attempt int, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d", job, kind, task, attempt, seed)
+	return float64(h.Sum64() % 10000)
+}
+
+func legacyNetDraw(from, to string, seq int, which string, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%s|%d", from, to, seq, which, seed)
+	return float64(h.Sum64()%100000) / 100000
+}
+
+func legacyVersion(triples [][3]uint32) string {
+	h := fnv.New64a()
+	for _, t := range triples {
+		fmt.Fprintf(h, "%d,%d,%d;", t[0], t[1], t[2])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestPinChaosDraw(t *testing.T) {
+	for _, job := range []string{"ntga-group", "ntga-join0", "x"} {
+		for task := 0; task < 7; task++ {
+			for seq := 0; seq < 5; seq++ {
+				for _, which := range []string{"straggle", "fail", "node"} {
+					want := legacyChaosDraw(job, "map", task, task%3, "write", seq, which, 42)
+					got := float64(Mod(100000, "%s|%s|%d|%d|%s|%d|%s|%d",
+						job, "map", task, task%3, "write", seq, which, int64(42))) / 100000
+					if got != want {
+						t.Fatalf("chaos draw drifted: job=%s task=%d seq=%d which=%s got %v want %v",
+							job, task, seq, which, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPinInjectDraw(t *testing.T) {
+	for _, kind := range []string{"map", "reduce", "maponly"} {
+		for task := 0; task < 9; task++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				want := legacyInjectDraw("job-a", kind, task, attempt, 7)
+				got := float64(Mod(10000, "%s|%s|%d|%d|%d", "job-a", kind, task, attempt, int64(7)))
+				if got != want {
+					t.Fatalf("inject draw drifted: kind=%s task=%d attempt=%d got %v want %v",
+						kind, task, attempt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPinNetDraw(t *testing.T) {
+	for _, e := range [][2]string{{"worker1", "master"}, {"master", "worker2"}, {"a", "b"}} {
+		for seq := 0; seq < 11; seq++ {
+			for _, which := range []string{"drop", "delay", "sever"} {
+				want := legacyNetDraw(e[0], e[1], seq, which, 99)
+				got := float64(Mod(100000, "%s|%s|%d|%s|%d", e[0], e[1], seq, which, int64(99))) / 100000
+				if got != want {
+					t.Fatalf("net draw drifted: edge=%v seq=%d which=%s got %v want %v", e, seq, which, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPinVersionHash(t *testing.T) {
+	triples := [][3]uint32{{1, 2, 3}, {4, 5, 6}, {1, 2, 7}, {900, 12, 77}}
+	h := New()
+	for _, tr := range triples {
+		h.Addf("%d,%d,%d;", tr[0], tr[1], tr[2])
+	}
+	if got, want := h.Hex(), legacyVersion(triples); got != want {
+		t.Fatalf("version hash drifted: got %s want %s", got, want)
+	}
+	if New().Hex() != legacyVersion(nil) {
+		t.Fatalf("empty version hash drifted")
+	}
+}
+
+func TestBucket(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for v := uint64(0); v < 4096; v++ {
+		b := Bucket(v, n)
+		if b < 0 || b >= n {
+			t.Fatalf("Bucket(%d, %d) = %d out of range", v, n, b)
+		}
+		if b != Bucket(v, n) {
+			t.Fatalf("Bucket(%d, %d) not deterministic", v, n)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty over 4096 consecutive IDs — placement badly skewed", b)
+		}
+	}
+	if Bucket(123, 1) != 0 || Bucket(123, 0) != 0 {
+		t.Fatalf("degenerate bucket counts must map to bucket 0")
+	}
+}

@@ -59,6 +59,45 @@ type QueryEngine interface {
 	Run(mr *mapreduce.Engine, q *query.Query, input string) (*Result, error)
 }
 
+// PartitionedRunner is the optional capability of engines that can exploit a
+// partitioned triple layout (plan.BuildPartitionLayout). A nil or mismatched
+// partitioning must behave exactly like Run.
+type PartitionedRunner interface {
+	QueryEngine
+	// RunPartitioned plans and executes the query, rewriting eligible cycles
+	// to their no-shuffle map-only form over the layout's bucket files.
+	RunPartitioned(mr *mapreduce.Engine, q *query.Query, input string, part *plan.Partitioning) (*Result, error)
+}
+
+// PartitionedPlanner is the planning half of PartitionedRunner: engines that
+// can rewrite their physical plan against a layout without executing it
+// (EXPLAIN, and the cluster workers' deterministic plan rebuild).
+type PartitionedPlanner interface {
+	QueryEngine
+	PlanPartitioned(q *query.Query, input string, part *plan.Partitioning, cl *Cleaner, counters *mapreduce.Counters) (*plan.Physical, error)
+}
+
+// PlanMaybePartitioned plans e over the layout when it supports it, falling
+// back to the flat plan otherwise.
+func PlanMaybePartitioned(e QueryEngine, q *query.Query, input string,
+	part *plan.Partitioning, cl *Cleaner, counters *mapreduce.Counters) (*plan.Physical, error) {
+	if pp, ok := e.(PartitionedPlanner); ok {
+		return pp.PlanPartitioned(q, input, part, cl, counters)
+	}
+	return e.Plan(q, input, cl, counters)
+}
+
+// RunMaybePartitioned runs e over the layout when it supports it, falling
+// back to the flat path otherwise — the seam the parity suite and the CLIs
+// dispatch through.
+func RunMaybePartitioned(e QueryEngine, mr *mapreduce.Engine, q *query.Query,
+	input string, part *plan.Partitioning) (*Result, error) {
+	if pr, ok := e.(PartitionedRunner); ok {
+		return pr.RunPartitioned(mr, q, input, part)
+	}
+	return e.Run(mr, q, input)
+}
+
 var tempSeq atomic.Int64
 
 // TempName returns a unique DFS path for an intermediate file.

@@ -61,11 +61,19 @@ func Engines() []engine.QueryEngine {
 // the catalog. Engines that cannot plan the shape report Supported=false
 // with the planner's reason.
 func ForQuery(cat *plan.Catalog, q *query.Query, engines []engine.QueryEngine) []EngineCost {
+	return ForQueryPartitioned(cat, q, nil, engines)
+}
+
+// ForQueryPartitioned is ForQuery over a hash-partitioned input layout:
+// engines that understand the physical data property plan their map-only
+// variants (visible as map-only/part/part-miss attributes in the plan
+// text); the rest plan exactly as they would flat.
+func ForQueryPartitioned(cat *plan.Catalog, q *query.Query, part *plan.Partitioning, engines []engine.QueryEngine) []EngineCost {
 	out := make([]EngineCost, 0, len(engines))
 	for _, e := range engines {
 		var cl engine.Cleaner
 		ec := EngineCost{Engine: e.Name()}
-		p, err := e.Plan(q, Input, &cl, nil)
+		p, err := engine.PlanMaybePartitioned(e, q, Input, part, &cl, nil)
 		if err != nil {
 			ec.Reason = err.Error()
 			out = append(out, ec)
@@ -137,7 +145,23 @@ type RunCost struct {
 // in-memory cluster and pairs each estimate with the measured cycle count,
 // triple-relation scans, and shuffle volume.
 func Analyze(cat *plan.Catalog, g *rdf.Graph, q *query.Query, engines []engine.QueryEngine) ([]RunCost, error) {
-	costs := ForQuery(cat, q, engines)
+	return AnalyzePartitioned(cat, g, q, 0, engines)
+}
+
+// AnalyzePartitioned is Analyze over a hash-of-subject bucketed layout:
+// each engine's cluster additionally gets the partitioned layout built
+// (buckets > 0), the plan estimates come from the partitioned planner, and
+// execution goes through the engine's map-only path where it applies.
+func AnalyzePartitioned(cat *plan.Catalog, g *rdf.Graph, q *query.Query, buckets int, engines []engine.QueryEngine) ([]RunCost, error) {
+	var estPart *plan.Partitioning
+	if buckets > 0 {
+		var err error
+		estPart, err = plan.NewPartitioning(plan.PartitionKeySubject, buckets, "part/T", g.Version())
+		if err != nil {
+			return nil, err
+		}
+	}
+	costs := ForQueryPartitioned(cat, q, estPart, engines)
 	out := make([]RunCost, 0, len(costs))
 	for i, ec := range costs {
 		rc := RunCost{EngineCost: ec}
@@ -153,7 +177,15 @@ func Analyze(cat *plan.Catalog, g *rdf.Graph, q *query.Query, engines []engine.Q
 		if err := engine.LoadGraph(mr.DFS(), input, g); err != nil {
 			return nil, err
 		}
-		res, err := engines[i].Run(mr, q, input)
+		var part *plan.Partitioning
+		if buckets > 0 {
+			var err error
+			part, err = plan.BuildPartitionLayout(mr, input, "part/T", buckets, g.Version())
+			if err != nil {
+				return nil, err
+			}
+		}
+		res, err := engine.RunMaybePartitioned(engines[i], mr, q, input, part)
 		if err != nil {
 			rc.RunErr = err.Error()
 			out = append(out, rc)

@@ -45,33 +45,45 @@ func TestExplainGoldens(t *testing.T) {
 			}
 			cat := cats[cq.Dataset]
 
-			full := renderWith(t, cq.Src, cat, g.Dict)
-			statsOnly := renderWith(t, cq.Src, cat, rdf.NewDict())
-			if full != statsOnly {
-				t.Errorf("stats-only explain diverges from full-graph explain:\n--- full ---\n%s--- stats-only ---\n%s",
-					full, statsOnly)
-			}
-
-			path := filepath.Join("testdata", cq.ID+".golden")
-			if *update {
-				if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
+			// The partitioned view plans against an 8-bucket hash-of-subject
+			// layout; the version is empty exactly as in a stats-only plan,
+			// and String() does not render it, so the goldens stay stable.
+			part, err := plan.NewPartitioning(plan.PartitionKeySubject, 8, "part/T", "")
 			if err != nil {
-				t.Fatalf("missing golden (run `make goldens`): %v", err)
+				t.Fatal(err)
 			}
-			if full != string(want) {
-				t.Errorf("EXPLAIN output drifted from %s (run `make goldens` if intentional):\n--- got ---\n%s--- want ---\n%s",
-					path, full, want)
+			for _, variant := range []struct {
+				suffix string
+				part   *plan.Partitioning
+			}{{".golden", nil}, {".part.golden", part}} {
+				full := renderWith(t, cq.Src, cat, g.Dict, variant.part)
+				statsOnly := renderWith(t, cq.Src, cat, rdf.NewDict(), variant.part)
+				if full != statsOnly {
+					t.Errorf("stats-only explain diverges from full-graph explain (%s):\n--- full ---\n%s--- stats-only ---\n%s",
+						variant.suffix, full, statsOnly)
+				}
+
+				path := filepath.Join("testdata", cq.ID+variant.suffix)
+				if *update {
+					if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run `make goldens`): %v", err)
+				}
+				if full != string(want) {
+					t.Errorf("EXPLAIN output drifted from %s (run `make goldens` if intentional):\n--- got ---\n%s--- want ---\n%s",
+						path, full, want)
+				}
 			}
 		})
 	}
 }
 
-func renderWith(t *testing.T, src string, cat *plan.Catalog, dict *rdf.Dict) string {
+func renderWith(t *testing.T, src string, cat *plan.Catalog, dict *rdf.Dict, part *plan.Partitioning) string {
 	t.Helper()
 	pq, err := sparql.Parse(src)
 	if err != nil {
@@ -81,5 +93,5 @@ func renderWith(t *testing.T, src string, cat *plan.Catalog, dict *rdf.Dict) str
 	if err != nil {
 		t.Fatal(err)
 	}
-	return explain.Render(explain.ForQuery(cat, q, explain.Engines()))
+	return explain.Render(explain.ForQueryPartitioned(cat, q, part, explain.Engines()))
 }

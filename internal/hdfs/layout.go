@@ -1,0 +1,107 @@
+package hdfs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// This file defines the physical partitioned-relation layout: a directory of
+// hash-bucketed relation files plus a persisted manifest describing how they
+// were produced. The loader job (internal/plan.BuildPartitionLayout) writes
+// the buckets and the manifest once; planners read the manifest back and
+// compare its dataset content-hash version against the live dataset before
+// trusting the buckets — a stale layout (dataset reloaded or mutated since
+// the load) must demote the query to the shuffle path, never silently serve
+// mismatched buckets.
+
+// LayoutManifestName is the manifest file inside a layout directory.
+const LayoutManifestName = "_layout"
+
+// ErrLayoutStale marks a layout whose recorded dataset version no longer
+// matches the live dataset.
+var ErrLayoutStale = errors.New("hdfs: partition layout is stale")
+
+// Layout describes one partitioned relation: Buckets hash-partitioned files
+// under Dir, bucketed on Key, built from the dataset whose content hash is
+// Version.
+type Layout struct {
+	// Key names the partitioning column. The only key the loader writes
+	// today is "subject" (hash of the triple's subject ID).
+	Key string `json:"key"`
+	// Buckets is the number of bucket files.
+	Buckets int `json:"buckets"`
+	// Version is the dataset content hash (rdf.Graph.Version) the layout
+	// was built from.
+	Version string `json:"version"`
+	// Dir is the DFS directory prefix holding the bucket files.
+	Dir string `json:"dir"`
+}
+
+// BucketFile returns the DFS name of bucket i.
+func (l Layout) BucketFile(i int) string {
+	return fmt.Sprintf("%s/bucket-%05d", l.Dir, i)
+}
+
+// Files returns every bucket file name, in bucket order.
+func (l Layout) Files() []string {
+	out := make([]string, l.Buckets)
+	for i := range out {
+		out[i] = l.BucketFile(i)
+	}
+	return out
+}
+
+// manifestName returns the layout's manifest file name.
+func (l Layout) manifestName() string { return l.Dir + "/" + LayoutManifestName }
+
+// Validate checks the layout against the live dataset's content hash,
+// returning an ErrLayoutStale-wrapped error on mismatch.
+func (l Layout) Validate(datasetVersion string) error {
+	if l.Version != datasetVersion {
+		return fmt.Errorf("%w: layout %s built from dataset %s, live dataset is %s",
+			ErrLayoutStale, l.Dir, l.Version, datasetVersion)
+	}
+	return nil
+}
+
+// WriteLayout persists the manifest into the layout's directory, replacing
+// any previous manifest.
+func (d *DFS) WriteLayout(l Layout) error {
+	if l.Dir == "" {
+		return fmt.Errorf("hdfs: WriteLayout: empty layout dir")
+	}
+	if l.Buckets <= 0 {
+		return fmt.Errorf("hdfs: WriteLayout: layout %s has %d buckets", l.Dir, l.Buckets)
+	}
+	rec, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	d.DeleteIfExists(l.manifestName())
+	return d.WriteFile(l.manifestName(), [][]byte{rec})
+}
+
+// ReadLayout loads the manifest persisted under dir. A missing manifest
+// reports ErrNotFound (the directory was never loaded, or the load did not
+// complete).
+func (d *DFS) ReadLayout(dir string) (Layout, error) {
+	recs, err := d.ReadAll(dir + "/" + LayoutManifestName)
+	if err != nil {
+		return Layout{}, fmt.Errorf("hdfs: reading layout manifest under %s: %w", dir, err)
+	}
+	if len(recs) != 1 {
+		return Layout{}, fmt.Errorf("hdfs: layout manifest under %s has %d records, want 1", dir, len(recs))
+	}
+	var l Layout
+	if err := json.Unmarshal(recs[0], &l); err != nil {
+		return Layout{}, fmt.Errorf("hdfs: corrupt layout manifest under %s: %v", dir, err)
+	}
+	if l.Dir != dir {
+		return Layout{}, fmt.Errorf("hdfs: layout manifest under %s names dir %s", dir, l.Dir)
+	}
+	if l.Buckets <= 0 {
+		return Layout{}, fmt.Errorf("hdfs: layout manifest under %s has %d buckets", dir, l.Buckets)
+	}
+	return l, nil
+}

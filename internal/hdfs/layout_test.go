@@ -1,0 +1,80 @@
+package hdfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLayoutRoundTrip(t *testing.T) {
+	d := New(Config{Nodes: 2})
+	l := Layout{Key: "subject", Buckets: 4, Version: "00000000deadbeef", Dir: "part/T"}
+	if err := d.WriteLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadLayout("part/T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != l {
+		t.Fatalf("round trip: got %+v want %+v", got, l)
+	}
+	if f := got.BucketFile(3); f != "part/T/bucket-00003" {
+		t.Fatalf("BucketFile(3) = %q", f)
+	}
+	if files := got.Files(); len(files) != 4 || files[0] != "part/T/bucket-00000" {
+		t.Fatalf("Files() = %v", files)
+	}
+	// Rewriting the manifest (a reload) replaces the old one.
+	l2 := l
+	l2.Version = "1111111111111111"
+	if err := d.WriteLayout(l2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = d.ReadLayout("part/T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != l2.Version {
+		t.Fatalf("rewrite kept stale version %s", got.Version)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	l := Layout{Key: "subject", Buckets: 2, Version: "aa", Dir: "part/T"}
+	if err := l.Validate("aa"); err != nil {
+		t.Fatalf("matching version rejected: %v", err)
+	}
+	err := l.Validate("bb")
+	if !errors.Is(err, ErrLayoutStale) {
+		t.Fatalf("stale version: got %v, want ErrLayoutStale", err)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	d := New(Config{Nodes: 2})
+	if _, err := d.ReadLayout("never/loaded"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing manifest: got %v, want ErrNotFound", err)
+	}
+	if err := d.WriteLayout(Layout{Dir: "part/T"}); err == nil {
+		t.Fatal("WriteLayout accepted zero buckets")
+	}
+	if err := d.WriteLayout(Layout{Buckets: 2}); err == nil {
+		t.Fatal("WriteLayout accepted empty dir")
+	}
+	// A manifest naming a different dir (copied or renamed by hand) is
+	// rejected rather than trusted.
+	l := Layout{Key: "subject", Buckets: 2, Version: "aa", Dir: "part/T"}
+	if err := d.WriteLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := d.ReadAll("part/T/" + LayoutManifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("part/U/"+LayoutManifestName, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadLayout("part/U"); err == nil {
+		t.Fatal("ReadLayout trusted a manifest naming a different dir")
+	}
+}

@@ -4,13 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ntga/internal/core/hash64"
 	"ntga/internal/hdfs"
 	"ntga/internal/trace"
 )
@@ -111,6 +111,12 @@ func (c EngineConfig) validate() error {
 	}
 	if c.SortBufferBytes < 0 {
 		return fmt.Errorf("mapreduce: EngineConfig.SortBufferBytes must be >= 0 (got %d); 0 disables spilling", c.SortBufferBytes)
+	}
+	if c.DefaultReducers < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.DefaultReducers must be >= 0 (got %d); 0 selects the default", c.DefaultReducers)
+	}
+	if c.SplitRecords < 0 {
+		return fmt.Errorf("mapreduce: EngineConfig.SplitRecords must be >= 0 (got %d); 0 selects the default", c.SplitRecords)
 	}
 	return nil
 }
@@ -383,9 +389,8 @@ func (e *Engine) shouldInjectFailure(job string, kind string, task, attempt int)
 	if e.cfg.TaskFailureRate <= 0 {
 		return false
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%d|%d", job, kind, task, attempt, e.cfg.TaskFailureSeed)
-	return float64(h.Sum64()%10000) < e.cfg.TaskFailureRate*10000
+	return float64(hash64.Mod(10000, "%s|%s|%d|%d|%d",
+		job, kind, task, attempt, e.cfg.TaskFailureSeed)) < e.cfg.TaskFailureRate*10000
 }
 
 // Run executes one job to completion. On failure the job's output files
@@ -403,7 +408,7 @@ func (e *Engine) Run(job *Job) (JobMetrics, error) {
 // and the workflow ID scoping this job's temp namespace.
 func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 	start := time.Now()
-	m := JobMetrics{Job: job.Name, MapOnly: job.MapOnly != nil}
+	m := JobMetrics{Job: job.Name, MapOnly: job.mapOnly()}
 	js := newJobRunState(e, wf, job.Name)
 	nParts := 0                 // part files per output base once tasks are planned
 	var emitters []*taskEmitter // committed map winners (set once the map phase plans)
@@ -446,7 +451,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 	if jr, ok := e.cluster.(JobRunner); ok {
 		rm, err := jr.RunJob(e.ctx, jsp, job, e.cfg)
 		rm.Job = job.Name
-		rm.MapOnly = job.MapOnly != nil
+		rm.MapOnly = job.mapOnly()
 		rm.Duration = time.Since(start)
 		if err != nil {
 			rm.Failed = true
@@ -471,6 +476,12 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 		}
 		m.MapInputBytes += size
 		m.MapInputRecords += int64(n)
+		if job.WholeFileSplits {
+			// Bucket-aligned jobs: task i scans exactly Inputs[i] (empty
+			// buckets included), so task index == bucket index.
+			splits = append(splits, split{input: in, off: 0, n: n})
+			continue
+		}
 		for off := 0; off < n; off += e.cfg.SplitRecords {
 			cnt := e.cfg.SplitRecords
 			if off+cnt > n {
@@ -484,7 +495,7 @@ func (e *Engine) run(job *Job, jsp *trace.Span, wf string) (JobMetrics, error) {
 	}
 	m.MapTasks = len(splits)
 
-	if job.MapOnly != nil {
+	if job.mapOnly() {
 		return e.runMapOnly(job, jsp, splits, m, start, js, &nParts, fail)
 	}
 
@@ -915,6 +926,21 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 			if err := ac.checkpoint("scan"); err != nil {
 				return err
 			}
+			// Each attempt gets a fresh TaskMapper (retries must never see
+			// another attempt's accumulated state) and fetches its side input
+			// up front, so a fault during the fetch is an attempt fault.
+			var side [][]byte
+			if i < len(job.TaskSideInputs) && job.TaskSideInputs[i] != "" {
+				s, err := e.dfs.ReadAll(job.TaskSideInputs[i])
+				if err != nil {
+					return fmt.Errorf("map task %d side input %s: %w", i, job.TaskSideInputs[i], err)
+				}
+				side = s
+			}
+			tm, err := job.taskMapper(i, side)
+			if err != nil {
+				return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
+			}
 			col, err := e.openParts(job, ac, i)
 			if err != nil {
 				return err
@@ -959,14 +985,27 @@ func (e *Engine) runMapOnly(job *Job, jsp *trace.Span, splits []split, m JobMetr
 				if traced {
 					scanBytes += int64(len(rec))
 					t0 := time.Now()
-					err = job.MapOnly.MapRecord(splits[i].input, rec, col)
+					err = tm.MapRecord(splits[i].input, rec, col)
 					mapDur += time.Since(t0)
 				} else {
-					err = job.MapOnly.MapRecord(splits[i].input, rec, col)
+					err = tm.MapRecord(splits[i].input, rec, col)
 				}
 				if err != nil {
 					return fmt.Errorf("map task %d (%s): %w", i, splits[i].input, err)
 				}
+			}
+			// End-of-input flush: stateful task mappers (streaming group
+			// builders, map-side joins) emit their trailing state here, still
+			// inside the attempt so a fault retries the whole task.
+			if traced {
+				t0 := time.Now()
+				err = tm.Flush(col)
+				mapDur += time.Since(t0)
+			} else {
+				err = tm.Flush(col)
+			}
+			if err != nil {
+				return fmt.Errorf("map task %d (%s) flush: %w", i, splits[i].input, err)
 			}
 			if err := ac.checkpoint("write"); err != nil {
 				return err

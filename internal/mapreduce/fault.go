@@ -3,12 +3,12 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ntga/internal/core/hash64"
 	"ntga/internal/hdfs"
 )
 
@@ -73,12 +73,11 @@ func attemptNeutral(err error) bool {
 	return errors.Is(err, errAttemptKilled) || errors.Is(err, errLostRace)
 }
 
-// chaosDraw maps a seeded identity to [0,1) deterministically (fnv64a, the
-// same generator the legacy pre-body injection uses).
+// chaosDraw maps a seeded identity to [0,1) deterministically (fnv64a via
+// hash64, the same generator the legacy pre-body injection uses).
 func chaosDraw(job, kind string, task, attempt int, phase string, seq int, which string, seed int64) float64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%d|%s|%d|%s|%d", job, kind, task, attempt, phase, seq, which, seed)
-	return float64(h.Sum64()%100000) / 100000
+	return float64(hash64.Mod(100000, "%s|%s|%d|%d|%s|%d|%s|%d",
+		job, kind, task, attempt, phase, seq, which, seed)) / 100000
 }
 
 // taskCtl arbitrates the commit race between concurrent attempts of one

@@ -197,18 +197,34 @@ func ExecReduceTask(job *Job, parts [][]KV) (*TaskOutput, error) {
 // job.MapOnly under the given (worker-local) input name, collecting
 // straight into the task's output slots — the shuffle-free path.
 func ExecMapOnlyTask(job *Job, input string, next RecordIter) (*TaskOutput, error) {
+	return ExecMapOnlyTaskN(job, 0, input, nil, next)
+}
+
+// ExecMapOnlyTaskN is ExecMapOnlyTask with the task index and side input
+// threaded through, for jobs using a per-task MapOnlyFactory (bucket-aligned
+// map-only joins): the factory sees the real task index (== bucket index
+// under WholeFileSplits) and the pre-fetched side-input records, and its
+// Flush runs after the last record, exactly as in the local engine.
+func ExecMapOnlyTaskN(job *Job, task int, input string, side [][]byte, next RecordIter) (*TaskOutput, error) {
+	tm, err := job.taskMapper(task, side)
+	if err != nil {
+		return nil, fmt.Errorf("map task %d (%s): %w", task, input, err)
+	}
 	col := newMemCollector(job)
 	for {
 		rec, ok, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("map task (%s): %w", input, err)
+			return nil, fmt.Errorf("map task %d (%s): %w", task, input, err)
 		}
 		if !ok {
 			break
 		}
-		if err := job.MapOnly.MapRecord(input, rec, col); err != nil {
-			return nil, fmt.Errorf("map task (%s): %w", input, err)
+		if err := tm.MapRecord(input, rec, col); err != nil {
+			return nil, fmt.Errorf("map task %d (%s): %w", task, input, err)
 		}
+	}
+	if err := tm.Flush(col); err != nil {
+		return nil, fmt.Errorf("map task %d (%s) flush: %w", task, input, err)
 	}
 	col.out.Records = col.records
 	col.out.Bytes = col.bytes

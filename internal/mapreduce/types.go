@@ -144,6 +144,27 @@ func (f CombinerFunc) Combine(key []byte, values [][]byte) ([][]byte, error) {
 	return f(key, values)
 }
 
+// TaskMapper is a per-task map-only operator with end-of-input state: after
+// the task's whole split has streamed through MapRecord, Flush is called
+// once so operators that accumulate runs (e.g. building a triplegroup from
+// subject-contiguous bucket records) can emit their tail. Each task attempt
+// gets a fresh TaskMapper, so retried or speculated attempts never see a
+// rival attempt's state.
+type TaskMapper interface {
+	MapOnlyMapper
+	// Flush emits whatever the mapper is still holding after the last
+	// record of the split.
+	Flush(out Collector) error
+}
+
+// TaskMapperFactory builds the TaskMapper for one map-only task attempt.
+// The side argument carries the records of the task's side input
+// (Job.TaskSideInputs), already fetched by the engine; nil when the task
+// has none.
+type TaskMapperFactory interface {
+	NewTask(task int, side [][]byte) (TaskMapper, error)
+}
+
 // MapOnlyFunc adapts a function to the MapOnlyMapper interface.
 type MapOnlyFunc func(input string, record []byte, out Collector) error
 
@@ -180,6 +201,21 @@ type Job struct {
 	// MapOnly, when non-nil, makes this a map-only job (no shuffle, no
 	// reduce); Mapper and Reducer are ignored.
 	MapOnly MapOnlyMapper
+	// MapOnlyFactory is the per-task form of MapOnly for jobs whose tasks
+	// need attempt-private state, a Flush at end of split, or a side input:
+	// the engine calls NewTask once per task attempt. Exclusive with
+	// MapOnly; implies a map-only job.
+	MapOnlyFactory TaskMapperFactory
+	// WholeFileSplits pins map-task granularity to whole input files: task
+	// i scans exactly Inputs[i], never a sub-range. This is how
+	// co-partitioned jobs keep task index == bucket index (the no-shuffle
+	// star-join path reads bucket i as task i).
+	WholeFileSplits bool
+	// TaskSideInputs, indexed like Inputs under WholeFileSplits, names a
+	// DFS file whose full contents are handed to task i's MapOnlyFactory
+	// as the side argument ("" = no side input). The cascading map-side
+	// join routes the previous cycle's per-bucket join-left records here.
+	TaskSideInputs []string
 	// Reducer runs in the reduce phase (exclusive with StreamReducer).
 	Reducer Reducer
 	// StreamReducer runs in the reduce phase consuming values through an
@@ -217,7 +253,10 @@ func (j *Job) validate() error {
 		}
 		seen[eo] = true
 	}
-	if j.MapOnly == nil {
+	if j.MapOnly != nil && j.MapOnlyFactory != nil {
+		return fmt.Errorf("mapreduce: job %s sets both MapOnly and MapOnlyFactory", j.Name)
+	}
+	if j.MapOnly == nil && j.MapOnlyFactory == nil {
 		if j.Mapper == nil {
 			return fmt.Errorf("mapreduce: job %s has no mapper", j.Name)
 		}
@@ -228,8 +267,40 @@ func (j *Job) validate() error {
 			return fmt.Errorf("mapreduce: job %s sets both Reducer and StreamReducer", j.Name)
 		}
 	}
+	if len(j.TaskSideInputs) > 0 {
+		if j.MapOnlyFactory == nil {
+			return fmt.Errorf("mapreduce: job %s sets TaskSideInputs without a MapOnlyFactory", j.Name)
+		}
+		if !j.WholeFileSplits {
+			return fmt.Errorf("mapreduce: job %s sets TaskSideInputs without WholeFileSplits", j.Name)
+		}
+		if len(j.TaskSideInputs) != len(j.Inputs) {
+			return fmt.Errorf("mapreduce: job %s has %d side inputs for %d inputs",
+				j.Name, len(j.TaskSideInputs), len(j.Inputs))
+		}
+	}
+	if j.WholeFileSplits && j.MapOnly == nil && j.MapOnlyFactory == nil {
+		return fmt.Errorf("mapreduce: job %s sets WholeFileSplits on a shuffle job", j.Name)
+	}
 	return nil
 }
+
+// mapOnly reports whether the job elides the shuffle and reduce phases.
+func (j *Job) mapOnly() bool { return j.MapOnly != nil || j.MapOnlyFactory != nil }
+
+// taskMapper builds the map-only operator for one task attempt: the
+// factory's per-attempt TaskMapper, or the shared MapOnly wrapped with a
+// no-op Flush.
+func (j *Job) taskMapper(task int, side [][]byte) (TaskMapper, error) {
+	if j.MapOnlyFactory != nil {
+		return j.MapOnlyFactory.NewTask(task, side)
+	}
+	return noFlushMapper{j.MapOnly}, nil
+}
+
+type noFlushMapper struct{ MapOnlyMapper }
+
+func (noFlushMapper) Flush(Collector) error { return nil }
 
 // kv is one intermediate pair.
 type kv struct {

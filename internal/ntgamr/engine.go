@@ -3,7 +3,6 @@ package ntgamr
 import (
 	"fmt"
 
-	"ntga/internal/codec"
 	"ntga/internal/core"
 	"ntga/internal/engine"
 	"ntga/internal/mapreduce"
@@ -194,33 +193,11 @@ func DecodeRows(q *query.Query) engine.DecodeFunc {
 	}
 }
 
-// Run implements engine.QueryEngine.
+// Run implements engine.QueryEngine. COUNT(*) queries use aggregation
+// pushdown over the implicit representation: the plan's count-fold cycle
+// sums the expansion counts of the (still nested) triplegroups — no β-unnest
+// happens at all for non-joining slots, and the sum Combiner folds partial
+// counts at spill time.
 func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
-	var cl engine.Cleaner
-	counters := mapreduce.NewCounters()
-	p, err := n.Plan(q, input, &cl, counters)
-	if err != nil {
-		cl.Clean(mr)
-		return &engine.Result{Engine: n.name}, err
-	}
-	if q.IsCount() {
-		// Aggregation pushdown over the implicit representation: the plan's
-		// count-fold cycle sums the expansion counts of the (still nested)
-		// triplegroups — no β-unnest happens at all for non-joining slots,
-		// and the sum Combiner folds partial counts at spill time.
-		var count int64
-		res, err := engine.ExecutePlan(mr, n.name, p, &cl, counters,
-			func(record []byte) ([]query.Row, error) {
-				c, err := codec.NewReader(record).Uvarint()
-				if err != nil {
-					return nil, err
-				}
-				count += int64(c)
-				return nil, nil
-			})
-		res.IsCount = true
-		res.Count = count
-		return res, err
-	}
-	return engine.ExecutePlan(mr, n.name, p, &cl, counters, DecodeRows(q))
+	return n.RunPartitioned(mr, q, input, nil)
 }

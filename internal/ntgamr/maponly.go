@@ -1,0 +1,520 @@
+package ntgamr
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/core/hash64"
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// This file is the no-shuffle execution path over a subject-partitioned
+// layout (plan.Partitioning / hdfs.Layout): the grouping cycle and every
+// join whose chain prefix keeps binding through star subjects run as
+// map-only jobs over bucket-aligned whole-file tasks, so nothing crosses a
+// shuffle. The flat path's byte-level semantics are reproduced exactly:
+//
+//   - bucket files are written by the loader's shuffle sorted by
+//     (PutID(S), PutID(P)+PutID(O)) — the grouping cycle's own key/value
+//     encoding — so a streaming scan sees each subject contiguously with its
+//     (P,O) pairs in the flat reducer's sorted-value order;
+//   - adjacent duplicate pairs are skipped, mirroring decodeSortedPairs;
+//   - join i's left side is resolved (pinned / fully β-unnested) by the
+//     producing job and routed to the bucket of its join value, so join i's
+//     task b joins lefts and rights that both hash to b.
+//
+// Partial β-unnest (μ^β_φm) never appears on this path: it exists to shrink
+// shuffled bytes, and here there are none — a nested joining slot is fully
+// unnested instead, which yields the same rows.
+
+// MapOnlyPrefix returns how many leading joins of the chain the partitioned
+// layout can serve map-side: the unbroken prefix whose joins all bind the
+// right star through its subject (the bucket key). The first shuffled join
+// breaks bucket alignment for everything after it.
+func MapOnlyPrefix(part *plan.Partitioning, joins []query.Join) int {
+	n := 0
+	for i := range joins {
+		if !plan.PartitionServes(part, joins, i) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// partMissReason explains, for EXPLAIN, why the map-only rewrite stopped at
+// this join.
+func partMissReason(j query.Join) string {
+	return fmt.Sprintf("join ?%s binds star %d through its %s, not its subject",
+		j.Var, j.Right.Star, j.Right.Role)
+}
+
+// encodeResolved frames one routed left-side record: the concrete join value
+// followed by the joined-components encoding.
+func encodeResolved(value rdf.ID, comps []core.AnnTG) []byte {
+	var b codec.Buffer
+	b.PutID(value)
+	return append(b.Bytes(), core.EncodeJoined(comps)...)
+}
+
+func decodeResolved(rec []byte) (rdf.ID, []core.AnnTG, error) {
+	rd := codec.NewReader(rec)
+	v, err := rd.ID()
+	if err != nil {
+		return 0, nil, err
+	}
+	comps, err := core.DecodeJoined(rec[len(rec)-rd.Remaining():])
+	return v, comps, err
+}
+
+// resolveJoinSide turns one record into joinable (value, record) pairs for
+// the given join position, map-side: bound positions pin, nested slots fully
+// β-unnest (never partially — there is no reduce bucket to finish in).
+// It is the direct-mode half of tgJoinMapper.emitSide.
+func resolveJoinSide(q *query.Query, comps []core.AnnTG, pos query.Pos,
+	counters *mapreduce.Counters) ([]resolved, error) {
+	ci := -1
+	for i, c := range comps {
+		if c.EC == pos.Star {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("ntgamr: record lacks component for star %d", pos.Star)
+	}
+	st := q.Stars[pos.Star]
+	comp := comps[ci]
+	replace := func(c core.AnnTG) []core.AnnTG {
+		cp := append([]core.AnnTG(nil), comps...)
+		cp[ci] = c
+		return cp
+	}
+	switch pos.Role {
+	case query.RoleSubject:
+		return []resolved{{value: comp.Subject, comps: comps}}, nil
+
+	case query.RoleBoundObj:
+		if comp.BoundSel[pos.Idx] != core.Nested {
+			v, err := core.JoinValue(st, comp, pos)
+			if err != nil {
+				return nil, err
+			}
+			return []resolved{{value: v, comps: comps}}, nil
+		}
+		var out []resolved
+		for _, pinned := range core.PinBound(st, comp, pos.Idx) {
+			out = append(out, resolved{
+				value: pinned.Triples[pinned.BoundSel[pos.Idx]].O,
+				comps: replace(pinned),
+			})
+		}
+		return out, nil
+
+	case query.RoleSlotObj:
+		if comp.SlotSel[pos.Idx] != core.Nested {
+			v, err := core.JoinValue(st, comp, pos)
+			if err != nil {
+				return nil, err
+			}
+			return []resolved{{value: v, comps: comps}}, nil
+		}
+		var out []resolved
+		for _, u := range core.UnnestSlot(st, comp, pos.Idx) {
+			counters.Inc(CounterMapUnnest, 1)
+			out = append(out, resolved{
+				value: u.Triples[u.SlotSel[pos.Idx]].O,
+				comps: replace(u),
+			})
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("ntgamr: unknown join role %v", pos.Role)
+	}
+}
+
+// jlRoute routes resolved left-side records of one upcoming map-only join to
+// its bucket files.
+type jlRoute struct {
+	pos   query.Pos // the join's left position
+	files []string  // bucket files, indexed by hash64.Bucket(join value)
+}
+
+func (r *jlRoute) emit(q *query.Query, comps []core.AnnTG, counters *mapreduce.Counters,
+	nc mapreduce.NamedCollector) error {
+	res, err := resolveJoinSide(q, comps, r.pos, counters)
+	if err != nil {
+		return err
+	}
+	for _, re := range res {
+		b := hash64.Bucket(uint64(re.value), len(r.files))
+		if err := nc.CollectTo(r.files[b], encodeResolved(re.value, re.comps)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupTask is the map-only grouping operator for one bucket: a streaming
+// TG_GroupByReduce + TG_UnbGrpFilter over the bucket file's
+// subject-contiguous triples.
+type groupTask struct {
+	q         *query.Query
+	eager     bool
+	counters  *mapreduce.Counters
+	grpBucket string   // this task's grouped bucket file ("" when unused)
+	jl        *jlRoute // first map-only join's left routing (nil when unused)
+
+	started  bool
+	subject  rdf.ID
+	pairs    []core.PO
+	haveLast bool
+	last     core.PO
+}
+
+func (g *groupTask) MapRecord(_ string, record []byte, out mapreduce.Collector) error {
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	if !g.q.TripleRelevant(t) {
+		return nil
+	}
+	if !g.started || t.S != g.subject {
+		if err := g.flushGroup(out); err != nil {
+			return err
+		}
+		g.started = true
+		g.subject = t.S
+		g.pairs = g.pairs[:0]
+		g.haveLast = false
+	}
+	p := core.PO{P: t.P, O: t.O}
+	// Adjacent duplicates collapse exactly as in decodeSortedPairs: the
+	// loader's shuffle sorted equal triples next to each other.
+	if g.haveLast && p == g.last {
+		return nil
+	}
+	g.haveLast = true
+	g.last = p
+	g.pairs = append(g.pairs, p)
+	return nil
+}
+
+func (g *groupTask) Flush(out mapreduce.Collector) error {
+	return g.flushGroup(out)
+}
+
+func (g *groupTask) flushGroup(out mapreduce.Collector) error {
+	if !g.started {
+		return nil
+	}
+	pairs := make([]core.PO, len(g.pairs))
+	copy(pairs, g.pairs)
+	tg := core.NewTripleGroup(g.subject, pairs)
+	g.counters.Inc(CounterGroups, 1)
+	for _, a := range core.UnbGrpFilter(tg, g.q.Stars) {
+		g.counters.Inc(CounterAnnTGs, 1)
+		if g.eager {
+			for _, p := range core.BetaUnnest(g.q.Stars[a.EC], a) {
+				g.counters.Inc(CounterEagerUnnest, 1)
+				if err := g.emitAnnTG(p, out); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := g.emitAnnTG(a, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *groupTask) emitAnnTG(a core.AnnTG, out mapreduce.Collector) error {
+	comps := []core.AnnTG{a}
+	rec := core.EncodeJoined(comps)
+	if err := out.Collect(rec); err != nil {
+		return err
+	}
+	if g.grpBucket == "" && g.jl == nil {
+		return nil
+	}
+	nc, ok := out.(mapreduce.NamedCollector)
+	if !ok {
+		return fmt.Errorf("ntgamr: collector lacks MultipleOutputs support")
+	}
+	if g.grpBucket != "" {
+		if err := nc.CollectTo(g.grpBucket, rec); err != nil {
+			return err
+		}
+	}
+	if g.jl != nil && a.EC == g.jl.pos.Star {
+		return g.jl.emit(g.q, comps, g.counters, nc)
+	}
+	return nil
+}
+
+// groupTaskFactory builds the grouping operator per bucket task.
+type groupTaskFactory struct {
+	q        *query.Query
+	eager    bool
+	counters *mapreduce.Counters
+	grpFiles []string // grouped bucket files, indexed by task (nil when unused)
+	jl       *jlRoute // nil when the first join is not map-only
+}
+
+func (f *groupTaskFactory) NewTask(task int, _ [][]byte) (mapreduce.TaskMapper, error) {
+	grp := ""
+	if f.grpFiles != nil {
+		if task >= len(f.grpFiles) {
+			return nil, fmt.Errorf("ntgamr: group task %d beyond %d buckets", task, len(f.grpFiles))
+		}
+		grp = f.grpFiles[task]
+	}
+	return &groupTask{q: f.q, eager: f.eager, counters: f.counters, grpBucket: grp, jl: f.jl}, nil
+}
+
+// joinTask is the map-only join operator for one bucket: the side input
+// holds every resolved left record whose join value hashes to this bucket,
+// and the task streams the grouped bucket joining right-side records (whose
+// subject is the join value — map-only joins always bind the right star
+// through its subject, so right subjects co-hash with their lefts).
+type joinTask struct {
+	q        *query.Query
+	join     query.Join
+	counters *mapreduce.Counters
+	lefts    map[rdf.ID][]resolved
+	next     *jlRoute // the following map-only join's left routing (nil when last)
+}
+
+func (j *joinTask) MapRecord(_ string, record []byte, out mapreduce.Collector) error {
+	comps, err := core.DecodeJoined(record)
+	if err != nil {
+		return err
+	}
+	if len(comps) != 1 || comps[0].EC != j.join.Right.Star {
+		return nil // another star's group — a different join consumes it
+	}
+	value := comps[0].Subject
+	lefts := j.lefts[value]
+	if len(lefts) == 0 {
+		return nil
+	}
+	for _, l := range lefts {
+		joined := make([]core.AnnTG, 0, len(l.comps)+len(comps))
+		joined = append(joined, l.comps...)
+		joined = append(joined, comps...)
+		if err := out.Collect(core.EncodeJoined(joined)); err != nil {
+			return err
+		}
+		if j.next != nil {
+			nc, ok := out.(mapreduce.NamedCollector)
+			if !ok {
+				return fmt.Errorf("ntgamr: collector lacks MultipleOutputs support")
+			}
+			if err := j.next.emit(j.q, joined, j.counters, nc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (j *joinTask) Flush(mapreduce.Collector) error { return nil }
+
+// joinTaskFactory builds the join operator per bucket task from its side
+// input (the routed left records).
+type joinTaskFactory struct {
+	q        *query.Query
+	join     query.Join
+	counters *mapreduce.Counters
+	next     *jlRoute
+}
+
+func (f *joinTaskFactory) NewTask(_ int, side [][]byte) (mapreduce.TaskMapper, error) {
+	lefts := make(map[rdf.ID][]resolved, len(side))
+	for _, rec := range side {
+		v, comps, err := decodeResolved(rec)
+		if err != nil {
+			return nil, err
+		}
+		lefts[v] = append(lefts[v], resolved{value: v, comps: comps})
+	}
+	return &joinTask{q: f.q, join: f.join, counters: f.counters, lefts: lefts, next: f.next}, nil
+}
+
+// tempBuckets names (and tracks for cleanup) one intermediate bucket set.
+func tempBuckets(cl *engine.Cleaner, base string, n int) []string {
+	files := make([]string, n)
+	for i := range files {
+		files[i] = cl.Track(fmt.Sprintf("%s/bucket-%05d", base, i))
+	}
+	return files
+}
+
+// PlanPartitioned is Plan over a subject-partitioned layout: the grouping
+// cycle always runs map-only over the bucket files, and the longest
+// subject-bound prefix of the join chain runs map-only too (left sides
+// pre-routed by join value). The first join the layout cannot serve — and
+// everything after it — falls back to the flat shuffle cycles, with the
+// reason recorded on the node for EXPLAIN. A nil (or mismatched)
+// partitioning delegates to Plan exactly.
+func (n *NTGA) PlanPartitioned(q *query.Query, input string, part *plan.Partitioning,
+	cl *engine.Cleaner, counters *mapreduce.Counters) (*plan.Physical, error) {
+	if !part.Matches(plan.PartitionKeySubject) {
+		return n.Plan(q, input, cl, counters)
+	}
+	if err := plan.CheckBuckets(part.Buckets); err != nil {
+		return nil, err
+	}
+	if len(q.Stars) == 0 {
+		return nil, fmt.Errorf("ntgamr: query has no stars")
+	}
+	if counters == nil {
+		counters = mapreduce.NewCounters()
+	}
+	prefix := MapOnlyPrefix(part, q.Joins)
+	buckets := part.Buckets
+
+	grouped := cl.Track(engine.TempName(n.name, "group"))
+	groupUnnest := plan.UnnestNone
+	if n.strategy == Eager {
+		groupUnnest = plan.UnnestEager
+	}
+	var grpFiles []string
+	var jl *jlRoute
+	if prefix > 0 {
+		grpFiles = tempBuckets(cl, engine.TempName(n.name, "group-b"), buckets)
+		jl = &jlRoute{
+			pos:   q.Joins[0].Left,
+			files: tempBuckets(cl, engine.TempName(n.name, "jl0"), buckets),
+		}
+	}
+	groupJob := &mapreduce.Job{
+		Name:            "ntga-group",
+		Inputs:          part.Files(),
+		Output:          grouped,
+		ExtraOutputs:    append(append([]string(nil), grpFiles...), jlFilesOf(jl)...),
+		WholeFileSplits: true,
+		MapOnlyFactory: &groupTaskFactory{
+			q: q, eager: n.strategy == Eager, counters: counters,
+			grpFiles: grpFiles, jl: jl,
+		},
+	}
+	p := &plan.Physical{Engine: n.name, Input: input, PartInput: part.Dir, Final: grouped}
+	p.Stages = append(p.Stages, plan.Stage{{
+		Kind: plan.KindGroupFilter, Name: "ntga-group", Star: -1,
+		Inputs: []string{part.Dir}, Output: grouped, Unnest: groupUnnest,
+		MapSide: true, Part: part, Job: groupJob,
+	}})
+
+	acc := grouped
+	for ji := range q.Joins {
+		j := q.Joins[ji]
+		out := cl.Track(engine.TempName(n.name, fmt.Sprintf("join%d", ji)))
+		name := fmt.Sprintf("%s-join%d", n.name, ji)
+		if ji < prefix {
+			var next *jlRoute
+			if ji+1 < prefix {
+				next = &jlRoute{
+					pos:   q.Joins[ji+1].Left,
+					files: tempBuckets(cl, engine.TempName(n.name, fmt.Sprintf("jl%d", ji+1)), buckets),
+				}
+			}
+			job := &mapreduce.Job{
+				Name:            name,
+				Inputs:          grpFiles,
+				Output:          out,
+				ExtraOutputs:    jlFilesOf(next),
+				WholeFileSplits: true,
+				TaskSideInputs:  jl.files,
+				MapOnlyFactory:  &joinTaskFactory{q: q, join: j, counters: counters, next: next},
+			}
+			inputs := []string{grouped}
+			if ji > 0 {
+				inputs = []string{acc, grouped}
+			}
+			p.Stages = append(p.Stages, plan.Stage{{
+				Kind: plan.KindTGJoin, Name: name, Star: -1,
+				Inputs: inputs, Output: out, Join: &q.Joins[ji],
+				Unnest:  n.unnestFor(j, directMode),
+				MapSide: true, Part: part, Job: job,
+			}})
+			jl = next
+			acc = out
+			continue
+		}
+		// Shuffle fallback: the flat join cycle, reading the accumulated
+		// result and the (flat) grouping output.
+		mode := n.joinModeFor(q, j)
+		job := tgJoinJob(q, name, j, mode, n.phiM, counters, acc, grouped, out)
+		node := &plan.Node{
+			Kind: plan.KindTGJoin, Name: name, Star: -1,
+			Inputs: append([]string(nil), job.Inputs...), Output: out,
+			Join: &q.Joins[ji], Unnest: n.unnestFor(j, mode), Job: job,
+		}
+		if node.Unnest == plan.UnnestPartial {
+			node.PhiM = n.phiM
+		}
+		if ji == prefix {
+			node.PartReason = partMissReason(j)
+		}
+		p.Stages = append(p.Stages, plan.Stage{node})
+		acc = out
+	}
+	p.Final = acc
+	if q.IsCount() {
+		cntFile := cl.Track(engine.TempName(n.name, "count"))
+		p.Stages = append(p.Stages, plan.Stage{{
+			Kind: plan.KindCountFold, Name: "ntga-count", Star: -1,
+			Inputs: []string{acc}, Output: cntFile,
+			Job: countFoldJob(q, acc, cntFile),
+		}})
+		p.Final = cntFile
+	}
+	return p, nil
+}
+
+func jlFilesOf(r *jlRoute) []string {
+	if r == nil {
+		return nil
+	}
+	return r.files
+}
+
+// RunPartitioned is Run over a partitioned layout; a nil partitioning runs
+// the flat path. Result rows are the same set as the flat run's (the map-only
+// path emits them in bucket order rather than shuffle order).
+func (n *NTGA) RunPartitioned(mr *mapreduce.Engine, q *query.Query, input string,
+	part *plan.Partitioning) (*engine.Result, error) {
+	var cl engine.Cleaner
+	counters := mapreduce.NewCounters()
+	p, err := n.PlanPartitioned(q, input, part, &cl, counters)
+	if err != nil {
+		cl.Clean(mr)
+		return &engine.Result{Engine: n.name}, err
+	}
+	if q.IsCount() {
+		var count int64
+		res, err := engine.ExecutePlan(mr, n.name, p, &cl, counters,
+			func(record []byte) ([]query.Row, error) {
+				c, err := codec.NewReader(record).Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				count += int64(c)
+				return nil, nil
+			})
+		res.IsCount = true
+		res.Count = count
+		return res, err
+	}
+	return engine.ExecutePlan(mr, n.name, p, &cl, counters, DecodeRows(q))
+}

@@ -87,6 +87,11 @@ func Estimate(cat *Catalog, q *query.Query, p *Physical) (Cost, []NodeCost) {
 			shuffle = in.records * keyOverhead
 			out = fileEst{records: 1, bytes: 8}
 		}
+		if node.MapSide {
+			// The no-shuffle rewrite: co-partitioned inputs make the cycle
+			// map-only, so nothing crosses the shuffle regardless of kind.
+			shuffle = 0
+		}
 		e.files[node.Output] = out
 		total += shuffle
 		nodes = append(nodes, NodeCost{
@@ -160,6 +165,49 @@ func JoinChainShuffle(cat *Catalog, q *query.Query, joins []query.Join) int64 {
 		right := e.starFile(j.Right.Star, true)
 		total += acc.bytes + acc.records*keyOverhead +
 			right.bytes + right.records*keyOverhead
+		acc = e.joinOut(acc, right, j)
+	}
+	return f2i(total)
+}
+
+// PartitionServes reports whether a subject-partitioned layout can serve
+// join i of a chain map-side: every join up to and including i must bind its
+// right side through the star's subject (the bucket key), because the first
+// shuffled join breaks bucket alignment for everything after it.
+func PartitionServes(part *Partitioning, joins []query.Join, i int) bool {
+	if !part.Matches(PartitionKeySubject) {
+		return false
+	}
+	for k := 0; k <= i && k < len(joins); k++ {
+		if joins[k].Right.Role != query.RoleSubject {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinChainShufflePartitioned is JoinChainShuffle with the partition-reuse
+// term: joins the layout serves (PartitionServes) run map-only and
+// contribute zero shuffle, so ReorderJoins can prefer orders that keep the
+// partition-preserving prefix long. A nil (or mismatched) partitioning
+// degenerates to JoinChainShuffle exactly.
+func JoinChainShufflePartitioned(cat *Catalog, q *query.Query, joins []query.Join, part *Partitioning) int64 {
+	if !part.Matches(PartitionKeySubject) {
+		return JoinChainShuffle(cat, q, joins)
+	}
+	if len(joins) == 0 {
+		return 0
+	}
+	e := NewEstimator(cat, q)
+	acc := e.starFile(joins[0].Left.Star, true)
+	total := 0.0
+	for i := range joins {
+		j := &joins[i]
+		right := e.starFile(j.Right.Star, true)
+		if !PartitionServes(part, joins, i) {
+			total += acc.bytes + acc.records*keyOverhead +
+				right.bytes + right.records*keyOverhead
+		}
 		acc = e.joinOut(acc, right, j)
 	}
 	return f2i(total)

@@ -135,6 +135,19 @@ type Node struct {
 	// Pig unbound-query pattern the paper calls out).
 	DoubleCopy bool
 
+	// MapSide marks a cycle rewritten to the no-shuffle map-only form: the
+	// node reads co-partitioned inputs, its map attempts commit final
+	// output directly, and the reduce phase is elided (shuffle bytes 0).
+	MapSide bool
+	// Part is the physical partitioning property of the node's input (and,
+	// for partition-preserving operators, of its output). Nil means the
+	// input is an unpartitioned flat file.
+	Part *Partitioning
+	// PartReason, on a shuffle node planned while a partitioned layout was
+	// available, says why the map-only rewrite could not fire (EXPLAIN
+	// renders it).
+	PartReason string
+
 	// Job is the lowered MapReduce job. Plans produced by an engine always
 	// carry one; plans built only for cost inspection may not.
 	Job *mapreduce.Job
@@ -151,6 +164,9 @@ type Physical struct {
 	Engine string
 	// Input is the DFS name of the base triple relation T.
 	Input string
+	// PartInput, when set, is the partitioned layout directory the plan
+	// reads in place of full scans of Input; Summary renders it as "P".
+	PartInput string
 	// Stages is the plan body, in execution order.
 	Stages []Stage
 	// Final is the DFS file holding the plan's result.
@@ -214,6 +230,9 @@ func (p *Physical) Lower() ([]mapreduce.Stage, error) {
 // goldens pin down.
 func (p *Physical) Summary() string {
 	names := map[string]string{p.Input: "T"}
+	if p.PartInput != "" {
+		names[p.PartInput] = "P"
+	}
 	norm := func(f string) string {
 		if n, ok := names[f]; ok {
 			return n
@@ -240,6 +259,15 @@ func (p *Physical) Summary() string {
 			}
 			if node.DoubleCopy {
 				attrs = append(attrs, "copies=2")
+			}
+			if node.MapSide {
+				attrs = append(attrs, "map-only")
+			}
+			if node.Part != nil {
+				attrs = append(attrs, "part="+node.Part.String())
+			}
+			if node.PartReason != "" {
+				attrs = append(attrs, fmt.Sprintf("part-miss=%q", node.PartReason))
 			}
 			ins := make([]string, len(node.Inputs))
 			for i, in := range node.Inputs {

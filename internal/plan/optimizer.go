@@ -30,14 +30,31 @@ type Reorder struct {
 // mutates q. The legacy (compile-time) order wins ties, so a catalog with
 // no discriminating statistics reproduces the legacy plan exactly.
 func ReorderJoins(cat *Catalog, q *query.Query) (*Reorder, error) {
+	return ReorderJoinsPartitioned(cat, q, nil)
+}
+
+// ReorderJoinsPartitioned is ReorderJoins pricing each candidate order with
+// the partition-reuse term (JoinChainShufflePartitioned): when the input is
+// subject-partitioned, orders whose join chains keep binding through star
+// subjects run map-only for longer and estimate cheaper, so the search
+// prefers partition-preserving orders. A nil partitioning reproduces
+// ReorderJoins exactly.
+func ReorderJoinsPartitioned(cat *Catalog, q *query.Query, part *Partitioning) (*Reorder, error) {
 	if cat == nil {
 		return nil, fmt.Errorf("plan: ReorderJoins needs a catalog")
+	}
+	if len(q.Stars) <= 1 && part != nil {
+		// Nothing to reorder, but validate the property anyway so callers
+		// passing a hand-built Partitioning fail loudly.
+		if err := CheckBuckets(part.Buckets); err != nil {
+			return nil, err
+		}
 	}
 	legacy := query.JoinOrder(q.Joins, len(q.Stars))
 	r := &Reorder{
 		Order:     legacy,
 		Joins:     q.Joins,
-		LegacyEst: JoinChainShuffle(cat, q, q.Joins),
+		LegacyEst: JoinChainShufflePartitioned(cat, q, q.Joins, part),
 	}
 	r.Est = r.LegacyEst
 	if len(q.Stars) <= 2 || len(q.Stars) > maxSearchStars {
@@ -53,7 +70,7 @@ func ReorderJoins(cat *Catalog, q *query.Query) (*Reorder, error) {
 		if err != nil {
 			return // disconnected prefix or cyclic — not a valid order
 		}
-		est := JoinChainShuffle(cat, q, joins)
+		est := JoinChainShufflePartitioned(cat, q, joins, part)
 		if est < r.Est {
 			r.Est = est
 			r.Order = append([]int(nil), order...)

@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"ntga/internal/hdfs"
+)
+
+// This file is the planner's side of the physical data-properties layer:
+// the Partitioning property carried by plan nodes (and propagated through
+// the IR), and the single place PhiM / bucket-count configuration is
+// validated. Engines receive a *Partitioning describing a pre-bucketed
+// relation (hdfs.Layout written by BuildPartitionLayout) and may rewrite
+// shuffle cycles into map-only cycles when the partitioning matches the
+// join key; when it doesn't, the node records an EXPLAIN-visible reason.
+
+// PartitionKeySubject is the only partitioning key the loader writes:
+// hash-of-subject, the γ_Sub grouping key.
+const PartitionKeySubject = "subject"
+
+// Bucket-count and φ_m guard rails. The upper bounds reject configurations
+// that would allocate absurd numbers of files or β-unnest buckets long
+// before any job runs.
+const (
+	MaxBuckets = 1 << 14
+	MaxPhiM    = 1 << 20
+)
+
+// BadPhiMError reports an out-of-range φ_m partition range.
+type BadPhiMError struct{ PhiM int }
+
+func (e *BadPhiMError) Error() string {
+	return fmt.Sprintf("plan: phiM must be in 0..%d (got %d); 0 selects the default (%d)",
+		MaxPhiM, e.PhiM, DefaultPhiM)
+}
+
+// BadBucketsError reports an out-of-range partition bucket count.
+type BadBucketsError struct{ Buckets int }
+
+func (e *BadBucketsError) Error() string {
+	return fmt.Sprintf("plan: partition buckets must be in 1..%d (got %d)", MaxBuckets, e.Buckets)
+}
+
+// CheckPhiM validates a φ_m partition range. Zero is allowed (it selects
+// DefaultPhiM); negative or absurdly large values are typed errors — the
+// engines used to clamp these silently, which hid misconfigured runs.
+func CheckPhiM(phiM int) error {
+	if phiM < 0 || phiM > MaxPhiM {
+		return &BadPhiMError{PhiM: phiM}
+	}
+	return nil
+}
+
+// CheckBuckets validates a partition bucket count. Unlike φ_m there is no
+// "default" sentinel: a layout must say how many buckets it has.
+func CheckBuckets(buckets int) error {
+	if buckets < 1 || buckets > MaxBuckets {
+		return &BadBucketsError{Buckets: buckets}
+	}
+	return nil
+}
+
+// Partitioning is the physical data property: the relation a node reads is
+// hash-partitioned into Buckets files under Dir, on Key. It mirrors
+// hdfs.Layout (the persisted manifest) in planner terms.
+type Partitioning struct {
+	// Key is the partitioning column (PartitionKeySubject).
+	Key string
+	// Buckets is the bucket-file count.
+	Buckets int
+	// Dir is the DFS directory holding the bucket files.
+	Dir string
+	// Version is the dataset content hash the layout was built from (empty
+	// in stats-only plans that never touch a DFS).
+	Version string
+}
+
+// NewPartitioning validates and builds the property.
+func NewPartitioning(key string, buckets int, dir, version string) (*Partitioning, error) {
+	if key != PartitionKeySubject {
+		return nil, fmt.Errorf("plan: unsupported partitioning key %q (only %q)", key, PartitionKeySubject)
+	}
+	if err := CheckBuckets(buckets); err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		return nil, errors.New("plan: partitioning needs a layout dir")
+	}
+	return &Partitioning{Key: key, Buckets: buckets, Dir: dir, Version: version}, nil
+}
+
+// FromLayout converts a validated hdfs.Layout manifest into the planner
+// property.
+func FromLayout(l hdfs.Layout) (*Partitioning, error) {
+	return NewPartitioning(l.Key, l.Buckets, l.Dir, l.Version)
+}
+
+// Layout returns the hdfs view of the property (the bucket-file naming
+// authority).
+func (p *Partitioning) Layout() hdfs.Layout {
+	return hdfs.Layout{Key: p.Key, Buckets: p.Buckets, Version: p.Version, Dir: p.Dir}
+}
+
+// BucketFile returns the DFS name of bucket i.
+func (p *Partitioning) BucketFile(i int) string { return p.Layout().BucketFile(i) }
+
+// Files returns every bucket file, in bucket order.
+func (p *Partitioning) Files() []string { return p.Layout().Files() }
+
+// Matches reports whether the partitioning serves joins on the given key —
+// the map-only rewrite's precondition.
+func (p *Partitioning) Matches(key string) bool {
+	return p != nil && p.Key == key && p.Buckets >= 1
+}
+
+// String renders the property the way EXPLAIN shows it.
+func (p *Partitioning) String() string {
+	if p == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%s/%d", p.Key, p.Buckets)
+}

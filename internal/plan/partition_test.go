@@ -1,0 +1,237 @@
+package plan_test
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+
+	"ntga/internal/codec"
+	"ntga/internal/core/hash64"
+	"ntga/internal/engine"
+	"ntga/internal/enginetest"
+	"ntga/internal/hdfs"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+)
+
+func TestCheckPhiMRejections(t *testing.T) {
+	for _, ok := range []int{0, 1, 64, plan.MaxPhiM} {
+		if err := plan.CheckPhiM(ok); err != nil {
+			t.Errorf("CheckPhiM(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int{-1, -100, plan.MaxPhiM + 1} {
+		err := plan.CheckPhiM(bad)
+		var be *plan.BadPhiMError
+		if !errors.As(err, &be) {
+			t.Errorf("CheckPhiM(%d) = %v, want *BadPhiMError", bad, err)
+		} else if be.PhiM != bad {
+			t.Errorf("CheckPhiM(%d) carries PhiM=%d", bad, be.PhiM)
+		}
+	}
+}
+
+func TestCheckBucketsRejections(t *testing.T) {
+	for _, ok := range []int{1, 8, plan.MaxBuckets} {
+		if err := plan.CheckBuckets(ok); err != nil {
+			t.Errorf("CheckBuckets(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -3, plan.MaxBuckets + 1} {
+		err := plan.CheckBuckets(bad)
+		var be *plan.BadBucketsError
+		if !errors.As(err, &be) {
+			t.Errorf("CheckBuckets(%d) = %v, want *BadBucketsError", bad, err)
+		} else if be.Buckets != bad {
+			t.Errorf("CheckBuckets(%d) carries Buckets=%d", bad, be.Buckets)
+		}
+	}
+}
+
+func TestNewPartitioningValidates(t *testing.T) {
+	if _, err := plan.NewPartitioning("object", 8, "part/T", "v"); err == nil {
+		t.Error("unsupported key accepted")
+	}
+	if _, err := plan.NewPartitioning(plan.PartitionKeySubject, 0, "part/T", "v"); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := plan.NewPartitioning(plan.PartitionKeySubject, 8, "", "v"); err == nil {
+		t.Error("empty dir accepted")
+	}
+	p, err := plan.NewPartitioning(plan.PartitionKeySubject, 8, "part/T", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Matches(plan.PartitionKeySubject) {
+		t.Error("valid partitioning does not match its own key")
+	}
+	if p.String() != "subject/8" {
+		t.Errorf("String() = %q", p.String())
+	}
+	var nilPart *plan.Partitioning
+	if nilPart.Matches(plan.PartitionKeySubject) {
+		t.Error("nil partitioning matches")
+	}
+	if nilPart.String() != "none" {
+		t.Errorf("nil String() = %q", nilPart.String())
+	}
+}
+
+// subjectJoinQuery compiles a two-star query whose join binds the second
+// star through its subject — the shape the subject partitioning serves.
+func subjectJoinQuery(t *testing.T) (*plan.Catalog, *query.Query) {
+	t.Helper()
+	g := bsbmGraph(t)
+	q := compileOn(t, g, `PREFIX bsbm: <http://bsbm.example.org/>
+		SELECT * WHERE {
+			?o bsbm:product ?prod . ?o bsbm:vendor ?v .
+			?prod bsbm:label ?l .
+		}`)
+	return plan.FromGraph(g), q
+}
+
+func TestPartitionServes(t *testing.T) {
+	_, q := subjectJoinQuery(t)
+	part, err := plan.NewPartitioning(plan.PartitionKeySubject, 4, "part/T", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) == 0 {
+		t.Fatal("query has no joins")
+	}
+	j0 := q.Joins[0]
+	if j0.Right.Role != query.RoleSubject {
+		t.Fatalf("test query join 0 right role = %v, want subject", j0.Right.Role)
+	}
+	if !plan.PartitionServes(part, q.Joins, 0) {
+		t.Error("subject-bound join not served by subject partitioning")
+	}
+	if plan.PartitionServes(nil, q.Joins, 0) {
+		t.Error("nil partitioning serves a join")
+	}
+	// Break the chain: a non-subject right side at join 0 blocks every join.
+	broken := append([]query.Join(nil), q.Joins...)
+	broken[0].Right.Role = query.RoleBoundObj
+	if plan.PartitionServes(part, broken, 0) {
+		t.Error("object-bound join served by subject partitioning")
+	}
+}
+
+func TestJoinChainShufflePartitioned(t *testing.T) {
+	cat, q := subjectJoinQuery(t)
+	flat := plan.JoinChainShuffle(cat, q, q.Joins)
+	if flat <= 0 {
+		t.Fatalf("flat chain shuffle = %d, want > 0", flat)
+	}
+	if got := plan.JoinChainShufflePartitioned(cat, q, q.Joins, nil); got != flat {
+		t.Errorf("nil partitioning: %d, want flat %d", got, flat)
+	}
+	part, _ := plan.NewPartitioning(plan.PartitionKeySubject, 4, "part/T", "v")
+	if got := plan.JoinChainShufflePartitioned(cat, q, q.Joins, part); got != 0 {
+		t.Errorf("served chain shuffle = %d, want 0", got)
+	}
+	// An unserved chain prices exactly like the flat estimate.
+	broken := append([]query.Join(nil), q.Joins...)
+	broken[0].Right.Role = query.RoleBoundObj
+	if got := plan.JoinChainShufflePartitioned(cat, q, broken, part); got != plan.JoinChainShuffle(cat, q, broken) {
+		t.Errorf("unserved chain = %d, want flat %d", got, plan.JoinChainShuffle(cat, q, broken))
+	}
+}
+
+func TestReorderJoinsPartitionedNilMatchesFlat(t *testing.T) {
+	cat, q := subjectJoinQuery(t)
+	flat, err := plan.ReorderJoins(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := plan.ReorderJoinsPartitioned(cat, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Est != part.Est || flat.Changed != part.Changed {
+		t.Errorf("nil-partitioned reorder (%d, %v) != flat (%d, %v)",
+			part.Est, part.Changed, flat.Est, flat.Changed)
+	}
+}
+
+func TestBuildPartitionLayout(t *testing.T) {
+	g := enginetest.RandomGraph(11, 3000, 200, 10, 400)
+	mr := enginetest.NewMR()
+	const input = "data/triples"
+	if err := engine.LoadGraph(mr.DFS(), input, g); err != nil {
+		t.Fatal(err)
+	}
+	const buckets = 5
+	part, err := plan.BuildPartitionLayout(mr, input, "part/T", buckets, g.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Buckets != buckets || part.Key != plan.PartitionKeySubject {
+		t.Fatalf("partitioning = %+v", part)
+	}
+
+	// The bucket files hold the exact multiset of input triples, each routed
+	// by hash-of-subject, subject-contiguous within its bucket.
+	flat, err := mr.DFS().ReadAll(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	for b := 0; b < buckets; b++ {
+		recs, err := mr.DFS().ReadAll(part.BucketFile(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSubj := -1
+		seen := map[int]bool{}
+		for _, rec := range recs {
+			tr, err := codec.DecodeTriple(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hash64.Bucket(uint64(tr.S), buckets) != b {
+				t.Fatalf("bucket %d holds subject %d routed elsewhere", b, tr.S)
+			}
+			if int(tr.S) != lastSubj {
+				if seen[int(tr.S)] {
+					t.Fatalf("bucket %d: subject %d not contiguous", b, tr.S)
+				}
+				seen[int(tr.S)] = true
+				lastSubj = int(tr.S)
+			}
+		}
+		got = append(got, recs...)
+	}
+	if len(got) != len(flat) {
+		t.Fatalf("layout holds %d records, input has %d", len(got), len(flat))
+	}
+	sortRecords(got)
+	sortRecords(flat)
+	for i := range got {
+		if !bytes.Equal(got[i], flat[i]) {
+			t.Fatalf("record %d differs between layout and flat input", i)
+		}
+	}
+
+	// The manifest round-trips and validates against the dataset version.
+	loaded, err := plan.LoadPartitioning(mr.DFS(), "part/T", g.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *loaded != *part {
+		t.Errorf("loaded partitioning %+v != built %+v", loaded, part)
+	}
+	// A stale manifest (dataset changed since the load) is a typed error.
+	if _, err := plan.LoadPartitioning(mr.DFS(), "part/T", "other-version"); !errors.Is(err, hdfs.ErrLayoutStale) {
+		t.Errorf("stale load error = %v, want ErrLayoutStale", err)
+	}
+	// Bad bucket counts are rejected before any job runs.
+	if _, err := plan.BuildPartitionLayout(mr, input, "part/T2", 0, g.Version()); err == nil {
+		t.Error("zero-bucket load accepted")
+	}
+}
+
+func sortRecords(recs [][]byte) {
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i], recs[j]) < 0 })
+}

@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/core/hash64"
+	"ntga/internal/hdfs"
+	"ntga/internal/mapreduce"
+)
+
+// This file holds the layout loader: the one-time MR job that rewrites the
+// flat triple relation into the partitioned/bucketed layout the map-only
+// rewrite reads. It is a full shuffle job on purpose — the point of paying
+// it once is that every later join over the layout pays nothing.
+
+// partitionLoadMapper keys each triple by its subject ID (the γ_Sub grouping
+// key) with the (P,O) tail as the value — the exact key/value encoding the
+// NTGA grouping cycle shuffles, so the engine's byte-wise (key, value)
+// shuffle sort leaves each bucket file subject-contiguous with (P,O) pairs
+// in the same order a flat grouping reducer would see them.
+func partitionLoadMapper(_ string, record []byte, out mapreduce.Emitter) error {
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	var val codec.Buffer
+	val.PutID(t.P)
+	val.PutID(t.O)
+	return out.Emit(codec.EncodeID(t.S), val.Bytes())
+}
+
+// partitionLoadPartitioner routes each subject to its bucket: the same
+// hash64.Bucket the planner and the map-only join use, so a record's bucket
+// can be recomputed from the key anywhere.
+func partitionLoadPartitioner(key []byte, n int) int {
+	s, err := codec.DecodeID(key)
+	if err != nil {
+		return 0 // validate() rejects malformed keys before they get here
+	}
+	return hash64.Bucket(uint64(s), n)
+}
+
+// BuildPartitionLayout runs the loader job over the flat triple relation and
+// writes the bucketed layout under dir: Buckets bucket files (hash-of-subject,
+// subject-contiguous, duplicate triples preserved) plus the persisted layout
+// manifest carrying the dataset content-hash version. The returned
+// Partitioning is the planner property ready to hand to a partition-aware
+// engine. An existing layout under dir is replaced atomically enough for this
+// simulator: manifest last, so a half-written layout never validates.
+func BuildPartitionLayout(mr *mapreduce.Engine, input, dir string, buckets int, datasetVersion string) (*Partitioning, error) {
+	if err := CheckBuckets(buckets); err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("plan: BuildPartitionLayout needs a layout dir")
+	}
+	layout := hdfs.Layout{Key: PartitionKeySubject, Buckets: buckets, Version: datasetVersion, Dir: dir}
+	dfs := mr.DFS()
+	// Stale manifest first: a crash mid-load must leave a layout that fails
+	// ReadLayout, not one that validates against the old manifest.
+	dfs.DeleteIfExists(dir + "/" + hdfs.LayoutManifestName)
+	scan := dir + "/_scan"
+	job := &mapreduce.Job{
+		Name:         "partition-load",
+		Inputs:       []string{input},
+		Output:       scan,
+		ExtraOutputs: layout.Files(),
+		Mapper:       mapreduce.MapperFunc(partitionLoadMapper),
+		Partitioner:  partitionLoadPartitioner,
+		NumReducers:  buckets,
+		StreamReducer: mapreduce.StreamReducerFunc(func(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
+			s, err := codec.DecodeID(key)
+			if err != nil {
+				return err
+			}
+			bucket := layout.BucketFile(hash64.Bucket(uint64(s), buckets))
+			nc, ok := out.(mapreduce.NamedCollector)
+			if !ok {
+				return fmt.Errorf("plan: partition-load collector lacks MultipleOutputs support")
+			}
+			// Re-assemble the triple record: key ++ value is PutID(S) PutID(P)
+			// PutID(O), the codec triple encoding. Duplicates are kept — the
+			// bucket files hold the exact multiset of input triples.
+			for {
+				v, ok, err := values.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				rec := make([]byte, 0, len(key)+len(v))
+				rec = append(rec, key...)
+				rec = append(rec, v...)
+				if err := nc.CollectTo(bucket, rec); err != nil {
+					return err
+				}
+			}
+		}),
+	}
+	defer dfs.DeleteIfExists(scan)
+	if _, err := mr.RunWorkflowNamed("partition-load", []mapreduce.Stage{{job}}); err != nil {
+		return nil, err
+	}
+	if err := dfs.WriteLayout(layout); err != nil {
+		return nil, err
+	}
+	return FromLayout(layout)
+}
+
+// LoadPartitioning reads and validates the layout manifest under dir against
+// the dataset version the caller is about to query. A missing or corrupt
+// manifest surfaces as the hdfs error; a version mismatch surfaces as
+// hdfs.ErrLayoutStale — callers are expected to fall back to the flat path.
+func LoadPartitioning(dfs *hdfs.DFS, dir, datasetVersion string) (*Partitioning, error) {
+	l, err := dfs.ReadLayout(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Validate(datasetVersion); err != nil {
+		return nil, err
+	}
+	return FromLayout(l)
+}

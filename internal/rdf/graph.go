@@ -1,9 +1,9 @@
 package rdf
 
 import (
-	"fmt"
-	"hash/fnv"
 	"sort"
+
+	"ntga/internal/core/hash64"
 )
 
 // Graph is a dictionary-encoded triple multiset together with its dictionary.
@@ -35,11 +35,11 @@ func (g *Graph) AddID(t Triple) { g.Triples = append(g.Triples, t) }
 // over the wire in ID order) agree on the version — the handshake the
 // distributed cluster uses to refuse mixed datasets.
 func (g *Graph) Version() string {
-	h := fnv.New64a()
+	h := hash64.New()
 	for _, t := range g.Triples {
-		fmt.Fprintf(h, "%d,%d,%d;", t.S, t.P, t.O)
+		h.Addf("%d,%d,%d;", t.S, t.P, t.O)
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return h.Hex()
 }
 
 // Len reports the number of triples.

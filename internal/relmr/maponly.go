@@ -1,0 +1,182 @@
+package relmr
+
+import (
+	"fmt"
+
+	"ntga/internal/codec"
+	"ntga/internal/core"
+	"ntga/internal/engine"
+	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
+	"ntga/internal/query"
+	"ntga/internal/rdf"
+)
+
+// starJoinTask is the map-only star-join over one subject-hash bucket of the
+// partitioned triple layout. Bucket files are subject-contiguous with each
+// subject's (P,O) pairs in sorted order, so the task streams: it accumulates
+// a subject's relevant pairs (skipping adjacent duplicates, which is a full
+// dedup under the sorted layout) and materializes the star's cross product
+// when the subject run ends — exactly what starJoinReducer does after a
+// shuffle, without the shuffle.
+type starJoinTask struct {
+	q  *query.Query
+	st *query.Star
+	w  wire
+
+	started  bool
+	subject  rdf.ID
+	pairs    []core.PO
+	haveLast bool
+	last     core.PO
+}
+
+func (m *starJoinTask) MapRecord(_ string, record []byte, out mapreduce.Collector) error {
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	if m.started && t.S != m.subject {
+		if err := m.flushSubject(out); err != nil {
+			return err
+		}
+	}
+	if !m.started || t.S != m.subject {
+		m.started, m.subject = true, t.S
+		m.pairs, m.haveLast = m.pairs[:0], false
+	}
+	if !m.st.Subj.Match(t.S) || !m.st.TripleMatchesStar(t) {
+		return nil
+	}
+	p := core.PO{P: t.P, O: t.O}
+	if m.haveLast && p == m.last {
+		return nil
+	}
+	m.haveLast, m.last = true, p
+	m.pairs = append(m.pairs, p)
+	return nil
+}
+
+func (m *starJoinTask) Flush(out mapreduce.Collector) error {
+	if !m.started {
+		return nil
+	}
+	return m.flushSubject(out)
+}
+
+func (m *starJoinTask) flushSubject(out mapreduce.Collector) error {
+	if len(m.pairs) == 0 {
+		return nil
+	}
+	cands, ok := patternCandidates(m.st, m.pairs)
+	if !ok {
+		return nil
+	}
+	return crossTuples(m.st, m.subject, cands, func(t Tuple) error {
+		rec, err := m.w.encodeTuple(m.q, t)
+		if err != nil {
+			return err
+		}
+		return out.Collect(rec)
+	})
+}
+
+// starJoinTaskFactory builds one starJoinTask per bucket; retried attempts
+// get fresh streaming state.
+type starJoinTaskFactory struct {
+	q  *query.Query
+	st *query.Star
+	w  wire
+}
+
+func (f *starJoinTaskFactory) NewTask(int, [][]byte) (mapreduce.TaskMapper, error) {
+	return &starJoinTask{q: f.q, st: f.st, w: f.w}, nil
+}
+
+// starJoinMapOnlyJob builds the no-shuffle star-join job over the bucket
+// files of a subject-partitioned layout.
+func starJoinMapOnlyJob(name string, q *query.Query, st *query.Star, w wire,
+	part *plan.Partitioning, output string) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:            name,
+		Inputs:          part.Files(),
+		Output:          output,
+		WholeFileSplits: true,
+		MapOnlyFactory:  &starJoinTaskFactory{q: q, st: st, w: w},
+	}
+}
+
+// relJoinPartMiss explains why a relational join cycle cannot use the
+// layout: its key is a variable binding of materialized tuples, not the
+// subject hash the bucket files are laid out on.
+func relJoinPartMiss(j query.Join) string {
+	return fmt.Sprintf("join ?%s keys on a tuple binding, not the layout's subject hash", j.Var)
+}
+
+// PlanPartitioned builds the physical plan against a partitioned layout.
+// Hive-style star-join cycles become map-only scans of the bucket files;
+// the relational join cycles still shuffle (and say why). Pig-style plans
+// are unchanged — the SPLIT pass re-materializes the input, discarding the
+// layout before any star-join could use it.
+func (r *Relational) PlanPartitioned(q *query.Query, input string, part *plan.Partitioning,
+	cl *engine.Cleaner, counters *mapreduce.Counters) (*plan.Physical, error) {
+	if !part.Matches(plan.PartitionKeySubject) || r.style == StylePig {
+		return r.Plan(q, input, cl, counters)
+	}
+	if len(q.Stars) == 0 {
+		return nil, fmt.Errorf("relmr: query has no stars")
+	}
+	if err := plan.CheckBuckets(part.Buckets); err != nil {
+		return nil, err
+	}
+	p := &plan.Physical{Engine: r.name, Input: input, PartInput: part.Dir}
+
+	starFiles := make([]string, len(q.Stars))
+	for i, st := range q.Stars {
+		starFiles[i] = cl.Track(engine.TempName(r.name, fmt.Sprintf("star%d", i)))
+		name := fmt.Sprintf("%s-star%d", r.name, i)
+		p.Stages = append(p.Stages, plan.Stage{{
+			Kind: plan.KindStarJoin, Name: name, Star: i,
+			Inputs: []string{part.Dir}, Output: starFiles[i],
+			MapSide: true, Part: part,
+			Job: starJoinMapOnlyJob(name, q, st, r.w, part, starFiles[i]),
+		}})
+	}
+
+	first := 0
+	if len(q.Joins) > 0 {
+		first = q.Joins[0].Left.Star
+	}
+	acc := starFiles[first]
+	for ji := range q.Joins {
+		j := q.Joins[ji]
+		out := cl.Track(engine.TempName(r.name, fmt.Sprintf("join%d", ji)))
+		name := fmt.Sprintf("%s-join%d", r.name, ji)
+		right := starFiles[j.Right.Star]
+		node := &plan.Node{
+			Kind: plan.KindRelJoin, Name: name, Star: -1,
+			Inputs: []string{acc, right}, Output: out, Join: &q.Joins[ji],
+			Job: joinJob(q, name, j, r.w, acc, right, out),
+		}
+		if ji == 0 {
+			node.PartReason = relJoinPartMiss(j)
+		}
+		p.Stages = append(p.Stages, plan.Stage{node})
+		acc = out
+	}
+	p.Final = acc
+	return p, nil
+}
+
+// RunPartitioned runs the query against a partitioned layout; a nil or
+// mismatched layout falls back to the flat plan.
+func (r *Relational) RunPartitioned(mr *mapreduce.Engine, q *query.Query, input string,
+	part *plan.Partitioning) (*engine.Result, error) {
+	var cl engine.Cleaner
+	p, err := r.PlanPartitioned(q, input, part, &cl, nil)
+	if err != nil {
+		cl.Clean(mr)
+		return &engine.Result{Engine: r.name}, err
+	}
+	return execute(mr, r.name, q, r.w, p, &cl)
+}

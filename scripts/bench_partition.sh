@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_partition.sh — regenerate BENCH_partition.json, the persisted
+# flat-vs-bucketed layout comparison: the -fig partition experiment runs
+# the repeat-joined workload (Q1a, B0, B1, B5, B7) on Hive and NTGA-Lazy
+# over both layouts and records per-cell shuffle bytes, stamped with the
+# current commit. If a previous BENCH_partition.json exists it becomes the
+# baseline: the run FAILS if any cell lost its zero-shuffle property or
+# regressed its partitioned shuffle volume more than 20%, leaving the
+# fresh numbers on disk for inspection either way.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_partition.json"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+BASELINE_ARGS=""
+if [ -f "$OUT" ]; then
+    cp "$OUT" "$OUT.baseline"
+    trap 'rm -f "$OUT.baseline"' EXIT
+    BASELINE_ARGS="-partition-baseline $OUT.baseline"
+    echo "== baseline: $OUT ($(sed -n 's/.*"commit": "\([^"]*\)".*/\1/p' "$OUT" | head -1))"
+fi
+
+echo "== regenerating partition layout comparison @ $COMMIT"
+# shellcheck disable=SC2086
+go run ./cmd/ntga-bench -fig partition -partition-out "$OUT" -commit "$COMMIT" $BASELINE_ARGS
+
+echo "bench-partition: OK ($OUT)"

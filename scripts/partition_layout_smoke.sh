@@ -1,0 +1,74 @@
+#!/bin/sh
+# partition_layout_smoke.sh — end-to-end smoke test of the bucketed data
+# layout: generate a dataset, run a repeat-joined O-S chain query once over
+# the flat triple file and once with -partition-buckets (which builds the
+# hash-of-subject layout, then takes the map-only plan), assert the
+# partitioned workflow moved ZERO shuffle bytes, and assert the two runs'
+# sorted row output is byte-identical. Exits non-zero on any failed step.
+set -eu
+
+WORK="$(mktemp -d)"
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build -o "$WORK/ntga-run" ./cmd/ntga-run
+go build -o "$WORK/ntga-datagen" ./cmd/ntga-datagen
+
+echo "== dataset"
+"$WORK/ntga-datagen" -dataset bsbm -scale 2 -seed 42 -out "$WORK/bsbm.nt"
+
+# Q1a's shape: two stars chained on an O-S join — the repeat-joined key is
+# the subject hash the layout is bucketed on, so the whole chain is served
+# map-side.
+QUERY='PREFIX bsbm: <http://bsbm.example.org/>
+SELECT * WHERE {
+  ?prod bsbm:label ?l . ?prod bsbm:producer ?pr .
+  ?pr bsbm:label ?prl . ?pr bsbm:country ?c .
+}'
+
+echo "== flat run (shuffle path)"
+"$WORK/ntga-run" -data "$WORK/bsbm.nt" -e "$QUERY" -metrics >"$WORK/flat.out" 2>"$WORK/flat.err"
+
+echo "== partitioned run (load layout, then map-only)"
+"$WORK/ntga-run" -data "$WORK/bsbm.nt" -e "$QUERY" -partition-buckets 8 -metrics \
+    >"$WORK/part.out" 2>"$WORK/part.err"
+
+grep -q "partition: built layout" "$WORK/part.err" || {
+    echo "FAIL: partitioned run never built the layout; stderr:" >&2
+    cat "$WORK/part.err" >&2
+    exit 1
+}
+
+# ntga-run prints rows on stdout and the metrics table on stderr; the
+# TOTAL row's 4th column is the workflow's shuffle bytes.
+flat_shuffle="$(awk '$1 == "TOTAL" { print $4 }' "$WORK/flat.err")"
+part_shuffle="$(awk '$1 == "TOTAL" { print $4 }' "$WORK/part.err")"
+echo "   flat shuffle: $flat_shuffle, partitioned shuffle: $part_shuffle"
+if [ "$flat_shuffle" = "0B" ] || [ -z "$flat_shuffle" ]; then
+    echo "FAIL: flat baseline moved no shuffle bytes ($flat_shuffle); the smoke test is vacuous" >&2
+    exit 1
+fi
+if [ "$part_shuffle" != "0B" ]; then
+    echo "FAIL: partitioned run shuffled $part_shuffle, want 0B" >&2
+    cat "$WORK/part.out" >&2
+    exit 1
+fi
+
+echo "== byte-diff sorted rows"
+# Strip the metrics preamble: rows start at the tab-separated header line.
+rows() { sed -n '/^?prod\t/,$p' "$1" | sort; }
+rows "$WORK/flat.out" >"$WORK/flat.rows"
+rows "$WORK/part.out" >"$WORK/part.rows"
+if [ ! -s "$WORK/flat.rows" ]; then
+    echo "FAIL: no rows captured from the flat run" >&2
+    exit 1
+fi
+if ! diff -u "$WORK/flat.rows" "$WORK/part.rows"; then
+    echo "FAIL: partitioned rows differ from flat rows" >&2
+    exit 1
+fi
+
+echo "partition-layout-smoke: OK ($(wc -l <"$WORK/flat.rows") row lines byte-identical, shuffle $flat_shuffle -> 0B)"
