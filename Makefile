@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke dist-smoke loadgen-smoke partition-smoke partition-layout-smoke bench-trace bench-partition
+.PHONY: all build test test-race bench figures cover fmt vet check chaos goldens serve-smoke ingest-smoke dist-smoke loadgen-smoke partition-smoke partition-layout-smoke bench-trace bench-partition
 
 all: build check test
 
@@ -17,6 +17,7 @@ check:
 	go vet ./...
 	go test -race ./internal/mapreduce/ ./internal/hdfs/ ./internal/server/ ./internal/workload/ ./internal/core/hash64/
 	go test -race -short ./internal/cluster/
+	go test -race ./internal/ingest/
 	go test ./internal/plan/ ./internal/explain/
 
 build:
@@ -52,6 +53,14 @@ figures:
 # ntga-run client mode, and check /healthz and /metrics.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end incremental-ingestion smoke test: boot ntga-serve, prime the
+# result cache, POST a delta batch through ntga-ingest (the unaffected
+# cached entry must survive as a zero-cycle hit while the affected query
+# re-executes and sees the delta rows), then run delta-merge compaction and
+# assert the chain drains with the servable content unchanged.
+ingest-smoke:
+	sh scripts/ingest_smoke.sh
 
 # End-to-end distributed smoke test: boot ntga-master + two ntga-worker
 # processes over RPC, run a query through ntga-run -cluster, kill -9 one

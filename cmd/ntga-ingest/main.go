@@ -1,0 +1,81 @@
+// Command ntga-ingest appends N-Triples batches to a running ntga-serve
+// daemon's versioned dataset (POST /ingest) and triggers delta-merge
+// compaction (POST /compact) — the write-path CLI next to ntga-run's
+// read-path client mode.
+//
+// Usage:
+//
+//	ntga-ingest -server 127.0.0.1:7457 -file delta.nt
+//	cat delta.nt | ntga-ingest -server 127.0.0.1:7457
+//	ntga-ingest -server 127.0.0.1:7457 -compact
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ntga/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("server", "", "ntga-serve address (required)")
+		file    = flag.String("file", "", "N-Triples batch file (default: read the batch from stdin)")
+		compact = flag.Bool("compact", false, "fold the server's delta chain into a fresh base generation; with -file/stdin the batch is ingested first")
+		timeout = flag.Duration("timeout", 2*time.Minute, "request deadline")
+	)
+	flag.Parse()
+
+	if *addr == "" {
+		fatal(fmt.Errorf("-server is required"))
+	}
+	c := server.NewClient(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Compact-only invocations skip the batch entirely; otherwise the batch
+	// comes from -file or stdin.
+	var batch io.ReadCloser
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		batch = f
+	case !*compact:
+		batch = os.Stdin
+	}
+
+	if batch != nil {
+		res, err := c.Ingest(ctx, batch)
+		batch.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ingested %d triples (seq %d, %d delta blocks, dataset %s)\n",
+			res.Triples, res.Seq, res.DeltaBlocks, res.DatasetVersion)
+		fmt.Printf("cache: %d retained, %d evicted\n", res.CacheRetained, res.CacheEvicted)
+		if res.Compacted {
+			fmt.Printf("auto-compacted (%d layout buckets rewritten)\n", res.BucketsRewritten)
+		}
+	}
+
+	if *compact {
+		res, err := c.Compact(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compacted %d delta blocks (%d triples) into base generation %d (dataset %s)\n",
+			res.Folded, res.FoldedTriples, res.Gen, res.Version)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ntga-ingest:", err)
+	os.Exit(1)
+}

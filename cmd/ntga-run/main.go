@@ -20,6 +20,7 @@ import (
 	"ntga/internal/cluster"
 	"ntga/internal/engine"
 	"ntga/internal/hdfs"
+	"ntga/internal/ingest"
 	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
 	"ntga/internal/plan"
@@ -62,6 +63,8 @@ func main() {
 		partBkts  = flag.Int("partition-buckets", 0, "build the hash-of-subject partitioned layout with this many buckets and run the query over it (0 = flat); in -cluster mode, 0 keeps the master's default")
 		partOut   = flag.String("partition-out", "part/T", "DFS directory for the partitioned layout (with -partition-buckets)")
 		noPart    = flag.Bool("no-partition", false, "cluster mode: force the flat plan even when the master holds a partitioned layout")
+		ingestNT  = flag.String("ingest", "", "comma-separated N-Triples files appended as delta blocks after the base load; the query runs over base ∪ deltas")
+		compact   = flag.Bool("compact", false, "fold the delta chain into a fresh base generation (delta-merge MR job) before running the query")
 	)
 	flag.Parse()
 
@@ -143,6 +146,9 @@ func main() {
 	var rows []query.Row
 	var lastCount int64
 	if *engName == "ref" {
+		if *ingestNT != "" || *compact {
+			fatal(fmt.Errorf("-ingest/-compact need a MapReduce engine (the reference engine has no versioned store)"))
+		}
 		if *statsOut != "" {
 			if err := plan.FromGraph(g).WriteFile(*statsOut); err != nil {
 				fatal(err)
@@ -194,16 +200,69 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "stats: wrote %s (also persisted to DFS data/catalog)\n", *statsOut)
 		}
-		var part *plan.Partitioning
+		// Loader mode: one shuffle job writes the bucketed layout, then the
+		// query runs map-only over it. The layout is built — and stamped — at
+		// the base dataset version, BEFORE any -ingest lands, mirroring a
+		// warehouse whose layout predates the deltas: an un-compacted chain
+		// makes it stale (shuffle fallback below), and -compact rewrites the
+		// affected buckets and re-stamps the manifest.
 		if *partBkts > 0 {
-			// Loader mode: one shuffle job writes the bucketed layout, then
-			// the query runs map-only over it. Reloading through the manifest
-			// exercises the production path — a stale or missing layout
-			// degrades to the flat plan with a warning instead of failing.
 			if _, err := plan.BuildPartitionLayout(mr, "data/triples", *partOut, *partBkts, g.Version()); err != nil {
 				fatal(err)
 			}
-			part, err = plan.LoadPartitioning(mr.DFS(), *partOut, g.Version())
+		}
+
+		base, deltas := "data/triples", []string(nil)
+		dataVer := g.Version()
+		if *ingestNT != "" || *compact {
+			st, err := ingest.Init(mr.DFS(), base, g)
+			if err != nil {
+				fatal(err)
+			}
+			for _, path := range strings.Split(*ingestNT, ",") {
+				path = strings.TrimSpace(path)
+				if path == "" {
+					continue
+				}
+				df, err := os.Open(path)
+				if err != nil {
+					fatal(err)
+				}
+				ires, err := st.Ingest(df)
+				df.Close()
+				if err != nil {
+					fatal(fmt.Errorf("ingesting %s: %w", path, err))
+				}
+				fmt.Fprintf(os.Stderr, "ingest: %s: %d triples as block %s (dataset %s)\n",
+					path, len(ires.Triples), ires.Block.File, ires.Version)
+			}
+			if *compact {
+				opts := ingest.CompactOptions{}
+				if *partBkts > 0 {
+					opts.LayoutDir = *partOut
+				}
+				cres, err := st.Compact(mr, opts)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "compact: folded %d blocks (%d triples) into base generation %d; %d layout buckets rewritten\n",
+					cres.Folded, cres.FoldedTriples, cres.Gen, cres.BucketsRewritten)
+			}
+			man := st.Manifest()
+			base, deltas, dataVer = man.Base, man.DeltaFiles(), st.Version()
+			// Delta batches may mint terms the query names; re-compile against
+			// the extended dictionary so those constants resolve.
+			if q, err = query.Compile(pq, g.Dict); err != nil {
+				fatal(err)
+			}
+		}
+
+		// Reloading the layout through the manifest exercises the production
+		// path — a stale or missing layout degrades to the flat plan with a
+		// warning instead of failing.
+		var part *plan.Partitioning
+		if *partBkts > 0 {
+			part, err = plan.LoadPartitioning(mr.DFS(), *partOut, dataVer)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "partition: layout %s unusable (%v); falling back to the shuffle path\n", *partOut, err)
 				part = nil
@@ -211,7 +270,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "partition: built layout %s (%s)\n", *partOut, part)
 			}
 		}
-		res, err := engine.RunMaybePartitioned(eng, mr, q, "data/triples", part)
+		res, err := engine.RunWithDeltas(eng, mr, q, base, deltas, part)
 		if tracer != nil {
 			// Export whatever spans were recorded even on failure — a trace
 			// of a failed workflow is exactly when you want the profile.

@@ -45,6 +45,7 @@ func main() {
 		adaptive  = flag.Duration("adaptive-target", 0, "enable p95-adaptive admission steering the queue-wait p95 to this target (0 = fixed max-inflight+max-queue window)")
 		fallback  = flag.Bool("local-fallback", false, "distributed mode: when the master is unreachable, serve queries on the in-process engine (byte-identical rows) instead of answering 503")
 		probe     = flag.Duration("probe-every", 0, "distributed mode: probe the master's health on this interval so /healthz reflects a lost master between requests (0 = on-demand scrapes only)")
+		compactAt = flag.Int("compact-after", 0, "auto-run delta-merge compaction when an ingest leaves this many uncompacted delta blocks (0 = compact only on POST /compact)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 		SplitRecords:       *splitRecs,
 		LocalFallback:      *fallback,
 		ProbeEvery:         *probe,
+		CompactAfter:       *compactAt,
 	}
 	if *adaptive > 0 {
 		cfg.Admission = &server.AdmissionConfig{TargetQueueWait: *adaptive}

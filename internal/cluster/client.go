@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ntga/internal/ingest"
 	"ntga/internal/mapreduce"
 )
 
@@ -66,6 +67,36 @@ func (c *Client) Run(ctx context.Context, args *RunArgs) (*RunReply, error) {
 		return nil, err
 	}
 	return reply, nil
+}
+
+// Ingest submits one raw N-Triples batch to the master's versioned dataset
+// store. Like Run, the call is never replayed blindly — appending a batch is
+// not idempotent (a replay would double-ingest it) — so a broken wire maps
+// to ErrMasterLost and the caller decides whether the batch landed (compare
+// dataset versions via Status).
+func (c *Client) Ingest(ctx context.Context, batch []byte) (*IngestReply, error) {
+	reply := new(IngestReply)
+	if err := c.rc.CallNoRetry(ctx, "Master.Ingest", &IngestArgs{Batch: batch}, reply); err != nil {
+		if isTransportErr(err) {
+			return nil, fmt.Errorf("%w: %v", ErrMasterLost, err)
+		}
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Compact asks the master to fold its delta chain into a new base
+// generation. Not retried for the same reason as Ingest: a replay would
+// race the compaction it already triggered.
+func (c *Client) Compact(ctx context.Context) (*ingest.CompactResult, error) {
+	reply := new(CompactReply)
+	if err := c.rc.CallNoRetry(ctx, "Master.Compact", &CompactArgs{}, reply); err != nil {
+		if isTransportErr(err) {
+			return nil, fmt.Errorf("%w: %v", ErrMasterLost, err)
+		}
+		return nil, err
+	}
+	return &reply.Result, nil
 }
 
 // Status fetches the master's cluster snapshot, retrying transient

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"sync"
@@ -10,6 +12,7 @@ import (
 
 	"ntga/internal/engine"
 	"ntga/internal/hdfs"
+	"ntga/internal/ingest"
 	"ntga/internal/mapreduce"
 	"ntga/internal/plan"
 	"ntga/internal/query"
@@ -196,6 +199,17 @@ type Master struct {
 	triples int64
 	part    *plan.Partitioning
 
+	// store owns the versioned dataset manifest and delta-block write path;
+	// catState is the mergeable catalog accumulator ingests fold into.
+	// lineage remembers every dataset version this master has ever served
+	// (boot plus each ingest), so a worker returning from a partition that
+	// missed some ingests can still prove it holds a prefix of this dataset.
+	// ingestMu serializes Ingest/Compact against each other.
+	store    *ingest.Store
+	catState *plan.CatalogState
+	lineage  map[string]bool
+	ingestMu sync.Mutex
+
 	ln     net.Listener
 	conns  *connSet
 	ctx    context.Context
@@ -235,20 +249,27 @@ func NewMaster(cfg MasterConfig, g *rdf.Graph) (*Master, error) {
 			return nil, fmt.Errorf("cluster: building partition layout: %w", err)
 		}
 	}
+	store, err := ingest.Init(dfs, input, g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: initializing dataset manifest: %w", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Master{
-		cfg:     cfg,
-		dfs:     dfs,
-		dict:    g.Dict,
-		input:   input,
-		catalog: plan.FromGraph(g),
-		version: g.Version(),
-		triples: int64(g.Len()),
-		part:    part,
-		ctx:     ctx,
-		cancel:  cancel,
-		workers: make(map[int]*workerState),
-		queries: make(map[string]*queryState),
+		cfg:      cfg,
+		dfs:      dfs,
+		dict:     g.Dict,
+		input:    input,
+		catalog:  plan.FromGraph(g),
+		version:  g.Version(),
+		triples:  int64(g.Len()),
+		part:     part,
+		store:    store,
+		catState: plan.StateFromGraph(g),
+		lineage:  map[string]bool{g.Version(): true},
+		ctx:      ctx,
+		cancel:   cancel,
+		workers:  make(map[int]*workerState),
+		queries:  make(map[string]*queryState),
 	}, nil
 }
 
@@ -405,6 +426,13 @@ type masterRPC struct {
 func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
 	m := r.m
 	m.mu.Lock()
+	if args.KnownVersion != "" && !m.lineage[args.KnownVersion] {
+		// The worker's dictionary was built against a dataset this master
+		// has never served — not even as an ancestor version. Its IDs would
+		// silently mean different terms; refuse loudly.
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: worker holds dataset %s, which is not in this master's version lineage (different dataset)", args.KnownVersion)
+	}
 	var w *workerState
 	if args.PrevWorker != 0 {
 		m.reregistrations++
@@ -442,14 +470,21 @@ func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
 	}
 	m.mu.Unlock()
 
+	// ingestMu keeps (terms, version) consistent: an ingest extends the
+	// dictionary and moves the version under the same lock.
+	m.ingestMu.Lock()
 	terms := make([]rdf.Term, 0, m.dict.Len())
 	m.dict.Range(func(_ rdf.ID, t rdf.Term) bool {
 		terms = append(terms, t)
 		return true
 	})
+	m.mu.Lock()
+	ver := m.version
+	m.mu.Unlock()
+	m.ingestMu.Unlock()
 	reply.Worker = w.id
 	reply.Terms = terms
-	reply.DatasetVersion = m.version
+	reply.DatasetVersion = ver
 	reply.Input = m.input
 	reply.HeartbeatEvery = m.cfg.HeartbeatEvery
 	reply.LeaseEvery = m.cfg.LeaseEvery
@@ -483,7 +518,113 @@ func (r *masterRPC) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error 
 	for qid := range m.queries {
 		reply.LiveQueries = append(reply.LiveQueries, qid)
 	}
+	reply.DatasetVersion = m.version
 	return nil
+}
+
+// Sync ships the dictionary terms from index Have onward plus the current
+// dataset version — how a worker catches up after ingests minted terms it
+// has never seen. ingestMu keeps (terms, version) consistent against a
+// concurrent ingest, exactly as in Register.
+func (r *masterRPC) Sync(args *SyncArgs, reply *SyncReply) error {
+	m := r.m
+	m.ingestMu.Lock()
+	defer m.ingestMu.Unlock()
+	i := 0
+	m.dict.Range(func(_ rdf.ID, t rdf.Term) bool {
+		if i >= args.Have {
+			reply.Terms = append(reply.Terms, t)
+		}
+		i++
+		return true
+	})
+	reply.From = args.Have
+	m.mu.Lock()
+	reply.DatasetVersion = m.version
+	m.mu.Unlock()
+	return nil
+}
+
+func (r *masterRPC) Ingest(args *IngestArgs, reply *IngestReply) error {
+	res, err := r.m.Ingest(bytes.NewReader(args.Batch))
+	if err != nil {
+		return err
+	}
+	*reply = *res
+	return nil
+}
+
+func (r *masterRPC) Compact(args *CompactArgs, reply *CompactReply) error {
+	res, err := r.m.Compact()
+	if err != nil {
+		return err
+	}
+	reply.Result = *res
+	return nil
+}
+
+// Ingest appends one N-Triples batch to the master's versioned store and
+// folds it into the catalog the "auto" advisor consults. The fleet learns
+// the new version via heartbeats and the new dictionary terms lazily via
+// Master.Sync at plan-rebuild time; nothing is pushed — delta blocks live
+// on the master's DFS, which workers already read splits through.
+func (m *Master) Ingest(r io.Reader) (*IngestReply, error) {
+	m.ingestMu.Lock()
+	defer m.ingestMu.Unlock()
+	res, err := m.store.Ingest(r)
+	if err != nil {
+		return nil, err
+	}
+	reply := &IngestReply{
+		Triples:        len(res.Triples),
+		Seq:            res.Seq,
+		DatasetVersion: res.Version,
+		DeltaBlocks:    len(m.store.DeltaFiles()),
+	}
+	if len(res.Triples) == 0 {
+		return reply, nil
+	}
+	for _, t := range res.Triples {
+		m.catState.AddTriple(m.dict, t)
+	}
+	newCat := m.catState.Catalog()
+	m.mu.Lock()
+	m.catalog = newCat
+	m.version = res.Version
+	m.triples += int64(len(res.Triples))
+	m.lineage[res.Version] = true
+	m.mu.Unlock()
+	return reply, nil
+}
+
+// Compact folds the delta chain into a fresh base generation on the
+// master's own in-process MR engine — the master owns the DFS, so no worker
+// is involved — and maintains the partition layout in the same pass when
+// one exists. The dataset version (and the fleet's dictionaries) are
+// untouched: content is unchanged.
+func (m *Master) Compact() (*ingest.CompactResult, error) {
+	m.ingestMu.Lock()
+	defer m.ingestMu.Unlock()
+	mr := mapreduce.NewEngine(m.dfs, mapreduce.EngineConfig{
+		DefaultReducers: m.cfg.Reducers,
+		SplitRecords:    m.cfg.SplitRecords,
+	})
+	var opts ingest.CompactOptions
+	if m.part != nil {
+		opts.LayoutDir = m.part.Dir
+	}
+	res, err := m.store.Compact(mr, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.part != nil {
+		// The layout manifest was re-stamped at the current dataset version;
+		// keep the in-memory handle's notion in step.
+		m.part.Version = res.Version
+	}
+	m.mu.Unlock()
+	return res, nil
 }
 
 func (r *masterRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
@@ -1071,8 +1212,11 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 	if engName == "" {
 		engName = m.cfg.DefaultEngine
 	}
+	m.mu.Lock()
+	cat := m.catalog
+	m.mu.Unlock()
 	if engName == "auto" {
-		ua, err := plan.AdviseUnnest(m.catalog.AvgTriplesPerSubject(), m.catalog.Objects, q, m.cfg.Reducers)
+		ua, err := plan.AdviseUnnest(cat.AvgTriplesPerSubject(), cat.Objects, q, m.cfg.Reducers)
 		if err != nil {
 			return nil, err
 		}
@@ -1090,8 +1234,16 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 		return nil, err
 	}
 
+	// One consistent dataset snapshot per query: the manifest copy carries
+	// base generation and delta chain together, and the files it names are
+	// immutable (compaction retains old generations), so a query admitted
+	// here finishes on its pinned version even if an ingest lands mid-run.
+	man := m.store.Manifest()
+	base, deltas := man.Base, man.DeltaFiles()
 	var part *plan.Partitioning
-	if m.part != nil && !args.NoPartition {
+	if m.part != nil && !args.NoPartition && len(deltas) == 0 {
+		// Any uncompacted delta makes the layout stale by definition; the
+		// flat plan with the delta overlay runs instead until compaction.
 		part = m.part
 	}
 	spec := QuerySpec{
@@ -1100,7 +1252,9 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 		PhiM:     phiM,
 		Order:    args.Order,
 		HasOrder: args.HasOrder,
-		Input:    m.input,
+		Input:    base,
+		Deltas:   deltas,
+		DictLen:  m.dict.Len(),
 	}
 	if part != nil {
 		spec.PartDir = part.Dir
@@ -1124,7 +1278,7 @@ func (m *Master) RunQuery(ctx context.Context, args *RunArgs) (*RunReply, error)
 		Tracer:          m.cfg.Tracer,
 	}).WithContext(ctx)
 
-	res, err := engine.RunMaybePartitioned(eng, mr, q, m.input, part)
+	res, err := engine.RunWithDeltas(eng, mr, q, base, deltas, part)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ package cluster
 import (
 	"time"
 
+	"ntga/internal/ingest"
 	"ntga/internal/mapreduce"
 	"ntga/internal/query"
 	"ntga/internal/rdf"
@@ -39,6 +40,17 @@ type QuerySpec struct {
 	// deterministic under the dir — so their plans rewrite identically.
 	PartDir     string
 	PartBuckets int
+	// Deltas is the uncompacted delta chain the master overlays on the base
+	// relation (plan.ApplyDeltaOverlay). Delta-block names are
+	// process-independent (they come from the manifest sequence, not a
+	// process counter), so workers widen their rebuilt scans identically and
+	// the positional JobInputs translation stays aligned.
+	Deltas []string
+	// DictLen is the master's dictionary size when the query was admitted: a
+	// worker whose dictionary is shorter must sync the newly ingested terms
+	// (Master.Sync) before rebuilding the plan, or the compile would miss
+	// terms the delta blocks reference.
+	DictLen int
 }
 
 // SplitSpec is one map task's input assignment: a record range of one
@@ -100,6 +112,12 @@ type RegisterArgs struct {
 	MapSlots    int
 	ReduceSlots int
 	PrevWorker  int
+	// KnownVersion is the dataset version the worker currently holds ("" on
+	// first registration). The master accepts any version in its ingest
+	// lineage — the worker's dictionary is a prefix of the master's, and a
+	// Sync brings it forward — but refuses a version it has never served:
+	// that worker's dictionary belongs to a genuinely different dataset.
+	KnownVersion string
 }
 
 // RegisterReply assigns the worker its ID and ships the dataset dictionary
@@ -127,9 +145,51 @@ type HeartbeatArgs struct {
 }
 
 // HeartbeatReply carries the IDs of queries still in flight, so workers can
-// drop cached plans and map outputs of settled queries.
+// drop cached plans and map outputs of settled queries, plus the master's
+// current dataset version so the fleet tracks ingest-driven movement
+// between queries.
 type HeartbeatReply struct {
-	LiveQueries []string
+	LiveQueries    []string
+	DatasetVersion string
+}
+
+// SyncArgs asks the master for dictionary terms from index Have onward —
+// the incremental counterpart of RegisterReply.Terms after ingests minted
+// new terms.
+type SyncArgs struct {
+	Have int
+}
+
+// SyncReply carries the master's terms from index From in ID order (From
+// echoes the Have the reply was computed against, so a worker that raced
+// another sync can skip the prefix it already applied) and the current
+// dataset version.
+type SyncReply struct {
+	Terms          []rdf.Term
+	From           int
+	DatasetVersion string
+}
+
+// IngestArgs submits one raw N-Triples batch to the master's versioned
+// dataset store.
+type IngestArgs struct {
+	Batch []byte
+}
+
+// IngestReply reports the accepted batch's effect.
+type IngestReply struct {
+	Triples        int
+	Seq            int
+	DatasetVersion string
+	DeltaBlocks    int
+}
+
+// CompactArgs is empty.
+type CompactArgs struct{}
+
+// CompactReply carries the delta-merge compaction summary.
+type CompactReply struct {
+	Result ingest.CompactResult
 }
 
 // LeaseArgs asks for one task of the given kind ("map" or "reduce").

@@ -140,6 +140,10 @@ type Worker struct {
 	lastRereg time.Time
 	reregs    atomic.Int64
 
+	// syncMu single-flights dictionary syncs: concurrent executors planning
+	// different queries must not interleave Extend calls.
+	syncMu sync.Mutex
+
 	jmu sync.Mutex
 	rng *rand.Rand
 }
@@ -189,16 +193,17 @@ func (w *Worker) Start() error {
 		ln.Close()
 		return fmt.Errorf("cluster: registering with master %s: %w", w.masterAddr, err)
 	}
-	w.ver = reply.DatasetVersion
 	w.input = reply.Input
 	// Re-encoding the terms in shipped (ID) order reproduces the master's
-	// IDs exactly; freezing catches any accidental divergence loudly.
+	// IDs exactly; freezing catches any accidental divergence loudly
+	// (ingest-minted terms arrive later via Dict.Extend, which is exempt).
 	dict := rdf.NewDict()
 	for _, t := range reply.Terms {
 		dict.Encode(t)
 	}
 	dict.Freeze()
 	w.mu.Lock()
+	w.ver = reply.DatasetVersion
 	w.id = reply.Worker
 	w.dict = dict
 	w.hbEvery = reply.HeartbeatEvery
@@ -304,6 +309,23 @@ func (w *Worker) wid() int {
 	return w.id
 }
 
+// version is the dataset version this worker currently tracks; it moves
+// forward with ingest (heartbeats, syncs, re-registration).
+func (w *Worker) version() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ver
+}
+
+func (w *Worker) setVersion(v string) {
+	if v == "" {
+		return
+	}
+	w.mu.Lock()
+	w.ver = v
+	w.mu.Unlock()
+}
+
 func (w *Worker) leaseWait() time.Duration {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -365,6 +387,7 @@ func (w *Worker) heartbeatLoop() {
 		case err == nil:
 			misses = 0
 			w.prune(reply.LiveQueries)
+			w.setVersion(reply.DatasetVersion)
 		case isUnknownWorker(err):
 			if w.reregister() {
 				misses = 0
@@ -384,12 +407,23 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
+// isDifferentDataset spots the master's lineage refusal: the version this
+// worker holds was never served by the master, so its dictionary belongs to
+// another dataset entirely — fatal, not retryable.
+func isDifferentDataset(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), "not in this master's version lineage")
+}
+
 // reregister re-dials the master and registers again, announcing the
 // previous ID so a surviving master revives the same worker record (no
 // double-counted slots) while a restarted one issues a fresh ID. Committed
-// map segments stay servable either way; a master serving a *different*
-// dataset is fatal — the worker's dictionary would silently mean different
-// terms. Returns true on success.
+// map segments stay servable either way. The announced KnownVersion lets
+// the master vet lineage: a worker that missed ingests behind a partition
+// holds an *ancestor* version — acceptable, the dictionary is a prefix and
+// syncs forward — while a genuinely different dataset is refused and fatal
+// (the worker's IDs would silently mean different terms). Returns true on
+// success.
 func (w *Worker) reregister() bool {
 	w.regMu.Lock()
 	defer w.regMu.Unlock()
@@ -402,23 +436,25 @@ func (w *Worker) reregister() bool {
 	}
 	var reply RegisterReply
 	err := w.master.Call(context.Background(), "Master.Register", &RegisterArgs{
-		Addr:        w.ln.Addr().String(),
-		MapSlots:    w.cfg.MapSlots,
-		ReduceSlots: w.cfg.ReduceSlots,
-		PrevWorker:  w.wid(),
+		Addr:         w.ln.Addr().String(),
+		MapSlots:     w.cfg.MapSlots,
+		ReduceSlots:  w.cfg.ReduceSlots,
+		PrevWorker:   w.wid(),
+		KnownVersion: w.version(),
 	}, &reply)
 	if err != nil {
-		return false
-	}
-	if reply.DatasetVersion != w.ver {
-		w.fail(fmt.Errorf("cluster: master %s now serves dataset %s, this worker registered against %s; shutting down",
-			w.masterAddr, reply.DatasetVersion, w.ver))
+		if isDifferentDataset(err) {
+			w.fail(fmt.Errorf("cluster: master %s refused re-registration: %w", w.masterAddr, err))
+		}
 		return false
 	}
 	w.mu.Lock()
 	w.id = reply.Worker
 	w.hbEvery = reply.HeartbeatEvery
 	w.leaseEvery = reply.LeaseEvery
+	if reply.DatasetVersion != "" {
+		w.ver = reply.DatasetVersion
+	}
 	w.mu.Unlock()
 	w.lastRereg = time.Now()
 	w.reregs.Add(1)
@@ -529,11 +565,58 @@ func (w *Worker) planCached(qid string) *queryPlan {
 	return w.plans[qid]
 }
 
+// syncDict brings the worker's dictionary up to at least need terms by
+// pulling the newly ingested tail from the master (Master.Sync). It runs
+// outside w.mu — the RPC can block, and heartbeat bookkeeping takes w.mu —
+// and single-flights under syncMu so concurrent executors cannot interleave
+// Extend calls. A racing sync that already applied part of the reply is
+// handled by skipping the prefix this dictionary already holds.
+func (w *Worker) syncDict(need int) error {
+	w.mu.Lock()
+	dict := w.dict
+	w.mu.Unlock()
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if dict.Len() >= need {
+		return nil
+	}
+	var reply SyncReply
+	if err := w.master.Call(context.Background(), "Master.Sync", &SyncArgs{Have: dict.Len()}, &reply); err != nil {
+		return fmt.Errorf("cluster: syncing dictionary: %w", err)
+	}
+	terms := reply.Terms
+	if skip := dict.Len() - reply.From; skip > 0 {
+		if skip >= len(terms) {
+			terms = nil
+		} else {
+			terms = terms[skip:]
+		}
+	}
+	if len(terms) > 0 {
+		if err := dict.Extend(terms); err != nil {
+			return fmt.Errorf("cluster: extending dictionary: %w", err)
+		}
+	}
+	w.setVersion(reply.DatasetVersion)
+	return nil
+}
+
 // planFor returns (building if needed) the worker's rebuilt plan for the
 // query. The rebuild is deterministic given the query spec and the shipped
 // dictionary, so every worker (and the master) agrees on each job's mapper,
-// reducer, combiner, and partitioner semantics.
+// reducer, combiner, and partitioner semantics. When the spec was planned
+// against a longer dictionary (ingest since this worker's last sync), the
+// missing terms are pulled first — before w.mu is taken, since the sync is
+// an RPC.
 func (w *Worker) planFor(qid string, spec *QuerySpec) (*queryPlan, error) {
+	if qp := w.planCached(qid); qp != nil {
+		return qp, nil
+	}
+	if spec.DictLen > 0 {
+		if err := w.syncDict(spec.DictLen); err != nil {
+			return nil, err
+		}
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if qp, ok := w.plans[qid]; ok {
@@ -560,6 +643,10 @@ func (w *Worker) planFor(qid string, spec *QuerySpec) (*queryPlan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rebuilding plan: %w", err)
 	}
+	// Mirror the master's delta overlay: the widened scan inputs are
+	// appended in chain order, so the positional JobInputs translation
+	// stays aligned (delta-block names are process-independent).
+	p.ApplyDeltaOverlay(spec.Deltas)
 	stages, err := p.Lower()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: lowering rebuilt plan: %w", err)

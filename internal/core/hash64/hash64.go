@@ -60,6 +60,33 @@ type Hasher struct {
 // New returns a fresh Hasher.
 func New() *Hasher { return &Hasher{h: fnv.New64a()} }
 
+// Resume returns a Hasher whose state continues from a previously observed
+// Sum64 value. fnv64a's running state *is* its current sum, so
+// Resume(h.Sum64()) extends the exact stream h was hashing — this is what
+// lets the versioned dataset manifest persist one 64-bit running hash and
+// extend it per ingested delta instead of rehashing the whole relation.
+func Resume(sum uint64) *Hasher {
+	return &Hasher{h: &resumed{state: sum}}
+}
+
+// fnv64aPrime is FNV-1a's 64-bit multiplication prime (matching hash/fnv).
+const fnv64aPrime = 1099511628211
+
+// resumed is an fnv64a state seeded from an arbitrary prior sum.
+type resumed struct{ state uint64 }
+
+func (r *resumed) Write(p []byte) (int, error) {
+	s := r.state
+	for _, b := range p {
+		s ^= uint64(b)
+		s *= fnv64aPrime
+	}
+	r.state = s
+	return len(p), nil
+}
+
+func (r *resumed) Sum64() uint64 { return r.state }
+
 // Addf feeds fmt.Sprintf(format, args...) into the hash.
 func (h *Hasher) Addf(format string, args ...any) {
 	fmt.Fprintf(h.h, format, args...)

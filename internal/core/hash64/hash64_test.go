@@ -120,3 +120,23 @@ func TestBucket(t *testing.T) {
 		t.Fatalf("degenerate bucket counts must map to bucket 0")
 	}
 }
+
+// TestResumeContinuesStream: Resume(h.Sum64()) extends the same fnv64a
+// stream — the property the versioned dataset manifest depends on.
+func TestResumeContinuesStream(t *testing.T) {
+	whole := New()
+	whole.Addf("%d,%d,%d;", 1, 2, 3)
+	whole.Addf("%d,%d,%d;", 4, 5, 6)
+
+	first := New()
+	first.Addf("%d,%d,%d;", 1, 2, 3)
+	rest := Resume(first.Sum64())
+	rest.Addf("%d,%d,%d;", 4, 5, 6)
+
+	if rest.Sum64() != whole.Sum64() {
+		t.Fatalf("resumed hash %016x != whole-stream hash %016x", rest.Sum64(), whole.Sum64())
+	}
+	if rest.Hex() != whole.Hex() {
+		t.Fatalf("Hex mismatch: %s vs %s", rest.Hex(), whole.Hex())
+	}
+}

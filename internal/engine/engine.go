@@ -98,6 +98,34 @@ func RunMaybePartitioned(e QueryEngine, mr *mapreduce.Engine, q *query.Query,
 	return e.Run(mr, q, input)
 }
 
+// DeltaRunner is the optional capability of engines that can overlay an
+// uncompacted delta chain on the base relation (plan.ApplyDeltaOverlay):
+// every scan of T reads base ∪ deltas, with results byte-identical to
+// running over the compacted (merged) relation. An empty chain must behave
+// exactly like Run.
+type DeltaRunner interface {
+	QueryEngine
+	RunDeltas(mr *mapreduce.Engine, q *query.Query, input string, deltas []string) (*Result, error)
+}
+
+// RunWithDeltas dispatches a query over a dataset that may carry an
+// uncompacted delta chain and/or a partition layout — the serve-path and
+// CLI seam for the ingest subsystem. With no deltas it defers to
+// RunMaybePartitioned (a layout, when valid, is usable only then: any
+// uncompacted delta makes it stale by definition, so part and deltas are
+// mutually exclusive here). With deltas it requires a DeltaRunner.
+func RunWithDeltas(e QueryEngine, mr *mapreduce.Engine, q *query.Query,
+	input string, deltas []string, part *plan.Partitioning) (*Result, error) {
+	if len(deltas) == 0 {
+		return RunMaybePartitioned(e, mr, q, input, part)
+	}
+	dr, ok := e.(DeltaRunner)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s cannot query an uncompacted delta chain (no DeltaRunner); compact first", e.Name())
+	}
+	return dr.RunDeltas(mr, q, input, deltas)
+}
+
 var tempSeq atomic.Int64
 
 // TempName returns a unique DFS path for an intermediate file.

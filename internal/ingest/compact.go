@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"fmt"
+
+	"ntga/internal/mapreduce"
+	"ntga/internal/plan"
+)
+
+// CompactOptions controls a delta-merge compaction.
+type CompactOptions struct {
+	// LayoutDir, when non-empty, names a partition layout directory to
+	// maintain: the buckets the delta subjects hash into are rebuilt and the
+	// layout manifest is re-stamped at the (unchanged) dataset version, so
+	// map-only plans keep validating after the merge.
+	LayoutDir string
+	// Prune deletes the previous base generation and the folded delta blocks
+	// after the manifest moves. The default retains them: readers pinned to
+	// the old chain (in-flight queries in a resident daemon) keep a
+	// consistent view without any locking, because every file they hold is
+	// immutable and still present.
+	Prune bool
+}
+
+// CompactResult describes one compaction.
+type CompactResult struct {
+	// Base and Gen are the new base relation and its generation.
+	Base string `json:"base"`
+	Gen  int    `json:"gen"`
+	// Folded and FoldedTriples count the delta blocks merged in.
+	Folded        int `json:"folded"`
+	FoldedTriples int `json:"folded_triples"`
+	// BucketsRewritten counts partition-layout buckets rebuilt (0 when no
+	// LayoutDir was given or no bucket was affected).
+	BucketsRewritten int `json:"buckets_rewritten"`
+	// Version is the dataset version — compaction never changes it, the
+	// content is the same.
+	Version string `json:"version"`
+}
+
+// Compact folds the whole delta chain into a fresh base-relation generation
+// with a map-only identity MR job over [base, delta...] in chain order. The
+// MR engine assembles map-only output from per-task parts in input order, so
+// the new base is byte-identical to the file a from-scratch load of the
+// merged dataset would write — which is what keeps every downstream consumer
+// (plans, parity oracles, bucket layouts) oblivious to whether data arrived
+// by load or by ingest. Content is unchanged, so the dataset version is too;
+// only Gen, Seq, Base, and BaseVersion move. An empty chain is a no-op.
+func (s *Store) Compact(mr *mapreduce.Engine, opts CompactOptions) (*CompactResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &CompactResult{Base: s.man.Base, Gen: s.man.Gen, Version: s.man.Version}
+	if len(s.man.Deltas) == 0 {
+		return res, nil
+	}
+	dfs := mr.DFS()
+	man := s.snapshotLocked()
+	newGen := man.Gen + 1
+	newBase := BaseName(man.Input, newGen)
+	job := &mapreduce.Job{
+		Name:   "delta-compact",
+		Inputs: append([]string{man.Base}, man.DeltaFiles()...),
+		Output: newBase,
+		MapOnly: mapreduce.MapOnlyFunc(func(_ string, rec []byte, out mapreduce.Collector) error {
+			return out.Collect(rec)
+		}),
+	}
+	if _, err := mr.RunWorkflowNamed("delta-compact", []mapreduce.Stage{{job}}); err != nil {
+		return nil, err
+	}
+	if rc, err := dfs.RecordCount(newBase); err != nil {
+		return nil, err
+	} else if rc != len(s.g.Triples) {
+		dfs.DeleteIfExists(newBase)
+		return nil, fmt.Errorf("ingest: compaction wrote %d records, graph holds %d", rc, len(s.g.Triples))
+	}
+
+	// Maintain the partition layout before the manifest moves. A crash after
+	// the bucket rewrite but before the manifest write is still consistent:
+	// the layout (now stamped at the dataset version) serves map-only plans
+	// over merged buckets, while the old manifest still describes the same
+	// content as base plus deltas.
+	if opts.LayoutDir != "" {
+		n, err := plan.RewritePartitionBuckets(mr, opts.LayoutDir, man.DeltaFiles(), man.Version)
+		if err != nil {
+			return nil, err
+		}
+		res.BucketsRewritten = n
+	}
+
+	for _, d := range man.Deltas {
+		res.FoldedTriples += d.Triples
+	}
+	res.Folded = len(man.Deltas)
+	oldBase, oldDeltas := man.Base, man.DeltaFiles()
+	man.Gen = newGen
+	man.Base = newBase
+	man.Seq++
+	man.BaseVersion = man.Version
+	man.Deltas = nil
+	if err := WriteManifest(dfs, man); err != nil {
+		return nil, err
+	}
+	s.man = man
+	res.Base = newBase
+	res.Gen = newGen
+
+	if opts.Prune {
+		dfs.DeleteIfExists(oldBase)
+		for _, d := range oldDeltas {
+			dfs.DeleteIfExists(d)
+		}
+	}
+	return res, nil
+}

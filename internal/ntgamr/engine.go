@@ -201,3 +201,21 @@ func DecodeRows(q *query.Query) engine.DecodeFunc {
 func (n *NTGA) Run(mr *mapreduce.Engine, q *query.Query, input string) (*engine.Result, error) {
 	return n.RunPartitioned(mr, q, input, nil)
 }
+
+// RunDeltas implements engine.DeltaRunner: the flat plan with the ingest
+// delta chain overlaid on every scan of the triple relation. The grouping
+// mapper is input-name-agnostic, so the widened scan shuffles base and delta
+// records through the same grouping — with outputs byte-identical to the
+// compacted relation's, because the shuffle totally orders (key, value).
+func (n *NTGA) RunDeltas(mr *mapreduce.Engine, q *query.Query, input string,
+	deltas []string) (*engine.Result, error) {
+	var cl engine.Cleaner
+	counters := mapreduce.NewCounters()
+	p, err := n.Plan(q, input, &cl, counters)
+	if err != nil {
+		cl.Clean(mr)
+		return &engine.Result{Engine: n.name}, err
+	}
+	p.ApplyDeltaOverlay(deltas)
+	return n.executePlan(mr, q, p, &cl, counters)
+}

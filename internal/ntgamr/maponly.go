@@ -501,9 +501,17 @@ func (n *NTGA) RunPartitioned(mr *mapreduce.Engine, q *query.Query, input string
 		cl.Clean(mr)
 		return &engine.Result{Engine: n.name}, err
 	}
+	return n.executePlan(mr, q, p, &cl, counters)
+}
+
+// executePlan runs a bound NTGA plan: COUNT(*) queries fold the uvarint
+// partial counts of the count cycle, everything else decodes triplegroup
+// rows.
+func (n *NTGA) executePlan(mr *mapreduce.Engine, q *query.Query, p *plan.Physical,
+	cl *engine.Cleaner, counters *mapreduce.Counters) (*engine.Result, error) {
 	if q.IsCount() {
 		var count int64
-		res, err := engine.ExecutePlan(mr, n.name, p, &cl, counters,
+		res, err := engine.ExecutePlan(mr, n.name, p, cl, counters,
 			func(record []byte) ([]query.Row, error) {
 				c, err := codec.NewReader(record).Uvarint()
 				if err != nil {
@@ -516,5 +524,5 @@ func (n *NTGA) RunPartitioned(mr *mapreduce.Engine, q *query.Query, input string
 		res.Count = count
 		return res, err
 	}
-	return engine.ExecutePlan(mr, n.name, p, &cl, counters, DecodeRows(q))
+	return engine.ExecutePlan(mr, n.name, p, cl, counters, DecodeRows(q))
 }

@@ -2,69 +2,18 @@ package plan
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"sync"
 
 	"ntga/internal/codec"
 	"ntga/internal/mapreduce"
 	"ntga/internal/rdf"
+	"ntga/internal/stats"
 )
 
-// distinctSketch is a linear-counting sketch (Whang et al.): a bitmap
-// indexed by a hash of the element, with the distinct count estimated from
-// the fraction of zero bits. It is order-independent and mergeable — any
-// interleaving of Add calls across concurrent map tasks yields the same
-// bitmap — which is what makes the catalog builder a pure map-only job. At
-// the scales the builder sees relative to the bitmap size the estimate is
-// within a couple of percent of exact.
-type distinctSketch struct {
-	bits []uint64
-	m    uint64 // bitmap size in bits (power of two)
-}
-
-func newSketch(logM uint) *distinctSketch {
-	m := uint64(1) << logM
-	return &distinctSketch{bits: make([]uint64, m/64), m: m}
-}
-
-// Add records one element by its 64-bit value.
-func (s *distinctSketch) Add(v uint64) {
-	h := mix64(v)
-	i := h & (s.m - 1)
-	s.bits[i/64] |= 1 << (i % 64)
-}
-
-// Estimate returns the linear-counting estimate n̂ = m·ln(m/z), where z is
-// the number of zero bits.
-func (s *distinctSketch) Estimate() int64 {
-	ones := 0
-	for _, w := range s.bits {
-		ones += bits.OnesCount64(w)
-	}
-	zeros := s.m - uint64(ones)
-	if zeros == 0 {
-		return int64(s.m) // saturated; the caller chose m too small
-	}
-	if ones == 0 {
-		return 0
-	}
-	return int64(math.Round(float64(s.m) * math.Log(float64(s.m)/float64(zeros))))
-}
-
-// mix64 is SplitMix64's finalizer — a cheap, deterministic bijection that
-// spreads small dictionary IDs across the hash space.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // Bitmap sizes: the global subject/object sketches see up to the full
-// relation's cardinality, the per-property ones a fraction of it.
+// relation's cardinality, the per-property ones a fraction of it. Every
+// sketch the catalog machinery builds uses these two sizes, so any two
+// catalog states (full build, delta build, persisted state) are mergeable.
 const (
 	globalSketchLogM  = 17 // 128K bits = 16KB
 	perPropSketchLogM = 14 // 16K bits = 2KB
@@ -72,29 +21,29 @@ const (
 
 // catalogMapper is the stateful map-only scan that accumulates the catalog.
 // Exact counters (triples, bytes, per-property triple counts) are plain
-// sums; distinct counts use linear-counting sketches. All accumulation is
-// commutative, so concurrent map tasks and retried attempts produce
-// identical state. The mapper collects no output records — the job exists
-// for its scan.
+// sums; distinct counts use linear-counting sketches (stats.Sketch). All
+// accumulation is commutative, so concurrent map tasks and retried attempts
+// produce identical state. The mapper collects no output records — the job
+// exists for its scan.
 type catalogMapper struct {
 	mu       sync.Mutex
 	triples  int64
 	bytes    int64
-	subjects *distinctSketch
-	objects  *distinctSketch
+	subjects *stats.Sketch
+	objects  *stats.Sketch
 	perProp  map[rdf.ID]*propAcc
 }
 
 type propAcc struct {
 	triples  int64
-	subjects *distinctSketch
-	objects  *distinctSketch
+	subjects *stats.Sketch
+	objects  *stats.Sketch
 }
 
 func newCatalogMapper() *catalogMapper {
 	return &catalogMapper{
-		subjects: newSketch(globalSketchLogM),
-		objects:  newSketch(globalSketchLogM),
+		subjects: stats.NewSketch(globalSketchLogM),
+		objects:  stats.NewSketch(globalSketchLogM),
 		perProp:  make(map[rdf.ID]*propAcc),
 	}
 }
@@ -113,7 +62,7 @@ func (m *catalogMapper) MapRecord(_ string, record []byte, _ mapreduce.Collector
 	m.objects.Add(uint64(t.O))
 	pa, ok := m.perProp[t.P]
 	if !ok {
-		pa = &propAcc{subjects: newSketch(perPropSketchLogM), objects: newSketch(perPropSketchLogM)}
+		pa = &propAcc{subjects: stats.NewSketch(perPropSketchLogM), objects: stats.NewSketch(perPropSketchLogM)}
 		m.perProp[t.P] = pa
 	}
 	pa.triples++
@@ -122,26 +71,26 @@ func (m *catalogMapper) MapRecord(_ string, record []byte, _ mapreduce.Collector
 	return nil
 }
 
-// finalize converts the accumulated state into a Catalog, decoding property
-// IDs to term keys through the dictionary.
-func (m *catalogMapper) finalize(dict *rdf.Dict) *Catalog {
+// state converts the accumulated scan into a mergeable CatalogState,
+// decoding property IDs to term keys through the dictionary.
+func (m *catalogMapper) state(dict *rdf.Dict) *CatalogState {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c := &Catalog{
+	st := &CatalogState{
 		Triples:  m.triples,
-		Subjects: m.subjects.Estimate(),
-		Objects:  m.objects.Estimate(),
 		Bytes:    m.bytes,
-		Props:    make(map[string]PropStats, len(m.perProp)),
+		Subjects: m.subjects.Clone(),
+		Objects:  m.objects.Clone(),
+		Props:    make(map[string]*PropState, len(m.perProp)),
 	}
 	for pid, pa := range m.perProp {
-		c.Props[dict.Decode(pid).Key()] = PropStats{
+		st.Props[dict.Decode(pid).Key()] = &PropState{
 			Triples:  pa.triples,
-			Subjects: pa.subjects.Estimate(),
-			Objects:  pa.objects.Estimate(),
+			Subjects: pa.subjects.Clone(),
+			Objects:  pa.objects.Clone(),
 		}
 	}
-	return c
+	return st
 }
 
 // BuildCatalog runs a map-only MR job over the DFS-resident triple relation
@@ -151,6 +100,25 @@ func (m *catalogMapper) finalize(dict *rdf.Dict) *Catalog {
 // used to translate property IDs into the catalog's term keys; the counts
 // come entirely from the scanned relation.
 func BuildCatalog(mr *mapreduce.Engine, input, dfsOut string, dict *rdf.Dict) (*Catalog, error) {
+	st, err := BuildCatalogState(mr, input, dict)
+	if err != nil {
+		return nil, err
+	}
+	c := st.Catalog()
+	if dfsOut != "" {
+		if err := c.SaveDFS(mr.DFS(), dfsOut); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// BuildCatalogState is BuildCatalog's mergeable form: it returns the raw
+// accumulated state (exact sums plus sketch bitmaps) instead of collapsing
+// to estimates. Running it over a delta block and merging into a persisted
+// state is how the catalog is maintained incrementally across ingests — no
+// rescan of the base relation.
+func BuildCatalogState(mr *mapreduce.Engine, input string, dict *rdf.Dict) (*CatalogState, error) {
 	if dict == nil {
 		return nil, fmt.Errorf("plan: BuildCatalog needs a dictionary to key properties")
 	}
@@ -166,11 +134,5 @@ func BuildCatalog(mr *mapreduce.Engine, input, dfsOut string, dict *rdf.Dict) (*
 	if _, err := mr.RunWorkflowNamed("catalog-build", []mapreduce.Stage{{job}}); err != nil {
 		return nil, err
 	}
-	c := m.finalize(dict)
-	if dfsOut != "" {
-		if err := c.SaveDFS(mr.DFS(), dfsOut); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
+	return m.state(dict), nil
 }

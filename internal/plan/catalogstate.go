@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ntga/internal/hdfs"
+	"ntga/internal/rdf"
+	"ntga/internal/stats"
+)
+
+// PropState is the mergeable per-property accumulator behind PropStats: the
+// exact triple count plus the distinct-subject/object sketch bitmaps.
+type PropState struct {
+	Triples  int64         `json:"triples"`
+	Subjects *stats.Sketch `json:"subjects"`
+	Objects  *stats.Sketch `json:"objects"`
+}
+
+// CatalogState is the mergeable form of the statistics catalog: exact sums
+// (triples, bytes, per-property triple counts) plus linear-counting sketch
+// bitmaps for every distinct count. A Catalog is a pure projection of this
+// state (Catalog()), and two states over disjoint data merge into exactly
+// the state a single scan of the union would produce — the property the
+// incremental ingest path leans on: scan only the delta block, merge, and
+// the resulting catalog is identical to a full rebuild.
+type CatalogState struct {
+	Triples  int64                 `json:"triples"`
+	Bytes    int64                 `json:"bytes"`
+	Subjects *stats.Sketch         `json:"subjects"`
+	Objects  *stats.Sketch         `json:"objects"`
+	Props    map[string]*PropState `json:"props"`
+}
+
+// NewCatalogState returns an empty state with full-size sketches.
+func NewCatalogState() *CatalogState {
+	return &CatalogState{
+		Subjects: stats.NewSketch(globalSketchLogM),
+		Objects:  stats.NewSketch(globalSketchLogM),
+		Props:    make(map[string]*PropState),
+	}
+}
+
+// StateFromGraph accumulates the state of an in-memory graph directly —
+// the seed the resident daemons build at boot so later delta merges have a
+// base to fold into. It uses the same sketches and the same triple byte
+// accounting as the MR scan (BuildCatalogState), so the two construction
+// paths produce identical states over identical data.
+func StateFromGraph(g *rdf.Graph) *CatalogState {
+	st := NewCatalogState()
+	st.AddGraph(g)
+	return st
+}
+
+// AddGraph folds every triple of a graph into the state. Used both to seed
+// the state (StateFromGraph) and to fold a parsed delta batch in without an
+// MR scan.
+func (st *CatalogState) AddGraph(g *rdf.Graph) {
+	for _, t := range g.Triples {
+		st.AddTriple(g.Dict, t)
+	}
+}
+
+// AddTriple folds one triple into the state. The byte accounting matches
+// the DFS-resident record encoding (tripleLen), keeping graph-built and
+// scan-built states identical.
+func (st *CatalogState) AddTriple(dict *rdf.Dict, t rdf.Triple) {
+	st.Triples++
+	st.Bytes += int64(tripleLen(t))
+	st.Subjects.Add(uint64(t.S))
+	st.Objects.Add(uint64(t.O))
+	key := dict.Decode(t.P).Key()
+	ps, ok := st.Props[key]
+	if !ok {
+		ps = &PropState{
+			Subjects: stats.NewSketch(perPropSketchLogM),
+			Objects:  stats.NewSketch(perPropSketchLogM),
+		}
+		st.Props[key] = ps
+	}
+	ps.Triples++
+	ps.Subjects.Add(uint64(t.S))
+	ps.Objects.Add(uint64(t.O))
+}
+
+// Merge folds another state into this one: exact sums add, sketch bitmaps
+// OR. Afterwards this state equals the state of a single scan over the
+// concatenation of the two inputs.
+func (st *CatalogState) Merge(o *CatalogState) error {
+	if o == nil {
+		return nil
+	}
+	st.Triples += o.Triples
+	st.Bytes += o.Bytes
+	if err := st.Subjects.Merge(o.Subjects); err != nil {
+		return err
+	}
+	if err := st.Objects.Merge(o.Objects); err != nil {
+		return err
+	}
+	for key, ops := range o.Props {
+		ps, ok := st.Props[key]
+		if !ok {
+			st.Props[key] = &PropState{
+				Triples:  ops.Triples,
+				Subjects: ops.Subjects.Clone(),
+				Objects:  ops.Objects.Clone(),
+			}
+			continue
+		}
+		ps.Triples += ops.Triples
+		if err := ps.Subjects.Merge(ops.Subjects); err != nil {
+			return err
+		}
+		if err := ps.Objects.Merge(ops.Objects); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Catalog projects the state down to the estimate-bearing catalog the
+// planner and the cost model consume.
+func (st *CatalogState) Catalog() *Catalog {
+	c := &Catalog{
+		Triples:  st.Triples,
+		Subjects: st.Subjects.Estimate(),
+		Objects:  st.Objects.Estimate(),
+		Bytes:    st.Bytes,
+		Props:    make(map[string]PropStats, len(st.Props)),
+	}
+	for key, ps := range st.Props {
+		c.Props[key] = PropStats{
+			Triples:  ps.Triples,
+			Subjects: ps.Subjects.Estimate(),
+			Objects:  ps.Objects.Estimate(),
+		}
+	}
+	return c
+}
+
+// SaveDFS persists the state as a single JSON record (sketch bitmaps
+// base64-encoded), mirroring Catalog.SaveDFS.
+func (st *CatalogState) SaveDFS(dfs *hdfs.DFS, name string) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	dfs.DeleteIfExists(name)
+	return dfs.WriteFile(name, [][]byte{data})
+}
+
+// LoadCatalogState reads a state persisted by SaveDFS.
+func LoadCatalogState(dfs *hdfs.DFS, name string) (*CatalogState, error) {
+	recs, err := dfs.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != 1 {
+		return nil, fmt.Errorf("plan: catalog state %s has %d records, want 1", name, len(recs))
+	}
+	st := &CatalogState{}
+	if err := json.Unmarshal(recs[0], st); err != nil {
+		return nil, fmt.Errorf("plan: catalog state %s: %w", name, err)
+	}
+	return st, nil
+}

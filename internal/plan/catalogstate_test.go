@@ -1,0 +1,132 @@
+package plan_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ntga/internal/enginetest"
+	"ntga/internal/plan"
+	"ntga/internal/rdf"
+)
+
+// TestCatalogStateMergeEqualsSingleScan: folding a dataset in as a base
+// plus a chain of delta batches — in any chunking — produces exactly the
+// state one scan of the merged dataset would, so the incremental ingest
+// path loses nothing against a full catalog rebuild.
+func TestCatalogStateMergeEqualsSingleScan(t *testing.T) {
+	g := enginetest.RandomGraph(11, 4000, 300, 25, 400)
+
+	single := plan.StateFromGraph(g)
+
+	// Base load plus four "ingested" delta batches, each folded into its own
+	// mergeable state first (the shape the delta-scan MR job produces).
+	chunk := (len(g.Triples) + 4) / 5
+	folded := plan.NewCatalogState()
+	for off := 0; off < len(g.Triples); off += chunk {
+		end := off + chunk
+		if end > len(g.Triples) {
+			end = len(g.Triples)
+		}
+		part := plan.NewCatalogState()
+		for _, tr := range g.Triples[off:end] {
+			part.AddTriple(g.Dict, tr)
+		}
+		if err := folded.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !reflect.DeepEqual(folded.Catalog(), single.Catalog()) {
+		t.Error("chunk-merged catalog differs from single-scan catalog")
+	}
+	if folded.Triples != single.Triples || folded.Bytes != single.Bytes {
+		t.Errorf("merged sums = (%d, %d), want (%d, %d)",
+			folded.Triples, folded.Bytes, single.Triples, single.Bytes)
+	}
+}
+
+// TestCatalogStateDriftBound: the sketch-estimated distinct counts of an
+// incrementally maintained catalog stay within the linear-counting error
+// bound of the exact counts — the drift an ingest-heavy daemon accumulates
+// is bounded by the sketch, not by how many batches it folded.
+func TestCatalogStateDriftBound(t *testing.T) {
+	g := enginetest.RandomGraph(23, 6000, 500, 30, 700)
+	exact := plan.FromGraph(g)
+
+	// Fold in many small batches, the worst case for accumulated drift.
+	st := plan.NewCatalogState()
+	const batch = 97
+	for off := 0; off < len(g.Triples); off += batch {
+		end := off + batch
+		if end > len(g.Triples) {
+			end = len(g.Triples)
+		}
+		part := plan.NewCatalogState()
+		for _, tr := range g.Triples[off:end] {
+			part.AddTriple(g.Dict, tr)
+		}
+		if err := st.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := st.Catalog()
+
+	check := func(name string, est, want int64, bound float64) {
+		t.Helper()
+		// Collisions are Poisson-distributed; when the expected count is
+		// below 1 the Gaussian 4σ bound understates the discrete tail, so a
+		// small additive floor keeps sparse properties from flaking.
+		bound += 3
+		if diff := math.Abs(float64(est - want)); diff > bound {
+			t.Errorf("%s estimate %d drifted %.1f from exact %d, want <= %.1f",
+				name, est, diff, want, bound)
+		}
+	}
+	// 4 standard deviations: astronomically unlikely to trip unless the
+	// merge path genuinely corrupts the bitmaps.
+	check("subjects", got.Subjects, exact.Subjects, 4*st.Subjects.ErrorBound(exact.Subjects))
+	check("objects", got.Objects, exact.Objects, 4*st.Objects.ErrorBound(exact.Objects))
+
+	if got.Triples != exact.Triples {
+		t.Errorf("triples = %d, want exact %d (counts are not estimated)", got.Triples, exact.Triples)
+	}
+	for key, eps := range exact.Props {
+		gps, ok := got.Prop(key)
+		if !ok {
+			t.Errorf("property %s missing from folded catalog", key)
+			continue
+		}
+		if gps.Triples != eps.Triples {
+			t.Errorf("%s triples = %d, want exact %d", key, gps.Triples, eps.Triples)
+		}
+		pstate := st.Props[key]
+		check(key+" subjects", gps.Subjects, eps.Subjects, 4*pstate.Subjects.ErrorBound(eps.Subjects))
+		check(key+" objects", gps.Objects, eps.Objects, 4*pstate.Objects.ErrorBound(eps.Objects))
+	}
+}
+
+// TestStateFromGraphMatchesFreshDict: folding the same logical triples
+// through two independently built dictionaries yields the same catalog —
+// the state keys properties by term, not by dictionary ID.
+func TestStateFromGraphMatchesFreshDict(t *testing.T) {
+	a := enginetest.BioGraph()
+	b := rdf.NewGraph()
+	// Re-add a's triples in reverse so b's dictionary assigns different IDs.
+	for i := len(a.Triples) - 1; i >= 0; i-- {
+		tr := a.Triples[i]
+		b.Add(a.Dict.Decode(tr.S), a.Dict.Decode(tr.P), a.Dict.Decode(tr.O))
+	}
+	b.Dedup()
+
+	ca, cb := plan.StateFromGraph(a).Catalog(), plan.StateFromGraph(b).Catalog()
+	if ca.Triples != cb.Triples || ca.Bytes != cb.Bytes {
+		t.Errorf("sums differ across dictionaries: (%d, %d) vs (%d, %d)",
+			ca.Triples, ca.Bytes, cb.Triples, cb.Bytes)
+	}
+	for key, pa := range ca.Props {
+		if pb, ok := cb.Prop(key); !ok || pa.Triples != pb.Triples {
+			t.Errorf("property %s differs across dictionaries: %+v vs %+v", key, pa, pb)
+		}
+	}
+}

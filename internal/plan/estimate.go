@@ -22,6 +22,9 @@ func Estimate(cat *Catalog, q *query.Query, p *Physical) (Cost, []NodeCost) {
 	total := 0.0
 	var nodes []NodeCost
 	for _, node := range p.Nodes() {
+		if node.Kind == KindDeltaUnion {
+			continue // virtual input node, no MR cycle to price
+		}
 		var shuffle float64
 		var out fileEst
 		switch node.Kind {

@@ -54,6 +54,12 @@ const (
 	KindEdgeJoin
 	KindCompletion
 	KindCountFold
+	// KindDeltaUnion is the virtual input node the ingest overlay prepends:
+	// it declares that the logical relation T is the union of the base file
+	// and an ordered delta chain. It lowers to no MR job — the union is
+	// realized by widening the Inputs of every T-scanning node — so it is
+	// excluded from Cycles, ScanCount, and cost accounting.
+	KindDeltaUnion
 )
 
 func (k Kind) String() string {
@@ -74,6 +80,8 @@ func (k Kind) String() string {
 		return "Completion"
 	case KindCountFold:
 		return "CountFold"
+	case KindDeltaUnion:
+		return "DeltaUnion"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -167,6 +175,10 @@ type Physical struct {
 	// PartInput, when set, is the partitioned layout directory the plan
 	// reads in place of full scans of Input; Summary renders it as "P".
 	PartInput string
+	// Deltas, when non-empty, is the ordered delta chain overlaid on Input
+	// (ApplyDeltaOverlay): every scan of T reads base ∪ deltas. Summary
+	// renders the chain as "D1", "D2", ....
+	Deltas []string
 	// Stages is the plan body, in execution order.
 	Stages []Stage
 	// Final is the DFS file holding the plan's result.
@@ -187,7 +199,11 @@ func (p *Physical) Nodes() []*Node {
 func (p *Physical) Cycles() int {
 	n := 0
 	for _, st := range p.Stages {
-		n += len(st)
+		for _, node := range st {
+			if node.Kind != KindDeltaUnion {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -197,6 +213,9 @@ func (p *Physical) Cycles() int {
 func (p *Physical) ScanCount() int {
 	n := 0
 	for _, node := range p.Nodes() {
+		if node.Kind == KindDeltaUnion {
+			continue
+		}
 		for _, in := range node.Inputs {
 			if in == p.Input {
 				n++
@@ -207,6 +226,48 @@ func (p *Physical) ScanCount() int {
 	return n
 }
 
+// ApplyDeltaOverlay rewrites the plan to read base ∪ deltas wherever it
+// scans the base relation: a virtual KindDeltaUnion node is prepended to
+// document the overlay, and every node whose Inputs name p.Input gains the
+// delta files on both the node and its lowered Job. Because the MR engine
+// plans splits per input in order and totally orders shuffled (key, value)
+// pairs, the overlaid plan's outputs are byte-identical to running the
+// original plan over a compacted (or freshly reloaded) merged relation —
+// the invariant the ingest parity suite pins down. A nil/empty chain is a
+// no-op. The overlay must not be combined with a partitioned plan: an
+// uncompacted delta makes any layout stale by definition, so planners fall
+// back to the flat path first.
+func (p *Physical) ApplyDeltaOverlay(deltas []string) {
+	if len(deltas) == 0 {
+		return
+	}
+	p.Deltas = append([]string(nil), deltas...)
+	for _, node := range p.Nodes() {
+		scansT := false
+		for _, in := range node.Inputs {
+			if in == p.Input {
+				scansT = true
+				break
+			}
+		}
+		if !scansT {
+			continue
+		}
+		node.Inputs = append(node.Inputs, p.Deltas...)
+		if node.Job != nil {
+			node.Job.Inputs = append(node.Job.Inputs, p.Deltas...)
+		}
+	}
+	union := &Node{
+		Kind:   KindDeltaUnion,
+		Name:   "delta-union",
+		Inputs: append([]string{p.Input}, p.Deltas...),
+		Output: p.Input,
+		Star:   -1,
+	}
+	p.Stages = append([]Stage{{union}}, p.Stages...)
+}
+
 // Lower turns the plan into executable MapReduce stages. It fails if any
 // node lacks a bound Job (a stats-only plan cannot execute).
 func (p *Physical) Lower() ([]mapreduce.Stage, error) {
@@ -214,10 +275,16 @@ func (p *Physical) Lower() ([]mapreduce.Stage, error) {
 	for si, st := range p.Stages {
 		stage := make(mapreduce.Stage, 0, len(st))
 		for _, node := range st {
+			if node.Kind == KindDeltaUnion {
+				continue // virtual: realized by the widened scan inputs
+			}
 			if node.Job == nil {
 				return nil, fmt.Errorf("plan: node %s (%v, stage %d) has no lowered job", node.Name, node.Kind, si)
 			}
 			stage = append(stage, node.Job)
+		}
+		if len(stage) == 0 {
+			continue
 		}
 		stages = append(stages, stage)
 	}
@@ -232,6 +299,9 @@ func (p *Physical) Summary() string {
 	names := map[string]string{p.Input: "T"}
 	if p.PartInput != "" {
 		names[p.PartInput] = "P"
+	}
+	for i, d := range p.Deltas {
+		names[d] = fmt.Sprintf("D%d", i+1)
 	}
 	norm := func(f string) string {
 		if n, ok := names[f]; ok {

@@ -109,6 +109,116 @@ func BuildPartitionLayout(mr *mapreduce.Engine, input, dir string, buckets int, 
 	return FromLayout(layout)
 }
 
+// RewritePartitionBuckets incrementally maintains an existing layout after
+// new data arrived: only the buckets the delta subjects hash into are
+// rebuilt — the loader shuffle re-runs over those buckets' old files plus
+// the delta files, the rebuilt buckets are swapped in, and the manifest is
+// re-stamped at datasetVersion. Unaffected buckets are never read or
+// written, so the cost scales with the delta, not the relation. The manifest
+// is deleted first and rewritten last: a crash mid-rewrite leaves a layout
+// that fails ReadLayout instead of one that validates against stale buckets.
+// Returns the number of buckets rebuilt.
+func RewritePartitionBuckets(mr *mapreduce.Engine, dir string, deltas []string, datasetVersion string) (int, error) {
+	dfs := mr.DFS()
+	layout, err := dfs.ReadLayout(dir)
+	if err != nil {
+		return 0, err
+	}
+
+	// Affected buckets: every bucket some delta subject hashes into.
+	affected := make(map[int]bool)
+	for _, d := range deltas {
+		recs, err := dfs.ReadAll(d)
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range recs {
+			t, err := codec.DecodeTriple(rec)
+			if err != nil {
+				return 0, err
+			}
+			affected[hash64.Bucket(uint64(t.S), layout.Buckets)] = true
+		}
+	}
+	layout.Version = datasetVersion
+	dfs.DeleteIfExists(dir + "/" + hdfs.LayoutManifestName)
+	if len(affected) == 0 {
+		if err := dfs.WriteLayout(layout); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+
+	// Re-shuffle old affected buckets plus the deltas into rebuild temps.
+	// The (key, value) shuffle sort makes each rebuilt bucket byte-identical
+	// to the bucket a full reload over the merged relation would produce.
+	temps := make(map[int]string, len(affected))
+	var inputs, extra []string
+	for b := range affected {
+		old := layout.BucketFile(b)
+		if dfs.Exists(old) {
+			inputs = append(inputs, old)
+		}
+		temps[b] = old + ".rebuild"
+		extra = append(extra, temps[b])
+	}
+	inputs = append(inputs, deltas...)
+	scan := dir + "/_rebuild-scan"
+	job := &mapreduce.Job{
+		Name:         "partition-rewrite",
+		Inputs:       inputs,
+		Output:       scan,
+		ExtraOutputs: extra,
+		Mapper:       mapreduce.MapperFunc(partitionLoadMapper),
+		Partitioner:  partitionLoadPartitioner,
+		NumReducers:  layout.Buckets,
+		StreamReducer: mapreduce.StreamReducerFunc(func(key []byte, values mapreduce.ValueIter, out mapreduce.Collector) error {
+			s, err := codec.DecodeID(key)
+			if err != nil {
+				return err
+			}
+			temp := temps[hash64.Bucket(uint64(s), layout.Buckets)]
+			if temp == "" {
+				return fmt.Errorf("plan: partition-rewrite saw subject %d outside the rebuilt buckets", s)
+			}
+			nc, ok := out.(mapreduce.NamedCollector)
+			if !ok {
+				return fmt.Errorf("plan: partition-rewrite collector lacks MultipleOutputs support")
+			}
+			for {
+				v, ok, err := values.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				rec := make([]byte, 0, len(key)+len(v))
+				rec = append(rec, key...)
+				rec = append(rec, v...)
+				if err := nc.CollectTo(temp, rec); err != nil {
+					return err
+				}
+			}
+		}),
+	}
+	defer dfs.DeleteIfExists(scan)
+	if _, err := mr.RunWorkflowNamed("partition-rewrite", []mapreduce.Stage{{job}}); err != nil {
+		return 0, err
+	}
+	for b, temp := range temps {
+		dst := layout.BucketFile(b)
+		dfs.DeleteIfExists(dst)
+		if err := dfs.Rename(temp, dst); err != nil {
+			return 0, err
+		}
+	}
+	if err := dfs.WriteLayout(layout); err != nil {
+		return 0, err
+	}
+	return len(affected), nil
+}
+
 // LoadPartitioning reads and validates the layout manifest under dir against
 // the dataset version the caller is about to query. A missing or corrupt
 // manifest surfaces as the hdfs error; a version mismatch surfaces as

@@ -109,6 +109,27 @@ func (d *Dict) Freeze() {
 	d.mu.Unlock()
 }
 
+// Extend appends terms in order, ignoring the frozen flag. It exists for
+// replication, not for query execution: a cluster worker whose dictionary is
+// frozen must still be able to append the master's newly ingested terms, in
+// the master's ID order, so both sides keep identical ID assignments. A term
+// that is already interned must sit exactly where the append would have put
+// it (replicas extending from a shared prefix); anything else means the two
+// dictionaries have diverged and the extension is refused.
+func (d *Dict) Extend(terms []Term) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range terms {
+		key := t.Key()
+		if id, ok := d.byKey[key]; ok {
+			return fmt.Errorf("rdf: Extend: term %s already interned as ID %d", t, id)
+		}
+		d.terms = append(d.terms, t)
+		d.byKey[key] = ID(len(d.terms))
+	}
+	return nil
+}
+
 // Triple is a dictionary-encoded RDF triple.
 type Triple struct {
 	S, P, O ID

@@ -147,6 +147,20 @@ func (r *Relational) Run(mr *mapreduce.Engine, q *query.Query, input string) (*e
 	return execute(mr, r.name, q, r.w, p, &cl)
 }
 
+// RunDeltas implements engine.DeltaRunner: the regular plan with the
+// ingest delta chain overlaid on every scan of the triple relation.
+func (r *Relational) RunDeltas(mr *mapreduce.Engine, q *query.Query, input string,
+	deltas []string) (*engine.Result, error) {
+	var cl engine.Cleaner
+	p, err := r.Plan(q, input, &cl, nil)
+	if err != nil {
+		cl.Clean(mr)
+		return &engine.Result{Engine: r.name}, err
+	}
+	p.ApplyDeltaOverlay(deltas)
+	return execute(mr, r.name, q, r.w, p, &cl)
+}
+
 // execute dispatches between row decoding and COUNT(*) aggregation (the
 // relational representation is fully expanded, so the count is simply the
 // final record count).

@@ -123,6 +123,22 @@ func (s *SelSJFirst) Run(mr *mapreduce.Engine, q *query.Query, input string) (*e
 	return execute(mr, s.Name(), q, s.w, p, &cl)
 }
 
+// RunDeltas implements engine.DeltaRunner: the same plan shapes with the
+// ingest delta chain overlaid on every scan of the triple relation (the
+// completion mapper treats every non-tuple input as the relation, so delta
+// blocks route through the star filter like base records).
+func (s *SelSJFirst) RunDeltas(mr *mapreduce.Engine, q *query.Query, input string,
+	deltas []string) (*engine.Result, error) {
+	var cl engine.Cleaner
+	p, err := s.Plan(q, input, &cl, nil)
+	if err != nil {
+		cl.Clean(mr)
+		return &engine.Result{Engine: s.Name()}, err
+	}
+	p.ApplyDeltaOverlay(deltas)
+	return execute(mr, s.Name(), q, s.w, p, &cl)
+}
+
 // ---- edge join (cycle 1 of the O-O plan) ----
 
 type edgeJoinMapper struct {
@@ -181,28 +197,12 @@ type completionMapper struct {
 	q         *query.Query
 	st        *query.Star
 	w         wire
-	tripleIn  string
 	tupleIn   string
 	absentPos query.Pos // key position when the tuple has no st-segment yet
 }
 
 func (m *completionMapper) Map(input string, record []byte, out mapreduce.Emitter) error {
-	switch input {
-	case m.tripleIn:
-		t, err := codec.DecodeTriple(record)
-		if err != nil {
-			return err
-		}
-		if !m.st.Subj.Match(t.S) || !m.st.TripleMatchesStar(t) {
-			return nil
-		}
-		pv, err := m.w.encodePair(m.q, core.PO{P: t.P, O: t.O})
-		if err != nil {
-			return err
-		}
-		val := append([]byte{tagPair}, pv...)
-		return out.Emit(codec.EncodeID(t.S), val)
-	case m.tupleIn:
+	if input == m.tupleIn {
 		t, err := m.w.decodeTuple(m.q, record)
 		if err != nil {
 			return err
@@ -213,9 +213,23 @@ func (m *completionMapper) Map(input string, record []byte, out mapreduce.Emitte
 		}
 		val := append([]byte{tagTuple}, record...)
 		return out.Emit(codec.EncodeID(key), val)
-	default:
-		return fmt.Errorf("relmr: completion mapper got unexpected input %q", input)
 	}
+	// Any other input is the triple relation: the base file, or one of the
+	// delta blocks the ingest overlay widened the scan with — deltas use the
+	// same record codec, so they route through the identical star filter.
+	t, err := codec.DecodeTriple(record)
+	if err != nil {
+		return err
+	}
+	if !m.st.Subj.Match(t.S) || !m.st.TripleMatchesStar(t) {
+		return nil
+	}
+	pv, err := m.w.encodePair(m.q, core.PO{P: t.P, O: t.O})
+	if err != nil {
+		return err
+	}
+	val := append([]byte{tagPair}, pv...)
+	return out.Emit(codec.EncodeID(t.S), val)
 }
 
 func (m *completionMapper) tupleKey(t Tuple) (rdf.ID, error) {
@@ -348,7 +362,7 @@ func completionJob(q *query.Query, name string, st *query.Star, w wire, tripleIn
 		Name:   name,
 		Inputs: []string{tripleIn, tupleIn},
 		Output: output,
-		Mapper: &completionMapper{q: q, st: st, w: w, tripleIn: tripleIn, tupleIn: tupleIn,
+		Mapper: &completionMapper{q: q, st: st, w: w, tupleIn: tupleIn,
 			absentPos: absentPos},
 		StreamReducer: &completionReducer{q: q, st: st, w: w},
 	}

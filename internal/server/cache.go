@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"ntga/internal/query"
+	"ntga/internal/rdf"
 )
 
 // fingerprint hashes an ordered list of identity parts to a short stable
@@ -148,6 +149,40 @@ type resultCache struct {
 type resultNode struct {
 	key   string
 	entry resultEntry
+	id    cacheIdentity
+}
+
+// cacheIdentity is everything needed to re-derive a result's cache key
+// under new catalog/dataset versions, plus the compiled query the
+// delta-affectedness predicate runs against. The key derivation mirrors
+// evaluate exactly: planKey = fp(qfp, engine, phiM, catalogVersion),
+// resultKey = fp(planKey, datasetVersion). engine is the *requested* name
+// (possibly "auto"), phiM the requested range — both as they entered the
+// plan key, not as the planner resolved them.
+type cacheIdentity struct {
+	q      *query.Query
+	qfp    string
+	engine string
+	phiM   string
+}
+
+// affected reports whether any delta triple could participate in some star
+// of the cached query — the sound retention test for append-only ingest:
+// every result row derives from star matches, so a batch in which no triple
+// can join any star cannot change the result. Queries that compiled against
+// missing terms (Empty) are always affected: an ingest may have minted
+// exactly the term whose absence made them empty, and TripleRelevant cannot
+// see that through the stale NoID in the compiled form.
+func (id cacheIdentity) affected(deltas []rdf.Triple) bool {
+	if id.q == nil || id.q.Empty() {
+		return true
+	}
+	for _, t := range deltas {
+		if id.q.TripleRelevant(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // newResultCache returns nil for capacity <= 0 (cache disabled); a nil
@@ -175,23 +210,56 @@ func (c *resultCache) get(key string) (resultEntry, bool) {
 	return el.Value.(*resultNode).entry, true
 }
 
-func (c *resultCache) put(key string, e resultEntry) {
+func (c *resultCache) put(key string, e resultEntry, id cacheIdentity) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*resultNode).entry = e
+		n := el.Value.(*resultNode)
+		n.entry = e
+		n.id = id
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&resultNode{key: key, entry: e})
+	c.byKey[key] = c.ll.PushFront(&resultNode{key: key, entry: e, id: id})
 	for c.ll.Len() > c.capacity {
 		cold := c.ll.Back()
 		c.ll.Remove(cold)
 		delete(c.byKey, cold.Value.(*resultNode).key)
 	}
+}
+
+// maintain walks the cache after an accepted ingest batch instead of
+// flushing it: entries whose query could match some delta triple are
+// evicted (their rows may have changed), everything else is re-keyed to the
+// new catalog and dataset versions so the very next identical request hits
+// without a single MR cycle. Returns the retained/evicted split for the
+// ingest response and /metrics.
+func (c *resultCache) maintain(deltas []rdf.Triple, catVer, dataVer string) (retained, evicted int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		n := el.Value.(*resultNode)
+		if n.id.affected(deltas) {
+			c.ll.Remove(el)
+			delete(c.byKey, n.key)
+			evicted++
+			continue
+		}
+		newKey := fingerprint(fingerprint(n.id.qfp, n.id.engine, n.id.phiM, catVer), dataVer)
+		delete(c.byKey, n.key)
+		n.key = newKey
+		c.byKey[newKey] = el
+		retained++
+	}
+	return retained, evicted
 }
 
 func (c *resultCache) stats() (hits, misses int64, size int) {

@@ -36,13 +36,13 @@ func TestPlanCacheStats(t *testing.T) {
 func TestResultCacheLRUEviction(t *testing.T) {
 	c := newResultCache(3)
 	for i := 0; i < 3; i++ {
-		c.put(fmt.Sprintf("k%d", i), resultEntry{count: int64(i)})
+		c.put(fmt.Sprintf("k%d", i), resultEntry{count: int64(i)}, cacheIdentity{})
 	}
 	// Touch k0 so k1 is now the cold end, then overflow.
 	if _, ok := c.get("k0"); !ok {
 		t.Fatal("k0 missing")
 	}
-	c.put("k3", resultEntry{count: 3})
+	c.put("k3", resultEntry{count: 3}, cacheIdentity{})
 	if _, ok := c.get("k1"); ok {
 		t.Error("k1 survived eviction, want LRU out")
 	}
@@ -58,10 +58,10 @@ func TestResultCacheLRUEviction(t *testing.T) {
 
 func TestResultCachePutExistingRefreshes(t *testing.T) {
 	c := newResultCache(2)
-	c.put("a", resultEntry{count: 1})
-	c.put("b", resultEntry{count: 2})
-	c.put("a", resultEntry{count: 10}) // update + move to front
-	c.put("c", resultEntry{count: 3})  // evicts b, not a
+	c.put("a", resultEntry{count: 1}, cacheIdentity{})
+	c.put("b", resultEntry{count: 2}, cacheIdentity{})
+	c.put("a", resultEntry{count: 10}, cacheIdentity{}) // update + move to front
+	c.put("c", resultEntry{count: 3}, cacheIdentity{})  // evicts b, not a
 	if e, ok := c.get("a"); !ok || e.count != 10 {
 		t.Errorf("a = (%+v, %v), want updated entry kept", e, ok)
 	}
@@ -78,7 +78,7 @@ func TestResultCacheDisabled(t *testing.T) {
 	if _, ok := c.get("k"); ok {
 		t.Error("nil cache hit")
 	}
-	c.put("k", resultEntry{})
+	c.put("k", resultEntry{}, cacheIdentity{})
 	if h, m, s := c.stats(); h != 0 || m != 0 || s != 0 {
 		t.Errorf("nil cache stats = (%d, %d, %d)", h, m, s)
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"ntga/internal/ingest"
 )
 
 // Client is the HTTP client for a running ntga-serve daemon; ntga-run's
@@ -70,6 +72,34 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// Ingest posts a raw N-Triples batch to /ingest.
+func (c *Client) Ingest(ctx context.Context, batch io.Reader) (*IngestResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/ingest", batch)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/n-triples")
+	var res IngestResult
+	if err := c.do(req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Compact asks the server to fold its delta chain into a new base
+// generation.
+func (c *Client) Compact(ctx context.Context) (*ingest.CompactResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/compact", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res ingest.CompactResult
+	if err := c.do(req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // Health checks /healthz.

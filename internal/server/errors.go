@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"ntga/internal/ingest"
 )
 
 // StatusClientClosedRequest is the nginx convention for "the client went
@@ -34,6 +36,7 @@ var errorStatuses = []struct {
 }{
 	{ErrOverloaded, http.StatusTooManyRequests, 1},
 	{ErrBadQuery, http.StatusBadRequest, 0},
+	{ingest.ErrBadBatch, http.StatusUnprocessableEntity, 0},
 	{ErrUnavailable, http.StatusServiceUnavailable, 2},
 	{context.DeadlineExceeded, http.StatusGatewayTimeout, 0},
 	{context.Canceled, StatusClientClosedRequest, 0},

@@ -11,19 +11,43 @@ import (
 //
 //	POST /query        — evaluate a Request; sync by default, async with
 //	                     ?async=1 (returns {"job_id": ...} immediately)
+//	POST /ingest       — append an N-Triples batch (raw body) as a delta
+//	                     block; returns an IngestResult
+//	POST /compact      — fold the delta chain into a new base generation
 //	GET  /jobs/<id>    — poll an async job
 //	GET  /metrics      — service metrics snapshot (JSON)
 //	GET  /healthz      — liveness + dataset identity
 //
 // Errors are JSON {"error": ...} with ErrOverloaded → 429, ErrBadQuery →
-// 400, deadline exceeded → 504, everything else → 500.
+// 400, ingest.ErrBadBatch → 422, deadline exceeded → 504, everything else
+// → 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Ingest(r.Context(), r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Compact(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -85,11 +109,14 @@ type Health struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	cm := s.clusterMetrics() // doubles as a probe: feeds the ladder
 	state, held, transitions := s.health.snapshot()
+	s.dsMu.RLock()
+	triples, dsVer := s.triples, s.datasetVersion
+	s.dsMu.RUnlock()
 	h := Health{
 		Status:            state,
 		Mode:              cm.Mode,
-		Triples:           s.triples,
-		DatasetVersion:    s.datasetVersion,
+		Triples:           triples,
+		DatasetVersion:    dsVer,
 		UptimeMS:          s.Snapshot().UptimeMS,
 		WorkersAlive:      cm.WorkersAlive,
 		WorkersRegistered: cm.WorkersRegistered,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"ntga/internal/cluster"
 	"ntga/internal/engine"
 	"ntga/internal/hdfs"
+	"ntga/internal/ingest"
 	"ntga/internal/mapreduce"
 	"ntga/internal/ntgamr"
 	"ntga/internal/plan"
@@ -102,6 +104,10 @@ type Config struct {
 	// on-demand scrapes (each /healthz, /metrics, and failed cluster
 	// query also feeds the ladder).
 	ProbeEvery time.Duration
+	// CompactAfter, when > 0, auto-runs delta-merge compaction at the end
+	// of any ingest that leaves the delta chain this long or longer. 0
+	// leaves compaction to explicit POST /compact calls.
+	CompactAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,15 +151,30 @@ type Server struct {
 	cfg  Config
 	dfs  *hdfs.DFS
 	dict *rdf.Dict
-	// input is the DFS name of the triple relation every query scans.
+
+	// dsMu guards the mutable dataset view below: ingestion moves all of
+	// it atomically, and every query snapshots it once (dataset()) so one
+	// request sees one consistent (input, deltas, catalog, versions) set.
+	dsMu sync.RWMutex
+	// input is the DFS name of the base triple relation every query scans;
+	// deltas is the uncompacted delta chain overlaid on it.
 	input   string
+	deltas  []string
 	catalog *plan.Catalog
 	// catalogVersion keys the plan cache; datasetVersion keys the result
-	// cache. Both are content hashes, so any future data reload that
-	// changes the triples invalidates by key miss.
+	// cache. Both are content hashes, so any data change invalidates by
+	// key miss (ingest additionally re-keys retained result entries).
 	catalogVersion string
 	datasetVersion string
 	triples        int64
+
+	// store owns the versioned dataset manifest and the delta-block write
+	// path; catState is the mergeable catalog accumulator ingests fold
+	// into instead of rescanning. ingestMu serializes ingest/compact
+	// against each other (queries never take it).
+	store    *ingest.Store
+	catState *plan.CatalogState
+	ingestMu sync.Mutex
 
 	pool    *Pool
 	plans   *planCache
@@ -186,6 +207,13 @@ type Server struct {
 	mCycles    atomic.Int64
 	mReclaimed atomic.Int64
 	mFallbacks atomic.Int64
+	// Ingest-path counters: accepted batches / triples, compactions run,
+	// and the cumulative retained/evicted split of result-cache upkeep.
+	mIngests       atomic.Int64
+	mIngestTriples atomic.Int64
+	mCompactions   atomic.Int64
+	mCacheRetained atomic.Int64
+	mCacheEvicted  atomic.Int64
 }
 
 // New builds a server over the given graph: loads the triple relation into
@@ -202,7 +230,15 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 	if err := engine.LoadGraph(dfs, input, g); err != nil {
 		return nil, fmt.Errorf("server: loading graph: %w", err)
 	}
+	store, err := ingest.Init(dfs, input, g)
+	if err != nil {
+		return nil, fmt.Errorf("server: initializing dataset manifest: %w", err)
+	}
 	cat := plan.FromGraph(g)
+	catVer, err := catalogVersion(cat)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Cluster != nil {
 		// Distributed mode: the master must be serving the exact dataset
 		// this server compiled its dictionary from, or every shipped plan
@@ -232,9 +268,11 @@ func New(cfg Config, g *rdf.Graph) (*Server, error) {
 		dict:           g.Dict,
 		input:          input,
 		catalog:        cat,
-		catalogVersion: catalogVersion(cat),
+		catalogVersion: catVer,
 		datasetVersion: datasetVersion(g),
 		triples:        int64(len(g.Triples)),
+		store:          store,
+		catState:       plan.StateFromGraph(g),
 		pool:           pool,
 		plans:          newPlanCache(),
 		results:        newResultCache(cfg.ResultCacheEntries),
@@ -277,13 +315,53 @@ func (s *Server) Close() { s.stop() }
 // the handshake.
 func datasetVersion(g *rdf.Graph) string { return g.Version() }
 
+// ErrUnversionable marks a statistics catalog that could not be rendered
+// into a content hash. Both caches key on the catalog version, so a server
+// cannot safely run without one: a silent shared sentinel (the old
+// "unversioned" fallback) would let two different catalogs collide on one
+// plan-cache key. New fails fast on it; the ingest path refuses to move the
+// dataset forward on it.
+var ErrUnversionable = errors.New("server: catalog version unavailable")
+
+// encodeCatalog is the catalog → bytes seam catalogVersion hashes through.
+// A package variable so tests can force the encode to fail; production
+// always points at plan.Catalog.Write.
+var encodeCatalog = func(cat *plan.Catalog, w io.Writer) error { return cat.Write(w) }
+
 // catalogVersion content-hashes the statistics catalog's JSON rendering.
-func catalogVersion(cat *plan.Catalog) string {
+func catalogVersion(cat *plan.Catalog) (string, error) {
 	var sb strings.Builder
-	if err := cat.Write(&sb); err != nil {
-		return "unversioned"
+	if err := encodeCatalog(cat, &sb); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrUnversionable, err)
 	}
-	return fingerprint(sb.String())
+	return fingerprint(sb.String()), nil
+}
+
+// datasetView is one query's consistent snapshot of the mutable dataset
+// state: everything evaluate needs travels together, so an ingest landing
+// mid-request can never mix an old catalog with a new delta chain.
+type datasetView struct {
+	input          string
+	deltas         []string
+	catalog        *plan.Catalog
+	catalogVersion string
+	datasetVersion string
+}
+
+// dataset snapshots the current dataset view. The delta slice is aliased,
+// never mutated in place: ingest swaps in a fresh slice under the write
+// lock, and the files a snapshot names are immutable (compaction retains
+// them), so an in-flight query finishes on its pinned version.
+func (s *Server) dataset() datasetView {
+	s.dsMu.RLock()
+	defer s.dsMu.RUnlock()
+	return datasetView{
+		input:          s.input,
+		deltas:         s.deltas,
+		catalog:        s.catalog,
+		catalogVersion: s.catalogVersion,
+		datasetVersion: s.datasetVersion,
+	}
 }
 
 // Request is one query submission (the POST /query body).
@@ -412,6 +490,10 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 
+	// One consistent dataset snapshot per request: catalog, versions, base
+	// input, and delta chain all move together under ingestion.
+	ds := s.dataset()
+
 	// Plan cache: resolve the engine and join order once per (query,
 	// engine request, catalog version).
 	engName := req.Engine
@@ -419,10 +501,10 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		engName = s.cfg.DefaultEngine
 	}
 	qfp := queryFingerprint(q)
-	planKey := fingerprint(qfp, engName, fmt.Sprint(req.PhiM), s.catalogVersion)
+	planKey := fingerprint(qfp, engName, fmt.Sprint(req.PhiM), ds.catalogVersion)
 	entry, planHit := s.plans.get(planKey)
 	if !planHit {
-		entry, err = s.planQuery(engName, req.PhiM, q)
+		entry, err = s.planQuery(ds.catalog, engName, req.PhiM, q)
 		if err != nil {
 			s.mFailed.Add(1)
 			return nil, err
@@ -450,8 +532,10 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	// Result cache: a hit answers without touching the cluster at all —
-	// zero MR cycles, zero slot leases.
-	resultKey := fingerprint(planKey, s.datasetVersion)
+	// zero MR cycles, zero slot leases. The identity travels with the
+	// entry so ingest-time maintenance can re-key retained results.
+	resultKey := fingerprint(planKey, ds.datasetVersion)
+	cid := cacheIdentity{q: q, qfp: qfp, engine: engName, phiM: fmt.Sprint(req.PhiM)}
 	switch {
 	case s.results == nil:
 		resp.Cache = "off"
@@ -487,7 +571,7 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 	defer func() { <-s.sem }()
 
 	if s.cfg.Cluster != nil {
-		resp2, err := s.evaluateCluster(ctx, req, q, entry, resp, resultKey, start)
+		resp2, err := s.evaluateCluster(ctx, req, q, entry, resp, resultKey, cid, start)
 		if err == nil {
 			s.mSucceeded.Add(1)
 			return resp2, nil
@@ -509,7 +593,7 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 		resp.Fallback = true
 	}
 
-	resp2, err := s.evaluateLocal(ctx, req, q, entry, resp, resultKey, start)
+	resp2, err := s.evaluateLocal(ctx, req, q, entry, resp, ds, resultKey, cid, start)
 	if err != nil {
 		s.mFailed.Add(1)
 		return resp2, err
@@ -521,7 +605,7 @@ func (s *Server) evaluate(ctx context.Context, req Request) (*Response, error) {
 // evaluateLocal runs the planned query on the in-process engine — the
 // local-mode execution path, and the byte-identical fallback a distributed
 // server degrades to when the fleet is unreachable.
-func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, resultKey string, start time.Time) (*Response, error) {
+func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, ds datasetView, resultKey string, cid cacheIdentity, start time.Time) (*Response, error) {
 	eng, err := engineByName(entry.EngineName, entry.PhiM)
 	if err != nil {
 		return nil, err
@@ -542,7 +626,10 @@ func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query,
 		Tracer:          tracer,
 	}).WithContext(ctx)
 
-	res, err := eng.Run(mr, q, s.input)
+	// The snapshot's base and delta chain run together: uncompacted delta
+	// blocks are overlaid on every scan of the triple relation, with rows
+	// byte-identical to a from-scratch load of the merged dataset.
+	res, err := engine.RunWithDeltas(eng, mr, q, ds.input, ds.deltas, nil)
 	if res != nil {
 		resp.Cycles = len(res.Workflow.Jobs)
 		resp.ShuffleBytes = res.Workflow.TotalMapOutputBytes()
@@ -575,7 +662,7 @@ func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query,
 	}
 
 	cached := newResultEntry(q, res.Engine, res.Rows, res.IsCount, res.Count, res.OutputRecords, res.OutputBytes)
-	s.results.put(resultKey, cached)
+	s.results.put(resultKey, cached, cid)
 	resp.Engine = res.Engine
 	s.renderRows(resp, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
@@ -587,7 +674,7 @@ func (s *Server) evaluateLocal(ctx context.Context, req Request, q *query.Query,
 // local engine run would. The server's planning decisions travel with the
 // query (resolved engine, φ_m, optimizer join order), so the master
 // executes the same physical plan the local path would have.
-func (s *Server) evaluateCluster(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, resultKey string, start time.Time) (*Response, error) {
+func (s *Server) evaluateCluster(ctx context.Context, req Request, q *query.Query, entry planEntry, resp *Response, resultKey string, cid cacheIdentity, start time.Time) (*Response, error) {
 	if req.Timeline {
 		return nil, fmt.Errorf("%w: timeline rendering is not available in distributed (-cluster) mode", ErrBadQuery)
 	}
@@ -634,7 +721,7 @@ func (s *Server) evaluateCluster(ctx context.Context, req Request, q *query.Quer
 	// The handshake pinned both processes to one dataset, so the master's
 	// row IDs are this dictionary's IDs: cache and render as if local.
 	cached := newResultEntry(q, reply.Engine, reply.Rows, reply.IsCount, reply.Count, reply.OutputRecords, reply.OutputBytes)
-	s.results.put(resultKey, cached)
+	s.results.put(resultKey, cached, cid)
 	resp.Engine = reply.Engine
 	s.renderRows(resp, cached, req.Limit)
 	resp.DurationMS = time.Since(start).Milliseconds()
@@ -669,10 +756,12 @@ func (s *Server) compile(src string) (*query.Query, error) {
 
 // planQuery resolves "auto" through the catalog advisor, runs the
 // join-order optimizer, and packages the decisions as a cacheable entry.
-func (s *Server) planQuery(engName string, phiM int, q *query.Query) (planEntry, error) {
+// The catalog is the request's snapshot, not the live field: planning and
+// key derivation must see the same statistics.
+func (s *Server) planQuery(cat *plan.Catalog, engName string, phiM int, q *query.Query) (planEntry, error) {
 	resolved := engName
 	if engName == "auto" {
-		ua, err := plan.AdviseUnnest(s.catalog.AvgTriplesPerSubject(), s.catalog.Objects, q, s.cfg.Reducers)
+		ua, err := plan.AdviseUnnest(cat.AvgTriplesPerSubject(), cat.Objects, q, s.cfg.Reducers)
 		if err != nil {
 			return planEntry{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
 		}
@@ -689,7 +778,7 @@ func (s *Server) planQuery(engName string, phiM int, q *query.Query) (planEntry,
 		return planEntry{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	entry := planEntry{EngineName: resolved, PhiM: phiM}
-	r, err := plan.Optimize(s.catalog, q)
+	r, err := plan.Optimize(cat, q)
 	if err != nil {
 		return planEntry{}, err
 	}
@@ -784,6 +873,15 @@ type Metrics struct {
 	Triples        int64                     `json:"triples"`
 	DatasetVersion string                    `json:"dataset_version"`
 	CatalogVersion string                    `json:"catalog_version"`
+	// Ingest-path rollup: accepted batches and their triples, compactions
+	// run, the current uncompacted delta-chain length, and the cumulative
+	// retained/evicted split of delta-aware result-cache maintenance.
+	Ingests         int64 `json:"ingests"`
+	IngestedTriples int64 `json:"ingested_triples"`
+	Compactions     int64 `json:"compactions"`
+	DeltaBlocks     int   `json:"delta_blocks"`
+	CacheRetained   int64 `json:"cache_retained"`
+	CacheEvicted    int64 `json:"cache_evicted"`
 	// Cluster is the execution substrate's health: simulated-DFS node
 	// liveness in local mode, per-worker liveness and slot occupancy in
 	// distributed mode.
@@ -839,6 +937,9 @@ type ClusterMetrics struct {
 
 // Snapshot assembles the current service metrics.
 func (s *Server) Snapshot() Metrics {
+	s.dsMu.RLock()
+	triples, dsVer, catVer, deltaBlocks := s.triples, s.datasetVersion, s.catalogVersion, len(s.deltas)
+	s.dsMu.RUnlock()
 	m := Metrics{
 		UptimeMS:           time.Since(s.started).Milliseconds(),
 		Queries:            s.mQueries.Load(),
@@ -850,9 +951,15 @@ func (s *Server) Snapshot() Metrics {
 		MRCycles:           s.mCycles.Load(),
 		TempBytesReclaimed: s.mReclaimed.Load(),
 		TempFiles:          len(s.dfs.ListPrefix("_tmp/")),
-		Triples:            s.triples,
-		DatasetVersion:     s.datasetVersion,
-		CatalogVersion:     s.catalogVersion,
+		Triples:            triples,
+		DatasetVersion:     dsVer,
+		CatalogVersion:     catVer,
+		Ingests:            s.mIngests.Load(),
+		IngestedTriples:    s.mIngestTriples.Load(),
+		Compactions:        s.mCompactions.Load(),
+		DeltaBlocks:        deltaBlocks,
+		CacheRetained:      s.mCacheRetained.Load(),
+		CacheEvicted:       s.mCacheEvicted.Load(),
 	}
 	m.PlanCache.Hits, m.PlanCache.Misses, m.PlanCache.Size = s.plans.stats()
 	m.ResultCache.Hits, m.ResultCache.Misses, m.ResultCache.Size = s.results.stats()

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// distinctSets builds two overlapping element sets and their union.
+func distinctSets(seed int64, nA, nB, universe int) (a, b []uint64, union map[uint64]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	union = make(map[uint64]bool)
+	draw := func(n int) []uint64 {
+		out := make([]uint64, 0, n)
+		for len(out) < n {
+			v := uint64(rng.Intn(universe)) + 1
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b = draw(nA), draw(nB)
+	for _, v := range a {
+		union[v] = true
+	}
+	for _, v := range b {
+		union[v] = true
+	}
+	return a, b, union
+}
+
+// TestSketchMergeEqualsUnion is the mergeability contract: the merged bitmap
+// is bit-for-bit identical to the bitmap of the union stream, so
+// merge(sketch(A), sketch(B)) and sketch(A ∪ B) agree exactly — not merely
+// within error bounds.
+func TestSketchMergeEqualsUnion(t *testing.T) {
+	const logM = 14
+	a, b, _ := distinctSets(1, 3000, 2500, 8000)
+
+	sa, sb, su := NewSketch(logM), NewSketch(logM), NewSketch(logM)
+	for _, v := range a {
+		sa.Add(v)
+		su.Add(v)
+	}
+	for _, v := range b {
+		sb.Add(v)
+		su.Add(v)
+	}
+	merged := sa.Clone()
+	if err := merged.Merge(sb); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !merged.Equal(su) {
+		t.Fatalf("merge(sketch(A), sketch(B)) bitmap differs from sketch(A∪B)")
+	}
+	if merged.Estimate() != su.Estimate() {
+		t.Fatalf("merged estimate %d != union estimate %d", merged.Estimate(), su.Estimate())
+	}
+}
+
+// TestSketchMergeWithinErrorBound checks the estimate of the merged sketch
+// against the exact distinct count of A ∪ B, allowing 4 standard deviations
+// of the linear-counting error.
+func TestSketchMergeWithinErrorBound(t *testing.T) {
+	const logM = 14
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b, union := distinctSets(seed, 4000, 3000, 10000)
+		sa, sb := NewSketch(logM), NewSketch(logM)
+		for _, v := range a {
+			sa.Add(v)
+		}
+		for _, v := range b {
+			sb.Add(v)
+		}
+		if err := sa.Merge(sb); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		exact := int64(len(union))
+		got := sa.Estimate()
+		bound := 4 * sa.ErrorBound(exact)
+		if math.Abs(float64(got-exact)) > bound {
+			t.Errorf("seed %d: merged estimate %d vs exact %d exceeds 4σ bound %.1f",
+				seed, got, exact, bound)
+		}
+	}
+}
+
+// TestSketchMergeOrderIndependent: merging in any order (and any grouping)
+// yields the same bitmap and the same estimate.
+func TestSketchMergeOrderIndependent(t *testing.T) {
+	const logM = 12
+	parts := make([]*Sketch, 4)
+	rng := rand.New(rand.NewSource(7))
+	for i := range parts {
+		parts[i] = NewSketch(logM)
+		for j := 0; j < 1000; j++ {
+			parts[i].Add(uint64(rng.Intn(5000)))
+		}
+	}
+	fold := func(order []int) *Sketch {
+		acc := NewSketch(logM)
+		for _, i := range order {
+			if err := acc.Merge(parts[i]); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+		}
+		return acc
+	}
+	ref := fold([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		got := fold(order)
+		if !got.Equal(ref) {
+			t.Errorf("merge order %v produced a different bitmap", order)
+		}
+		if got.Estimate() != ref.Estimate() {
+			t.Errorf("merge order %v: estimate %d != %d", order, got.Estimate(), ref.Estimate())
+		}
+	}
+}
+
+// TestSketchMergeSizeMismatch: merging differently sized sketches is refused.
+func TestSketchMergeSizeMismatch(t *testing.T) {
+	if err := NewSketch(10).Merge(NewSketch(12)); err == nil {
+		t.Fatal("expected an error merging 2^10-bit and 2^12-bit sketches")
+	}
+}
+
+// TestSketchJSONRoundTrip: the persisted form reproduces the exact bitmap.
+func TestSketchJSONRoundTrip(t *testing.T) {
+	s := NewSketch(10)
+	for i := uint64(0); i < 700; i++ {
+		s.Add(i * 31)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Sketch
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !back.Equal(s) {
+		t.Fatal("round-tripped sketch bitmap differs")
+	}
+}
+
+// TestSketchEstimateSingleStream sanity-checks the plain estimator against
+// an exact count within the documented bound.
+func TestSketchEstimateSingleStream(t *testing.T) {
+	s := NewSketch(14)
+	seen := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6000; i++ {
+		v := uint64(rng.Intn(9000)) + 1
+		s.Add(v)
+		seen[v] = true
+	}
+	exact := int64(len(seen))
+	if diff := math.Abs(float64(s.Estimate() - exact)); diff > 4*s.ErrorBound(exact) {
+		t.Errorf("estimate %d vs exact %d: |diff| %.0f > 4σ %.1f",
+			s.Estimate(), exact, diff, 4*s.ErrorBound(exact))
+	}
+}
